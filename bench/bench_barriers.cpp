@@ -1,0 +1,146 @@
+//===- bench/bench_barriers.cpp - Experiment E7: write-barrier cost -------===//
+///
+/// The store-barrier cost profile of Figure 6: a heap store with both
+/// barriers vs deletion-only vs insertion-only vs none, while the collector
+/// is idle (barriers compiled in but dormant) and while it is active. The
+/// claim from §2.3: the barriers are nearly free when objects are already
+/// marked or the collector is idle, because the fast path is a plain load
+/// and branch.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/GcRuntime.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace tsogc::rt;
+
+namespace {
+
+struct Fixture {
+  explicit Fixture(bool Deletion, bool Insertion) {
+    RtConfig Cfg;
+    Cfg.HeapObjects = 1024;
+    Cfg.NumFields = 2;
+    Cfg.DeletionBarrier = Deletion;
+    Cfg.InsertionBarrier = Insertion;
+    Cfg.Validate = false; // measure the barriers, not the checker
+    Rt = std::make_unique<GcRuntime>(Cfg);
+    M = Rt->registerMutator();
+    Rt->HandshakeServicer = [this] { M->safepoint(); };
+    A = static_cast<size_t>(M->alloc());
+    B = static_cast<size_t>(M->alloc());
+  }
+  ~Fixture() {
+    while (M->numRoots())
+      M->discard(0);
+    Rt->deregisterMutator(M);
+  }
+
+  /// Put the runtime in the Mark phase with everything marked (steady
+  /// state: barriers active, fast paths hit).
+  void enterMarkPhaseMarked() {
+    // Mid-cycle state is awkward to freeze; emulate the steady state by
+    // setting the control variables directly and marking the objects —
+    // this is exactly what the mutator view would be after H4.
+    bool Fm = Rt->FM.load() == 0 ? true : false;
+    Rt->FM.store(Fm ? 1 : 0);
+    Rt->FA.store(Fm ? 1 : 0);
+    Rt->Phase.store(static_cast<uint32_t>(RtPhase::Mark));
+    Rt->heap().mark(M->rootRef(A), Fm, true);
+    Rt->heap().mark(M->rootRef(B), Fm, true);
+    M->safepoint(); // no-op; view refresh happens below
+    RefreshView();
+  }
+
+  void RefreshView() {
+    // Force a view refresh through a synthetic noop handshake.
+    uint32_t Seq = Rt->HsSeq.fetch_add(1) + 1;
+    Rt->channelOf(M->index())
+        .Request.store(HsChannel::encode(Seq, RtHsType::Noop));
+    M->safepoint();
+  }
+
+  std::unique_ptr<GcRuntime> Rt;
+  MutatorContext *M = nullptr;
+  size_t A = 0, B = 0;
+};
+
+void storeLoop(benchmark::State &State, Fixture &F) {
+  uint32_t Fld = 0;
+  for (auto _ : State) {
+    F.M->store(F.B, F.A, Fld);
+    Fld ^= 1;
+  }
+  State.SetItemsProcessed(State.iterations());
+  State.counters["barrier_cas"] =
+      static_cast<double>(F.M->stats().BarrierCas);
+}
+
+} // namespace
+
+static void BM_StoreBothBarriersIdle(benchmark::State &State) {
+  Fixture F(true, true);
+  storeLoop(State, F); // collector idle: barriers dormant
+}
+BENCHMARK(BM_StoreBothBarriersIdle);
+
+static void BM_StoreBothBarriersActiveMarked(benchmark::State &State) {
+  Fixture F(true, true);
+  F.enterMarkPhaseMarked(); // active, but targets already marked: fast path
+  storeLoop(State, F);
+}
+BENCHMARK(BM_StoreBothBarriersActiveMarked);
+
+static void BM_StoreDeletionOnlyActive(benchmark::State &State) {
+  Fixture F(true, false);
+  F.enterMarkPhaseMarked();
+  storeLoop(State, F);
+}
+BENCHMARK(BM_StoreDeletionOnlyActive);
+
+static void BM_StoreInsertionOnlyActive(benchmark::State &State) {
+  Fixture F(false, true);
+  F.enterMarkPhaseMarked();
+  storeLoop(State, F);
+}
+BENCHMARK(BM_StoreInsertionOnlyActive);
+
+static void BM_StoreNoBarriers(benchmark::State &State) {
+  Fixture F(false, false);
+  F.enterMarkPhaseMarked();
+  storeLoop(State, F);
+}
+BENCHMARK(BM_StoreNoBarriers);
+
+static void BM_LoadNeverHasBarrier(benchmark::State &State) {
+  // §2.1: no read barrier — loads cost a field read plus root bookkeeping.
+  Fixture F(true, true);
+  F.enterMarkPhaseMarked();
+  F.M->store(F.B, F.A, 0);
+  for (auto _ : State) {
+    int Idx = F.M->load(F.A, 0);
+    if (Idx >= 0)
+      F.M->discard(static_cast<size_t>(Idx));
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_LoadNeverHasBarrier);
+
+static void BM_AllocThroughput(benchmark::State &State) {
+  Fixture F(true, true);
+  for (auto _ : State) {
+    int Idx = F.M->alloc();
+    if (Idx >= 0) {
+      F.M->discard(static_cast<size_t>(Idx));
+    } else {
+      // Heap full of garbage: reclaim it.
+      State.PauseTiming();
+      F.Rt->collectOnce();
+      F.Rt->collectOnce();
+      State.ResumeTiming();
+    }
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_AllocThroughput);

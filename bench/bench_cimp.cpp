@@ -1,0 +1,135 @@
+//===- bench/bench_cimp.cpp - Experiment E8: CIMP semantics cost ----------===//
+///
+/// Throughput of the Figure 7/8 machinery: control-flow normalization,
+/// successor enumeration for local steps and rendezvous, and scaling of
+/// enumeration cost with process count (flat parallel composition).
+///
+//===----------------------------------------------------------------------===//
+
+#include "cimp/System.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+using namespace tsogc;
+using namespace tsogc::cimp;
+
+namespace {
+
+struct IntDomain {
+  using LocalState = int;
+  using Request = int;
+  using Response = int;
+};
+using IProg = Program<IntDomain>;
+
+/// A counter process: loop { if even → +1 ; else choice(+1, +3) }.
+void buildCounter(IProg &P) {
+  CmdId Inc = P.localDet("inc", [](int &S) { ++S; });
+  CmdId Inc3 = P.localDet("inc3", [](int &S) { S += 3; });
+  CmdId Body = P.ifThenElse([](const int &S) { return S % 2 == 0; }, Inc,
+                            P.choice({Inc, Inc3}));
+  P.setEntry(P.loop(Body));
+}
+
+/// A client/server pair exercising rendezvous.
+void buildClient(IProg &P) {
+  P.setEntry(P.loop(P.request(
+      "ask", [](const int &S) { return S; },
+      [](const int &, const int &Rsp, std::vector<int> &Out) {
+        Out.push_back(Rsp);
+      })));
+}
+void buildServer(IProg &P) {
+  P.setEntry(P.loop(P.response(
+      "serve", [](const int &Req, const int &S,
+                  std::vector<std::pair<int, int>> &Out) {
+        Out.emplace_back(S + 1, Req + 1);
+      })));
+}
+
+} // namespace
+
+static void BM_NormalizeControlFlow(benchmark::State &State) {
+  IProg P;
+  buildCounter(P);
+  std::vector<CmdId> Stack{P.entry()};
+  for (auto _ : State) {
+    std::vector<PendingStep<IntDomain>> Steps;
+    normalize(P, Stack, 0, Steps);
+    benchmark::DoNotOptimize(Steps);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_NormalizeControlFlow);
+
+static void BM_LocalStepSuccessors(benchmark::State &State) {
+  IProg P;
+  buildCounter(P);
+  System<IntDomain> Sys({&P});
+  auto S = Sys.initialState({0});
+  std::vector<Successor<IntDomain>> Succs;
+  for (auto _ : State) {
+    Succs.clear();
+    Sys.successors(S, Succs);
+    benchmark::DoNotOptimize(Succs);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_LocalStepSuccessors);
+
+static void BM_RendezvousSuccessors(benchmark::State &State) {
+  IProg C, Srv;
+  buildClient(C);
+  buildServer(Srv);
+  System<IntDomain> Sys({&C, &Srv});
+  auto S = Sys.initialState({0, 0});
+  std::vector<Successor<IntDomain>> Succs;
+  for (auto _ : State) {
+    Succs.clear();
+    Sys.successors(S, Succs);
+    benchmark::DoNotOptimize(Succs);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_RendezvousSuccessors);
+
+/// Interpreter walk: repeatedly take the first successor.
+static void BM_InterpreterSteps(benchmark::State &State) {
+  IProg P;
+  buildCounter(P);
+  System<IntDomain> Sys({&P});
+  auto S = Sys.initialState({0});
+  std::vector<Successor<IntDomain>> Succs;
+  for (auto _ : State) {
+    Succs.clear();
+    Sys.successors(S, Succs);
+    S = std::move(Succs.front().State);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_InterpreterSteps);
+
+/// Enumeration cost scales with the number of composed processes.
+static void BM_SuccessorsVsProcessCount(benchmark::State &State) {
+  const unsigned N = static_cast<unsigned>(State.range(0));
+  std::vector<std::unique_ptr<IProg>> Progs;
+  std::vector<const IProg *> Ptrs;
+  for (unsigned I = 0; I < N; ++I) {
+    Progs.push_back(std::make_unique<IProg>());
+    buildCounter(*Progs.back());
+    Ptrs.push_back(Progs.back().get());
+  }
+  System<IntDomain> Sys(Ptrs);
+  auto S = Sys.initialState(std::vector<int>(N, 0));
+  std::vector<Successor<IntDomain>> Succs;
+  for (auto _ : State) {
+    Succs.clear();
+    Sys.successors(S, Succs);
+    benchmark::DoNotOptimize(Succs);
+  }
+  State.counters["succs"] = static_cast<double>(Succs.size());
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_SuccessorsVsProcessCount)->RangeMultiplier(2)->Range(1, 16);

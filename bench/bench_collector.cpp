@@ -1,0 +1,223 @@
+//===- bench/bench_collector.cpp - E3/E11/E12: cycles, pauses, floating ---===//
+///
+/// The collector-level experiments:
+///   * E3  — full cycle cost vs live-set size and garbage fraction;
+///   * E11 — the design motivation: on-the-fly collection bounds each
+///           mutator pause to one handshake handler, while the STW baseline
+///           pauses every mutator for the whole mark+sweep. The shape to
+///           reproduce: max pause(on-the-fly) ≪ max pause(STW), with
+///           comparable or better reclamation;
+///   * E12 — floating garbage: objects dropped mid-cycle survive at most
+///           one extra cycle (retention then reclamation).
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/GcRuntime.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+using namespace tsogc;
+using namespace tsogc::rt;
+
+namespace {
+
+/// Build a live set of linked lists (chains of ~16 hanging off rooted
+/// heads) plus a pile of immediately-dropped garbage.
+void populate(MutatorContext *M, unsigned LiveObjects, unsigned Garbage) {
+  unsigned Spine = 0;
+  for (unsigned I = 0; I < LiveObjects; ++I) {
+    int Idx = M->alloc();
+    if (Idx < 0)
+      break;
+    if (++Spine % 16 != 0 && M->numRoots() >= 2) {
+      // new.f0 := previous head, then unroot the previous head: the chain
+      // grows with the new node as its rooted head.
+      M->store(/*dst=*/M->numRoots() - 2, /*src=*/static_cast<size_t>(Idx),
+               0);
+      M->discard(M->numRoots() - 2);
+    }
+  }
+  for (unsigned I = 0; I < Garbage; ++I) {
+    int Idx = M->alloc();
+    if (Idx < 0)
+      break;
+    M->discard(static_cast<size_t>(Idx));
+  }
+}
+
+} // namespace
+
+/// E3: cycle time vs heap occupancy (single quiescent mutator).
+static void BM_CycleVsLiveSet(benchmark::State &State) {
+  const unsigned Live = static_cast<unsigned>(State.range(0));
+  RtConfig Cfg;
+  Cfg.HeapObjects = 1u << 16;
+  Cfg.NumFields = 2;
+  GcRuntime Rt(Cfg);
+  MutatorContext *M = Rt.registerMutator();
+  Rt.HandshakeServicer = [M] { M->safepoint(); };
+  populate(M, Live, /*Garbage=*/0);
+  for (auto _ : State) {
+    CycleStats CS = Rt.collectOnce();
+    benchmark::DoNotOptimize(CS);
+  }
+  State.counters["live"] = static_cast<double>(Rt.heap().allocatedCount());
+  while (M->numRoots())
+    M->discard(0);
+  Rt.deregisterMutator(M);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_CycleVsLiveSet)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Arg(32768)
+    ->Unit(benchmark::kMicrosecond);
+
+/// E3: sweep dominates when most of the heap is garbage.
+static void BM_CycleVsGarbage(benchmark::State &State) {
+  const unsigned Garbage = static_cast<unsigned>(State.range(0));
+  RtConfig Cfg;
+  Cfg.HeapObjects = 1u << 16;
+  GcRuntime Rt(Cfg);
+  MutatorContext *M = Rt.registerMutator();
+  Rt.HandshakeServicer = [M] { M->safepoint(); };
+  uint64_t Freed = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    // Fresh round: drop last round's survivors, then a small live set plus
+    // the garbage pile.
+    while (M->numRoots() > 0)
+      M->discard(0);
+    populate(M, 64, Garbage);
+    State.ResumeTiming();
+    // Garbage dropped while idle carries last cycle's sense: the flip makes
+    // it white and this (measured) cycle reclaims it.
+    CycleStats CS = Rt.collectOnce();
+    Freed += CS.ObjectsFreed;
+  }
+  State.counters["freed_per_cycle"] =
+      static_cast<double>(Freed) / static_cast<double>(State.iterations());
+  while (M->numRoots())
+    M->discard(0);
+  Rt.deregisterMutator(M);
+}
+BENCHMARK(BM_CycleVsGarbage)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Unit(benchmark::kMicrosecond);
+
+/// E11: max mutator pause, on-the-fly vs stop-the-world, with working
+/// mutator threads. Reported as counters (nanoseconds).
+static void pauseComparison(benchmark::State &State, bool StopTheWorld) {
+  RtConfig Cfg;
+  Cfg.HeapObjects = 1u << 15;
+  Cfg.NumFields = 2;
+  GcRuntime Rt(Cfg);
+  const unsigned NumMuts = 2;
+  std::vector<MutatorContext *> Ms;
+  for (unsigned I = 0; I < NumMuts; ++I)
+    Ms.push_back(Rt.registerMutator());
+
+  std::atomic<bool> Done{false};
+  std::vector<std::thread> Workers;
+  for (unsigned I = 0; I < NumMuts; ++I)
+    Workers.emplace_back([&, I] {
+      Xoshiro256 Rng(I + 1);
+      MutatorContext *M = Ms[I];
+      while (!Done.load(std::memory_order_relaxed)) {
+        M->safepoint();
+        size_t N = M->numRoots();
+        if (N < 64) {
+          if (M->alloc() < 0 && N > 0)
+            M->discard(Rng.nextBelow(N));
+        } else if (N >= 2 && Rng.nextBool(0.3)) {
+          M->store(Rng.nextBelow(N), Rng.nextBelow(N), 0);
+        } else {
+          M->discard(Rng.nextBelow(N));
+        }
+      }
+      while (M->numRoots())
+        M->discard(0);
+    });
+
+  uint64_t Cycles = 0;
+  for (auto _ : State) {
+    if (StopTheWorld)
+      Rt.collectStw();
+    else
+      Rt.collectOnce();
+    ++Cycles;
+  }
+  Done.store(true);
+  // Keep servicing handshakes until workers exit (none pending now).
+  for (auto &T : Workers)
+    T.join();
+  uint64_t MaxPause = 0, TotalHs = 0;
+  for (auto *M : Ms) {
+    MaxPause = std::max(MaxPause, M->stats().MaxHandshakeNs);
+    TotalHs += M->stats().HandshakesSeen;
+  }
+  for (auto *M : Ms)
+    Rt.deregisterMutator(M);
+  State.counters["max_pause_ns"] = static_cast<double>(MaxPause);
+  State.counters["handshakes"] = static_cast<double>(TotalHs);
+  State.counters["freed"] = static_cast<double>(Rt.stats().TotalFreed.load());
+  State.SetItemsProcessed(Cycles);
+}
+
+static void BM_PauseOnTheFly(benchmark::State &State) {
+  pauseComparison(State, /*StopTheWorld=*/false);
+}
+BENCHMARK(BM_PauseOnTheFly)->Unit(benchmark::kMillisecond)->Iterations(30);
+
+static void BM_PauseStopTheWorld(benchmark::State &State) {
+  pauseComparison(State, /*StopTheWorld=*/true);
+}
+BENCHMARK(BM_PauseStopTheWorld)->Unit(benchmark::kMillisecond)->Iterations(30);
+
+/// E12: floating garbage — objects that become unreachable *after* the
+/// snapshot (their roots were already marked) survive the current cycle
+/// and die in the next. The handshake servicer drops the roots right after
+/// the get-roots round completes, i.e. mid-cycle behind the snapshot.
+static void BM_FloatingGarbageTwoCycles(benchmark::State &State) {
+  RtConfig Cfg;
+  Cfg.HeapObjects = 4096;
+  GcRuntime Rt(Cfg);
+  MutatorContext *M = Rt.registerMutator();
+  const unsigned K = 256;
+  uint64_t RootsMarkedBase = 0;
+  Rt.HandshakeServicer = [&] {
+    M->safepoint();
+    // Once this cycle's root marking has run, drop everything: the objects
+    // are unreachable from now on but sit behind the snapshot.
+    if (M->stats().RootsMarked >= RootsMarkedBase + K && M->numRoots() > 0)
+      while (M->numRoots() > 0)
+        M->discard(0);
+  };
+  uint64_t FloatedTotal = 0, Cycles = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    for (unsigned I = 0; I < K; ++I)
+      if (M->alloc() < 0)
+        State.SkipWithError("heap exhausted");
+    RootsMarkedBase = M->stats().RootsMarked;
+    State.ResumeTiming();
+    CycleStats C1 = Rt.collectOnce(); // snapshot retains them: they float
+    CycleStats C2 = Rt.collectOnce(); // reclaimed here
+    FloatedTotal += C2.ObjectsFreed;
+    Cycles += 2;
+    if (C1.ObjectsFreed != 0)
+      State.SkipWithError("snapshot garbage freed too early");
+    if (Rt.heap().allocatedCount() != 0)
+      State.SkipWithError("garbage survived two cycles");
+  }
+  State.counters["floated_per_round"] =
+      static_cast<double>(FloatedTotal) /
+      std::max<double>(1.0, static_cast<double>(State.iterations()));
+  Rt.deregisterMutator(M);
+  State.SetItemsProcessed(Cycles);
+}
+BENCHMARK(BM_FloatingGarbageTwoCycles)->Unit(benchmark::kMicrosecond);

@@ -1,0 +1,142 @@
+//===- bench/bench_grey_protection.cpp - Experiment E2: Figure 1 ----------===//
+///
+/// Grey protection and the tricolor invariants as computations: the cost of
+/// deciding grey-protection over white chains of growing length (the G →w*
+/// W search of Figure 1), strong/weak tricolor evaluation over growing
+/// heaps, and the end-to-end weak-tricolor counterexample hunt when the
+/// deletion barrier is ablated.
+///
+//===----------------------------------------------------------------------===//
+
+#include "explore/Explorer.h"
+#include "heap/Color.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace tsogc;
+
+namespace {
+
+Ref R(unsigned I) { return Ref(static_cast<uint16_t>(I)); }
+
+/// A heap with one grey anchor, a white chain of length N hanging off it,
+/// and a black object pointing at the chain's tail (Figure 1's shape).
+Heap figure1Heap(unsigned ChainLen) {
+  Heap H(ChainLen + 3, 1);
+  // 0 = grey anchor (marked + on work-list), 1..N = white chain,
+  // N+1 = black pointing at the tail.
+  H.allocAt(R(0), true);
+  for (unsigned I = 1; I <= ChainLen; ++I) {
+    H.allocAt(R(I), false);
+    H.setField(R(I - 1), 0, R(I));
+  }
+  H.allocAt(R(ChainLen + 1), true);
+  H.setField(R(ChainLen + 1), 0, R(ChainLen));
+  return H;
+}
+
+} // namespace
+
+/// Deciding grey protection for the chain tail: linear in the chain.
+static void BM_GreyProtectionChainSearch(benchmark::State &State) {
+  const unsigned N = static_cast<unsigned>(State.range(0));
+  Heap H = figure1Heap(N);
+  ColorView CV(H, true, {R(0)});
+  for (auto _ : State)
+    benchmark::DoNotOptimize(CV.isGreyProtected(R(N)));
+  State.counters["chain"] = static_cast<double>(N);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_GreyProtectionChainSearch)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+/// Weak-tricolor evaluation over the Figure 1 heap: every black object's
+/// white targets must be protected.
+static void BM_WeakTricolorEval(benchmark::State &State) {
+  const unsigned N = static_cast<unsigned>(State.range(0));
+  Heap H = figure1Heap(N);
+  ColorView CV(H, true, {R(0)});
+  for (auto _ : State) {
+    bool Ok = true;
+    for (Ref B : H.allocatedRefs()) {
+      if (!CV.isBlack(B))
+        continue;
+      for (Ref F : H.object(B).Fields)
+        if (!F.isNull() && CV.isWhite(F) && !CV.isGrey(F))
+          Ok &= CV.isGreyProtected(F);
+    }
+    benchmark::DoNotOptimize(Ok);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_WeakTricolorEval)->Arg(16)->Arg(256)->Arg(4096);
+
+/// Strong-tricolor evaluation scaling with heap size (dense random heap).
+static void BM_StrongTricolorEval(benchmark::State &State) {
+  const unsigned N = static_cast<unsigned>(State.range(0));
+  Heap H(N, 2);
+  for (unsigned I = 0; I < N; ++I)
+    H.allocAt(R(I), I % 2 == 0);
+  for (unsigned I = 0; I + 1 < N; ++I)
+    H.setField(R(I), 0, R(I + 1));
+  ColorView CV(H, true, {});
+  for (auto _ : State) {
+    bool Ok = true;
+    for (Ref B : H.allocatedRefs()) {
+      if (!CV.isBlack(B))
+        continue;
+      for (Ref F : H.object(B).Fields)
+        Ok &= F.isNull() || !CV.isWhite(F) || CV.isGrey(F);
+    }
+    benchmark::DoNotOptimize(Ok);
+  }
+  State.counters["objects"] = static_cast<double>(N);
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_StrongTricolorEval)->Arg(256)->Arg(4096);
+
+/// Reachability closure cost (the headline property's workhorse).
+static void BM_ReachabilityClosure(benchmark::State &State) {
+  const unsigned N = static_cast<unsigned>(State.range(0));
+  Heap H(N, 2);
+  SplitMix64 Rng(42);
+  for (unsigned I = 0; I < N; ++I)
+    H.allocAt(R(I), false);
+  for (unsigned I = 0; I < N; ++I) {
+    H.setField(R(I), 0, R(static_cast<uint16_t>(Rng.next() % N)));
+    H.setField(R(I), 1, R(static_cast<uint16_t>(Rng.next() % N)));
+  }
+  std::vector<Ref> Roots{R(0)};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(H.reachableFrom(Roots));
+  State.counters["objects"] = static_cast<double>(N);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_ReachabilityClosure)->Arg(64)->Arg(1024)->Arg(16384);
+
+/// End-to-end E2: with the deletion barrier ablated, how quickly does the
+/// guided weak-tricolor/headline hunt produce the Figure 1 violation.
+static void BM_Figure1ViolationHunt(benchmark::State &State) {
+  ModelConfig C;
+  C.NumMutators = 1;
+  C.NumRefs = 3;
+  C.NumFields = 1;
+  C.BufferBound = 1;
+  C.InitialHeap = ModelConfig::InitHeap::Chain;
+  C.DeletionBarrier = false;
+  C.MutatorAlloc = false;
+  GcModel M(C);
+  InvariantSuite Inv(M);
+  ExploreOptions Opts;
+  Opts.Dfs = true;
+  Opts.MaxStates = 5'000'000;
+  uint64_t PathLen = 0;
+  for (auto _ : State) {
+    ExploreResult Res = exploreExhaustive(M, headlineChecker(Inv), Opts);
+    if (!Res.Bug)
+      State.SkipWithError("expected a Figure 1 violation");
+    PathLen = Res.Path.size();
+  }
+  State.counters["trace_len"] = static_cast<double>(PathLen);
+}
+BENCHMARK(BM_Figure1ViolationHunt)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,133 @@
+//===- bench/bench_handshake.cpp - Experiments E4/E5: handshake costs -----===//
+///
+/// The soft-handshake machinery of Figures 3/4 on real threads: full
+/// no-op round latency as the mutator count grows, the mutator-side handler
+/// cost, and the latency distribution of ragged completion (the collector
+/// waits for the slowest mutator, but no mutator ever waits for another).
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/GcRuntime.h"
+#include "runtime/RtCollector.h"
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+using namespace tsogc::rt;
+
+namespace {
+
+/// Real mutator threads that do nothing but poll safepoints.
+struct PollingMutators {
+  explicit PollingMutators(GcRuntime &Rt, unsigned N) : Rt(Rt) {
+    for (unsigned I = 0; I < N; ++I)
+      Ms.push_back(Rt.registerMutator());
+    for (unsigned I = 0; I < N; ++I)
+      Threads.emplace_back([this, I] {
+        while (!Done.load(std::memory_order_relaxed)) {
+          Ms[I]->safepoint();
+          std::this_thread::yield();
+        }
+      });
+  }
+  ~PollingMutators() {
+    Done.store(true);
+    for (auto &T : Threads)
+      T.join();
+    for (auto *M : Ms)
+      Rt.deregisterMutator(M);
+  }
+  GcRuntime &Rt;
+  std::vector<MutatorContext *> Ms;
+  std::vector<std::thread> Threads;
+  std::atomic<bool> Done{false};
+};
+
+} // namespace
+
+/// One complete no-op handshake round (the unit the collector performs six
+/// or more times per cycle) vs the number of mutators.
+static void BM_NoopHandshakeRound(benchmark::State &State) {
+  RtConfig Cfg;
+  Cfg.HeapObjects = 64;
+  GcRuntime Rt(Cfg);
+  PollingMutators Muts(Rt, static_cast<unsigned>(State.range(0)));
+  RtCollector C(Rt);
+  for (auto _ : State)
+    Rt.collectOnce();
+  State.counters["mutators"] = static_cast<double>(State.range(0));
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_NoopHandshakeRound)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+/// The mutator-side handler alone: a synthetic no-op request serviced
+/// inline (no collector thread, no waiting).
+static void BM_MutatorHandshakeHandler(benchmark::State &State) {
+  RtConfig Cfg;
+  Cfg.HeapObjects = 64;
+  GcRuntime Rt(Cfg);
+  MutatorContext *M = Rt.registerMutator();
+  for (auto _ : State) {
+    uint32_t Seq = Rt.HsSeq.fetch_add(1) + 1;
+    Rt.channelOf(M->index())
+        .Request.store(HsChannel::encode(Seq, RtHsType::Noop),
+                       std::memory_order_release);
+    M->safepoint();
+  }
+  Rt.deregisterMutator(M);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_MutatorHandshakeHandler);
+
+/// Safepoint poll with no pending request: the cost mutators pay at every
+/// backward branch / call return.
+static void BM_SafepointNoRequest(benchmark::State &State) {
+  RtConfig Cfg;
+  Cfg.HeapObjects = 64;
+  GcRuntime Rt(Cfg);
+  MutatorContext *M = Rt.registerMutator();
+  for (auto _ : State)
+    M->safepoint();
+  Rt.deregisterMutator(M);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_SafepointNoRequest);
+
+/// Get-roots round cost as the root-set size grows: the mutator marks all
+/// its roots inside the handshake handler.
+static void BM_GetRootsHandler(benchmark::State &State) {
+  const unsigned NumRoots = static_cast<unsigned>(State.range(0));
+  RtConfig Cfg;
+  Cfg.HeapObjects = 1u << 14;
+  GcRuntime Rt(Cfg);
+  MutatorContext *M = Rt.registerMutator();
+  for (unsigned I = 0; I < NumRoots; ++I)
+    if (M->alloc() < 0)
+      State.SkipWithError("heap exhausted");
+  bool Fm = false;
+  for (auto _ : State) {
+    // Flip the sense by hand so every root is unmarked again, then run the
+    // get-roots handler.
+    Fm = !Fm;
+    Rt.FM.store(Fm ? 1 : 0);
+    Rt.FA.store(Fm ? 1 : 0);
+    Rt.Phase.store(static_cast<uint32_t>(RtPhase::Mark));
+    uint32_t Seq = Rt.HsSeq.fetch_add(1) + 1;
+    Rt.channelOf(M->index())
+        .Request.store(HsChannel::encode(Seq, RtHsType::GetRoots),
+                       std::memory_order_release);
+    M->safepoint();
+    benchmark::DoNotOptimize(Rt.heap().takeShared());
+  }
+  while (M->numRoots())
+    M->discard(0);
+  Rt.deregisterMutator(M);
+  State.counters["roots"] = static_cast<double>(NumRoots);
+  State.SetItemsProcessed(State.iterations() * NumRoots);
+}
+BENCHMARK(BM_GetRootsHandler)->Arg(16)->Arg(256)->Arg(4096);

@@ -1,0 +1,131 @@
+//===- bench/bench_mark.cpp - Experiment E6: the mark procedure (Fig 5) ---===//
+///
+/// Cost profile of CAS-on-contention marking, the design §2.3 argues for:
+///   * the fast path (object already marked) costs a single plain load —
+///     orders of magnitude cheaper than the CAS path;
+///   * the idle path (collector off) is equally cheap;
+///   * under contention, exactly one CAS winner emerges per object and
+///     losers fall back to the fast path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RtHeap.h"
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+using namespace tsogc::rt;
+
+namespace {
+
+RtConfig cfg(uint32_t Objects) {
+  RtConfig C;
+  C.HeapObjects = Objects;
+  C.NumFields = 1;
+  return C;
+}
+
+} // namespace
+
+/// Fast path: the object is already marked; mark() is a single load.
+static void BM_MarkFastPathAlreadyMarked(benchmark::State &State) {
+  RtHeap H(cfg(16));
+  RtRef R = H.alloc(true); // marked relative to fm = true
+  uint64_t Cas = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(H.mark(R, true, true, &Cas));
+  State.counters["cas"] = static_cast<double>(Cas);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_MarkFastPathAlreadyMarked);
+
+/// Idle path: collector inactive; the phase test defeats the CAS.
+static void BM_MarkIdleCollector(benchmark::State &State) {
+  RtHeap H(cfg(16));
+  RtRef R = H.alloc(false);
+  uint64_t Cas = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(H.mark(R, true, /*BarriersActive=*/false, &Cas));
+  State.counters["cas"] = static_cast<double>(Cas);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_MarkIdleCollector);
+
+/// Slow path: fresh unmarked object each iteration; the CAS executes.
+static void BM_MarkCasPath(benchmark::State &State) {
+  RtHeap H(cfg(1u << 16));
+  std::vector<RtRef> Objs;
+  for (uint32_t I = 0; I < (1u << 16); ++I)
+    Objs.push_back(H.alloc(false));
+  size_t I = 0;
+  uint64_t Cas = 0;
+  bool Fm = true;
+  for (auto _ : State) {
+    if (I == Objs.size()) {
+      // All marked: flip the sense so everything is unmarked again.
+      State.PauseTiming();
+      Fm = !Fm;
+      I = 0;
+      State.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(H.mark(Objs[I++], Fm, true, &Cas));
+  }
+  State.counters["cas_rate"] =
+      static_cast<double>(Cas) / static_cast<double>(State.iterations());
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_MarkCasPath);
+
+/// The Figure 5 race: N threads mark the same batch of objects; count
+/// total wins (must equal the number of objects) and CAS attempts.
+static void BM_MarkContended(benchmark::State &State) {
+  const unsigned Threads = static_cast<unsigned>(State.range(0));
+  const uint32_t Batch = 1024;
+  RtHeap H(cfg(Batch));
+  std::vector<RtRef> Objs;
+  for (uint32_t I = 0; I < Batch; ++I)
+    Objs.push_back(H.alloc(false));
+  bool Fm = true;
+  uint64_t Wins = 0, CasTotal = 0;
+  for (auto _ : State) {
+    std::atomic<uint64_t> W{0}, CasSum{0};
+    std::vector<std::thread> Ts;
+    for (unsigned T = 0; T < Threads; ++T)
+      Ts.emplace_back([&] {
+        uint64_t Cas = 0, MyWins = 0;
+        for (RtRef R : Objs)
+          if (H.mark(R, Fm, true, &Cas))
+            ++MyWins;
+        W.fetch_add(MyWins);
+        CasSum.fetch_add(Cas);
+      });
+    for (auto &T : Ts)
+      T.join();
+    Wins = W.load();
+    CasTotal = CasSum.load();
+    Fm = !Fm; // reset marks for the next iteration
+  }
+  State.counters["wins"] = static_cast<double>(Wins);
+  State.counters["cas"] = static_cast<double>(CasTotal);
+  State.SetItemsProcessed(State.iterations() * Batch * Threads);
+}
+BENCHMARK(BM_MarkContended)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+/// Re-marking an already-marked working set (steady-state write barrier on
+/// hot objects): pure fast path even while the collector is active.
+static void BM_MarkHotWorkingSet(benchmark::State &State) {
+  RtHeap H(cfg(256));
+  std::vector<RtRef> Objs;
+  for (uint32_t I = 0; I < 256; ++I)
+    Objs.push_back(H.alloc(false));
+  for (RtRef R : Objs)
+    H.mark(R, true, true);
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(H.mark(Objs[I], true, true));
+    I = (I + 1) & 255;
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_MarkHotWorkingSet);

@@ -1,0 +1,163 @@
+//===- bench/bench_model_checker.cpp - Experiment E1: the headline check --===//
+///
+/// The verification-side harness: exhaustive-search throughput (states and
+/// transitions per second with the full §3.2 invariant suite evaluated at
+/// every state), state-space sizes of the finite instances, and
+/// time-to-counterexample for the deletion-barrier ablation. The shape to
+/// reproduce: the verified configuration exhausts with zero violations;
+/// the ablated configuration yields a counterexample quickly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "explore/Explorer.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace tsogc;
+
+namespace {
+
+ModelConfig tinyVerified() {
+  ModelConfig C;
+  C.NumMutators = 1;
+  C.NumRefs = 2;
+  C.NumFields = 1;
+  C.BufferBound = 1;
+  C.InitialHeap = ModelConfig::InitHeap::SingleRoot;
+  C.MutatorLoad = C.MutatorStore = C.MutatorAlloc = C.MutatorDiscard = false;
+  return C;
+}
+
+} // namespace
+
+/// Exhaust the handshake-only instance with the full suite: the smallest
+/// end-to-end headline check.
+static void BM_ExhaustTinyInstance(benchmark::State &State) {
+  GcModel M(tinyVerified());
+  InvariantSuite Inv(M);
+  uint64_t States = 0;
+  for (auto _ : State) {
+    ExploreResult Res = exploreExhaustive(M, Inv);
+    if (!Res.exhaustedCleanly())
+      State.SkipWithError("tiny instance must exhaust cleanly");
+    States = Res.StatesVisited;
+  }
+  State.counters["states"] = static_cast<double>(States);
+  State.SetItemsProcessed(State.iterations() * States);
+}
+BENCHMARK(BM_ExhaustTinyInstance)->Unit(benchmark::kMillisecond);
+
+/// Raw exploration throughput on a larger instance (bounded state count):
+/// states/second including invariant evaluation.
+static void BM_ExplorationThroughput(benchmark::State &State) {
+  ModelConfig C;
+  C.NumMutators = 1;
+  C.NumRefs = 3;
+  C.NumFields = 1;
+  C.BufferBound = 2;
+  C.InitialHeap = ModelConfig::InitHeap::Chain;
+  GcModel M(C);
+  InvariantSuite Inv(M);
+  ExploreOptions Opts;
+  Opts.MaxStates = 50'000;
+  for (auto _ : State) {
+    ExploreResult Res = exploreExhaustive(M, Inv, Opts);
+    if (Res.Bug)
+      State.SkipWithError("unexpected violation");
+    benchmark::DoNotOptimize(Res);
+  }
+  State.SetItemsProcessed(State.iterations() * Opts.MaxStates);
+}
+BENCHMARK(BM_ExplorationThroughput)->Unit(benchmark::kMillisecond);
+
+/// Successor enumeration + canonical encoding: the checker's inner loop.
+static void BM_SuccessorsAndEncode(benchmark::State &State) {
+  ModelConfig C;
+  C.NumMutators = 2;
+  C.NumRefs = 4;
+  C.NumFields = 2;
+  C.BufferBound = 2;
+  C.InitialHeap = ModelConfig::InitHeap::Chain;
+  GcModel M(C);
+  GcSystemState S = M.initial();
+  std::vector<GcSuccessor> Succs;
+  for (auto _ : State) {
+    Succs.clear();
+    M.system().successors(S, Succs);
+    size_t Bytes = 0;
+    for (const auto &Succ : Succs)
+      Bytes += M.encode(Succ.State).size();
+    benchmark::DoNotOptimize(Bytes);
+  }
+  State.counters["succs"] = static_cast<double>(Succs.size());
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_SuccessorsAndEncode);
+
+/// Invariant-suite evaluation cost on a single state.
+static void BM_InvariantSuiteEval(benchmark::State &State) {
+  ModelConfig C;
+  C.NumMutators = 2;
+  C.NumRefs = 4;
+  C.NumFields = 2;
+  C.BufferBound = 2;
+  C.InitialHeap = ModelConfig::InitHeap::Chain;
+  GcModel M(C);
+  InvariantSuite Inv(M);
+  GcSystemState S = M.initial();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Inv.check(S));
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_InvariantSuiteEval);
+
+/// Time-to-counterexample for the deletion-barrier ablation (DFS, headline
+/// property only): the E2 ablation must fail fast.
+static void BM_DeletionAblationCounterexample(benchmark::State &State) {
+  ModelConfig C;
+  C.NumMutators = 1;
+  C.NumRefs = 3;
+  C.NumFields = 1;
+  C.BufferBound = 1;
+  C.InitialHeap = ModelConfig::InitHeap::Chain;
+  C.DeletionBarrier = false;
+  C.MutatorAlloc = false;
+  GcModel M(C);
+  InvariantSuite Inv(M);
+  ExploreOptions Opts;
+  Opts.Dfs = true;
+  Opts.MaxStates = 5'000'000;
+  uint64_t StatesToBug = 0;
+  for (auto _ : State) {
+    ExploreResult Res = exploreExhaustive(M, headlineChecker(Inv), Opts);
+    if (!Res.Bug)
+      State.SkipWithError("ablation must produce a counterexample");
+    StatesToBug = Res.StatesVisited;
+  }
+  State.counters["states_to_bug"] = static_cast<double>(StatesToBug);
+}
+BENCHMARK(BM_DeletionAblationCounterexample)->Unit(benchmark::kMillisecond);
+
+/// Random-walk throughput with full invariant checking (the probabilistic
+/// side of E1).
+static void BM_RandomWalkThroughput(benchmark::State &State) {
+  ModelConfig C;
+  C.NumMutators = 2;
+  C.NumRefs = 4;
+  C.NumFields = 2;
+  C.BufferBound = 2;
+  C.InitialHeap = ModelConfig::InitHeap::Chain;
+  GcModel M(C);
+  InvariantSuite Inv(M);
+  WalkOptions Opts;
+  Opts.Steps = 5'000;
+  uint64_t Seed = 1;
+  for (auto _ : State) {
+    Opts.Seed = Seed++;
+    WalkResult Res = exploreRandomWalk(M, Inv, Opts);
+    if (Res.Bug)
+      State.SkipWithError("unexpected violation");
+  }
+  State.SetItemsProcessed(State.iterations() * Opts.Steps);
+}
+BENCHMARK(BM_RandomWalkThroughput)->Unit(benchmark::kMillisecond);

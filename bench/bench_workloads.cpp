@@ -1,0 +1,92 @@
+//===- bench/bench_workloads.cpp - Application throughput under GC --------===//
+///
+/// End-to-end mutator throughput for the three workload shapes, with the
+/// collector idle, running on-the-fly, and running stop-the-world — the
+/// application-level cost side of E11, complementing the pause-time side.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/GcRuntime.h"
+#include "workload/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+using namespace tsogc;
+using namespace tsogc::rt;
+
+namespace {
+
+enum class GcMode { Off, OnTheFly, StopTheWorld };
+
+void workloadBench(benchmark::State &State, const char *Kind, GcMode Mode) {
+  RtConfig Cfg;
+  Cfg.HeapObjects = 1u << 15;
+  Cfg.NumFields = 2;
+  GcRuntime Rt(Cfg);
+  MutatorContext *M = Rt.registerMutator();
+  auto W = wl::makeWorkload(Kind, *M, 99);
+
+  if (Mode != GcMode::Off)
+    Rt.startCollector(Mode == GcMode::StopTheWorld);
+  else
+    Rt.HandshakeServicer = [M] { M->safepoint(); };
+
+  uint64_t Failures = 0;
+  for (auto _ : State) {
+    if (!W->step()) {
+      ++Failures;
+      if (Mode == GcMode::Off) {
+        // Nobody reclaims; collect inline to keep the workload honest.
+        State.PauseTiming();
+        Rt.collectOnce();
+        Rt.collectOnce();
+        State.ResumeTiming();
+      } else {
+        // Allocation stall: yield so the (single-core) collector thread
+        // can reclaim — the time spent is genuine GC back-pressure and
+        // stays in the measurement.
+        std::this_thread::yield();
+      }
+    }
+  }
+  W->teardown();
+  if (Mode != GcMode::Off) {
+    std::atomic<bool> Done{false};
+    std::thread Service([&] {
+      while (!Done.load()) {
+        M->safepoint();
+        std::this_thread::yield();
+      }
+    });
+    Rt.stopCollector();
+    Done.store(true);
+    Service.join();
+  }
+  State.counters["alloc_failures"] = static_cast<double>(Failures);
+  State.counters["cycles"] =
+      static_cast<double>(Rt.stats().Cycles.load());
+  Rt.deregisterMutator(M);
+  State.SetItemsProcessed(State.iterations());
+}
+
+} // namespace
+
+#define TSOGC_WORKLOAD_BENCH(KindName, Kind)                                  \
+  static void BM_##KindName##_GcOff(benchmark::State &State) {                \
+    workloadBench(State, Kind, GcMode::Off);                                  \
+  }                                                                           \
+  BENCHMARK(BM_##KindName##_GcOff);                                           \
+  static void BM_##KindName##_OnTheFly(benchmark::State &State) {             \
+    workloadBench(State, Kind, GcMode::OnTheFly);                             \
+  }                                                                           \
+  BENCHMARK(BM_##KindName##_OnTheFly);                                        \
+  static void BM_##KindName##_StopTheWorld(benchmark::State &State) {         \
+    workloadBench(State, Kind, GcMode::StopTheWorld);                         \
+  }                                                                           \
+  BENCHMARK(BM_##KindName##_StopTheWorld);
+
+TSOGC_WORKLOAD_BENCH(ListChurn, "list")
+TSOGC_WORKLOAD_BENCH(TreeBuilder, "tree")
+TSOGC_WORKLOAD_BENCH(GraphMutator, "graph")

@@ -1,0 +1,160 @@
+//===- examples/counterexample_hunt.cpp - Why the barriers are needed -----===//
+///
+/// \file
+/// The contrapositive of the paper's theorem, demonstrated: remove a write
+/// barrier and the explorer produces a concrete interleaving in which the
+/// collector frees an object that is still reachable from a mutator root.
+/// With both barriers the same searches come back clean.
+///
+/// Run: counterexample_hunt [deletion|insertion]
+///
+//===----------------------------------------------------------------------===//
+
+#include "explore/Explorer.h"
+#include "explore/Guided.h"
+#include "invariants/Describe.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace tsogc;
+
+namespace {
+
+void printTrace(const GcModel &M, const ExploreResult &Res) {
+  std::printf("\nSAFETY VIOLATED: %s — %s\n", Res.Bug->Name.c_str(),
+              Res.Bug->Detail.c_str());
+  std::printf("counterexample trace (%zu steps, last 40 shown):\n",
+              Res.Path.size());
+  size_t Start = Res.Path.size() > 40 ? Res.Path.size() - 40 : 0;
+  for (size_t I = Start; I < Res.Path.size(); ++I)
+    std::printf("  %4zu. %s\n", I + 1, Res.Path[I].c_str());
+  std::printf("\nviolating state:\n%s", describeState(M, *Res.BadState).c_str());
+}
+
+/// Deletion-barrier hunt: plain DFS finds the Figure 1 scenario — a white
+/// object hidden from the collector by overwriting the only edge to it.
+int huntDeletion() {
+  ModelConfig Cfg;
+  Cfg.NumMutators = 1;
+  Cfg.NumRefs = 3;
+  Cfg.NumFields = 1;
+  Cfg.BufferBound = 1;
+  Cfg.InitialHeap = ModelConfig::InitHeap::Chain;
+  Cfg.DeletionBarrier = false;
+  Cfg.MutatorAlloc = false;
+
+  std::printf("hunting with the DELETION barrier removed "
+              "(1 mutator, chain heap, DFS over all interleavings)...\n");
+  GcModel M(Cfg);
+  InvariantSuite Inv(M);
+  ExploreOptions Opts;
+  Opts.Dfs = true;
+  Opts.MaxStates = 10'000'000;
+  ExploreResult Res = exploreExhaustive(M, headlineChecker(Inv), Opts);
+  if (!Res.Bug) {
+    std::printf("no violation found (unexpected)\n");
+    return 1;
+  }
+  std::printf("violation after %llu states\n",
+              static_cast<unsigned long long>(Res.StatesVisited));
+  printTrace(M, Res);
+
+  // Control: the same search with the barrier restored exhausts cleanly.
+  Cfg.DeletionBarrier = true;
+  GcModel MSafe(Cfg);
+  InvariantSuite InvSafe(MSafe);
+  std::printf("\ncontrol run with the barrier restored (exhausting the full "
+              "state space, full invariant suite)...\n");
+  ExploreResult Safe = exploreExhaustive(MSafe, InvSafe, Opts);
+  std::printf("states=%llu violation=%s truncated=%s\n",
+              static_cast<unsigned long long>(Safe.StatesVisited),
+              Safe.Bug ? Safe.Bug->Name.c_str() : "none",
+              Safe.Truncated ? "yes" : "no");
+  return Safe.exhaustedCleanly() ? 0 : 1;
+}
+
+/// Insertion-barrier hunt: guided to the §2 scenario — a white allocation
+/// stored into a black (never-rescanned) object and dropped from the roots.
+int huntInsertion() {
+  ModelConfig Cfg;
+  Cfg.NumMutators = 1;
+  Cfg.NumRefs = 3;
+  Cfg.NumFields = 1;
+  Cfg.BufferBound = 2;
+  Cfg.InitialHeap = ModelConfig::InitHeap::SingleRoot;
+  Cfg.InsertionBarrier = false;
+
+  std::printf("hunting with the INSERTION barrier removed (guided to the "
+              "white-allocation-into-black-object scenario)...\n");
+  GcModel M(Cfg);
+  InvariantSuite Inv(M);
+  GuidedDriver D(M);
+
+  auto Neutral = [](const std::string &L) {
+    if (L.rfind("p0:", 0) == 0 ||
+        L.find("sys-dequeue-write-buffer") != std::string::npos)
+      return true;
+    return L.find(":mut:hs-") != std::string::npos ||
+           L.find(":mut:root") != std::string::npos;
+  };
+  auto MutDone = [&M](HsRound R) {
+    return [&M, R](const GcSystemState &S) {
+      return M.mutator(S, 0).CompletedRound == R;
+    };
+  };
+
+  bool Ok = D.advance(Neutral, MutDone(HsRound::H3PhaseInit));
+  Ok = Ok && D.take("p1:mut:alloc"); // W: white (stale fA view)
+  std::printf("  allocated W=r1 white while fA view is stale: %s\n",
+              Ok ? "ok" : "FAILED");
+  Ok = Ok && D.advance(Neutral, MutDone(HsRound::H4PhaseMark));
+  Ok = Ok && D.take("p1:mut:alloc"); // B: black
+  std::printf("  allocated B=r2 black after the fA flip: %s\n",
+              Ok ? "ok" : "FAILED");
+  Ok = Ok && D.take("p1:mut:choose-store", [](const GcSystemState &S) {
+    const MutatorLocal &Mu = asMutator(S[1].Local);
+    return Mu.TmpDst == Ref(1) && Mu.TmpSrc == Ref(2);
+  });
+  auto StoreSteps = [&Neutral](const std::string &L) {
+    return Neutral(L) || L.find("p1:mut:") != std::string::npos;
+  };
+  Ok = Ok && D.advance(StoreSteps, [&M](const GcSystemState &S) {
+    return M.mutator(S, 0).TmpSrc.isNull() &&
+           M.sysState(S).Mem.heap().field(Ref(2), 0) == Ref(1);
+  });
+  std::printf("  stored W into B.f with no insertion barrier: %s\n",
+              Ok ? "ok" : "FAILED");
+  Ok = Ok && D.take("p1:mut:discard", [](const GcSystemState &S) {
+    return asMutator(S[1].Local).Roots.count(Ref(1)) == 0;
+  });
+  std::printf("  dropped W from the roots (only B.f holds it now): %s\n",
+              Ok ? "ok" : "FAILED");
+  Ok = Ok && D.advance(Neutral, MutDone(HsRound::H5GetRoots));
+  std::printf("  root marking done; B already marked, never rescanned: %s\n",
+              Ok ? "ok" : "FAILED");
+  if (!Ok)
+    return 1;
+
+  auto Violated = [&Inv](const GcSystemState &S) {
+    return Inv.checkSafetyHeadline(S).has_value();
+  };
+  if (D.advance(Neutral, Violated, 500'000)) {
+    auto V = Inv.checkSafetyHeadline(D.state());
+    std::printf("\nSAFETY VIOLATED: %s — %s\n", V->Name.c_str(),
+                V->Detail.c_str());
+    std::printf("\nviolating state:\n%s",
+                describeState(M, D.state()).c_str());
+    std::printf("\nW (=r1) was freed by the sweep although roots → B → W.\n");
+    return 0;
+  }
+  std::printf("no violation (unexpected with the barrier removed)\n");
+  return 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Deletion = Argc < 2 || std::strcmp(Argv[1], "insertion") != 0;
+  return Deletion ? huntDeletion() : huntInsertion();
+}

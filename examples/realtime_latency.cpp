@@ -1,0 +1,122 @@
+//===- examples/realtime_latency.cpp - Mutator latency under collection ---===//
+///
+/// \file
+/// The real-time story, measured from the application's seat: run a
+/// workload (list churn / tree building / graph mutation) and record the
+/// latency of every mutator step while the collector runs continuously —
+/// once on-the-fly, once stop-the-world. Prints the step-latency histogram
+/// and tail percentiles of each. The shape the paper's design targets:
+/// the on-the-fly tail stays flat (a step is never blocked behind a whole
+/// collection), the stop-the-world tail absorbs full mark+sweep pauses.
+///
+/// Run: realtime_latency [list|tree|graph] [seconds]
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/GcRuntime.h"
+#include "support/Stats.h"
+#include "workload/Workloads.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+using namespace tsogc;
+using namespace tsogc::rt;
+
+namespace {
+
+struct LatencyResult {
+  Histogram Hist{0.0, 50.0, 25}; // microseconds
+  RunningStat Stat;
+  double P50 = 0, P99 = 0, P999 = 0, Max = 0;
+  uint64_t Steps = 0;
+  uint64_t Cycles = 0;
+  double MaxGcPauseUs = 0; ///< Max handshake-handler time: the pause the
+                           ///< collector itself imposes, immune to OS
+                           ///< scheduling noise.
+};
+
+LatencyResult run(const std::string &Kind, bool StopTheWorld,
+                  double Seconds) {
+  RtConfig Cfg;
+  Cfg.HeapObjects = 1u << 15;
+  Cfg.NumFields = 2;
+  GcRuntime Rt(Cfg);
+  MutatorContext *M = Rt.registerMutator();
+  auto W = wl::makeWorkload(Kind, *M, 42);
+
+  LatencyResult Res;
+  Rt.startCollector(StopTheWorld);
+  auto End = std::chrono::steady_clock::now() +
+             std::chrono::duration<double>(Seconds);
+  while (std::chrono::steady_clock::now() < End) {
+    auto T0 = std::chrono::steady_clock::now();
+    W->step();
+    auto T1 = std::chrono::steady_clock::now();
+    double Us =
+        std::chrono::duration<double, std::micro>(T1 - T0).count();
+    Res.Hist.add(Us);
+    Res.Stat.add(Us);
+    Res.Max = std::max(Res.Max, Us);
+    ++Res.Steps;
+  }
+  W->teardown();
+  std::atomic<bool> Done{false};
+  std::thread Service([&] {
+    while (!Done.load()) {
+      M->safepoint();
+      std::this_thread::yield();
+    }
+  });
+  Rt.stopCollector();
+  Done.store(true);
+  Service.join();
+  Res.Cycles = Rt.stats().Cycles.load();
+  Res.P50 = Res.Hist.quantile(0.50);
+  Res.P99 = Res.Hist.quantile(0.99);
+  Res.P999 = Res.Hist.quantile(0.999);
+  Res.MaxGcPauseUs = static_cast<double>(M->stats().MaxHandshakeNs) / 1000.0;
+  Rt.deregisterMutator(M);
+  return Res;
+}
+
+void report(const char *Name, const LatencyResult &R) {
+  std::printf("%-14s steps=%-10llu cycles=%-5llu mean=%6.2fus  p50<%5.1fus  "
+              "p99<%5.1fus  p99.9<%5.1fus  max=%8.1fus\n",
+              Name, static_cast<unsigned long long>(R.Steps),
+              static_cast<unsigned long long>(R.Cycles), R.Stat.mean(),
+              R.P50, R.P99, R.P999, R.Max);
+  std::printf("%-14s   max GC-imposed pause (handshake handler): %.2f us\n",
+              "", R.MaxGcPauseUs);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Kind = Argc > 1 ? Argv[1] : "list";
+  double Seconds = Argc > 2 ? std::atof(Argv[2]) : 2.0;
+
+  std::printf("workload '%s', %.1fs per configuration; step latency as the "
+              "application sees it\n\n", Kind.c_str(), Seconds);
+
+  LatencyResult Otf = run(Kind, /*StopTheWorld=*/false, Seconds);
+  report("on-the-fly", Otf);
+  LatencyResult Stw = run(Kind, /*StopTheWorld=*/true, Seconds);
+  report("stop-world", Stw);
+
+  std::printf("\non-the-fly step-latency histogram (us):\n%s",
+              Otf.Hist.render(44).c_str());
+  std::printf("\nstop-world step-latency histogram (us):\n%s",
+              Stw.Hist.render(44).c_str());
+  std::printf("\nGC-imposed worst-case pause ratio (stop-world / "
+              "on-the-fly): %.0fx\n",
+              Otf.MaxGcPauseUs > 0 ? Stw.MaxGcPauseUs / Otf.MaxGcPauseUs
+                                   : 0.0);
+  std::printf("(raw step maxima also include OS preemption; on a single "
+              "hardware thread that\n noise dominates both "
+              "configurations — the handshake-handler pause isolates "
+              "what\n the collector itself imposes.)\n");
+  return 0;
+}

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Regenerate bench_output.txt: every benchmark binary, default settings.
+for b in build/bench/bench_*; do
+  echo "===== $b ====="
+  "$b"
+  echo
+done

@@ -1,0 +1,337 @@
+//===- cimp/Cimp.h - The CIMP process language (Figures 7 and 8) ---------===//
+///
+/// \file
+/// CIMP is the small imperative language the paper uses as the contract
+/// between run-time system designers and the formal model: IMP plus
+/// process-algebra-style rendezvous, control and data nondeterminism, and
+/// flat parallel composition. This is a deep embedding of its commands and
+/// an executable version of the small-step semantics:
+///
+///   * local state per process, no shared global state;
+///   * LOCALOP R — nondeterministic local update (R is set-valued);
+///   * REQUEST act val / RESPONSE act — two processes rendezvous: the
+///     sender computes α from its local state, the receiver
+///     nondeterministically produces (s', β) from (α, s), and the sender
+///     then folds β into its own state (Figure 7);
+///   * sequential composition via frame stacks; IF/WHILE/LOOP/CHOICE.
+///
+/// Successor enumeration implements the system semantics of Figure 8:
+/// interleaving of process-local τ steps and sender/receiver rendezvous
+/// pairs. Control-flow unfolding (Seq, If, While, Loop) reads only the local
+/// state, so it is folded into the following atomic action, matching the
+/// evaluation-context semantics the paper derives "in terms of atomic
+/// actions".
+///
+/// The embedding is templated over a Domain D supplying:
+///   D::LocalState  — copyable, equality-comparable local data state;
+///   D::Request     — the α values;
+///   D::Response    — the β values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_CIMP_CIMP_H
+#define TSOGC_CIMP_CIMP_H
+
+#include "support/Assert.h"
+#include "support/StringUtils.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tsogc::cimp {
+
+/// Index of a command within its Program's arena.
+using CmdId = uint32_t;
+inline constexpr CmdId InvalidCmd = ~0u;
+
+enum class CmdKind : uint8_t {
+  LocalOp,  ///< {l} LOCALOP R
+  Request,  ///< {l} REQUEST act val
+  Response, ///< {l} RESPONSE act
+  Seq,      ///< c1 ;; c2 ;; …
+  Choice,   ///< nondeterministic choice (⊔)
+  If,       ///< IF b THEN c1 ELSE c2
+  While,    ///< WHILE b DO c
+  Loop,     ///< LOOP c (forever)
+  Nop       ///< skip: consumed during normalization, not an atomic step
+};
+
+/// A CIMP program: an arena of commands plus an entry point. Programs are
+/// built once per model configuration and shared by all explorations; control
+/// state is a stack of CmdIds into the arena, so states serialize compactly.
+template <typename D> class Program {
+public:
+  using L = typename D::LocalState;
+  using Req = typename D::Request;
+  using Rsp = typename D::Response;
+
+  /// Set-valued local update: append successor local states.
+  using LocalFn = std::function<void(const L &, std::vector<L> &)>;
+  /// Boolean expression over the local state.
+  using GuardFn = std::function<bool(const L &)>;
+  /// The sender's act: α as a function of its local state.
+  using ActFn = std::function<Req(const L &)>;
+  /// The sender's val: fold β into the local state (set-valued).
+  using RecvFn =
+      std::function<void(const L &, const Rsp &, std::vector<L> &)>;
+  /// The receiver's act: enumerate (s', β) pairs for a given α.
+  using RespFn = std::function<void(const Req &, const L &,
+                                    std::vector<std::pair<L, Rsp>> &)>;
+
+  struct Command {
+    CmdKind Kind;
+    std::string Label;
+    LocalFn Local;
+    GuardFn Guard;
+    ActFn Act;
+    RecvFn Recv;
+    RespFn Resp;
+    std::vector<CmdId> Children;
+  };
+
+  /// {Label} LOCALOP Fn — nondeterministic local step.
+  CmdId localOp(std::string Label, LocalFn Fn) {
+    Command C;
+    C.Kind = CmdKind::LocalOp;
+    C.Label = std::move(Label);
+    C.Local = std::move(Fn);
+    return push(std::move(C));
+  }
+
+  /// Deterministic local step (common case).
+  CmdId localDet(std::string Label, std::function<void(L &)> Fn) {
+    return localOp(std::move(Label), [Fn](const L &S, std::vector<L> &Out) {
+      L Next = S;
+      Fn(Next);
+      Out.push_back(std::move(Next));
+    });
+  }
+
+  /// A no-op (the paper's nop). Skips are erased during control-flow
+  /// normalization: they are not atomic steps and create no interleaving
+  /// points (stuttering equivalence).
+  CmdId nop(std::string Label) {
+    Command C;
+    C.Kind = CmdKind::Nop;
+    C.Label = std::move(Label);
+    return push(std::move(C));
+  }
+
+  /// {Label} REQUEST Act Recv.
+  CmdId request(std::string Label, ActFn Act, RecvFn Recv) {
+    Command C;
+    C.Kind = CmdKind::Request;
+    C.Label = std::move(Label);
+    C.Act = std::move(Act);
+    C.Recv = std::move(Recv);
+    return push(std::move(C));
+  }
+
+  /// Request that ignores the response value.
+  CmdId requestIgnore(std::string Label, ActFn Act) {
+    return request(std::move(Label), std::move(Act),
+                   [](const L &S, const Rsp &, std::vector<L> &Out) {
+                     Out.push_back(S);
+                   });
+  }
+
+  /// {Label} RESPONSE Resp.
+  CmdId response(std::string Label, RespFn Resp) {
+    Command C;
+    C.Kind = CmdKind::Response;
+    C.Label = std::move(Label);
+    C.Resp = std::move(Resp);
+    return push(std::move(C));
+  }
+
+  /// c1 ;; c2 ;; …
+  CmdId seq(std::vector<CmdId> Cs) {
+    TSOGC_CHECK(!Cs.empty(), "empty Seq");
+    if (Cs.size() == 1)
+      return Cs.front();
+    Command C;
+    C.Kind = CmdKind::Seq;
+    C.Children = std::move(Cs);
+    return push(std::move(C));
+  }
+
+  /// Nondeterministic choice among alternatives.
+  CmdId choice(std::vector<CmdId> Alts) {
+    TSOGC_CHECK(!Alts.empty(), "empty Choice");
+    Command C;
+    C.Kind = CmdKind::Choice;
+    C.Children = std::move(Alts);
+    return push(std::move(C));
+  }
+
+  CmdId ifThenElse(GuardFn G, CmdId Then, CmdId Else) {
+    Command C;
+    C.Kind = CmdKind::If;
+    C.Guard = std::move(G);
+    C.Children = {Then, Else};
+    return push(std::move(C));
+  }
+
+  /// IF b THEN c (empty else).
+  CmdId ifThen(GuardFn G, CmdId Then) {
+    return ifThenElse(std::move(G), Then, nop("skip"));
+  }
+
+  CmdId whileLoop(GuardFn G, CmdId Body) {
+    Command C;
+    C.Kind = CmdKind::While;
+    C.Guard = std::move(G);
+    C.Children = {Body};
+    return push(std::move(C));
+  }
+
+  /// Non-terminating loop.
+  CmdId loop(CmdId Body) {
+    Command C;
+    C.Kind = CmdKind::Loop;
+    C.Children = {Body};
+    return push(std::move(C));
+  }
+
+  void setEntry(CmdId C) { Entry = C; }
+  CmdId entry() const { return Entry; }
+
+  const Command &cmd(CmdId Id) const {
+    TSOGC_CHECK(Id < Cmds.size(), "command id out of range");
+    return Cmds[Id];
+  }
+  size_t size() const { return Cmds.size(); }
+
+  /// Render the command tree rooted at \p Id, for tests and documentation.
+  std::string dump(CmdId Id, unsigned Indent = 0) const {
+    std::string Pad(Indent * 2, ' ');
+    const Command &C = cmd(Id);
+    switch (C.Kind) {
+    case CmdKind::LocalOp:
+      return Pad + "{" + C.Label + "} LOCALOP\n";
+    case CmdKind::Request:
+      return Pad + "{" + C.Label + "} REQUEST\n";
+    case CmdKind::Response:
+      return Pad + "{" + C.Label + "} RESPONSE\n";
+    case CmdKind::Seq: {
+      std::string Out = Pad + "SEQ\n";
+      for (CmdId Ch : C.Children)
+        Out += dump(Ch, Indent + 1);
+      return Out;
+    }
+    case CmdKind::Choice: {
+      std::string Out = Pad + "CHOICE\n";
+      for (CmdId Ch : C.Children)
+        Out += dump(Ch, Indent + 1);
+      return Out;
+    }
+    case CmdKind::If:
+      return Pad + "IF\n" + dump(C.Children[0], Indent + 1) + Pad + "ELSE\n" +
+             dump(C.Children[1], Indent + 1);
+    case CmdKind::While:
+      return Pad + "WHILE\n" + dump(C.Children[0], Indent + 1);
+    case CmdKind::Loop:
+      return Pad + "LOOP\n" + dump(C.Children[0], Indent + 1);
+    case CmdKind::Nop:
+      return Pad + "{" + C.Label + "} SKIP\n";
+    }
+    TSOGC_UNREACHABLE("bad CmdKind");
+  }
+
+private:
+  CmdId push(Command C) {
+    Cmds.push_back(std::move(C));
+    return static_cast<CmdId>(Cmds.size() - 1);
+  }
+
+  std::vector<Command> Cmds;
+  CmdId Entry = InvalidCmd;
+};
+
+/// The local state of one process: a frame stack of pending commands plus
+/// the data state (Figure 7 pairs exactly these).
+template <typename D> struct ProcState {
+  std::vector<CmdId> Stack; ///< Top = back.
+  typename D::LocalState Local;
+
+  bool terminated() const { return Stack.empty(); }
+  bool operator==(const ProcState &O) const = default;
+};
+
+/// A normalized head: the next atomic command plus the continuation stack
+/// that remains after it executes.
+template <typename D> struct PendingStep {
+  CmdId Head;
+  std::vector<CmdId> Continuation;
+};
+
+/// Unfold control flow until atomic heads are exposed. Branches only at
+/// Choice; If/While guards are deterministic in the local state.
+template <typename D>
+void normalize(const Program<D> &Prog, std::vector<CmdId> Stack,
+               const typename D::LocalState &Local,
+               std::vector<PendingStep<D>> &Out, unsigned Depth = 0) {
+  TSOGC_CHECK(Depth < 4096,
+              "control-flow normalization diverged (loop with no atomic op?)");
+  while (!Stack.empty()) {
+    CmdId Top = Stack.back();
+    const auto &C = Prog.cmd(Top);
+    switch (C.Kind) {
+    case CmdKind::LocalOp:
+    case CmdKind::Request:
+    case CmdKind::Response: {
+      Stack.pop_back();
+      Out.push_back(PendingStep<D>{Top, std::move(Stack)});
+      return;
+    }
+    case CmdKind::Seq:
+      Stack.pop_back();
+      for (auto It = C.Children.rbegin(); It != C.Children.rend(); ++It)
+        Stack.push_back(*It);
+      break;
+    case CmdKind::Choice: {
+      Stack.pop_back();
+      for (CmdId Alt : C.Children) {
+        std::vector<CmdId> Branch = Stack;
+        Branch.push_back(Alt);
+        normalize(Prog, std::move(Branch), Local, Out, Depth + 1);
+      }
+      return;
+    }
+    case CmdKind::If: {
+      bool B = C.Guard(Local);
+      Stack.pop_back();
+      Stack.push_back(B ? C.Children[0] : C.Children[1]);
+      break;
+    }
+    case CmdKind::While: {
+      bool B = C.Guard(Local);
+      if (!B) {
+        Stack.pop_back();
+        break;
+      }
+      // Keep the While frame beneath a fresh body instance.
+      Stack.push_back(C.Children[0]);
+      ++Depth;
+      TSOGC_CHECK(Depth < 4096, "while-loop normalization diverged");
+      break;
+    }
+    case CmdKind::Loop:
+      Stack.push_back(C.Children[0]);
+      ++Depth;
+      TSOGC_CHECK(Depth < 4096, "loop normalization diverged");
+      break;
+    case CmdKind::Nop:
+      Stack.pop_back();
+      break;
+    }
+  }
+  // Empty stack: the process has terminated; no steps.
+}
+
+} // namespace tsogc::cimp
+
+#endif // TSOGC_CIMP_CIMP_H

@@ -1,0 +1,170 @@
+//===- cimp/System.h - Flat parallel composition (Figure 8) --------------===//
+///
+/// \file
+/// The CIMP system semantics: a map from process names to local states,
+/// stepped by interleaving process-local τ transitions and sender/receiver
+/// rendezvous pairs. Successor enumeration is deterministic (processes in
+/// index order, branches in program order), so a trace can be replayed as a
+/// sequence of successor indices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_CIMP_SYSTEM_H
+#define TSOGC_CIMP_SYSTEM_H
+
+#include "cimp/Cimp.h"
+
+#include <string>
+#include <vector>
+
+namespace tsogc::cimp {
+
+/// Global state: one ProcState per process (Figure 8's map s).
+template <typename D> using SystemState = std::vector<ProcState<D>>;
+
+/// One enabled transition out of a system state.
+template <typename D> struct Successor {
+  /// Human-readable description, e.g. "m0:mark-cas <-> sys:mem".
+  std::string Label;
+  /// Acting process, and its atomic command.
+  uint8_t P = 0;
+  CmdId PCmd = InvalidCmd;
+  /// Rendezvous partner (receiver), if any.
+  bool IsRendezvous = false;
+  uint8_t Q = 0;
+  CmdId QCmd = InvalidCmd;
+  /// The complete post-state.
+  SystemState<D> State;
+};
+
+/// A parallel composition of CIMP processes over one domain. Holds
+/// non-owning pointers to the per-process programs, which must outlive it.
+template <typename D> class System {
+public:
+  using L = typename D::LocalState;
+  using Rsp = typename D::Response;
+
+  explicit System(std::vector<const Program<D> *> Progs)
+      : Programs(std::move(Progs)) {
+    TSOGC_CHECK(!Programs.empty(), "system needs at least one process");
+    TSOGC_CHECK(Programs.size() < 250, "too many processes");
+  }
+
+  unsigned numProcs() const { return static_cast<unsigned>(Programs.size()); }
+  const Program<D> &program(unsigned P) const { return *Programs[P]; }
+
+  /// Initial state: every process at its program's entry with the given
+  /// local data state.
+  SystemState<D> initialState(std::vector<L> Locals) const {
+    TSOGC_CHECK(Locals.size() == Programs.size(),
+                "one initial local state per process");
+    SystemState<D> S;
+    S.reserve(Locals.size());
+    for (size_t P = 0; P < Locals.size(); ++P) {
+      ProcState<D> PS;
+      PS.Stack.push_back(Programs[P]->entry());
+      PS.Local = std::move(Locals[P]);
+      S.push_back(std::move(PS));
+    }
+    return S;
+  }
+
+  /// Enumerate all successors of \p S in deterministic order.
+  void successors(const SystemState<D> &S,
+                  std::vector<Successor<D>> &Out) const {
+    // Normalized heads per process, computed once.
+    std::vector<std::vector<PendingStep<D>>> Heads(S.size());
+    for (size_t P = 0; P < S.size(); ++P)
+      normalize(*Programs[P], S[P].Stack, S[P].Local, Heads[P]);
+
+    for (size_t P = 0; P < S.size(); ++P) {
+      for (const PendingStep<D> &Step : Heads[P]) {
+        const auto &C = Programs[P]->cmd(Step.Head);
+        switch (C.Kind) {
+        case CmdKind::LocalOp:
+          emitLocal(S, static_cast<uint8_t>(P), Step, Out);
+          break;
+        case CmdKind::Request:
+          // Pair with every Response head of every other process.
+          for (size_t Q = 0; Q < S.size(); ++Q) {
+            if (Q == P)
+              continue;
+            for (const PendingStep<D> &RStep : Heads[Q])
+              if (Programs[Q]->cmd(RStep.Head).Kind == CmdKind::Response)
+                emitRendezvous(S, static_cast<uint8_t>(P), Step,
+                               static_cast<uint8_t>(Q), RStep, Out);
+          }
+          break;
+        case CmdKind::Response:
+          // Handled from the requesting side.
+          break;
+        default:
+          TSOGC_UNREACHABLE("normalize returned a non-atomic head");
+        }
+      }
+    }
+  }
+
+  /// Convenience: successors as a fresh vector.
+  std::vector<Successor<D>> successors(const SystemState<D> &S) const {
+    std::vector<Successor<D>> Out;
+    successors(S, Out);
+    return Out;
+  }
+
+private:
+  void emitLocal(const SystemState<D> &S, uint8_t P,
+                 const PendingStep<D> &Step,
+                 std::vector<Successor<D>> &Out) const {
+    const auto &C = Programs[P]->cmd(Step.Head);
+    std::vector<L> Nexts;
+    C.Local(S[P].Local, Nexts);
+    for (L &Next : Nexts) {
+      Successor<D> Succ;
+      Succ.Label = format("p%u:%s", P, C.Label.c_str());
+      Succ.P = P;
+      Succ.PCmd = Step.Head;
+      Succ.State = S;
+      Succ.State[P].Stack = Step.Continuation;
+      Succ.State[P].Local = std::move(Next);
+      Out.push_back(std::move(Succ));
+    }
+  }
+
+  void emitRendezvous(const SystemState<D> &S, uint8_t P,
+                      const PendingStep<D> &PStep, uint8_t Q,
+                      const PendingStep<D> &QStep,
+                      std::vector<Successor<D>> &Out) const {
+    const auto &PC = Programs[P]->cmd(PStep.Head);
+    const auto &QC = Programs[Q]->cmd(QStep.Head);
+    auto Alpha = PC.Act(S[P].Local);
+    std::vector<std::pair<L, Rsp>> Resps;
+    QC.Resp(Alpha, S[Q].Local, Resps);
+    for (auto &[QLocal, Beta] : Resps) {
+      std::vector<L> PNexts;
+      PC.Recv(S[P].Local, Beta, PNexts);
+      for (L &PNext : PNexts) {
+        Successor<D> Succ;
+        Succ.Label = format("p%u:%s <-> p%u:%s", P, PC.Label.c_str(), Q,
+                            QC.Label.c_str());
+        Succ.P = P;
+        Succ.PCmd = PStep.Head;
+        Succ.IsRendezvous = true;
+        Succ.Q = Q;
+        Succ.QCmd = QStep.Head;
+        Succ.State = S;
+        Succ.State[P].Stack = PStep.Continuation;
+        Succ.State[P].Local = std::move(PNext);
+        Succ.State[Q].Stack = QStep.Continuation;
+        Succ.State[Q].Local = QLocal;
+        Out.push_back(std::move(Succ));
+      }
+    }
+  }
+
+  std::vector<const Program<D> *> Programs;
+};
+
+} // namespace tsogc::cimp
+
+#endif // TSOGC_CIMP_SYSTEM_H

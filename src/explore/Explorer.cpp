@@ -1,0 +1,187 @@
+//===- explore/Explorer.cpp ------------------------------------------------===//
+
+#include "explore/Explorer.h"
+
+#include "support/Assert.h"
+#include "support/HashCombine.h"
+#include "support/Random.h"
+
+#include <deque>
+#include <unordered_map>
+
+using namespace tsogc;
+
+namespace {
+
+/// Bookkeeping for path reconstruction: each visited state records its
+/// predecessor's index and the label of the incoming transition.
+struct VisitInfo {
+  uint64_t Parent;
+  std::string Label;
+  unsigned Depth;
+};
+
+} // namespace
+
+StateChecker tsogc::fullSuiteChecker(const InvariantSuite &Inv) {
+  return [&Inv](const GcSystemState &S) { return Inv.check(S); };
+}
+
+StateChecker tsogc::headlineChecker(const InvariantSuite &Inv) {
+  return
+      [&Inv](const GcSystemState &S) { return Inv.checkSafetyHeadline(S); };
+}
+
+ExploreResult tsogc::exploreExhaustive(const GcModel &M,
+                                       const StateChecker &Check,
+                                       const ExploreOptions &Opts) {
+  ExploreResult Res;
+
+  // Visited set: canonical encoding -> dense index. Node metadata and the
+  // frontier states are kept densely indexed. With CompactVisited the key
+  // is a 128-bit digest of the encoding instead of the encoding itself.
+  std::unordered_map<std::string, uint64_t> Visited;
+  std::vector<VisitInfo> Info;
+  std::deque<std::pair<GcSystemState, uint64_t>> Frontier;
+
+  auto VisitKey = [&Opts, &M](const GcSystemState &S) {
+    std::string Enc = M.encode(S);
+    if (!Opts.CompactVisited)
+      return Enc;
+    uint64_t H1 = hashBytes(Enc.data(), Enc.size(), 0x6a09e667f3bcc908ULL);
+    uint64_t H2 = hashBytes(Enc.data(), Enc.size(), 0xbb67ae8584caa73bULL);
+    std::string Key(16, '\0');
+    for (int I = 0; I < 8; ++I) {
+      Key[I] = static_cast<char>(H1 >> (8 * I));
+      Key[8 + I] = static_cast<char>(H2 >> (8 * I));
+    }
+    return Key;
+  };
+
+  GcSystemState Init = M.initial();
+  Visited.emplace(VisitKey(Init), 0);
+  if (Opts.TrackPaths)
+    Info.push_back(VisitInfo{0, "<init>", 0});
+  std::vector<unsigned> DepthOnly; // used when paths are off
+  if (!Opts.TrackPaths)
+    DepthOnly.push_back(0);
+  Res.StatesVisited = 1;
+
+  auto DepthOf = [&](uint64_t Idx) {
+    return Opts.TrackPaths ? Info[Idx].Depth : DepthOnly[Idx];
+  };
+  auto Fail = [&](std::optional<Violation> V, const GcSystemState &S,
+                  uint64_t Idx) {
+    Res.Bug = std::move(V);
+    Res.BadState = S;
+    if (!Opts.TrackPaths)
+      return;
+    std::vector<std::string> Path;
+    for (uint64_t I = Idx; I != 0; I = Info[I].Parent)
+      Path.push_back(Info[I].Label);
+    Res.Path.assign(Path.rbegin(), Path.rend());
+  };
+
+  if (auto V = Check(Init)) {
+    Fail(std::move(V), Init, 0);
+    return Res;
+  }
+  Frontier.emplace_back(std::move(Init), 0);
+
+  std::vector<GcSuccessor> Succs;
+  while (!Frontier.empty()) {
+    auto [S, Idx] = Opts.Dfs ? std::move(Frontier.back())
+                             : std::move(Frontier.front());
+    if (Opts.Dfs)
+      Frontier.pop_back();
+    else
+      Frontier.pop_front();
+    const unsigned Depth = DepthOf(Idx);
+    if (Opts.MaxDepth && Depth >= Opts.MaxDepth) {
+      Res.Truncated = true;
+      continue;
+    }
+
+    Succs.clear();
+    M.system().successors(S, Succs);
+    for (GcSuccessor &Succ : Succs) {
+      ++Res.TransitionsExplored;
+      std::string Key = VisitKey(Succ.State);
+      auto [It, Fresh] = Visited.emplace(
+          std::move(Key), Opts.TrackPaths ? Info.size() : DepthOnly.size());
+      if (!Fresh)
+        continue;
+      uint64_t NewIdx = It->second;
+      if (Opts.TrackPaths)
+        Info.push_back(VisitInfo{Idx, Succ.Label, Depth + 1});
+      else
+        DepthOnly.push_back(Depth + 1);
+      ++Res.StatesVisited;
+      Res.MaxDepthSeen = std::max(Res.MaxDepthSeen, Depth + 1);
+
+      if (auto V = Check(Succ.State)) {
+        Fail(std::move(V), Succ.State, NewIdx);
+        return Res;
+      }
+      if (Opts.MaxStates && Res.StatesVisited >= Opts.MaxStates) {
+        Res.Truncated = true;
+        return Res;
+      }
+      Frontier.emplace_back(std::move(Succ.State), NewIdx);
+    }
+  }
+  return Res;
+}
+
+WalkResult tsogc::exploreRandomWalk(const GcModel &M,
+                                    const StateChecker &Check,
+                                    const WalkOptions &Opts) {
+  WalkResult Res;
+  Xoshiro256 Rng(Opts.Seed);
+
+  GcSystemState S = M.initial();
+  if (auto V = Check(S)) {
+    Res.Bug = std::move(V);
+    Res.BadState = std::move(S);
+    return Res;
+  }
+
+  std::deque<std::string> Tail;
+  std::vector<GcSuccessor> Succs;
+  for (uint64_t Step = 0; Step < Opts.Steps; ++Step) {
+    Succs.clear();
+    M.system().successors(S, Succs);
+    if (Succs.empty()) {
+      // The GC model has no terminal states; restarting keeps long walks
+      // useful even for intentionally crippled configurations.
+      ++Res.Deadlocks;
+      S = M.initial();
+      continue;
+    }
+    GcSuccessor &Pick = Succs[Rng.nextBelow(Succs.size())];
+    Tail.push_back(Pick.Label);
+    if (Tail.size() > Opts.TraceTail)
+      Tail.pop_front();
+    S = std::move(Pick.State);
+    ++Res.StepsTaken;
+    if (auto V = Check(S)) {
+      Res.Bug = std::move(V);
+      Res.BadState = std::move(S);
+      break;
+    }
+  }
+  Res.TailPath.assign(Tail.begin(), Tail.end());
+  return Res;
+}
+
+std::vector<GcSystemState>
+tsogc::replayChoices(const GcModel &M, const std::vector<uint32_t> &Choices) {
+  std::vector<GcSystemState> States;
+  States.push_back(M.initial());
+  for (uint32_t C : Choices) {
+    std::vector<GcSuccessor> Succs = M.system().successors(States.back());
+    TSOGC_CHECK(C < Succs.size(), "replay choice out of range");
+    States.push_back(std::move(Succs[C].State));
+  }
+  return States;
+}

@@ -1,0 +1,122 @@
+//===- explore/Explorer.h - Explicit-state exploration ---------------------===//
+///
+/// \file
+/// Exhaustive breadth-first exploration of the model's reachable states with
+/// invariant checking at every state — the executable counterpart of the
+/// paper's induction over the _⇒_ relation, on finite instances. On a
+/// violation, reconstructs the transition-label path from the initial state
+/// (the counterexample trace).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_EXPLORE_EXPLORER_H
+#define TSOGC_EXPLORE_EXPLORER_H
+
+#include "gcmodel/GcModel.h"
+#include "invariants/InvariantSuite.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tsogc {
+
+struct ExploreOptions {
+  /// Stop after visiting this many distinct states (0 = unlimited).
+  uint64_t MaxStates = 2'000'000;
+  /// Stop expanding beyond this depth (0 = unlimited).
+  unsigned MaxDepth = 0;
+  /// Depth-first instead of breadth-first. DFS reaches deep violations
+  /// (e.g. barrier-ablation counterexamples, which need a full collection
+  /// cycle) far sooner; BFS yields shortest counterexample traces.
+  bool Dfs = false;
+  /// Hash compaction (SPIN-style): store a 128-bit digest per visited
+  /// state instead of the full canonical encoding, cutting memory ~10×.
+  /// A digest collision would silently prune a state; with a good 128-bit
+  /// hash the probability over N states is ~N²/2¹²⁸ (≪ 10⁻²⁰ at 10⁹
+  /// states). Exhaustive *verification* runs in this repository default to
+  /// exact storage; compaction is for scouting larger instances.
+  bool CompactVisited = false;
+  /// Record parent/label metadata for counterexample paths. Turning this
+  /// off (scouting mode) saves ~50 bytes per state; a violation is then
+  /// reported with an empty path.
+  bool TrackPaths = true;
+};
+
+struct ExploreResult {
+  uint64_t StatesVisited = 0;
+  uint64_t TransitionsExplored = 0;
+  unsigned MaxDepthSeen = 0;
+  /// True if the state or depth limit stopped the search before the
+  /// frontier emptied (the reachable set was not exhausted).
+  bool Truncated = false;
+  /// First invariant violation found, if any.
+  std::optional<Violation> Bug;
+  /// Transition labels from the initial state to the violating state.
+  std::vector<std::string> Path;
+  /// The violating state itself.
+  std::optional<GcSystemState> BadState;
+
+  bool exhaustedCleanly() const { return !Bug && !Truncated; }
+};
+
+/// A state predicate for exploration: nullopt = fine, otherwise the
+/// violated property.
+using StateChecker = std::function<std::optional<Violation>(const GcSystemState &)>;
+
+/// The full §3.2 suite as a checker.
+StateChecker fullSuiteChecker(const InvariantSuite &Inv);
+
+/// Only the headline safety property (used by barrier-ablation hunts, where
+/// auxiliary invariants break long before an actual unsafe free).
+StateChecker headlineChecker(const InvariantSuite &Inv);
+
+/// Breadth-first exhaustive search with a visited set keyed on the model's
+/// canonical state encoding.
+ExploreResult exploreExhaustive(const GcModel &M, const StateChecker &Check,
+                                const ExploreOptions &Opts = {});
+inline ExploreResult exploreExhaustive(const GcModel &M,
+                                       const InvariantSuite &Inv,
+                                       const ExploreOptions &Opts = {}) {
+  return exploreExhaustive(M, fullSuiteChecker(Inv), Opts);
+}
+
+struct WalkOptions {
+  uint64_t Steps = 50'000;
+  uint64_t Seed = 1;
+  /// Keep at most this many trailing transition labels for reporting.
+  unsigned TraceTail = 200;
+};
+
+struct WalkResult {
+  uint64_t StepsTaken = 0;
+  std::optional<Violation> Bug;
+  /// The last TraceTail transition labels before the violation (or walk
+  /// end).
+  std::vector<std::string> TailPath;
+  std::optional<GcSystemState> BadState;
+  /// Number of states with no successors encountered (the model should
+  /// have none; reported for diagnosis).
+  uint64_t Deadlocks = 0;
+};
+
+/// Uniform-random walk with invariant checking at every step; probabilistic
+/// coverage of instances too large to exhaust.
+WalkResult exploreRandomWalk(const GcModel &M, const StateChecker &Check,
+                             const WalkOptions &Opts = {});
+inline WalkResult exploreRandomWalk(const GcModel &M,
+                                    const InvariantSuite &Inv,
+                                    const WalkOptions &Opts = {}) {
+  return exploreRandomWalk(M, fullSuiteChecker(Inv), Opts);
+}
+
+/// Deterministic replay: from the initial state, repeatedly take the
+/// successor with the given index. Aborts if an index is out of range.
+/// Returns every visited state including the initial one.
+std::vector<GcSystemState> replayChoices(const GcModel &M,
+                                         const std::vector<uint32_t> &Choices);
+
+} // namespace tsogc
+
+#endif // TSOGC_EXPLORE_EXPLORER_H

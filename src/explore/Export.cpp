@@ -1,0 +1,169 @@
+//===- explore/Export.cpp -----------------------------------------------===//
+
+#include "explore/Export.h"
+
+#include "support/StringUtils.h"
+
+using namespace tsogc;
+
+namespace {
+
+std::string jsonEscape(const std::string &In) {
+  std::string Out;
+  Out.reserve(In.size() + 2);
+  for (char C : In) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string refJson(Ref R) {
+  return R.isNull() ? "null" : format("%u", R.index());
+}
+
+std::string refSetJson(const std::set<Ref> &S) {
+  std::vector<std::string> Parts;
+  for (Ref R : S)
+    Parts.push_back(refJson(R));
+  return "[" + join(Parts, ",") + "]";
+}
+
+} // namespace
+
+std::string tsogc::heapToDot(const GcModel &M, const GcSystemState &S) {
+  const SysLocal &Sys = M.sysState(S);
+  const Heap &H = Sys.Mem.heap();
+  ColorView CV = colorView(M, S);
+
+  std::string Out = "digraph heap {\n  rankdir=LR;\n"
+                    "  node [shape=circle, style=filled];\n";
+
+  // Objects, colored per the tricolor interpretation. Grey-and-white
+  // overlap (the CAS window) renders as grey with a dashed border.
+  for (Ref R : H.allocatedRefs()) {
+    const char *Fill = "white";
+    std::string Extra;
+    if (CV.isGrey(R)) {
+      Fill = "grey";
+      if (CV.isWhite(R))
+        Extra = ", style=\"filled,dashed\"";
+    } else if (CV.isBlack(R)) {
+      Fill = "black";
+      Extra = ", fontcolor=white";
+    }
+    Out += format("  r%u [fillcolor=%s%s];\n", R.index(), Fill,
+                  Extra.c_str());
+  }
+
+  // Committed heap edges.
+  for (Ref R : H.allocatedRefs())
+    for (unsigned F = 0; F < H.numFields(); ++F) {
+      Ref T = H.field(R, static_cast<FieldId>(F));
+      if (!T.isNull())
+        Out += format("  r%u -> r%u [label=f%u];\n", R.index(), T.index(), F);
+    }
+
+  // Pending (buffered) field writes: dashed edges from the would-be source.
+  for (unsigned P = 0; P <= M.config().NumMutators; ++P)
+    for (const PendingWrite &W : Sys.Mem.buffer(static_cast<ProcId>(P))) {
+      if (W.Loc.Kind != MemLocKind::ObjField || W.Val.asRef().isNull())
+        continue;
+      Out += format("  r%u -> r%u [style=dashed, color=red, "
+                    "label=\"buf(%s)\"];\n",
+                    W.Loc.R.index(), W.Val.asRef().index(),
+                    M.procName(P).c_str());
+    }
+
+  // Roots: one box per mutator.
+  for (unsigned I = 0; I < M.config().NumMutators; ++I) {
+    const MutatorLocal &Mu = M.mutator(S, I);
+    Out += format("  mut%u [shape=box, fillcolor=lightblue];\n", I);
+    for (Ref R : Mu.Roots)
+      Out += format("  mut%u -> r%u;\n", I, R.index());
+    if (!Mu.DeletedRef.isNull())
+      Out += format("  mut%u -> r%u [style=dotted, label=del];\n", I,
+                    Mu.DeletedRef.index());
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string tsogc::stateToJson(const GcModel &M, const GcSystemState &S) {
+  const CollectorLocal &C = GcModel::collector(S);
+  const SysLocal &Sys = M.sysState(S);
+  const Heap &H = Sys.Mem.heap();
+
+  std::string Out = "{";
+  Out += format("\"collector\":{\"phase\":\"%s\",\"fM\":%s,\"fA\":%s,"
+                "\"W\":%s,\"cycle\":%u},",
+                gcPhaseName(C.Phase), C.FM ? "true" : "false",
+                C.FA ? "true" : "false", refSetJson(C.W).c_str(),
+                C.CycleCount);
+
+  Out += "\"mutators\":[";
+  for (unsigned I = 0; I < M.config().NumMutators; ++I) {
+    const MutatorLocal &Mu = M.mutator(S, I);
+    if (I)
+      Out += ",";
+    Out += format("{\"roots\":%s,\"WM\":%s,\"phaseView\":\"%s\","
+                  "\"completed\":\"%s\"}",
+                  refSetJson(Mu.Roots).c_str(), refSetJson(Mu.WM).c_str(),
+                  gcPhaseName(Mu.PhaseLocal),
+                  hsRoundName(Mu.CompletedRound));
+  }
+  Out += "],";
+
+  Out += "\"heap\":[";
+  bool First = true;
+  for (Ref R : H.allocatedRefs()) {
+    if (!First)
+      Out += ",";
+    First = false;
+    std::vector<std::string> Fs;
+    for (Ref F : H.object(R).Fields)
+      Fs.push_back(refJson(F));
+    Out += format("{\"ref\":%u,\"mark\":%s,\"fields\":[%s]}", R.index(),
+                  H.markFlag(R) ? "true" : "false", join(Fs, ",").c_str());
+  }
+  Out += "],";
+
+  Out += format("\"round\":\"%s\",\"lock\":%d}", hsRoundName(Sys.CurRound),
+                Sys.Mem.lockOwner());
+  return Out;
+}
+
+std::string tsogc::exploreResultToJson(const GcModel &M,
+                                       const ExploreResult &Res) {
+  std::string Out = "{";
+  Out += format("\"states\":%llu,\"transitions\":%llu,\"maxDepth\":%u,"
+                "\"truncated\":%s,",
+                static_cast<unsigned long long>(Res.StatesVisited),
+                static_cast<unsigned long long>(Res.TransitionsExplored),
+                Res.MaxDepthSeen, Res.Truncated ? "true" : "false");
+  if (Res.Bug) {
+    Out += format("\"violation\":{\"name\":\"%s\",\"detail\":\"%s\"},",
+                  jsonEscape(Res.Bug->Name).c_str(),
+                  jsonEscape(Res.Bug->Detail).c_str());
+    std::vector<std::string> Steps;
+    for (const std::string &L : Res.Path)
+      Steps.push_back("\"" + jsonEscape(L) + "\"");
+    Out += "\"trace\":[" + join(Steps, ",") + "],";
+    Out += "\"badState\":" + stateToJson(M, *Res.BadState);
+  } else {
+    Out += "\"violation\":null";
+  }
+  Out += "}";
+  return Out;
+}

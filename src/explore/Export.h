@@ -1,0 +1,37 @@
+//===- explore/Export.h - DOT and JSON export of model states ----------===//
+///
+/// \file
+/// Renders model heaps as Graphviz DOT (colored by the tricolor
+/// abstraction, exactly the visual language of Figure 1) and global states
+/// plus counterexample traces as JSON, so violations found by the explorer
+/// can be inspected outside the terminal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_EXPLORE_EXPORT_H
+#define TSOGC_EXPLORE_EXPORT_H
+
+#include "explore/Explorer.h"
+#include "invariants/GcPredicates.h"
+
+#include <string>
+
+namespace tsogc {
+
+/// Graphviz rendering of the heap in \p S: one node per object, colored
+/// white/grey/black per the §3.2 interpretation; root edges from per-
+/// mutator pseudo-nodes; buffered (uncommitted) field writes as dashed
+/// edges.
+std::string heapToDot(const GcModel &M, const GcSystemState &S);
+
+/// JSON rendering of one global state: control state, per-mutator views
+/// and roots, heap contents, buffers, handshake registers.
+std::string stateToJson(const GcModel &M, const GcSystemState &S);
+
+/// JSON rendering of an exploration result: statistics, the violation (if
+/// any), the transition-label path, and the bad state.
+std::string exploreResultToJson(const GcModel &M, const ExploreResult &Res);
+
+} // namespace tsogc
+
+#endif // TSOGC_EXPLORE_EXPORT_H

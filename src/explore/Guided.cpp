@@ -1,0 +1,62 @@
+//===- explore/Guided.cpp --------------------------------------------------===//
+
+#include "explore/Guided.h"
+
+#include <deque>
+#include <unordered_set>
+
+using namespace tsogc;
+
+bool GuidedDriver::advance(const LabelFilter &Allowed, const StatePred &Goal,
+                           uint64_t MaxStates) {
+  if (Goal(State))
+    return true;
+  std::unordered_set<std::string> Visited;
+  std::deque<GcSystemState> Frontier;
+  Visited.insert(M.encode(State));
+  Frontier.push_back(State);
+
+  std::vector<GcSuccessor> Succs;
+  while (!Frontier.empty() && Visited.size() < MaxStates) {
+    GcSystemState S = std::move(Frontier.front());
+    Frontier.pop_front();
+    Succs.clear();
+    M.system().successors(S, Succs);
+    for (GcSuccessor &Succ : Succs) {
+      if (!Allowed(Succ.Label))
+        continue;
+      if (!Visited.insert(M.encode(Succ.State)).second)
+        continue;
+      if (Goal(Succ.State)) {
+        State = std::move(Succ.State);
+        return true;
+      }
+      Frontier.push_back(std::move(Succ.State));
+    }
+  }
+  return false;
+}
+
+bool GuidedDriver::take(const std::string &LabelSubstr,
+                        const StatePred &Accept) {
+  std::vector<GcSuccessor> Succs = M.system().successors(State);
+  for (GcSuccessor &Succ : Succs) {
+    if (Succ.Label.find(LabelSubstr) == std::string::npos)
+      continue;
+    if (Accept && !Accept(Succ.State))
+      continue;
+    State = std::move(Succ.State);
+    return true;
+  }
+  return false;
+}
+
+GuidedDriver::LabelFilter
+GuidedDriver::labelContainsAnyOf(std::vector<std::string> Subs) {
+  return [Subs = std::move(Subs)](const std::string &L) {
+    for (const std::string &S : Subs)
+      if (L.find(S) != std::string::npos)
+        return true;
+    return false;
+  };
+}

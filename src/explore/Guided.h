@@ -1,0 +1,54 @@
+//===- explore/Guided.h - Label-guided scenario search ---------------------===//
+///
+/// \file
+/// A scenario driver for reproducing specific interleavings from the paper
+/// (e.g. the insertion-barrier violation, or the hp_InitMark
+/// deletion-barrier defeat of §3.2). The driver holds a current state and
+/// advances it by bounded BFS over a *restricted* transition relation:
+/// only transitions whose labels pass a filter are taken, and the search
+/// stops at the first state satisfying a goal predicate. Scripting a
+/// scenario is then a sequence of advance() calls; each narrows the
+/// schedule enough that the needle interleaving is found in milliseconds
+/// where blind search fails.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_EXPLORE_GUIDED_H
+#define TSOGC_EXPLORE_GUIDED_H
+
+#include "explore/Explorer.h"
+
+namespace tsogc {
+
+class GuidedDriver {
+public:
+  using LabelFilter = std::function<bool(const std::string &)>;
+  using StatePred = std::function<bool(const GcSystemState &)>;
+
+  explicit GuidedDriver(const GcModel &M) : M(M), State(M.initial()) {}
+
+  const GcSystemState &state() const { return State; }
+
+  /// BFS from the current state using only transitions whose label passes
+  /// \p Allowed, until a state satisfying \p Goal is found (which becomes
+  /// the current state) or \p MaxStates distinct states were seen.
+  /// Returns true on success.
+  bool advance(const LabelFilter &Allowed, const StatePred &Goal,
+               uint64_t MaxStates = 200'000);
+
+  /// Take one enabled transition whose label contains \p LabelSubstr and
+  /// whose post-state satisfies \p Accept (if given). Returns true if such
+  /// a transition was enabled right now.
+  bool take(const std::string &LabelSubstr, const StatePred &Accept = {});
+
+  /// Convenience filters.
+  static LabelFilter labelContainsAnyOf(std::vector<std::string> Subs);
+
+private:
+  const GcModel &M;
+  GcSystemState State;
+};
+
+} // namespace tsogc
+
+#endif // TSOGC_EXPLORE_GUIDED_H

@@ -1,0 +1,398 @@
+//===- gcmodel/Collector.cpp -----------------------------------------------===//
+
+#include "gcmodel/Collector.h"
+
+#include "support/Assert.h"
+
+using namespace tsogc;
+using cimp::CmdId;
+
+namespace {
+
+/// Collector-side view for the shared mark procedure: authoritative fM,
+/// always-enabled CAS (the collector only marks during its Mark phase), and
+/// the collector's own work-list W.
+MarkAccess collectorMarkAccess() {
+  MarkAccess A;
+  A.Self = CollectorPid;
+  A.MS = [](GcLocal &L) -> MarkScratch & { return asCollector(L).MS; };
+  A.MSC = [](const GcLocal &L) -> const MarkScratch & {
+    return asCollector(L).MS;
+  };
+  A.FM = [](const GcLocal &L) { return asCollector(L).FM; };
+  A.Enabled = [](const GcLocal &) { return true; };
+  A.PushWork = [](GcLocal &L, Ref R) { asCollector(L).W.insert(R); };
+  return A;
+}
+
+/// TSO-refined round (the §3.1 atomicity refinement): the request words
+/// are ordinary TSO stores (buffered!), acknowledgements are plain TSO
+/// loads of the per-mutator ack words. The collector bumps its sequence
+/// number (mod 8), fences, stores each mutator's request word, then polls
+/// the ack words until every one carries the new sequence, and fences.
+CmdId buildTsoHandshakeRound(GcProg &Prog, const ModelConfig &Cfg,
+                             HsType Type, HsRound Round) {
+  std::string Tag = hsRoundName(Round);
+
+  // Bump the sequence and reset the loop counter, fused with the store
+  // fence that precedes initiation (§2.4).
+  CmdId FenceBefore = Prog.request(
+      Tag + ":fence-initiate",
+      [](const GcLocal &) {
+        GcRequest Req;
+        Req.From = CollectorPid;
+        Req.Kind = ReqKind::Mfence;
+        return Req;
+      },
+      [](const GcLocal &L, const GcResponse &, std::vector<GcLocal> &Out) {
+        GcLocal Next = L;
+        CollectorLocal &C = asCollector(Next);
+        C.HsSeq = static_cast<uint8_t>((C.HsSeq + 1) & 7);
+        C.HsMutIdx = 0;
+        Out.push_back(std::move(Next));
+      });
+
+  // Store the request word of each mutator (a plain TSO store; the ghost
+  // round advances at issue time, inside the same rendezvous).
+  CmdId StoreReq = Prog.request(
+      Tag + ":store-request",
+      [Type, Round](const GcLocal &L) {
+        const CollectorLocal &C = asCollector(L);
+        GcRequest Req;
+        Req.From = CollectorPid;
+        Req.Kind = ReqKind::Write;
+        Req.Loc = MemLoc::globalVar(gvarHsReq(C.HsMutIdx));
+        Req.Val = MemVal{hsword::encode(C.HsSeq, Round, Type)};
+        Req.GhostHsInitiate = true;
+        Req.Mut = C.HsMutIdx;
+        Req.Hs = Type;
+        Req.Round = Round;
+        return Req;
+      },
+      [](const GcLocal &L, const GcResponse &, std::vector<GcLocal> &Out) {
+        GcLocal Next = L;
+        ++asCollector(Next).HsMutIdx;
+        Out.push_back(std::move(Next));
+      });
+  CmdId StoreAll = Prog.whileLoop(
+      [N = Cfg.NumMutators](const GcLocal &L) {
+        return asCollector(L).HsMutIdx < N;
+      },
+      StoreReq);
+
+  // Poll the ack word of each mutator in turn until it carries this
+  // round's sequence.
+  CmdId ResetIdx = Prog.localDet(Tag + ":reset-poll", [](GcLocal &L) {
+    CollectorLocal &C = asCollector(L);
+    C.HsMutIdx = 0;
+    C.HsAckSeen = static_cast<uint8_t>((C.HsSeq + 1) & 7); // ≠ HsSeq
+  });
+  CmdId ReadAck = reqRead(
+      Prog, CollectorPid, Tag + ":poll-ack",
+      [](const GcLocal &L) {
+        return MemLoc::globalVar(gvarHsAck(asCollector(L).HsMutIdx));
+      },
+      [](GcLocal &L, MemVal V) {
+        asCollector(L).HsAckSeen = static_cast<uint8_t>(V.Raw & 7);
+      });
+  CmdId NextMut = Prog.ifThen(
+      [](const GcLocal &L) {
+        const CollectorLocal &C = asCollector(L);
+        return C.HsAckSeen == C.HsSeq;
+      },
+      Prog.localDet(Tag + ":ack-ok", [](GcLocal &L) {
+        CollectorLocal &C = asCollector(L);
+        ++C.HsMutIdx;
+        C.HsAckSeen = static_cast<uint8_t>((C.HsSeq + 1) & 7);
+      }));
+  CmdId PollLoop = Prog.whileLoop(
+      [N = Cfg.NumMutators](const GcLocal &L) {
+        return asCollector(L).HsMutIdx < N;
+      },
+      Prog.seq({ReadAck, NextMut}));
+
+  CmdId FenceAfter =
+      reqSimple(Prog, CollectorPid, ReqKind::Mfence, Tag + ":fence-complete");
+
+  return Prog.seq({FenceBefore, StoreAll, ResetIdx, PollLoop, FenceAfter});
+}
+
+/// One round of soft handshakes (Figure 4): store fence; set each mutator's
+/// pending bit in index order; poll until all bits clear; load fence.
+CmdId buildHandshakeRound(GcProg &Prog, const ModelConfig &Cfg, HsType Type,
+                          HsRound Round) {
+  if (Cfg.TsoHandshakes)
+    return buildTsoHandshakeRound(Prog, Cfg, Type, Round);
+  std::string Tag = hsRoundName(Round);
+
+  // Store fence before initiating; the loop counters are reset in the same
+  // atomic step (they are invisible to other processes).
+  CmdId FenceBefore = Prog.request(
+      Tag + ":fence-initiate",
+      [](const GcLocal &) {
+        GcRequest Req;
+        Req.From = CollectorPid;
+        Req.Kind = ReqKind::Mfence;
+        return Req;
+      },
+      [](const GcLocal &L, const GcResponse &, std::vector<GcLocal> &Out) {
+        GcLocal Next = L;
+        CollectorLocal &C = asCollector(Next);
+        C.HsMutIdx = 0;
+        C.HsAllDone = false;
+        Out.push_back(std::move(Next));
+      });
+
+  CmdId InitiateOne = Prog.request(
+      Tag + ":initiate",
+      [Type, Round](const GcLocal &L) {
+        GcRequest Req;
+        Req.From = CollectorPid;
+        Req.Kind = ReqKind::HsInitiate;
+        Req.Mut = asCollector(L).HsMutIdx;
+        Req.Hs = Type;
+        Req.Round = Round;
+        return Req;
+      },
+      [](const GcLocal &L, const GcResponse &, std::vector<GcLocal> &Out) {
+        GcLocal Next = L;
+        ++asCollector(Next).HsMutIdx;
+        Out.push_back(std::move(Next));
+      });
+  CmdId InitiateAll = Prog.whileLoop(
+      [N = Cfg.NumMutators](const GcLocal &L) {
+        return asCollector(L).HsMutIdx < N;
+      },
+      InitiateOne);
+
+  CmdId PollOnce = Prog.request(
+      Tag + ":poll",
+      [](const GcLocal &) {
+        GcRequest Req;
+        Req.From = CollectorPid;
+        Req.Kind = ReqKind::HsPollAll;
+        return Req;
+      },
+      [](const GcLocal &L, const GcResponse &Rsp, std::vector<GcLocal> &Out) {
+        GcLocal Next = L;
+        asCollector(Next).HsAllDone = Rsp.Flag;
+        Out.push_back(std::move(Next));
+      });
+  CmdId PollLoop = Prog.whileLoop(
+      [](const GcLocal &L) { return !asCollector(L).HsAllDone; }, PollOnce);
+
+  CmdId FenceAfter =
+      reqSimple(Prog, CollectorPid, ReqKind::Mfence, Tag + ":fence-complete");
+
+  return Prog.seq({FenceBefore, InitiateAll, PollLoop, FenceAfter});
+}
+
+/// Load the system's staged work-list into the collector's W.
+CmdId buildTakeW(GcProg &Prog, const char *Tag) {
+  return Prog.request(
+      std::string(Tag) + ":take-w",
+      [](const GcLocal &) {
+        GcRequest Req;
+        Req.From = CollectorPid;
+        Req.Kind = ReqKind::TakeW;
+        return Req;
+      },
+      [](const GcLocal &L, const GcResponse &Rsp, std::vector<GcLocal> &Out) {
+        GcLocal Next = L;
+        asCollector(Next).W.insert(Rsp.Refs.begin(), Rsp.Refs.end());
+        Out.push_back(std::move(Next));
+      });
+}
+
+/// TSO store of one control variable from the collector's local copy.
+CmdId buildCtrlWrite(GcProg &Prog, const char *Tag, uint8_t Var) {
+  return reqWrite(
+      Prog, CollectorPid, std::string(Tag),
+      [Var](const GcLocal &) { return MemLoc::globalVar(Var); },
+      [Var](const GcLocal &L) {
+        const CollectorLocal &C = asCollector(L);
+        switch (Var) {
+        case GVarFM:
+          return MemVal::fromBool(C.FM);
+        case GVarFA:
+          return MemVal::fromBool(C.FA);
+        case GVarPhase:
+          return MemVal::fromByte(static_cast<uint8_t>(C.Phase));
+        }
+        TSOGC_UNREACHABLE("bad control variable");
+      });
+}
+
+/// The marking loop (Figure 2 lines 24-34, Figure 10): drain W, scanning
+/// each grey source's fields through mark; between drains run get-work
+/// handshake rounds until a round leaves W empty.
+CmdId buildMarkLoop(GcProg &Prog, const ModelConfig &Cfg) {
+  MarkAccess A = collectorMarkAccess();
+
+  CmdId PickSrc = Prog.localDet("mark:pick-src", [](GcLocal &L) {
+    CollectorLocal &C = asCollector(L);
+    TSOGC_CHECK(!C.W.empty(), "mark loop entered with an empty work-list");
+    C.Src = *C.W.begin();
+    C.Fld = 0;
+  });
+
+  CmdId LoadField = reqRead(
+      Prog, CollectorPid, "mark:load-field",
+      [](const GcLocal &L) {
+        const CollectorLocal &C = asCollector(L);
+        return MemLoc::objField(C.Src, C.Fld);
+      },
+      [](GcLocal &L, MemVal V) { asCollector(L).MS.Target = V.asRef(); });
+  CmdId MarkField = buildMarkSeq(Prog, A, "gc");
+  CmdId NextField = Prog.localDet("mark:next-field",
+                                  [](GcLocal &L) { ++asCollector(L).Fld; });
+  CmdId ScanFields = Prog.whileLoop(
+      [NF = Cfg.NumFields](const GcLocal &L) {
+        return asCollector(L).Fld < NF;
+      },
+      Prog.seq({LoadField, MarkField, NextField}));
+
+  // Blacken: W := W \ {src} (Fig 2 line 30).
+  CmdId Blacken = Prog.localDet("mark:blacken", [](GcLocal &L) {
+    CollectorLocal &C = asCollector(L);
+    C.W.erase(C.Src);
+    C.Src = Ref::null();
+  });
+
+  CmdId Drain = Prog.whileLoop(
+      [](const GcLocal &L) { return !asCollector(L).W.empty(); },
+      Prog.seq({PickSrc, ScanFields, Blacken}));
+
+  CmdId TerminationRound =
+      buildHandshakeRound(Prog, Cfg, HsType::GetWork, HsRound::H6GetWork);
+  CmdId TakeWork = buildTakeW(Prog, "H6-get-work");
+
+  return Prog.whileLoop(
+      [](const GcLocal &L) { return !asCollector(L).W.empty(); },
+      Prog.seq({Drain, TerminationRound, TakeWork}));
+}
+
+/// The sweep (Figure 2 lines 37-45): snapshot dom(heap), then free every
+/// object whose (TSO-read) flag differs from fM.
+CmdId buildSweep(GcProg &Prog) {
+  CmdId Snapshot = Prog.request(
+      "sweep:snapshot",
+      [](const GcLocal &) {
+        GcRequest Req;
+        Req.From = CollectorPid;
+        Req.Kind = ReqKind::HeapSnapshot;
+        return Req;
+      },
+      [](const GcLocal &L, const GcResponse &Rsp, std::vector<GcLocal> &Out) {
+        GcLocal Next = L;
+        asCollector(Next).SweepRefs = Rsp.Refs;
+        Out.push_back(std::move(Next));
+      });
+
+  CmdId ReadFlag = reqRead(
+      Prog, CollectorPid, "sweep:read-flag",
+      [](const GcLocal &L) {
+        return MemLoc::objFlag(asCollector(L).SweepRefs.back());
+      },
+      [](GcLocal &L, MemVal V) { asCollector(L).SweepFlagRead = V.asBool(); });
+
+  CmdId FreeOne = Prog.requestIgnore("sweep:free", [](const GcLocal &L) {
+    GcRequest Req;
+    Req.From = CollectorPid;
+    Req.Kind = ReqKind::Free;
+    Req.Loc = MemLoc::objFlag(asCollector(L).SweepRefs.back());
+    return Req;
+  });
+  CmdId MaybeFree = Prog.ifThen(
+      [](const GcLocal &L) {
+        const CollectorLocal &C = asCollector(L);
+        return C.SweepFlagRead != C.FM; // ref ∈ White (Fig 2 line 41).
+      },
+      FreeOne);
+
+  CmdId Advance = Prog.localDet("sweep:advance", [](GcLocal &L) {
+    CollectorLocal &C = asCollector(L);
+    C.SweepRefs.pop_back();
+    C.SweepFlagRead = false;
+  });
+
+  CmdId Walk = Prog.whileLoop(
+      [](const GcLocal &L) { return !asCollector(L).SweepRefs.empty(); },
+      Prog.seq({ReadFlag, MaybeFree, Advance}));
+
+  return Prog.seq({Snapshot, Walk});
+}
+
+} // namespace
+
+void tsogc::buildCollectorProgram(GcProg &Prog, const ModelConfig &Cfg) {
+  // Lines 3-4: idle round — every mutator learns the collector is idle.
+  CmdId H1 = buildHandshakeRound(Prog, Cfg, HsType::Noop, HsRound::H1Idle);
+
+  // Line 5: flip the sense of the marks; heap turns from black to white.
+  CmdId FlipFM = Prog.localDet(
+      "flip-fM", [](GcLocal &L) { asCollector(L).FM = !asCollector(L).FM; });
+  CmdId WriteFM = buildCtrlWrite(Prog, "write-fM", GVarFM);
+  CmdId H2 = buildHandshakeRound(Prog, Cfg, HsType::Noop, HsRound::H2FlipFM);
+
+  // Line 8: phase := Init — mutator write barriers become enabled as each
+  // mutator learns of it.
+  CmdId SetInit = Prog.localDet(
+      "phase-init", [](GcLocal &L) { asCollector(L).Phase = GcPhase::Init; });
+  CmdId WriteInit = buildCtrlWrite(Prog, "write-phase-init", GVarPhase);
+  CmdId H3 =
+      buildHandshakeRound(Prog, Cfg, HsType::Noop, HsRound::H3PhaseInit);
+
+  // Lines 11-12: phase := Mark; fA := fM — newly allocated objects become
+  // black, as late as possible to limit floating garbage.
+  CmdId SetMark = Prog.localDet(
+      "phase-mark", [](GcLocal &L) { asCollector(L).Phase = GcPhase::Mark; });
+  CmdId WriteMark = buildCtrlWrite(Prog, "write-phase-mark", GVarPhase);
+  CmdId SetFA = Prog.localDet(
+      "set-fA", [](GcLocal &L) { asCollector(L).FA = asCollector(L).FM; });
+  CmdId WriteFA = buildCtrlWrite(Prog, "write-fA", GVarFA);
+  CmdId H4 =
+      buildHandshakeRound(Prog, Cfg, HsType::Noop, HsRound::H4PhaseMark);
+
+  // Lines 15-20: root marking round; afterwards reachable_snapshot_inv
+  // holds for every mutator.
+  CmdId H5 =
+      buildHandshakeRound(Prog, Cfg, HsType::GetRoots, HsRound::H5GetRoots);
+  CmdId TakeRoots = buildTakeW(Prog, "H5-get-roots");
+
+  CmdId MarkLoop = buildMarkLoop(Prog, Cfg);
+
+  // Lines 37-45: sweep. Grey = ∅ ∧ reachable_snapshot_inv ⇒ every white
+  // object is unreachable.
+  CmdId SetSweep = Prog.localDet("phase-sweep", [](GcLocal &L) {
+    asCollector(L).Phase = GcPhase::Sweep;
+  });
+  CmdId WriteSweep = buildCtrlWrite(Prog, "write-phase-sweep", GVarPhase);
+  CmdId Sweep = buildSweep(Prog);
+
+  // Line 46: back to idle; ghost cycle counter for the two-cycle property.
+  CmdId SetIdle = Prog.localDet("phase-idle", [](GcLocal &L) {
+    CollectorLocal &C = asCollector(L);
+    C.Phase = GcPhase::Idle;
+    ++C.CycleCount;
+  });
+  CmdId WriteIdle = buildCtrlWrite(Prog, "write-phase-idle", GVarPhase);
+
+  CmdId Cycle;
+  if (Cfg.MergedInitHandshakes) {
+    // §4 conjecture 1: drop the H2 and H4 rounds. One no-op round (H3)
+    // acknowledges both the fM flip and the barrier installation; the
+    // root-marking round itself acknowledges phase := Mark and the fA
+    // flip (its initiation fence commits them first).
+    Cycle = Prog.seq({H1, FlipFM, WriteFM, SetInit, WriteInit, H3, SetMark,
+                      WriteMark, SetFA, WriteFA, H5, TakeRoots, MarkLoop,
+                      SetSweep, WriteSweep, Sweep, SetIdle, WriteIdle});
+  } else {
+    Cycle = Prog.seq({H1, FlipFM, WriteFM, H2, SetInit, WriteInit, H3,
+                      SetMark, WriteMark, SetFA, WriteFA, H4, H5, TakeRoots,
+                      MarkLoop, SetSweep, WriteSweep, Sweep, SetIdle,
+                      WriteIdle});
+  }
+
+  Prog.setEntry(Prog.loop(Cycle));
+}

@@ -1,0 +1,36 @@
+//===- gcmodel/Collector.h - The collector process (Figures 2 and 10) ----===//
+///
+/// \file
+/// Builds the CIMP program of the garbage collector: the non-terminating
+/// control loop whose every iteration performs one mark-sweep cycle, with
+/// the six handshake rounds, the marking loop with its termination
+/// handshakes, and the sweep, as in Figure 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_GCMODEL_COLLECTOR_H
+#define TSOGC_GCMODEL_COLLECTOR_H
+
+#include "gcmodel/MarkSeq.h"
+
+namespace tsogc {
+
+/// Process id of the collector.
+inline constexpr ProcId CollectorPid = 0;
+
+/// Process id of the system process for a given configuration.
+inline ProcId sysPid(const ModelConfig &Cfg) {
+  return static_cast<ProcId>(Cfg.NumMutators + 1);
+}
+
+/// Process id of mutator \p Index (0-based).
+inline ProcId mutatorPid(unsigned Index) {
+  return static_cast<ProcId>(Index + 1);
+}
+
+/// Construct the collector program into \p Prog and set its entry point.
+void buildCollectorProgram(GcProg &Prog, const ModelConfig &Cfg);
+
+} // namespace tsogc
+
+#endif // TSOGC_GCMODEL_COLLECTOR_H

@@ -1,0 +1,209 @@
+//===- gcmodel/GcDomain.cpp ------------------------------------------------===//
+
+#include "gcmodel/GcDomain.h"
+
+#include "support/Assert.h"
+
+using namespace tsogc;
+
+const char *tsogc::gcPhaseName(GcPhase P) {
+  switch (P) {
+  case GcPhase::Idle:
+    return "Idle";
+  case GcPhase::Init:
+    return "Init";
+  case GcPhase::Mark:
+    return "Mark";
+  case GcPhase::Sweep:
+    return "Sweep";
+  }
+  return "<bad-phase>";
+}
+
+const char *tsogc::hsTypeName(HsType T) {
+  switch (T) {
+  case HsType::Noop:
+    return "noop";
+  case HsType::GetRoots:
+    return "get-roots";
+  case HsType::GetWork:
+    return "get-work";
+  }
+  return "<bad-hs-type>";
+}
+
+const char *tsogc::hsRoundName(HsRound R) {
+  switch (R) {
+  case HsRound::None:
+    return "none";
+  case HsRound::H1Idle:
+    return "H1-idle";
+  case HsRound::H2FlipFM:
+    return "H2-flip-fM";
+  case HsRound::H3PhaseInit:
+    return "H3-phase-init";
+  case HsRound::H4PhaseMark:
+    return "H4-phase-mark";
+  case HsRound::H5GetRoots:
+    return "H5-get-roots";
+  case HsRound::H6GetWork:
+    return "H6-get-work";
+  }
+  return "<bad-round>";
+}
+
+const char *tsogc::reqKindName(ReqKind K) {
+  switch (K) {
+  case ReqKind::Read:
+    return "read";
+  case ReqKind::Write:
+    return "write";
+  case ReqKind::Mfence:
+    return "mfence";
+  case ReqKind::Lock:
+    return "lock";
+  case ReqKind::Unlock:
+    return "unlock";
+  case ReqKind::Alloc:
+    return "alloc";
+  case ReqKind::Free:
+    return "free";
+  case ReqKind::HeapSnapshot:
+    return "heap-snapshot";
+  case ReqKind::HsInitiate:
+    return "hs-initiate";
+  case ReqKind::HsPollAll:
+    return "hs-poll-all";
+  case ReqKind::HsGetType:
+    return "hs-get-type";
+  case ReqKind::HsComplete:
+    return "hs-complete";
+  case ReqKind::TakeW:
+    return "take-w";
+  }
+  return "<bad-req>";
+}
+
+void tsogc::detail::encodeRefSet(const std::set<Ref> &S, std::string &Out) {
+  Out.push_back(static_cast<char>(S.size()));
+  for (Ref R : S) {
+    Out.push_back(static_cast<char>(R.raw() & 0xff));
+    Out.push_back(static_cast<char>(R.raw() >> 8));
+  }
+}
+
+void tsogc::detail::encodeRefVec(const std::vector<Ref> &V, std::string &Out) {
+  Out.push_back(static_cast<char>(V.size()));
+  for (Ref R : V) {
+    Out.push_back(static_cast<char>(R.raw() & 0xff));
+    Out.push_back(static_cast<char>(R.raw() >> 8));
+  }
+}
+
+static void encodeRef(Ref R, std::string &Out) {
+  Out.push_back(static_cast<char>(R.raw() & 0xff));
+  Out.push_back(static_cast<char>(R.raw() >> 8));
+}
+
+void MarkScratch::encode(std::string &Out) const {
+  encodeRef(Target, Out);
+  Out.push_back(static_cast<char>((FlagRead ? 1 : 0) | (Winner ? 2 : 0)));
+  encodeRef(GhostHonoraryGrey, Out);
+}
+
+void CollectorLocal::encode(std::string &Out) const {
+  Out.push_back(static_cast<char>((FM ? 1 : 0) | (FA ? 2 : 0) |
+                                  (static_cast<unsigned>(Phase) << 2) |
+                                  (HsAllDone ? 16 : 0) |
+                                  (SweepFlagRead ? 32 : 0)));
+  detail::encodeRefSet(W, Out);
+  MS.encode(Out);
+  encodeRef(Src, Out);
+  Out.push_back(static_cast<char>(Fld));
+  detail::encodeRefVec(SweepRefs, Out);
+  Out.push_back(static_cast<char>(HsMutIdx));
+  Out.push_back(static_cast<char>(HsSeq));
+  Out.push_back(static_cast<char>(HsAckSeen));
+  // CycleCount is ghost *and* monotone; including it would make every cycle
+  // a fresh state and unbounded. Deliberately excluded from the encoding
+  // but NOT from operator== (exhaustive runs bound cycles separately).
+}
+
+void MutatorLocal::encode(std::string &Out) const {
+  detail::encodeRefSet(Roots, Out);
+  detail::encodeRefSet(WM, Out);
+  Out.push_back(static_cast<char>((FMLocal ? 1 : 0) | (FALocal ? 2 : 0) |
+                                  (static_cast<unsigned>(PhaseLocal) << 2)));
+  MS.encode(Out);
+  encodeRef(TmpSrc, Out);
+  encodeRef(TmpDst, Out);
+  Out.push_back(static_cast<char>(TmpFld));
+  encodeRef(DeletedRef, Out);
+  detail::encodeRefVec(RootMarkQueue, Out);
+  Out.push_back(static_cast<char>(HsBitSet ? 1 : 0));
+  Out.push_back(static_cast<char>(HsReqWord & 0xff));
+  Out.push_back(static_cast<char>(HsReqWord >> 8));
+  Out.push_back(static_cast<char>(HsLastHandled & 0xff));
+  Out.push_back(static_cast<char>(HsLastHandled >> 8));
+  Out.push_back(static_cast<char>(HsPendingType));
+  Out.push_back(static_cast<char>(HsPendingRound));
+  Out.push_back(static_cast<char>(CompletedRound));
+}
+
+void SysLocal::encode(std::string &Out) const {
+  Mem.encode(Out);
+  detail::encodeRefSet(SharedW, Out);
+  Out.push_back(static_cast<char>(CurType));
+  uint8_t Bits = 0;
+  for (size_t I = 0; I < HsPending.size(); ++I)
+    if (HsPending[I])
+      Bits |= static_cast<uint8_t>(1u << (I & 7));
+  Out.push_back(static_cast<char>(Bits));
+  Out.push_back(static_cast<char>(CurRound));
+}
+
+CollectorLocal &tsogc::asCollector(GcLocal &L) {
+  auto *P = std::get_if<CollectorLocal>(&L);
+  TSOGC_CHECK(P, "expected a collector local state");
+  return *P;
+}
+const CollectorLocal &tsogc::asCollector(const GcLocal &L) {
+  const auto *P = std::get_if<CollectorLocal>(&L);
+  TSOGC_CHECK(P, "expected a collector local state");
+  return *P;
+}
+MutatorLocal &tsogc::asMutator(GcLocal &L) {
+  auto *P = std::get_if<MutatorLocal>(&L);
+  TSOGC_CHECK(P, "expected a mutator local state");
+  return *P;
+}
+const MutatorLocal &tsogc::asMutator(const GcLocal &L) {
+  const auto *P = std::get_if<MutatorLocal>(&L);
+  TSOGC_CHECK(P, "expected a mutator local state");
+  return *P;
+}
+SysLocal &tsogc::asSys(GcLocal &L) {
+  auto *P = std::get_if<SysLocal>(&L);
+  TSOGC_CHECK(P, "expected the system local state");
+  return *P;
+}
+const SysLocal &tsogc::asSys(const GcLocal &L) {
+  const auto *P = std::get_if<SysLocal>(&L);
+  TSOGC_CHECK(P, "expected the system local state");
+  return *P;
+}
+
+void tsogc::encodeLocal(const GcLocal &L, std::string &Out) {
+  if (const auto *C = std::get_if<CollectorLocal>(&L)) {
+    Out.push_back(1);
+    C->encode(Out);
+    return;
+  }
+  if (const auto *M = std::get_if<MutatorLocal>(&L)) {
+    Out.push_back(2);
+    M->encode(Out);
+    return;
+  }
+  Out.push_back(3);
+  asSys(L).encode(Out);
+}

@@ -1,0 +1,208 @@
+//===- gcmodel/GcDomain.h - CIMP domain for the GC model ------------------===//
+///
+/// \file
+/// The request/response alphabet between software threads and the system
+/// process (Figure 9 plus allocation and handshake plumbing, §3.1), and the
+/// local data states of the three process kinds. Ghost fields — state from
+/// which modeled code never reads, used only by the invariant checker — are
+/// marked as such; they mirror the paper's ghost_honorary_grey and
+/// handshake-counting ghost state (§3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_GCMODEL_GCDOMAIN_H
+#define TSOGC_GCMODEL_GCDOMAIN_H
+
+#include "gcmodel/GcTypes.h"
+#include "tso/MemoryState.h"
+
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tsogc {
+
+/// Requests (the α values of REQUEST commands).
+enum class ReqKind : uint8_t {
+  Read,         ///< TSO load of Loc.
+  Write,        ///< TSO store of Val to Loc.
+  Mfence,       ///< Blocks until the requester's buffer is drained.
+  Lock,         ///< Acquire the bus lock (start of a locked instruction).
+  Unlock,       ///< Release it; requires a drained buffer (commits the CAS).
+  Alloc,        ///< Atomic allocation at a free ref with mark AllocFlag.
+  Free,         ///< Atomic removal of Loc.R from the heap (sweep).
+  HeapSnapshot, ///< dom(heap), for the sweep loop.
+  HsInitiate,   ///< Collector sets the pending bit of mutator Mut.
+  HsPollAll,    ///< Collector polls: are all pending bits clear?
+  HsGetType,    ///< Mutator polls its own bit; also yields type and round.
+  HsComplete,   ///< Mutator clears its bit, transferring Refs into shared W.
+  TakeW,        ///< Collector drains the shared work-list into its own.
+};
+
+const char *reqKindName(ReqKind K);
+
+struct GcRequest {
+  ProcId From = 0;
+  ReqKind Kind = ReqKind::Read;
+  MemLoc Loc;
+  MemVal Val;
+  bool AllocFlag = false;          ///< Alloc: the requester's fA view.
+  uint8_t Mut = 0;                 ///< HsInitiate / HsGetType / HsComplete.
+  HsType Hs = HsType::Noop;        ///< HsInitiate.
+  HsRound Round = HsRound::None;   ///< HsInitiate (ghost).
+  std::vector<Ref> Refs;           ///< HsComplete: the transferred Wm.
+  /// TSO-handshake refinement: this Write is a handshake-request store;
+  /// update the round/pending ghosts in the same atomic step.
+  bool GhostHsInitiate = false;
+};
+
+/// Responses (the β values of RESPONSE commands).
+struct GcResponse {
+  MemVal Val;                      ///< Read result / Alloc result.
+  bool Flag = false;               ///< HsPollAll / HsGetType pending bit.
+  std::vector<Ref> Refs;           ///< TakeW / HeapSnapshot payload.
+  HsType Hs = HsType::Noop;        ///< HsGetType.
+  HsRound Round = HsRound::None;   ///< HsGetType (ghost).
+};
+
+/// Scratch registers for one activation of the mark procedure (Figure 5).
+/// Shared by the collector and the mutators.
+struct MarkScratch {
+  Ref Target;                ///< The ref argument of mark().
+  bool FlagRead = false;     ///< Result of the unsynchronized load (line 3).
+  bool Winner = false;       ///< CAS outcome (lines 7/11).
+  /// Ghost: set between the CAS's flag store and the work-list insertion
+  /// (Fig 5 lines 9 and 14). An object here is grey even though it is
+  /// not yet on any work-list.
+  Ref GhostHonoraryGrey;
+
+  bool operator==(const MarkScratch &O) const = default;
+  void encode(std::string &Out) const;
+};
+
+/// The collector's thread-local state (registers/stack of Figure 2).
+struct CollectorLocal {
+  // Authoritative copies of the control variables: the collector is their
+  // only writer, so its local values lead the TSO-visible ones.
+  bool FM = false;
+  bool FA = false;
+  GcPhase Phase = GcPhase::Idle;
+
+  std::set<Ref> W;              ///< The collector's work-list.
+  MarkScratch MS;
+
+  // Mark-loop scratch.
+  Ref Src;                      ///< Grey object being scanned.
+  uint8_t Fld = 0;              ///< Field cursor within Src.
+
+  // Sweep scratch.
+  std::vector<Ref> SweepRefs;   ///< refs := heap (Fig 2 line 38).
+  bool SweepFlagRead = false;
+
+  // Handshake scratch.
+  uint8_t HsMutIdx = 0;
+  bool HsAllDone = false;
+  // TSO-handshake refinement: round sequence number (mod 8) and the last
+  // acknowledgement word read while polling.
+  uint8_t HsSeq = 0;
+  uint8_t HsAckSeen = 0;
+
+  // Ghost: completed collection cycles.
+  uint32_t CycleCount = 0;
+
+  bool operator==(const CollectorLocal &O) const = default;
+  void encode(std::string &Out) const;
+};
+
+/// A mutator's thread-local state (Figure 6 plus handshake handling).
+struct MutatorLocal {
+  std::set<Ref> Roots;          ///< roots_m: stack and register contents.
+  std::set<Ref> WM;             ///< W_m: private work-list.
+
+  // Local copies of the control state, refreshed at each handshake (§2:
+  // handshakes ensure "an up-to-date view of the collector control state";
+  // between handshakes these may be stale).
+  bool FMLocal = false;
+  bool FALocal = false;
+  GcPhase PhaseLocal = GcPhase::Idle;
+
+  MarkScratch MS;
+
+  // Operation scratch (chosen nondeterministically at op start; the ops of
+  // Figure 6 contain no GC-safe points, so they run to completion before
+  // the next handshake poll).
+  Ref TmpSrc;
+  Ref TmpDst;
+  uint8_t TmpFld = 0;
+  /// The reference loaded by the deletion barrier; a root for reachability
+  /// purposes while the Store is in flight (§3.2).
+  Ref DeletedRef;
+
+  // Handshake scratch.
+  std::vector<Ref> RootMarkQueue; ///< Roots still to mark during GetRoots.
+  bool HsBitSet = false;          ///< Last polled value of the pending bit.
+  // TSO-handshake refinement: the request word read by the last poll and
+  // the last request word this mutator completed.
+  uint16_t HsReqWord = 0;
+  uint16_t HsLastHandled = 0;
+  HsType HsPendingType = HsType::Noop;
+  HsRound HsPendingRound = HsRound::None;
+
+  // Ghost: the last handshake round this mutator completed.
+  HsRound CompletedRound = HsRound::None;
+
+  bool operator==(const MutatorLocal &O) const = default;
+  void encode(std::string &Out) const;
+};
+
+/// The system process's data state: TSO memory (with the embedded heap),
+/// the handshake registers, and the shared work-list staging area.
+struct SysLocal {
+  MemoryState Mem;
+
+  std::set<Ref> SharedW;        ///< Work transferred, awaiting TakeW.
+  HsType CurType = HsType::Noop;
+  std::vector<bool> HsPending;  ///< One bit per mutator.
+
+  // Ghost: most recently initiated round.
+  HsRound CurRound = HsRound::None;
+
+  explicit SysLocal(const ModelConfig &Cfg)
+      : Mem(Cfg.NumMutators + 1, Cfg.numGlobals(), Cfg.NumRefs,
+            Cfg.NumFields, Cfg.BufferBound),
+        HsPending(Cfg.NumMutators, false) {}
+
+  bool operator==(const SysLocal &O) const = default;
+  void encode(std::string &Out) const;
+};
+
+/// The CIMP domain tying it together. Process layout: 0 = collector,
+/// 1..NumMutators = mutators, NumMutators+1 = system.
+struct GcDomain {
+  using LocalState = std::variant<CollectorLocal, MutatorLocal, SysLocal>;
+  using Request = GcRequest;
+  using Response = GcResponse;
+};
+
+using GcLocal = GcDomain::LocalState;
+
+/// Typed accessors over the variant (abort on kind mismatch).
+CollectorLocal &asCollector(GcLocal &L);
+const CollectorLocal &asCollector(const GcLocal &L);
+MutatorLocal &asMutator(GcLocal &L);
+const MutatorLocal &asMutator(const GcLocal &L);
+SysLocal &asSys(GcLocal &L);
+const SysLocal &asSys(const GcLocal &L);
+
+/// Canonical encoding of any local state (dispatches on the alternative).
+void encodeLocal(const GcLocal &L, std::string &Out);
+
+namespace detail {
+void encodeRefSet(const std::set<Ref> &S, std::string &Out);
+void encodeRefVec(const std::vector<Ref> &V, std::string &Out);
+} // namespace detail
+
+} // namespace tsogc
+
+#endif // TSOGC_GCMODEL_GCDOMAIN_H

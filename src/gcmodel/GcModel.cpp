@@ -1,0 +1,131 @@
+//===- gcmodel/GcModel.cpp -------------------------------------------------===//
+
+#include "gcmodel/GcModel.h"
+
+#include "gcmodel/Mutator.h"
+#include "gcmodel/SysProcess.h"
+#include "support/Assert.h"
+
+using namespace tsogc;
+
+GcModel::GcModel(ModelConfig C) : Cfg(C) {
+  TSOGC_CHECK(Cfg.NumMutators >= 1 && Cfg.NumMutators <= 8,
+              "model supports 1..8 mutators");
+  TSOGC_CHECK(Cfg.NumRefs >= 1, "need at least one reference");
+  TSOGC_CHECK(Cfg.NumFields >= 1, "need at least one field");
+
+  buildCollectorProgram(CollectorProg, Cfg);
+  for (unsigned I = 0; I < Cfg.NumMutators; ++I) {
+    MutatorProgs.push_back(std::make_unique<GcProg>());
+    buildMutatorProgram(*MutatorProgs.back(), Cfg, I);
+  }
+  buildSysProgram(SysProg, Cfg);
+
+  std::vector<const GcProg *> Progs;
+  Progs.push_back(&CollectorProg);
+  for (const auto &P : MutatorProgs)
+    Progs.push_back(P.get());
+  Progs.push_back(&SysProg);
+  Sys = std::make_unique<cimp::System<GcDomain>>(std::move(Progs));
+}
+
+GcSystemState GcModel::initial() const {
+  SysLocal S(Cfg);
+
+  // Build the initial heap; fM = fA = false, so "black" is flag == false.
+  // Roots shared by every mutator.
+  std::vector<Ref> InitRoots;
+  Heap &H = S.Mem.heap();
+  auto AllocBlack = [&H](uint16_t Idx) {
+    Ref R(Idx);
+    H.allocAt(R, /*Flag=*/false);
+    return R;
+  };
+  switch (Cfg.InitialHeap) {
+  case ModelConfig::InitHeap::Empty:
+    break;
+  case ModelConfig::InitHeap::SingleRoot:
+    InitRoots.push_back(AllocBlack(0));
+    break;
+  case ModelConfig::InitHeap::Chain: {
+    TSOGC_CHECK(Cfg.NumRefs >= 2, "Chain initial heap needs two refs");
+    Ref R0 = AllocBlack(0);
+    Ref R1 = AllocBlack(1);
+    H.setField(R0, 0, R1);
+    InitRoots.push_back(R0);
+    break;
+  }
+  case ModelConfig::InitHeap::SharedPair: {
+    TSOGC_CHECK(Cfg.NumRefs >= 2, "SharedPair initial heap needs two refs");
+    InitRoots.push_back(AllocBlack(0));
+    InitRoots.push_back(AllocBlack(1));
+    break;
+  }
+  }
+
+  std::vector<GcLocal> Locals;
+  Locals.emplace_back(CollectorLocal{});
+  for (unsigned I = 0; I < Cfg.NumMutators; ++I) {
+    MutatorLocal M;
+    M.Roots.insert(InitRoots.begin(), InitRoots.end());
+    Locals.emplace_back(std::move(M));
+  }
+  Locals.emplace_back(std::move(S));
+
+  return Sys->initialState(std::move(Locals));
+}
+
+std::string GcModel::encode(const GcSystemState &S) const {
+  std::string Out;
+  Out.reserve(256);
+  for (const auto &PS : S) {
+    Out.push_back(static_cast<char>(PS.Stack.size()));
+    for (cimp::CmdId Id : PS.Stack) {
+      Out.push_back(static_cast<char>(Id & 0xff));
+      Out.push_back(static_cast<char>((Id >> 8) & 0xff));
+    }
+    encodeLocal(PS.Local, Out);
+  }
+  return Out;
+}
+
+const CollectorLocal &GcModel::collector(const GcSystemState &S) {
+  return asCollector(S[CollectorPid].Local);
+}
+
+const MutatorLocal &GcModel::mutator(const GcSystemState &S,
+                                     unsigned Index) const {
+  TSOGC_CHECK(Index < Cfg.NumMutators, "mutator index out of range");
+  return asMutator(S[mutatorPid(Index)].Local);
+}
+
+const SysLocal &GcModel::sysState(const GcSystemState &S) const {
+  return asSys(S[sysPid(Cfg)].Local);
+}
+
+std::vector<std::string> GcModel::nextLabels(const GcSystemState &S,
+                                             unsigned P) const {
+  const GcProg &Prog = *static_cast<const GcProg *>(&Sys->program(P));
+  std::vector<cimp::PendingStep<GcDomain>> Heads;
+  cimp::normalize(Prog, S[P].Stack, S[P].Local, Heads);
+  std::vector<std::string> Out;
+  for (const auto &H : Heads)
+    Out.push_back(Prog.cmd(H.Head).Label);
+  return Out;
+}
+
+bool GcModel::atLabel(const GcSystemState &S, unsigned P,
+                      const std::string &Label) const {
+  for (const std::string &L : nextLabels(S, P))
+    if (L == Label)
+      return true;
+  return false;
+}
+
+std::string GcModel::procName(unsigned P) const {
+  if (P == CollectorPid)
+    return "gc";
+  if (P == sysPid(Cfg))
+    return "sys";
+  return format("mut%u", P - 1);
+}

@@ -1,0 +1,72 @@
+//===- gcmodel/GcModel.h - GC ∥ M1 ∥ … ∥ Mn ∥ Sys --------------------------===//
+///
+/// \file
+/// Assembles the full model of §3.1: the collector, any (finite) number of
+/// mutators, and the reactive system process encapsulating x86-TSO,
+/// allocation, and the handshake structure. Provides the initial state and
+/// the canonical state encoding used by the explorer's visited set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_GCMODEL_GCMODEL_H
+#define TSOGC_GCMODEL_GCMODEL_H
+
+#include "cimp/System.h"
+#include "gcmodel/Collector.h"
+#include "gcmodel/GcDomain.h"
+
+#include <memory>
+
+namespace tsogc {
+
+using GcSystemState = cimp::SystemState<GcDomain>;
+using GcSuccessor = cimp::Successor<GcDomain>;
+
+class GcModel {
+public:
+  explicit GcModel(ModelConfig Cfg);
+
+  GcModel(const GcModel &) = delete;
+  GcModel &operator=(const GcModel &) = delete;
+
+  const ModelConfig &config() const { return Cfg; }
+  const cimp::System<GcDomain> &system() const { return *Sys; }
+
+  /// The initial global state: collector at the top of its loop, mutators
+  /// in their op loops, memory holding the configured initial heap with
+  /// every object black and every local control-state copy in sync.
+  GcSystemState initial() const;
+
+  /// Canonical byte encoding of a global state (control stacks + data).
+  std::string encode(const GcSystemState &S) const;
+
+  /// Typed views into a global state.
+  static const CollectorLocal &collector(const GcSystemState &S);
+  const MutatorLocal &mutator(const GcSystemState &S, unsigned Index) const;
+  const SysLocal &sysState(const GcSystemState &S) const;
+
+  /// Process display name ("gc", "mut0", "sys").
+  std::string procName(unsigned P) const;
+
+  /// The labels of process \p P's next atomic commands in \p S (after
+  /// control-flow normalization) — the paper's "at p ℓ" predicate: process
+  /// P is *at* location ℓ iff ℓ appears here. Branching (Choice) can yield
+  /// several labels.
+  std::vector<std::string> nextLabels(const GcSystemState &S,
+                                      unsigned P) const;
+
+  /// True iff process \p P is at a location labelled \p Label.
+  bool atLabel(const GcSystemState &S, unsigned P,
+               const std::string &Label) const;
+
+private:
+  ModelConfig Cfg;
+  GcProg CollectorProg;
+  std::vector<std::unique_ptr<GcProg>> MutatorProgs;
+  GcProg SysProg;
+  std::unique_ptr<cimp::System<GcDomain>> Sys;
+};
+
+} // namespace tsogc
+
+#endif // TSOGC_GCMODEL_GCMODEL_H

@@ -1,0 +1,161 @@
+//===- gcmodel/GcTypes.h - Shared enums and configuration ----------------===//
+///
+/// \file
+/// Phases, handshake types/rounds, and the model configuration knobs. The
+/// collector has phases Idle, Init, Mark, Sweep (Figures 2 and 3); handshake
+/// rounds follow Figure 2's six per-cycle rounds (four no-ops bracketing the
+/// control-variable updates, one get-roots, and one-or-more get-work rounds
+/// for mark-loop termination).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_GCMODEL_GCTYPES_H
+#define TSOGC_GCMODEL_GCTYPES_H
+
+#include <cstdint>
+
+namespace tsogc {
+
+/// Collector control phase. Stored in TSO memory as a byte.
+enum class GcPhase : uint8_t { Idle = 0, Init = 1, Mark = 2, Sweep = 3 };
+
+const char *gcPhaseName(GcPhase P);
+
+/// The work a handshake requests from each mutator (§2, Figure 3).
+enum class HsType : uint8_t {
+  Noop = 0,     ///< Acknowledge a control-state change.
+  GetRoots = 1, ///< Mark own roots into the private work-list, transfer it.
+  GetWork = 2,  ///< Transfer the private work-list (mark-loop termination).
+};
+
+const char *hsTypeName(HsType T);
+
+/// Ghost state: which handshake round of the cycle. The paper's handshake
+/// phases (hp_Idle, hp_IdleInit, hp_InitMark, hp_IdleMarkSweep, §3.2)
+/// correspond to the windows between these rounds:
+///   hp_Idle          ≈ [H1Idle, H2FlipFM)   — also the pre-first-cycle None
+///   hp_IdleInit      ≈ [H2FlipFM, H3PhaseInit)
+///   hp_InitMark      ≈ [H3PhaseInit, H5GetRoots)   (spanning H4PhaseMark)
+///   hp_IdleMarkSweep ≈ [H5GetRoots, next cycle's H1Idle)
+enum class HsRound : uint8_t {
+  None = 0,    ///< Before the first handshake of the run.
+  H1Idle,      ///< Noop round during Idle (Fig 2 lines 3-4).
+  H2FlipFM,    ///< Noop round after the fM flip (lines 6-7).
+  H3PhaseInit, ///< Noop round after phase := Init (lines 9-10).
+  H4PhaseMark, ///< Noop round after phase := Mark, fA := fM (lines 13-14).
+  H5GetRoots,  ///< Root-marking round (lines 15-20).
+  H6GetWork,   ///< Mark-loop termination round (lines 31-34), repeats.
+};
+
+const char *hsRoundName(HsRound R);
+
+/// Indices of the shared control variables in TSO memory (§3.1: fA, fM and
+/// phase are all subject to TSO).
+inline constexpr uint8_t GVarFM = 0;
+inline constexpr uint8_t GVarFA = 1;
+inline constexpr uint8_t GVarPhase = 2;
+inline constexpr unsigned NumGcGlobals = 3;
+
+/// Atomicity-refined handshakes (§3.1 "we ignore the effects of TSO on the
+/// handshake state … straightforward to resolve during a later atomicity
+/// refinement step" — resolved here): per-mutator request and
+/// acknowledgement words living in TSO memory. The request word packs
+/// (sequence mod 8, round ghost, type); the ack word carries the sequence.
+inline constexpr uint8_t gvarHsReq(unsigned Mut) {
+  return static_cast<uint8_t>(NumGcGlobals + 2 * Mut);
+}
+inline constexpr uint8_t gvarHsAck(unsigned Mut) {
+  return static_cast<uint8_t>(NumGcGlobals + 2 * Mut + 1);
+}
+
+namespace hsword {
+inline constexpr uint16_t encode(uint8_t Seq, HsRound Round, HsType Type) {
+  return static_cast<uint16_t>(((Seq & 7u) << 6) |
+                               (static_cast<unsigned>(Round) << 3) |
+                               static_cast<unsigned>(Type));
+}
+inline constexpr uint8_t seqOf(uint16_t W) { return (W >> 6) & 7u; }
+inline constexpr HsRound roundOf(uint16_t W) {
+  return static_cast<HsRound>((W >> 3) & 7u);
+}
+inline constexpr HsType typeOf(uint16_t W) {
+  return static_cast<HsType>(W & 7u);
+}
+} // namespace hsword
+
+/// A finite model instance plus algorithm ablation switches.
+struct ModelConfig {
+  /// Number of mutator processes (the safety claim is for any number; the
+  /// explorer checks finite instances).
+  unsigned NumMutators = 1;
+  /// Size of the reference universe R.
+  unsigned NumRefs = 3;
+  /// Reference fields per object.
+  unsigned NumFields = 1;
+  /// Store-buffer capacity per hardware thread; 0 selects the
+  /// sequential-consistency ablation (writes commit immediately).
+  unsigned BufferBound = 2;
+
+  /// Ablations. The verified algorithm has both barriers enabled; turning
+  /// one off lets the explorer find the safety counterexamples that justify
+  /// them (Figure 1 for deletion, §2 "On-the-Fly" for insertion).
+  bool DeletionBarrier = true;
+  bool InsertionBarrier = true;
+
+  /// Enumerate every free slot on allocation (the paper's "arbitrary free
+  /// reference"). Off by default: slot choice is symmetric, and the
+  /// deterministic lowest-free-slot rule keeps exhaustive runs tractable.
+  bool AllocNondet = false;
+
+  /// §4 "Observations", conjecture 1: "two of the initialization
+  /// handshakes can be removed on x86-TSO". When set, the collector runs
+  /// H1 (idle), then flips fM *and* sets phase := Init under a single
+  /// no-op round (H3), then sets phase := Mark and fA := fM acknowledged
+  /// directly by the root-marking round — the H2 and H4 rounds disappear.
+  /// The exhaustive checker validates the conjecture on finite instances.
+  bool MergedInitHandshakes = false;
+
+  /// §4 "Observations", conjecture 2: elide the insertion barrier once the
+  /// mutator's own roots have been marked (it is needed only "while the
+  /// snapshot is being constructed"), in exchange for an extra branch in
+  /// the store barrier.
+  bool InsertionBarrierElideAfterRoots = false;
+
+  /// Atomicity refinement of the handshake mechanism: request and ack
+  /// words become ordinary TSO memory cells (buffered stores, plain
+  /// loads), instead of registers inside the system process. Work-list
+  /// transfer stays a system action (the paper keeps work-lists out of TSO
+  /// by the disjointness argument). The refined protocol is checked
+  /// exhaustively in tests/refined_handshake_test.cpp.
+  bool TsoHandshakes = false;
+
+  /// Number of TSO global variables for this configuration.
+  unsigned numGlobals() const {
+    return TsoHandshakes ? NumGcGlobals + 2 * NumMutators : NumGcGlobals;
+  }
+
+  /// Which Figure 6 operations the mutators may perform. Narrowing the mix
+  /// focuses exhaustive runs on particular interference patterns.
+  bool MutatorLoad = true;
+  bool MutatorStore = true;
+  bool MutatorAlloc = true;
+  bool MutatorDiscard = true;
+  /// Allow spontaneous mutator MFENCE steps (adds no behaviours beyond the
+  /// nondeterministic commit steps; off by default).
+  bool MutatorMfence = false;
+
+  /// Initial heap shapes (all objects start black: flag == fM == fA).
+  enum class InitHeap : uint8_t {
+    Empty,      ///< No objects; mutators must allocate.
+    SingleRoot, ///< One object, rooted by every mutator.
+    Chain,      ///< r0 -> r1 via field 0; every mutator roots r0 only.
+    SharedPair, ///< r0, r1 both rooted by every mutator, no edges.
+  };
+  InitHeap InitialHeap = InitHeap::Chain;
+
+  unsigned numProcs() const { return NumMutators + 2; }
+};
+
+} // namespace tsogc
+
+#endif // TSOGC_GCMODEL_GCTYPES_H

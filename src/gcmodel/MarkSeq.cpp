@@ -1,0 +1,136 @@
+//===- gcmodel/MarkSeq.cpp -------------------------------------------------===//
+
+#include "gcmodel/MarkSeq.h"
+
+using namespace tsogc;
+using cimp::CmdId;
+
+CmdId tsogc::reqSimple(GcProg &Prog, ProcId Self, ReqKind Kind,
+                       std::string Label) {
+  return Prog.requestIgnore(std::move(Label), [Self, Kind](const GcLocal &) {
+    GcRequest Req;
+    Req.From = Self;
+    Req.Kind = Kind;
+    return Req;
+  });
+}
+
+CmdId tsogc::reqWrite(GcProg &Prog, ProcId Self, std::string Label,
+                      std::function<MemLoc(const GcLocal &)> Loc,
+                      std::function<MemVal(const GcLocal &)> Val,
+                      std::function<void(GcLocal &)> After) {
+  return Prog.request(
+      std::move(Label),
+      [Self, Loc, Val](const GcLocal &L) {
+        GcRequest Req;
+        Req.From = Self;
+        Req.Kind = ReqKind::Write;
+        Req.Loc = Loc(L);
+        Req.Val = Val(L);
+        return Req;
+      },
+      [After](const GcLocal &L, const GcResponse &, std::vector<GcLocal> &Out) {
+        GcLocal Next = L;
+        if (After)
+          After(Next);
+        Out.push_back(std::move(Next));
+      });
+}
+
+CmdId tsogc::reqRead(GcProg &Prog, ProcId Self, std::string Label,
+                     std::function<MemLoc(const GcLocal &)> Loc,
+                     std::function<void(GcLocal &, MemVal)> Apply) {
+  return Prog.request(
+      std::move(Label),
+      [Self, Loc](const GcLocal &L) {
+        GcRequest Req;
+        Req.From = Self;
+        Req.Kind = ReqKind::Read;
+        Req.Loc = Loc(L);
+        return Req;
+      },
+      [Apply](const GcLocal &L, const GcResponse &Rsp,
+              std::vector<GcLocal> &Out) {
+        GcLocal Next = L;
+        Apply(Next, Rsp.Val);
+        Out.push_back(std::move(Next));
+      });
+}
+
+CmdId tsogc::buildMarkSeq(GcProg &Prog, const MarkAccess &A, std::string Tag) {
+  auto TargetLoc = [A](const GcLocal &L) {
+    return MemLoc::objFlag(A.MSC(L).Target);
+  };
+
+  // Lines 2-3: the unsynchronized flag load. "expected := not fM" (line 2)
+  // needs no register of its own: the local fM copy cannot change during a
+  // mutator operation (operations are free of GC-safe points) nor during
+  // the collector's marking, so guards compute it on demand.
+  CmdId LoadFlag = reqRead(Prog, A.Self, Tag + ":mark-load-flag", TargetLoc,
+                           [A](GcLocal &L, MemVal V) {
+                             MarkScratch &MS = A.MS(L);
+                             MS.FlagRead = V.asBool();
+                             MS.Winner = false;
+                           });
+
+  // Lines 5-11: the locked CMPXCHG, spelled out as in the x86-TSO model:
+  // LOCK; re-read; conditional store (+ ghost honorary grey); UNLOCK.
+  CmdId Lock = reqSimple(Prog, A.Self, ReqKind::Lock, Tag + ":mark-cas-lock");
+  CmdId ReRead =
+      reqRead(Prog, A.Self, Tag + ":mark-cas-read", TargetLoc,
+              [A](GcLocal &L, MemVal V) { A.MS(L).FlagRead = V.asBool(); });
+  CmdId StoreFlag = reqWrite(
+      Prog, A.Self, Tag + ":mark-cas-store", TargetLoc,
+      [A](const GcLocal &L) { return MemVal::fromBool(A.FM(L)); },
+      [A](GcLocal &L) {
+        MarkScratch &MS = A.MS(L);
+        MS.Winner = true;
+        MS.GhostHonoraryGrey = MS.Target; // Fig 5 line 9.
+      });
+  CmdId Lose = Prog.localDet(Tag + ":mark-cas-lose",
+                             [A](GcLocal &L) { A.MS(L).Winner = false; });
+  CmdId CasBody = Prog.ifThenElse(
+      [A](const GcLocal &L) {
+        return A.MSC(L).FlagRead == !A.FM(L); // We win (line 6).
+      },
+      StoreFlag, Lose);
+  CmdId Unlock =
+      reqSimple(Prog, A.Self, ReqKind::Unlock, Tag + ":mark-cas-unlock");
+
+  // Lines 12-14: the winner, and only the winner, publishes the grey.
+  CmdId Publish = Prog.ifThen(
+      [A](const GcLocal &L) { return A.MSC(L).Winner; },
+      Prog.localDet(Tag + ":mark-publish", [A](GcLocal &L) {
+        MarkScratch &MS = A.MS(L);
+        A.PushWork(L, MS.Target);
+        MS.GhostHonoraryGrey = Ref::null(); // Fig 5 line 14.
+      }));
+
+  CmdId Cas = Prog.seq({Lock, ReRead, CasBody, Unlock, Publish});
+
+  // Line 4: attempt the CAS only when the collector is active (as seen
+  // through this process's possibly-stale local view).
+  CmdId GuardedCas = Prog.ifThen(A.Enabled, Cas);
+
+  // Line 3: attempt anything only if the plain load saw "unmarked".
+  CmdId SlowPath = Prog.ifThen(
+      [A](const GcLocal &L) { return A.MSC(L).FlagRead == !A.FM(L); },
+      GuardedCas);
+
+  // The scratch registers are live only for the duration of the procedure;
+  // the invariant checker treats the target as a root and the visited set
+  // would otherwise split states on dead values, so reset them on exit.
+  CmdId Done = Prog.localDet(Tag + ":mark-done", [A](GcLocal &L) {
+    MarkScratch &MS = A.MS(L);
+    TSOGC_CHECK(MS.GhostHonoraryGrey.isNull(),
+                "honorary grey still set when mark finished");
+    MS = MarkScratch();
+  });
+
+  CmdId Body = Prog.seq({LoadFlag, SlowPath, Done});
+
+  // mark(NULL) is a no-op (field loads and deletion-barrier reads can
+  // yield null).
+  return Prog.ifThen(
+      [A](const GcLocal &L) { return !A.MSC(L).Target.isNull(); }, Body);
+}

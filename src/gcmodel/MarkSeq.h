@@ -1,0 +1,71 @@
+//===- gcmodel/MarkSeq.h - The mark procedure (Figure 5) and req builders -===//
+///
+/// \file
+/// One builder for the mark(ref, w) procedure shared by the collector's
+/// marking loop, the mutators' write barriers, and root marking — exactly as
+/// Figure 5 is shared in the paper. Also the small request-command builders
+/// (TSO read/write/fence/lock) used by both thread programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_GCMODEL_MARKSEQ_H
+#define TSOGC_GCMODEL_MARKSEQ_H
+
+#include "cimp/Cimp.h"
+#include "gcmodel/GcDomain.h"
+
+#include <functional>
+
+namespace tsogc {
+
+using GcProg = cimp::Program<GcDomain>;
+
+/// Fence/lock/unlock request (no payload, void response).
+cimp::CmdId reqSimple(GcProg &Prog, ProcId Self, ReqKind Kind,
+                      std::string Label);
+
+/// TSO store: location and value computed from the local state at issue
+/// time; \p After (optional) runs on the local state in the same atomic
+/// step (used to set ghost state "simultaneously" with the store).
+cimp::CmdId reqWrite(GcProg &Prog, ProcId Self, std::string Label,
+                     std::function<MemLoc(const GcLocal &)> Loc,
+                     std::function<MemVal(const GcLocal &)> Val,
+                     std::function<void(GcLocal &)> After = nullptr);
+
+/// TSO load: \p Apply folds the returned value into the local state.
+cimp::CmdId reqRead(GcProg &Prog, ProcId Self, std::string Label,
+                    std::function<MemLoc(const GcLocal &)> Loc,
+                    std::function<void(GcLocal &, MemVal)> Apply);
+
+/// How the mark procedure accesses the enclosing process's state. The
+/// target reference must be placed in the MarkScratch before entry.
+struct MarkAccess {
+  ProcId Self = 0;
+  /// The scratch registers of Figure 5.
+  std::function<MarkScratch &(GcLocal &)> MS;
+  std::function<const MarkScratch &(const GcLocal &)> MSC;
+  /// The process's local copy of fM (authoritative for the collector).
+  std::function<bool(const GcLocal &)> FM;
+  /// Fig 5 line 4: "if phase != Idle", evaluated on the process's local
+  /// view of phase. Constantly true for the collector's mark loop.
+  std::function<bool(const GcLocal &)> Enabled;
+  /// Insert a won reference into the process's work-list (W or W_m).
+  std::function<void(GcLocal &, Ref)> PushWork;
+};
+
+/// Build mark(MS.Target, w):
+///   expected := not fM;                        (line 2)
+///   if flag(target) = expected                 (plain TSO load, line 3)
+///     if phase != Idle                         (line 4)
+///       LOCK; re-read flag;                    (lines 5-6)
+///       if still expected: flag := fM, ghost_honorary_grey := target,
+///                          winner := true      (lines 7-9)
+///       else winner := false;                  (lines 10-11)
+///       UNLOCK                                 (flushes the CAS store)
+///       if winner: w := w ∪ {target}, ghost := null   (lines 12-14)
+/// A null target is a no-op.
+cimp::CmdId buildMarkSeq(GcProg &Prog, const MarkAccess &A, std::string Tag);
+
+} // namespace tsogc
+
+#endif // TSOGC_GCMODEL_MARKSEQ_H

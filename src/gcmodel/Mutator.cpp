@@ -1,0 +1,360 @@
+//===- gcmodel/Mutator.cpp -------------------------------------------------===//
+
+#include "gcmodel/Mutator.h"
+
+#include "gcmodel/Collector.h"
+
+using namespace tsogc;
+using cimp::CmdId;
+
+namespace {
+
+/// Mutator-side view for the shared mark procedure: the local (possibly
+/// stale) fM copy, the barrier gate "phase != Idle" on the local phase view,
+/// and the private work-list W_m.
+MarkAccess mutatorMarkAccess(ProcId Self) {
+  MarkAccess A;
+  A.Self = Self;
+  A.MS = [](GcLocal &L) -> MarkScratch & { return asMutator(L).MS; };
+  A.MSC = [](const GcLocal &L) -> const MarkScratch & {
+    return asMutator(L).MS;
+  };
+  A.FM = [](const GcLocal &L) { return asMutator(L).FMLocal; };
+  A.Enabled = [](const GcLocal &L) {
+    return asMutator(L).PhaseLocal != GcPhase::Idle;
+  };
+  A.PushWork = [](GcLocal &L, Ref R) { asMutator(L).WM.insert(R); };
+  return A;
+}
+
+/// Load(src ∈ roots, fld): roots := roots ∪ {src.fld}.
+CmdId buildLoad(GcProg &Prog, const ModelConfig &Cfg, ProcId Self) {
+  CmdId Choose = Prog.localOp(
+      "mut:choose-load",
+      [NF = Cfg.NumFields](const GcLocal &L, std::vector<GcLocal> &Out) {
+        const MutatorLocal &M = asMutator(L);
+        for (Ref Src : M.Roots)
+          for (unsigned F = 0; F < NF; ++F) {
+            GcLocal Next = L;
+            MutatorLocal &N = asMutator(Next);
+            N.TmpSrc = Src;
+            N.TmpFld = static_cast<uint8_t>(F);
+            Out.push_back(std::move(Next));
+          }
+      });
+  CmdId DoLoad = reqRead(
+      Prog, Self, "mut:load",
+      [](const GcLocal &L) {
+        const MutatorLocal &M = asMutator(L);
+        return MemLoc::objField(M.TmpSrc, M.TmpFld);
+      },
+      [](GcLocal &L, MemVal V) {
+        MutatorLocal &M = asMutator(L);
+        Ref R = V.asRef();
+        if (!R.isNull())
+          M.Roots.insert(R);
+        // Release the dead argument registers so the visited set does not
+        // split states on them.
+        M.TmpSrc = Ref::null();
+        M.TmpFld = 0;
+      });
+  return Prog.seq({Choose, DoLoad});
+}
+
+/// Store(dst ∈ roots, src ∈ roots, fld): deletion barrier on the old value
+/// of src.fld, insertion barrier on dst, then the TSO store src.fld := dst.
+CmdId buildStore(GcProg &Prog, const ModelConfig &Cfg, ProcId Self) {
+  MarkAccess A = mutatorMarkAccess(Self);
+
+  CmdId Choose = Prog.localOp(
+      "mut:choose-store",
+      [NF = Cfg.NumFields](const GcLocal &L, std::vector<GcLocal> &Out) {
+        const MutatorLocal &M = asMutator(L);
+        for (Ref Dst : M.Roots)
+          for (Ref Src : M.Roots)
+            for (unsigned F = 0; F < NF; ++F) {
+              GcLocal Next = L;
+              MutatorLocal &N = asMutator(Next);
+              N.TmpDst = Dst;
+              N.TmpSrc = Src;
+              N.TmpFld = static_cast<uint8_t>(F);
+              Out.push_back(std::move(Next));
+            }
+      });
+
+  std::vector<CmdId> Seq{Choose};
+
+  if (Cfg.DeletionBarrier) {
+    // mark(src.fld, W_m): read the present field value (which may not be
+    // the value actually overwritten — §3.2 "Marking"), hold it as a ghost
+    // root for the duration, and mark it.
+    CmdId ReadOld = reqRead(
+        Prog, Self, "mut:del-barrier-read",
+        [](const GcLocal &L) {
+          const MutatorLocal &M = asMutator(L);
+          return MemLoc::objField(M.TmpSrc, M.TmpFld);
+        },
+        [](GcLocal &L, MemVal V) {
+          MutatorLocal &M = asMutator(L);
+          M.DeletedRef = V.asRef();
+          M.MS.Target = V.asRef();
+        });
+    Seq.push_back(ReadOld);
+    Seq.push_back(buildMarkSeq(Prog, A, "mut:del"));
+  }
+
+  if (Cfg.InsertionBarrier) {
+    // mark(dst, W_m).
+    CmdId SetTarget = Prog.localDet("mut:ins-barrier-target", [](GcLocal &L) {
+      MutatorLocal &M = asMutator(L);
+      M.MS.Target = M.TmpDst;
+    });
+    Seq.push_back(SetTarget);
+    MarkAccess InsA = A;
+    if (Cfg.InsertionBarrierElideAfterRoots) {
+      // §4 conjecture 2: the extra branch — skip the insertion CAS once
+      // this mutator's roots have been marked this cycle.
+      InsA.Enabled = [](const GcLocal &L) {
+        const MutatorLocal &M = asMutator(L);
+        return M.PhaseLocal != GcPhase::Idle &&
+               M.CompletedRound != HsRound::H5GetRoots &&
+               M.CompletedRound != HsRound::H6GetWork;
+      };
+    }
+    Seq.push_back(buildMarkSeq(Prog, InsA, "mut:ins"));
+  }
+
+  // src.fld := dst. The pending write's value is a TSO-buffer root until it
+  // commits; the deletion-barrier ghost root is released here.
+  CmdId DoStore = reqWrite(
+      Prog, Self, "mut:store",
+      [](const GcLocal &L) {
+        const MutatorLocal &M = asMutator(L);
+        return MemLoc::objField(M.TmpSrc, M.TmpFld);
+      },
+      [](const GcLocal &L) { return MemVal::fromRef(asMutator(L).TmpDst); },
+      [](GcLocal &L) {
+        MutatorLocal &M = asMutator(L);
+        M.DeletedRef = Ref::null();
+        M.TmpSrc = Ref::null();
+        M.TmpDst = Ref::null();
+        M.TmpFld = 0;
+      });
+  Seq.push_back(DoStore);
+
+  return Prog.seq(std::move(Seq));
+}
+
+/// Alloc: an atomic system action; the new object is marked with the
+/// mutator's local view of fA and becomes a root.
+CmdId buildAlloc(GcProg &Prog, ProcId Self) {
+  return Prog.request(
+      "mut:alloc",
+      [Self](const GcLocal &L) {
+        GcRequest Req;
+        Req.From = Self;
+        Req.Kind = ReqKind::Alloc;
+        Req.AllocFlag = asMutator(L).FALocal;
+        return Req;
+      },
+      [](const GcLocal &L, const GcResponse &Rsp, std::vector<GcLocal> &Out) {
+        GcLocal Next = L;
+        Ref R = Rsp.Val.asRef();
+        if (!R.isNull())
+          asMutator(Next).Roots.insert(R);
+        Out.push_back(std::move(Next));
+      });
+}
+
+/// Discard(ref ∈ roots): roots := roots \ {ref}.
+CmdId buildDiscard(GcProg &Prog) {
+  return Prog.localOp(
+      "mut:discard", [](const GcLocal &L, std::vector<GcLocal> &Out) {
+        const MutatorLocal &M = asMutator(L);
+        for (Ref R : M.Roots) {
+          GcLocal Next = L;
+          asMutator(Next).Roots.erase(R);
+          Out.push_back(std::move(Next));
+        }
+      });
+}
+
+/// Shared handler tail across both handshake encodings: refresh the
+/// control-state views, mark roots when requested, store-fence, and
+/// complete (transfer the private work-list and update the ghosts).
+CmdId buildHandshakeWork(GcProg &Prog, ProcId Self, unsigned Index) {
+  MarkAccess A = mutatorMarkAccess(Self);
+
+  CmdId FenceAccept =
+      reqSimple(Prog, Self, ReqKind::Mfence, "mut:hs-fence-accept");
+
+  auto ReadCtrl = [&](const char *Label, uint8_t Var,
+                      std::function<void(MutatorLocal &, MemVal)> Apply) {
+    return reqRead(
+        Prog, Self, Label,
+        [Var](const GcLocal &) { return MemLoc::globalVar(Var); },
+        [Apply](GcLocal &L, MemVal V) { Apply(asMutator(L), V); });
+  };
+  CmdId ReadFM = ReadCtrl("mut:hs-read-fM", GVarFM,
+                          [](MutatorLocal &M, MemVal V) {
+                            M.FMLocal = V.asBool();
+                          });
+  CmdId ReadFA = ReadCtrl("mut:hs-read-fA", GVarFA,
+                          [](MutatorLocal &M, MemVal V) {
+                            M.FALocal = V.asBool();
+                          });
+  CmdId ReadPhase = ReadCtrl("mut:hs-read-phase", GVarPhase,
+                             [](MutatorLocal &M, MemVal V) {
+                               M.PhaseLocal = static_cast<GcPhase>(V.asByte());
+                             });
+
+  CmdId SnapRoots = Prog.localDet("mut:hs-snap-roots", [](GcLocal &L) {
+    MutatorLocal &M = asMutator(L);
+    M.RootMarkQueue.assign(M.Roots.begin(), M.Roots.end());
+  });
+  CmdId TakeNext = Prog.localDet("mut:hs-next-root", [](GcLocal &L) {
+    MutatorLocal &M = asMutator(L);
+    M.MS.Target = M.RootMarkQueue.back();
+    M.RootMarkQueue.pop_back();
+  });
+  CmdId MarkRoot = buildMarkSeq(Prog, A, "mut:root");
+  CmdId MarkAllRoots = Prog.whileLoop(
+      [](const GcLocal &L) { return !asMutator(L).RootMarkQueue.empty(); },
+      Prog.seq({TakeNext, MarkRoot}));
+  CmdId RootsWork = Prog.ifThen(
+      [](const GcLocal &L) {
+        return asMutator(L).HsPendingType == HsType::GetRoots;
+      },
+      Prog.seq({SnapRoots, MarkAllRoots}));
+
+  CmdId FenceFinish =
+      reqSimple(Prog, Self, ReqKind::Mfence, "mut:hs-fence-finish");
+
+  CmdId Complete = Prog.request(
+      "mut:hs-complete",
+      [Self, Index](const GcLocal &L) {
+        const MutatorLocal &M = asMutator(L);
+        GcRequest Req;
+        Req.From = Self;
+        Req.Kind = ReqKind::HsComplete;
+        Req.Mut = static_cast<uint8_t>(Index);
+        if (M.HsPendingType != HsType::Noop)
+          Req.Refs.assign(M.WM.begin(), M.WM.end());
+        return Req;
+      },
+      [](const GcLocal &L, const GcResponse &, std::vector<GcLocal> &Out) {
+        GcLocal Next = L;
+        MutatorLocal &M = asMutator(Next);
+        if (M.HsPendingType != HsType::Noop)
+          M.WM.clear();
+        M.CompletedRound = M.HsPendingRound; // ghost
+        M.HsBitSet = false;
+        M.HsPendingType = HsType::Noop;
+        M.HsPendingRound = HsRound::None;
+        Out.push_back(std::move(Next));
+      });
+
+  return Prog.seq({FenceAccept, ReadFM, ReadFA, ReadPhase, RootsWork,
+                   FenceFinish, Complete});
+}
+
+/// TSO-refined poll (§3.1's atomicity refinement): read the request word
+/// from TSO memory; on a fresh word, run the handler, then store the ack
+/// word — an ordinary buffered TSO store the collector observes once it
+/// commits.
+CmdId buildTsoHandshakePoll(GcProg &Prog, ProcId Self, unsigned Index) {
+  CmdId Poll = reqRead(
+      Prog, Self, "mut:hs-poll",
+      [Index](const GcLocal &) {
+        return MemLoc::globalVar(gvarHsReq(Index));
+      },
+      [](GcLocal &L, MemVal V) {
+        MutatorLocal &M = asMutator(L);
+        M.HsReqWord = V.Raw;
+        if (M.HsReqWord != M.HsLastHandled) {
+          M.HsBitSet = true;
+          M.HsPendingType = hsword::typeOf(M.HsReqWord);
+          M.HsPendingRound = hsword::roundOf(M.HsReqWord);
+        } else {
+          M.HsBitSet = false;
+        }
+      });
+
+  CmdId Work = buildHandshakeWork(Prog, Self, Index);
+
+  CmdId Ack = reqWrite(
+      Prog, Self, "mut:hs-store-ack",
+      [Index](const GcLocal &) {
+        return MemLoc::globalVar(gvarHsAck(Index));
+      },
+      [](const GcLocal &L) {
+        return MemVal{
+            static_cast<uint16_t>(hsword::seqOf(asMutator(L).HsReqWord))};
+      },
+      [](GcLocal &L) {
+        MutatorLocal &M = asMutator(L);
+        M.HsLastHandled = M.HsReqWord;
+      });
+
+  return Prog.seq({Poll, Prog.ifThen([](const GcLocal &L) {
+                     return asMutator(L).HsBitSet;
+                   },
+                                      Prog.seq({Work, Ack}))});
+}
+
+/// The mutator side of a soft handshake: poll the pending bit; when set,
+/// load-fence, refresh the local control-state copies, perform the
+/// requested work (mark own roots for get-roots), store-fence, and complete
+/// by transferring the private work-list (for get-roots/get-work).
+CmdId buildHandshakePoll(GcProg &Prog, ProcId Self, unsigned Index) {
+  CmdId Poll = Prog.request(
+      "mut:hs-poll",
+      [Self, Index](const GcLocal &) {
+        GcRequest Req;
+        Req.From = Self;
+        Req.Kind = ReqKind::HsGetType;
+        Req.Mut = static_cast<uint8_t>(Index);
+        return Req;
+      },
+      [](const GcLocal &L, const GcResponse &Rsp, std::vector<GcLocal> &Out) {
+        GcLocal Next = L;
+        MutatorLocal &M = asMutator(Next);
+        M.HsBitSet = Rsp.Flag;
+        // Latch the request only when the bit is set; otherwise the stale
+        // type/round would needlessly distinguish states.
+        M.HsPendingType = Rsp.Flag ? Rsp.Hs : HsType::Noop;
+        M.HsPendingRound = Rsp.Flag ? Rsp.Round : HsRound::None;
+        Out.push_back(std::move(Next));
+      });
+
+  CmdId Handle = buildHandshakeWork(Prog, Self, Index);
+
+  return Prog.seq({Poll, Prog.ifThen([](const GcLocal &L) {
+                     return asMutator(L).HsBitSet;
+                   },
+                                      Handle)});
+}
+
+} // namespace
+
+void tsogc::buildMutatorProgram(GcProg &Prog, const ModelConfig &Cfg,
+                                unsigned Index) {
+  const ProcId Self = mutatorPid(Index);
+
+  std::vector<CmdId> Alts;
+  Alts.push_back(Cfg.TsoHandshakes
+                     ? buildTsoHandshakePoll(Prog, Self, Index)
+                     : buildHandshakePoll(Prog, Self, Index));
+  if (Cfg.MutatorLoad)
+    Alts.push_back(buildLoad(Prog, Cfg, Self));
+  if (Cfg.MutatorStore)
+    Alts.push_back(buildStore(Prog, Cfg, Self));
+  if (Cfg.MutatorAlloc)
+    Alts.push_back(buildAlloc(Prog, Self));
+  if (Cfg.MutatorDiscard)
+    Alts.push_back(buildDiscard(Prog));
+  if (Cfg.MutatorMfence)
+    Alts.push_back(reqSimple(Prog, Self, ReqKind::Mfence, "mut:mfence"));
+
+  Prog.setEntry(Prog.loop(Prog.choice(std::move(Alts))));
+}

@@ -1,0 +1,25 @@
+//===- gcmodel/Mutator.h - The mutator process (Figure 6) -----------------===//
+///
+/// \file
+/// Builds a mutator's CIMP program: a maximally nondeterministic choice
+/// among Load, Store (with both write barriers), Alloc, Discard, an optional
+/// MFENCE, and the mutator side of the soft handshakes. Every client of the
+/// collector is intended to be a refinement of this process (§3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_GCMODEL_MUTATOR_H
+#define TSOGC_GCMODEL_MUTATOR_H
+
+#include "gcmodel/MarkSeq.h"
+
+namespace tsogc {
+
+/// Construct the program of mutator \p Index (0-based; pid = Index + 1)
+/// into \p Prog and set its entry point.
+void buildMutatorProgram(GcProg &Prog, const ModelConfig &Cfg,
+                         unsigned Index);
+
+} // namespace tsogc
+
+#endif // TSOGC_GCMODEL_MUTATOR_H

@@ -1,0 +1,197 @@
+//===- gcmodel/SysProcess.cpp ----------------------------------------------===//
+
+#include "gcmodel/SysProcess.h"
+
+#include "support/Assert.h"
+
+using namespace tsogc;
+using cimp::Program;
+
+namespace {
+
+void emit(std::vector<std::pair<GcLocal, GcResponse>> &Out, SysLocal S,
+          GcResponse R = GcResponse()) {
+  Out.emplace_back(GcLocal(std::move(S)), std::move(R));
+}
+
+} // namespace
+
+void tsogc::respondSys(const ModelConfig &Cfg, const GcRequest &Req,
+                       const SysLocal &S,
+                       std::vector<std::pair<GcLocal, GcResponse>> &Out) {
+  const ProcId P = Req.From;
+  switch (Req.Kind) {
+  case ReqKind::Read: {
+    if (S.Mem.isBlocked(P))
+      return;
+    GcResponse R;
+    R.Val = S.Mem.read(P, Req.Loc);
+    emit(Out, S, std::move(R));
+    return;
+  }
+  case ReqKind::Write: {
+    if (S.Mem.isBlocked(P) || S.Mem.bufferFull(P))
+      return;
+    SysLocal Next = S;
+    Next.Mem.write(P, Req.Loc, Req.Val);
+    if (Req.GhostHsInitiate) {
+      // TSO-handshake refinement: the request store doubles as the ghost
+      // round advance (the bit is "pending" from the instant of issue).
+      TSOGC_CHECK(Req.Mut < Next.HsPending.size(),
+                  "handshake target out of range");
+      Next.HsPending[Req.Mut] = true;
+      Next.CurType = Req.Hs;
+      Next.CurRound = Req.Round;
+    }
+    emit(Out, std::move(Next));
+    return;
+  }
+  case ReqKind::Mfence:
+    // MFENCE completes only once the issuing thread's buffer has drained;
+    // the request stays blocked until commit steps empty it.
+    if (S.Mem.isBlocked(P) || !S.Mem.canFence(P))
+      return;
+    emit(Out, S);
+    return;
+  case ReqKind::Lock:
+    if (S.Mem.lockOwner() != MemoryState::NoOwner)
+      return;
+    {
+      SysLocal Next = S;
+      Next.Mem.acquireLock(P);
+      emit(Out, std::move(Next));
+    }
+    return;
+  case ReqKind::Unlock:
+    // Unlock requires a drained buffer: this is what makes the locked
+    // CMPXCHG's store globally visible before the instruction retires.
+    if (!S.Mem.lockHeldBy(P) || !S.Mem.bufferEmpty(P))
+      return;
+    {
+      SysLocal Next = S;
+      Next.Mem.releaseLock(P);
+      emit(Out, std::move(Next));
+    }
+    return;
+  case ReqKind::Alloc: {
+    if (S.Mem.isBlocked(P))
+      return;
+    std::vector<Ref> Slots;
+    if (Cfg.AllocNondet) {
+      Slots = S.Mem.heap().freeRefs();
+    } else {
+      Ref Slot = S.Mem.heap().firstFreeRef();
+      if (!Slot.isNull())
+        Slots.push_back(Slot);
+    }
+    if (Slots.empty()) {
+      // Heap full: respond with null rather than blocking, so a full heap
+      // cannot deadlock the handshake protocol.
+      GcResponse R;
+      R.Val = MemVal::fromRef(Ref::null());
+      emit(Out, S, std::move(R));
+      return;
+    }
+    for (Ref Slot : Slots) {
+      SysLocal Next = S;
+      Next.Mem.heap().allocAt(Slot, Req.AllocFlag);
+      GcResponse R;
+      R.Val = MemVal::fromRef(Slot);
+      emit(Out, std::move(Next), std::move(R));
+    }
+    return;
+  }
+  case ReqKind::Free: {
+    if (S.Mem.isBlocked(P))
+      return;
+    TSOGC_CHECK(S.Mem.heap().isValid(Req.Loc.R),
+                "sweep freed a reference twice");
+    SysLocal Next = S;
+    Next.Mem.heap().free(Req.Loc.R);
+    emit(Out, std::move(Next));
+    return;
+  }
+  case ReqKind::HeapSnapshot: {
+    GcResponse R;
+    R.Refs = S.Mem.heap().allocatedRefs();
+    emit(Out, S, std::move(R));
+    return;
+  }
+  case ReqKind::HsInitiate: {
+    TSOGC_CHECK(Req.Mut < S.HsPending.size(), "handshake target out of range");
+    TSOGC_CHECK(!S.HsPending[Req.Mut],
+                "handshake initiated while still pending");
+    SysLocal Next = S;
+    Next.HsPending[Req.Mut] = true;
+    Next.CurType = Req.Hs;
+    Next.CurRound = Req.Round;
+    emit(Out, std::move(Next));
+    return;
+  }
+  case ReqKind::HsPollAll: {
+    GcResponse R;
+    R.Flag = true;
+    for (bool B : S.HsPending)
+      if (B)
+        R.Flag = false;
+    emit(Out, S, std::move(R));
+    return;
+  }
+  case ReqKind::HsGetType: {
+    TSOGC_CHECK(Req.Mut < S.HsPending.size(), "handshake poll out of range");
+    GcResponse R;
+    R.Flag = S.HsPending[Req.Mut];
+    R.Hs = S.CurType;
+    R.Round = S.CurRound;
+    emit(Out, S, std::move(R));
+    return;
+  }
+  case ReqKind::HsComplete: {
+    TSOGC_CHECK(Req.Mut < S.HsPending.size(), "handshake ack out of range");
+    TSOGC_CHECK(S.HsPending[Req.Mut], "handshake completed twice");
+    SysLocal Next = S;
+    Next.HsPending[Req.Mut] = false;
+    Next.SharedW.insert(Req.Refs.begin(), Req.Refs.end());
+    emit(Out, std::move(Next));
+    return;
+  }
+  case ReqKind::TakeW: {
+    SysLocal Next = S;
+    GcResponse R;
+    R.Refs.assign(Next.SharedW.begin(), Next.SharedW.end());
+    Next.SharedW.clear();
+    emit(Out, std::move(Next), std::move(R));
+    return;
+  }
+  }
+  TSOGC_UNREACHABLE("bad ReqKind");
+}
+
+void tsogc::buildSysProgram(Program<GcDomain> &Prog, const ModelConfig &Cfg) {
+  // Response branch: one RESPONSE command handling the whole alphabet; the
+  // nondeterministic sum over request shapes of Figure 9 is realized by the
+  // dispatch inside respondSys.
+  cimp::CmdId Respond = Prog.response(
+      "sys", [Cfg](const GcRequest &Req, const GcLocal &L,
+                   std::vector<std::pair<GcLocal, GcResponse>> &Out) {
+        respondSys(Cfg, Req, asSys(L), Out);
+      });
+
+  // Internal branch: sys-dequeue-write-buffer — commit the oldest pending
+  // write of any unblocked software thread.
+  cimp::CmdId Commit = Prog.localOp(
+      "sys-dequeue-write-buffer",
+      [Cfg](const GcLocal &L, std::vector<GcLocal> &Out) {
+        const SysLocal &S = asSys(L);
+        for (unsigned P = 0; P < Cfg.NumMutators + 1; ++P) {
+          if (S.Mem.bufferEmpty(static_cast<ProcId>(P)) ||
+              S.Mem.isBlocked(static_cast<ProcId>(P)))
+            continue;
+          SysLocal Next = S;
+          Next.Mem.commitOldest(static_cast<ProcId>(P));
+          Out.push_back(GcLocal(std::move(Next)));
+        }
+      });
+
+  Prog.setEntry(Prog.loop(Prog.choice({Respond, Commit})));
+}

@@ -1,0 +1,33 @@
+//===- gcmodel/SysProcess.h - The reactive system process (Figure 9) -----===//
+///
+/// \file
+/// Builds the CIMP program of the system component: a non-terminating
+/// nondeterministic choice between responding to one software-thread request
+/// (memory operations under x86-TSO, allocation, free, handshake plumbing,
+/// work-list transfer) and the internal step that commits the oldest pending
+/// write of some unblocked thread (sys-dequeue-write-buffer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_GCMODEL_SYSPROCESS_H
+#define TSOGC_GCMODEL_SYSPROCESS_H
+
+#include "cimp/Cimp.h"
+#include "gcmodel/GcDomain.h"
+
+namespace tsogc {
+
+/// Construct the system program into \p Prog and set its entry point.
+void buildSysProgram(cimp::Program<GcDomain> &Prog, const ModelConfig &Cfg);
+
+/// The response function proper, exposed for unit testing: given a request
+/// and the system's data state, enumerate (new state, response) pairs.
+/// An empty result means the request is blocked (e.g. MFENCE with a
+/// non-empty buffer).
+void respondSys(const ModelConfig &Cfg, const GcRequest &Req,
+                const SysLocal &S,
+                std::vector<std::pair<GcLocal, GcResponse>> &Out);
+
+} // namespace tsogc
+
+#endif // TSOGC_GCMODEL_SYSPROCESS_H

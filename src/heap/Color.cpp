@@ -1,0 +1,48 @@
+//===- heap/Color.cpp ------------------------------------------------------===//
+
+#include "heap/Color.h"
+
+#include <algorithm>
+
+using namespace tsogc;
+
+ColorView::ColorView(const Heap &H, bool MarkSense, std::vector<Ref> GreyRefs)
+    : H(H), MarkSense(MarkSense), Greys(std::move(GreyRefs)) {
+  Greys.erase(std::remove(Greys.begin(), Greys.end(), Ref::null()),
+              Greys.end());
+  std::sort(Greys.begin(), Greys.end());
+  Greys.erase(std::unique(Greys.begin(), Greys.end()), Greys.end());
+}
+
+bool ColorView::isGrey(Ref R) const {
+  return std::binary_search(Greys.begin(), Greys.end(), R);
+}
+
+bool ColorView::isWhite(Ref R) const {
+  if (!H.isValid(R))
+    return false;
+  return H.markFlag(R) != MarkSense;
+}
+
+bool ColorView::isBlack(Ref R) const {
+  if (!H.isValid(R))
+    return false;
+  return H.markFlag(R) == MarkSense && !isGrey(R);
+}
+
+Color ColorView::color(Ref R) const {
+  if (isGrey(R))
+    return Color::Grey;
+  return isWhite(R) ? Color::White : Color::Black;
+}
+
+bool ColorView::isGreyProtected(Ref R) const {
+  if (isGrey(R))
+    return true;
+  if (!isWhite(R))
+    return false;
+  for (Ref G : Greys)
+    if (H.whiteReachable(G, R, MarkSense))
+      return true;
+  return false;
+}

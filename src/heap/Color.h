@@ -1,0 +1,65 @@
+//===- heap/Color.h - The tricolor abstraction (§2.1, §3.2) --------------===//
+///
+/// \file
+/// Executable interpretation of colors from §3.2:
+///   white — not marked on the heap,
+///   grey  — on a work-list or some process's ghost_honorary_grey,
+///   black — marked on the heap and not grey.
+/// Because marking is not atomic under TSO+CAS, white and grey overlap
+/// transiently (during the CAS window); black is disjoint from both.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_HEAP_COLOR_H
+#define TSOGC_HEAP_COLOR_H
+
+#include "heap/Heap.h"
+
+#include <vector>
+
+namespace tsogc {
+
+enum class Color : uint8_t {
+  White, ///< Unmarked: a candidate for reclamation.
+  Grey,  ///< Known reached, not yet processed (on a work-list / honorary).
+  Black, ///< Reached and processed.
+};
+
+/// A view over a heap assigning colors. GreyRefs is the union of all
+/// work-lists and all ghost_honorary_grey registers; MarkSense is the
+/// authoritative fM.
+class ColorView {
+public:
+  ColorView(const Heap &H, bool MarkSense, std::vector<Ref> GreyRefs);
+
+  /// True iff \p R is on some work-list or honorary grey.
+  bool isGrey(Ref R) const;
+
+  /// True iff \p R is unmarked relative to the mark sense. Note that a grey
+  /// object can still be white during the CAS window.
+  bool isWhite(Ref R) const;
+
+  /// True iff \p R is marked and not grey.
+  bool isBlack(Ref R) const;
+
+  /// The dominant color for reporting: grey wins over white/black
+  /// (the ghost state resolves the overlap exactly as in the paper).
+  Color color(Ref R) const;
+
+  /// True iff \p R is grey-protected: grey itself, or white and reachable
+  /// from some grey object via a chain of white objects (Figure 1).
+  bool isGreyProtected(Ref R) const;
+
+  const Heap &heap() const { return H; }
+  bool markSense() const { return MarkSense; }
+  const std::vector<Ref> &greys() const { return Greys; }
+
+private:
+  const Heap &H;
+  bool MarkSense;
+  std::vector<Ref> Greys; // sorted, deduplicated, nulls removed
+};
+
+} // namespace tsogc
+
+#endif // TSOGC_HEAP_COLOR_H

@@ -1,0 +1,158 @@
+//===- heap/Heap.cpp ------------------------------------------------------===//
+
+#include "heap/Heap.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+
+using namespace tsogc;
+
+Heap::Heap(unsigned NumRefs, unsigned NumFields)
+    : NumFields(NumFields), Slots(NumRefs) {
+  TSOGC_CHECK(NumRefs > 0, "the reference universe must be non-empty");
+  TSOGC_CHECK(NumRefs < 0xffff, "reference universe exceeds Ref encoding");
+}
+
+bool Heap::isValid(Ref R) const {
+  return !R.isNull() && R.index() < Slots.size() && Slots[R.index()].Allocated;
+}
+
+std::vector<Ref> Heap::allocatedRefs() const {
+  std::vector<Ref> Out;
+  for (unsigned I = 0; I < Slots.size(); ++I)
+    if (Slots[I].Allocated)
+      Out.push_back(Ref(static_cast<uint16_t>(I)));
+  return Out;
+}
+
+Ref Heap::firstFreeRef() const {
+  for (unsigned I = 0; I < Slots.size(); ++I)
+    if (!Slots[I].Allocated)
+      return Ref(static_cast<uint16_t>(I));
+  return Ref::null();
+}
+
+std::vector<Ref> Heap::freeRefs() const {
+  std::vector<Ref> Out;
+  for (unsigned I = 0; I < Slots.size(); ++I)
+    if (!Slots[I].Allocated)
+      Out.push_back(Ref(static_cast<uint16_t>(I)));
+  return Out;
+}
+
+void Heap::allocAt(Ref R, bool Flag) {
+  TSOGC_CHECK(!R.isNull() && R.index() < Slots.size() &&
+                  !Slots[R.index()].Allocated,
+              "allocAt requires a free reference");
+  Slots[R.index()].Allocated = true;
+  Slots[R.index()].Obj = Object(NumFields, Flag);
+  ++AllocatedCount;
+}
+
+void Heap::free(Ref R) {
+  TSOGC_CHECK(isValid(R), "free requires a valid reference");
+  Slots[R.index()].Allocated = false;
+  Slots[R.index()].Obj = Object();
+  --AllocatedCount;
+}
+
+bool Heap::markFlag(Ref R) const {
+  TSOGC_CHECK(isValid(R), "markFlag requires a valid reference");
+  return Slots[R.index()].Obj.MarkFlag;
+}
+
+void Heap::setMarkFlag(Ref R, bool Flag) {
+  TSOGC_CHECK(isValid(R), "setMarkFlag requires a valid reference");
+  Slots[R.index()].Obj.MarkFlag = Flag;
+}
+
+Ref Heap::field(Ref R, FieldId F) const {
+  TSOGC_CHECK(isValid(R), "field requires a valid reference");
+  TSOGC_CHECK(F < NumFields, "field index out of range");
+  return Slots[R.index()].Obj.Fields[F];
+}
+
+void Heap::setField(Ref R, FieldId F, Ref Value) {
+  TSOGC_CHECK(isValid(R), "setField requires a valid reference");
+  TSOGC_CHECK(F < NumFields, "field index out of range");
+  Slots[R.index()].Obj.Fields[F] = Value;
+}
+
+const Object &Heap::object(Ref R) const {
+  TSOGC_CHECK(isValid(R), "object requires a valid reference");
+  return Slots[R.index()].Obj;
+}
+
+std::vector<Ref> Heap::reachableFrom(const std::vector<Ref> &Roots) const {
+  std::vector<bool> Seen(Slots.size() + 1, false);
+  std::vector<Ref> Work;
+  std::vector<Ref> Out;
+  auto Visit = [&](Ref R) {
+    if (R.isNull())
+      return;
+    // Dangling refs index Slots.size() bucket? They still have valid indices
+    // into Seen because the universe is fixed.
+    if (Seen[R.index()])
+      return;
+    Seen[R.index()] = true;
+    Out.push_back(R);
+    Work.push_back(R);
+  };
+  for (Ref R : Roots)
+    Visit(R);
+  while (!Work.empty()) {
+    Ref R = Work.back();
+    Work.pop_back();
+    if (!isValid(R))
+      continue; // A dangling reference reaches nothing further.
+    for (Ref F : Slots[R.index()].Obj.Fields)
+      Visit(F);
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+bool Heap::whiteReachable(Ref From, Ref Target, bool MarkSense) const {
+  if (From.isNull() || Target.isNull())
+    return false;
+  if (From == Target)
+    return true;
+  if (!isValid(From))
+    return false;
+  std::vector<bool> Seen(Slots.size(), false);
+  std::vector<Ref> Work{From};
+  Seen[From.index()] = true;
+  while (!Work.empty()) {
+    Ref R = Work.back();
+    Work.pop_back();
+    if (!isValid(R))
+      continue;
+    for (Ref F : Slots[R.index()].Obj.Fields) {
+      if (F.isNull() || Seen[F.index()])
+        continue;
+      if (F == Target)
+        return true;
+      // Continue only through white objects: the chain G →w* W of Figure 1.
+      if (isValid(F) && Slots[F.index()].Obj.MarkFlag != MarkSense) {
+        Seen[F.index()] = true;
+        Work.push_back(F);
+      }
+    }
+  }
+  return false;
+}
+
+void Heap::encode(std::string &Out) const {
+  for (const Slot &S : Slots) {
+    if (!S.Allocated) {
+      Out.push_back('\0');
+      continue;
+    }
+    Out.push_back(static_cast<char>(S.Obj.MarkFlag ? 2 : 1));
+    for (Ref F : S.Obj.Fields) {
+      Out.push_back(static_cast<char>(F.raw() & 0xff));
+      Out.push_back(static_cast<char>(F.raw() >> 8));
+    }
+  }
+}

@@ -1,0 +1,113 @@
+//===- heap/Heap.h - The model heap: a partial map Ref -> Object ---------===//
+///
+/// \file
+/// The heap of §3.1: a partial map from references to objects, where an
+/// object is a GC mark plus a partial map from fields to Ref ∪ {NULL}.
+/// The domain of the map tracks free references; allocation inserts at an
+/// arbitrary free reference, free removes. Reachability ("a path always goes
+/// via the heap", §3.2) is computed here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_HEAP_HEAP_H
+#define TSOGC_HEAP_HEAP_H
+
+#include "heap/Ref.h"
+
+#include <string>
+#include <vector>
+
+namespace tsogc {
+
+/// An allocated object: one mark flag and a fixed tuple of reference fields.
+struct Object {
+  /// The mark bit. Its interpretation (black/white) is relative to the
+  /// current mark sense fM; see Color.h.
+  bool MarkFlag = false;
+
+  /// Reference fields; entries may be null.
+  std::vector<Ref> Fields;
+
+  explicit Object(unsigned NumFields, bool Flag = false)
+      : MarkFlag(Flag), Fields(NumFields, Ref::null()) {}
+  Object() = default;
+
+  bool operator==(const Object &O) const = default;
+};
+
+/// A bounded-universe heap. The reference universe {0..NumRefs-1} is fixed
+/// at construction (the paper's arbitrary finite R for a model instance);
+/// each slot is either free or holds an object.
+class Heap {
+public:
+  Heap(unsigned NumRefs, unsigned NumFields);
+
+  unsigned numRefs() const { return static_cast<unsigned>(Slots.size()); }
+  unsigned numFields() const { return NumFields; }
+
+  /// True iff \p R is non-null and currently allocated (the paper's
+  /// valid_ref predicate).
+  bool isValid(Ref R) const;
+
+  /// Number of allocated objects.
+  unsigned numAllocated() const { return AllocatedCount; }
+
+  /// All currently allocated references, in index order.
+  std::vector<Ref> allocatedRefs() const;
+
+  /// Some free reference, or null if the heap is full. Deterministic
+  /// (lowest index) — the model's nondeterministic choice of allocation
+  /// target is exercised via allocAt over freeRefs().
+  Ref firstFreeRef() const;
+
+  /// All free references.
+  std::vector<Ref> freeRefs() const;
+
+  /// Allocate a fresh object at free slot \p R with mark \p Flag and all
+  /// fields null. \p R must be free.
+  void allocAt(Ref R, bool Flag);
+
+  /// Remove the object at \p R from the heap. \p R must be valid.
+  void free(Ref R);
+
+  /// Accessors; all require isValid(R).
+  bool markFlag(Ref R) const;
+  void setMarkFlag(Ref R, bool Flag);
+  Ref field(Ref R, FieldId F) const;
+  void setField(Ref R, FieldId F, Ref Value);
+  const Object &object(Ref R) const;
+
+  /// The set of references reachable from \p Roots by following heap fields
+  /// (reflexive-transitive). Null and dangling roots are ignored: a root that
+  /// is not backed by an object reaches nothing, but *is* itself reported if
+  /// non-null, because the safety property quantifies over reachable
+  /// references, which includes the roots themselves.
+  std::vector<Ref> reachableFrom(const std::vector<Ref> &Roots) const;
+
+  /// True iff \p Target is reachable from \p From via a chain of objects
+  /// whose mark flag differs from \p MarkSense (a "white chain" in the sense
+  /// of Figure 1), including the zero-length chain (From == Target). Both
+  /// intermediate objects and Target must be white; From itself is the grey
+  /// anchor and may have any color.
+  bool whiteReachable(Ref From, Ref Target, bool MarkSense) const;
+
+  /// Append a canonical byte encoding (for model-checker visited sets).
+  void encode(std::string &Out) const;
+
+  bool operator==(const Heap &H) const = default;
+
+private:
+  struct Slot {
+    bool Allocated = false;
+    Object Obj;
+    bool operator==(const Slot &S) const = default;
+  };
+
+  unsigned NumFields;
+  unsigned AllocatedCount = 0;
+  std::vector<Slot> Slots;
+};
+
+} // namespace tsogc
+
+#endif // TSOGC_HEAP_HEAP_H

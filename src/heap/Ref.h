@@ -1,0 +1,64 @@
+//===- heap/Ref.h - References and field identifiers ---------------------===//
+///
+/// \file
+/// The paper fixes an arbitrary non-empty set of references R and treats the
+/// heap as a partial map from R to objects (§3.1). In the executable model R
+/// is {0, …, NumRefs-1}; Ref is a value type over that set with a distinct
+/// null, matching "R ∪ {NULL}" for field contents.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_HEAP_REF_H
+#define TSOGC_HEAP_REF_H
+
+#include <cstdint>
+#include <functional>
+
+namespace tsogc {
+
+/// A heap reference, or null. Small and trivially copyable so model states
+/// stay compact.
+class Ref {
+public:
+  /// Constructs the null reference.
+  constexpr Ref() : Index(NullIndex) {}
+
+  /// Constructs a reference to slot \p Idx.
+  constexpr explicit Ref(uint16_t Idx) : Index(Idx) {}
+
+  static constexpr Ref null() { return Ref(); }
+
+  constexpr bool isNull() const { return Index == NullIndex; }
+  constexpr uint16_t index() const { return Index; }
+
+  friend constexpr bool operator==(Ref A, Ref B) { return A.Index == B.Index; }
+  friend constexpr bool operator!=(Ref A, Ref B) { return A.Index != B.Index; }
+  friend constexpr bool operator<(Ref A, Ref B) { return A.Index < B.Index; }
+
+  /// Raw encoding for state serialization.
+  constexpr uint16_t raw() const { return Index; }
+  static constexpr Ref fromRaw(uint16_t Raw) {
+    Ref R;
+    R.Index = Raw;
+    return R;
+  }
+
+private:
+  static constexpr uint16_t NullIndex = 0xffff;
+  uint16_t Index;
+};
+
+/// Field selector within an object. Objects in the model have a fixed small
+/// number of reference fields (non-reference payloads are abstracted away,
+/// §3.1).
+using FieldId = uint8_t;
+
+} // namespace tsogc
+
+template <> struct std::hash<tsogc::Ref> {
+  size_t operator()(tsogc::Ref R) const noexcept {
+    return std::hash<uint16_t>()(R.raw());
+  }
+};
+
+#endif // TSOGC_HEAP_REF_H

@@ -1,0 +1,78 @@
+//===- invariants/Describe.cpp ---------------------------------------------===//
+
+#include "invariants/Describe.h"
+
+#include "support/StringUtils.h"
+
+using namespace tsogc;
+
+static std::string refName(Ref R) {
+  if (R.isNull())
+    return "null";
+  return format("r%u", R.index());
+}
+
+static std::string refSet(const std::set<Ref> &S) {
+  std::vector<std::string> Parts;
+  for (Ref R : S)
+    Parts.push_back(refName(R));
+  return "{" + join(Parts, ",") + "}";
+}
+
+std::string tsogc::describeState(const GcModel &M, const GcSystemState &S) {
+  const CollectorLocal &C = GcModel::collector(S);
+  const SysLocal &Sys = M.sysState(S);
+  const Heap &H = Sys.Mem.heap();
+
+  std::string Out;
+  Out += format("gc: phase=%s fM=%d fA=%d W=%s cycle=%u\n",
+                gcPhaseName(C.Phase), C.FM ? 1 : 0, C.FA ? 1 : 0,
+                refSet(C.W).c_str(), C.CycleCount);
+
+  for (unsigned I = 0; I < M.config().NumMutators; ++I) {
+    const MutatorLocal &Mu = M.mutator(S, I);
+    Out += format(
+        "mut%u: roots=%s Wm=%s view(phase=%s fM=%d fA=%d) done=%s", I,
+        refSet(Mu.Roots).c_str(), refSet(Mu.WM).c_str(),
+        gcPhaseName(Mu.PhaseLocal), Mu.FMLocal ? 1 : 0, Mu.FALocal ? 1 : 0,
+        hsRoundName(Mu.CompletedRound));
+    if (!Mu.DeletedRef.isNull())
+      Out += " deleted=" + refName(Mu.DeletedRef);
+    if (!Mu.MS.GhostHonoraryGrey.isNull())
+      Out += " honorary=" + refName(Mu.MS.GhostHonoraryGrey);
+    Out += '\n';
+  }
+
+  Out += "heap:";
+  for (Ref R : H.allocatedRefs()) {
+    Out += format(" r%u[%d](", R.index(), H.markFlag(R) ? 1 : 0);
+    std::vector<std::string> Fs;
+    for (Ref F : H.object(R).Fields)
+      Fs.push_back(refName(F));
+    Out += join(Fs, ",") + ")";
+  }
+  Out += format("\nmem: fM=%u fA=%u phase=%s lock=%d round=%s type=%s",
+                Sys.Mem.memoryRead(MemLoc::globalVar(GVarFM)).Raw,
+                Sys.Mem.memoryRead(MemLoc::globalVar(GVarFA)).Raw,
+                gcPhaseName(static_cast<GcPhase>(
+                    Sys.Mem.memoryRead(MemLoc::globalVar(GVarPhase))
+                        .asByte())),
+                Sys.Mem.lockOwner(), hsRoundName(Sys.CurRound),
+                hsTypeName(Sys.CurType));
+  Out += " pending=[";
+  for (bool B : Sys.HsPending)
+    Out += B ? '1' : '0';
+  Out += format("] sharedW=%s\n", refSet(Sys.SharedW).c_str());
+
+  for (unsigned P = 0; P <= M.config().NumMutators; ++P) {
+    const auto &Buf = Sys.Mem.buffer(static_cast<ProcId>(P));
+    if (Buf.empty())
+      continue;
+    Out += format("buf[%s]:", M.procName(P).c_str());
+    for (const PendingWrite &W : Buf)
+      Out += format(" %s:=%s", W.Loc.toString().c_str(),
+                    W.Val.toString().c_str());
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,25 @@
+//===- invariants/Describe.h - Human-readable state rendering ------------===//
+///
+/// \file
+/// Pretty-printing of global model states for counterexample traces and the
+/// example programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_INVARIANTS_DESCRIBE_H
+#define TSOGC_INVARIANTS_DESCRIBE_H
+
+#include "gcmodel/GcModel.h"
+
+#include <string>
+
+namespace tsogc {
+
+/// Multi-line rendering of a global state: collector control state and W,
+/// per-mutator roots/work-list/views, heap contents, store buffers, lock,
+/// and handshake registers.
+std::string describeState(const GcModel &M, const GcSystemState &S);
+
+} // namespace tsogc
+
+#endif // TSOGC_INVARIANTS_DESCRIBE_H

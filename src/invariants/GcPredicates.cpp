@@ -1,0 +1,102 @@
+//===- invariants/GcPredicates.cpp -----------------------------------------===//
+
+#include "invariants/GcPredicates.h"
+
+using namespace tsogc;
+
+std::vector<Ref> tsogc::greyRefs(const GcModel &M, const GcSystemState &S) {
+  std::vector<Ref> Out;
+  const CollectorLocal &C = GcModel::collector(S);
+  Out.insert(Out.end(), C.W.begin(), C.W.end());
+  if (!C.MS.GhostHonoraryGrey.isNull())
+    Out.push_back(C.MS.GhostHonoraryGrey);
+  for (unsigned I = 0; I < M.config().NumMutators; ++I) {
+    const MutatorLocal &Mu = M.mutator(S, I);
+    Out.insert(Out.end(), Mu.WM.begin(), Mu.WM.end());
+    if (!Mu.MS.GhostHonoraryGrey.isNull())
+      Out.push_back(Mu.MS.GhostHonoraryGrey);
+  }
+  const SysLocal &Sys = M.sysState(S);
+  Out.insert(Out.end(), Sys.SharedW.begin(), Sys.SharedW.end());
+  return Out;
+}
+
+std::vector<Ref> tsogc::mutatorRoots(const GcModel &M,
+                                     const GcSystemState &S) {
+  std::vector<Ref> Out;
+  for (unsigned I = 0; I < M.config().NumMutators; ++I) {
+    const MutatorLocal &Mu = M.mutator(S, I);
+    Out.insert(Out.end(), Mu.Roots.begin(), Mu.Roots.end());
+  }
+  return Out;
+}
+
+std::vector<Ref> tsogc::extendedRoots(const GcModel &M,
+                                      const GcSystemState &S) {
+  std::vector<Ref> Out = mutatorRoots(M, S);
+  auto Push = [&Out](Ref R) {
+    if (!R.isNull())
+      Out.push_back(R);
+  };
+  for (unsigned I = 0; I < M.config().NumMutators; ++I) {
+    const MutatorLocal &Mu = M.mutator(S, I);
+    Push(Mu.DeletedRef);
+    Push(Mu.MS.Target);
+    for (Ref R : Mu.RootMarkQueue)
+      Push(R);
+    for (Ref R : pendingInsertions(M, S, mutatorPid(I)))
+      Push(R);
+  }
+  const CollectorLocal &C = GcModel::collector(S);
+  Push(C.Src);
+  Push(C.MS.Target);
+  std::vector<Ref> Greys = greyRefs(M, S);
+  Out.insert(Out.end(), Greys.begin(), Greys.end());
+  return Out;
+}
+
+std::vector<Ref> tsogc::pendingInsertions(const GcModel &M,
+                                          const GcSystemState &S, ProcId P) {
+  std::vector<Ref> Out;
+  const SysLocal &Sys = M.sysState(S);
+  for (const PendingWrite &W : Sys.Mem.buffer(P)) {
+    if (W.Loc.Kind != MemLocKind::ObjField)
+      continue;
+    Ref R = W.Val.asRef();
+    if (!R.isNull())
+      Out.push_back(R);
+  }
+  return Out;
+}
+
+std::vector<Ref> tsogc::pendingDeletions(const GcModel &M,
+                                         const GcSystemState &S, ProcId P) {
+  std::vector<Ref> Out;
+  const SysLocal &Sys = M.sysState(S);
+  const Heap &H = Sys.Mem.heap();
+  // Shadow the fields this buffer touches, in buffer (program) order.
+  std::vector<std::pair<MemLoc, Ref>> Shadow;
+  auto Lookup = [&](MemLoc Loc) -> Ref {
+    for (auto It = Shadow.rbegin(); It != Shadow.rend(); ++It)
+      if (It->first == Loc)
+        return It->second;
+    if (H.isValid(Loc.R))
+      return H.field(Loc.R, Loc.Field);
+    return Ref::null();
+  };
+  for (const PendingWrite &W : Sys.Mem.buffer(P)) {
+    if (W.Loc.Kind != MemLocKind::ObjField)
+      continue;
+    Ref Deleted = Lookup(W.Loc);
+    if (!Deleted.isNull())
+      Out.push_back(Deleted);
+    Shadow.emplace_back(W.Loc, W.Val.asRef());
+  }
+  return Out;
+}
+
+ColorView tsogc::colorView(const GcModel &M, const GcSystemState &S) {
+  const SysLocal &Sys = M.sysState(S);
+  const CollectorLocal &C = GcModel::collector(S);
+  return ColorView(Sys.Mem.heap(), C.FM, greyRefs(M, S));
+}

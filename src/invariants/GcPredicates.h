@@ -1,0 +1,55 @@
+//===- invariants/GcPredicates.h - State observations for §3.2 -----------===//
+///
+/// \file
+/// Helper observations over a global model state: the grey set (work-lists
+/// plus honorary greys), the extended root set (mutator roots, the
+/// deletion-barrier ghost root, and references pending in TSO store buffers,
+/// §3.2 "Collector Predicates"), and per-mutator insertion/deletion views of
+/// the store buffers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_INVARIANTS_GCPREDICATES_H
+#define TSOGC_INVARIANTS_GCPREDICATES_H
+
+#include "gcmodel/GcModel.h"
+#include "heap/Color.h"
+
+#include <vector>
+
+namespace tsogc {
+
+/// All grey references: the collector's W, every W_m, the shared staging
+/// work-list, and every process's ghost_honorary_grey.
+std::vector<Ref> greyRefs(const GcModel &M, const GcSystemState &S);
+
+/// The mutators' roots only (the roots of the headline safety property).
+std::vector<Ref> mutatorRoots(const GcModel &M, const GcSystemState &S);
+
+/// Extended roots for the inductive valid-refs invariant: mutator roots,
+/// in-flight mark targets and deletion-barrier ghosts, values of pending
+/// field writes in TSO buffers ("we treat references in TSO store buffers
+/// as extra roots"), the collector's scan scratch, and all greys.
+std::vector<Ref> extendedRoots(const GcModel &M, const GcSystemState &S);
+
+/// Values being inserted by writes pending in process \p P's store buffer
+/// (writes to object fields).
+std::vector<Ref> pendingInsertions(const GcModel &M, const GcSystemState &S,
+                                   ProcId P);
+
+/// References that pending writes of process \p P will overwrite: for each
+/// buffered field write, the field's value just before that write lands
+/// (committed heap value, shadowed through P's earlier buffered writes).
+std::vector<Ref> pendingDeletions(const GcModel &M, const GcSystemState &S,
+                                  ProcId P);
+
+/// A ColorView for the state: heap from shared memory, mark sense from the
+/// collector's authoritative fM, greys from greyRefs.
+ColorView colorView(const GcModel &M, const GcSystemState &S);
+
+/// Total order on handshake rounds for gating (None=0 … H6=6).
+inline unsigned roundOrder(HsRound R) { return static_cast<unsigned>(R); }
+
+} // namespace tsogc
+
+#endif // TSOGC_INVARIANTS_GCPREDICATES_H

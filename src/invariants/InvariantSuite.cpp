@@ -1,0 +1,445 @@
+//===- invariants/InvariantSuite.cpp ---------------------------------------===//
+
+#include "invariants/InvariantSuite.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace tsogc;
+
+namespace {
+
+std::optional<Violation> fail(const char *Name, std::string Detail) {
+  return Violation{Name, std::move(Detail)};
+}
+
+bool isMarked(const Heap &H, Ref R, bool FM) {
+  return H.isValid(R) && H.markFlag(R) == FM;
+}
+
+} // namespace
+
+std::optional<Violation>
+InvariantSuite::checkSafetyHeadline(const GcSystemState &S) const {
+  const Heap &H = M.sysState(S).Mem.heap();
+  for (Ref R : H.reachableFrom(mutatorRoots(M, S)))
+    if (!H.isValid(R))
+      return fail("safety-headline",
+                  format("reachable reference r%u has no object", R.index()));
+  return std::nullopt;
+}
+
+std::optional<Violation>
+InvariantSuite::checkValidRefs(const GcSystemState &S) const {
+  const Heap &H = M.sysState(S).Mem.heap();
+  for (Ref R : H.reachableFrom(extendedRoots(M, S)))
+    if (!H.isValid(R))
+      return fail("valid-refs",
+                  format("extended-reachable r%u has no object", R.index()));
+  return std::nullopt;
+}
+
+std::optional<Violation>
+InvariantSuite::checkStrongTricolor(const GcSystemState &S) const {
+  // Under the §4 insertion-elision variant, black-to-white edges are
+  // permitted by design once a mutator's roots are marked; safety then
+  // rests on the weak invariant (the white target stays grey-protected).
+  if (M.config().InsertionBarrierElideAfterRoots)
+    return std::nullopt;
+  ColorView CV = colorView(M, S);
+  const Heap &H = CV.heap();
+  for (Ref B : H.allocatedRefs()) {
+    if (!CV.isBlack(B))
+      continue;
+    for (Ref F : H.object(B).Fields)
+      if (!F.isNull() && CV.isWhite(F) && !CV.isGrey(F))
+        return fail("strong-tricolor",
+                    format("black r%u points to white r%u", B.index(),
+                           F.index()));
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation>
+InvariantSuite::checkWeakTricolor(const GcSystemState &S) const {
+  ColorView CV = colorView(M, S);
+  const Heap &H = CV.heap();
+  for (Ref B : H.allocatedRefs()) {
+    if (!CV.isBlack(B))
+      continue;
+    for (Ref F : H.object(B).Fields) {
+      if (F.isNull() || !CV.isWhite(F) || CV.isGrey(F))
+        continue;
+      if (!CV.isGreyProtected(F))
+        return fail("weak-tricolor",
+                    format("white r%u (referenced by black r%u) is not "
+                           "grey-protected",
+                           F.index(), B.index()));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation>
+InvariantSuite::checkValidW(const GcSystemState &S) const {
+  const SysLocal &Sys = M.sysState(S);
+  const Heap &H = Sys.Mem.heap();
+  const CollectorLocal &C = GcModel::collector(S);
+  const bool FM = C.FM;
+
+  // Gather (owner, refs) work-lists; owner NoOwner for the staging list.
+  struct Entry {
+    int Owner;
+    std::vector<Ref> Refs;
+    const char *What;
+  };
+  std::vector<Entry> Lists;
+  Lists.push_back({CollectorPid,
+                   std::vector<Ref>(C.W.begin(), C.W.end()), "gc W"});
+  for (unsigned I = 0; I < M.config().NumMutators; ++I) {
+    const MutatorLocal &Mu = M.mutator(S, I);
+    Lists.push_back({static_cast<int>(mutatorPid(I)),
+                     std::vector<Ref>(Mu.WM.begin(), Mu.WM.end()), "W_m"});
+  }
+  Lists.push_back({-1, std::vector<Ref>(Sys.SharedW.begin(),
+                                        Sys.SharedW.end()),
+                   "shared W"});
+
+  // Work-list entries are marked on the heap (they were published by a
+  // completed CAS).
+  for (const Entry &E : Lists)
+    for (Ref R : E.Refs)
+      if (!isMarked(H, R, FM))
+        return fail("valid-W", format("%s entry r%u is not marked", E.What,
+                                      R.index()));
+
+  // Honorary greys are marked unless their owner still holds the TSO lock
+  // (the CAS store may be uncommitted).
+  auto CheckGhost = [&](Ref G, ProcId Owner) -> std::optional<Violation> {
+    if (G.isNull() || Sys.Mem.lockHeldBy(Owner))
+      return std::nullopt;
+    if (!isMarked(H, G, FM))
+      return fail("valid-W",
+                  format("honorary grey r%u (proc %u, lock not held) is "
+                         "not marked",
+                         G.index(), Owner));
+    return std::nullopt;
+  };
+  if (auto V = CheckGhost(C.MS.GhostHonoraryGrey, CollectorPid))
+    return V;
+  for (unsigned I = 0; I < M.config().NumMutators; ++I)
+    if (auto V = CheckGhost(M.mutator(S, I).MS.GhostHonoraryGrey,
+                            mutatorPid(I)))
+      return V;
+
+  // Pending flag stores use fM.
+  for (unsigned P = 0; P <= M.config().NumMutators; ++P)
+    for (const PendingWrite &W : Sys.Mem.buffer(static_cast<ProcId>(P)))
+      if (W.Loc.Kind == MemLocKind::ObjFlag && W.Val.asBool() != FM)
+        return fail("valid-W",
+                    format("pending mark on r%u uses the wrong sense",
+                           W.Loc.R.index()));
+
+  // Work-lists are pairwise disjoint.
+  std::vector<Ref> Seen;
+  for (const Entry &E : Lists)
+    for (Ref R : E.Refs) {
+      if (std::find(Seen.begin(), Seen.end(), R) != Seen.end())
+        return fail("valid-W",
+                    format("r%u appears on two work-lists", R.index()));
+      Seen.push_back(R);
+    }
+  return std::nullopt;
+}
+
+std::optional<Violation>
+InvariantSuite::checkIdleUniform(const GcSystemState &S) const {
+  const CollectorLocal &C = GcModel::collector(S);
+  if (C.Phase != GcPhase::Idle)
+    return std::nullopt;
+  const Heap &H = M.sysState(S).Mem.heap();
+  for (Ref R : H.allocatedRefs())
+    if (H.markFlag(R) != C.FA)
+      return fail("idle-uniform",
+                  format("r%u breaks heap uniformity during Idle",
+                         R.index()));
+  if (!greyRefs(M, S).empty())
+    return fail("idle-uniform", "grey references exist during Idle");
+  return std::nullopt;
+}
+
+std::optional<Violation>
+InvariantSuite::checkNoBlackWindows(const GcSystemState &S) const {
+  const CollectorLocal &C = GcModel::collector(S);
+  const SysLocal &Sys = M.sysState(S);
+  const HsRound Cur = Sys.CurRound;
+  ColorView CV = colorView(M, S);
+  const Heap &H = Sys.Mem.heap();
+
+  auto NoBlack = [&](const char *Window) -> std::optional<Violation> {
+    for (Ref R : H.allocatedRefs())
+      if (CV.isBlack(R))
+        return fail("no-black-window",
+                    format("black r%u exists during %s", R.index(), Window));
+    return std::nullopt;
+  };
+
+  if (Cur == HsRound::H2FlipFM) {
+    // hp_IdleInit: the flip turned the heap white; nothing is marked and
+    // nothing is grey (all barrier views are still Idle).
+    for (Ref R : H.allocatedRefs())
+      if (H.markFlag(R) == C.FM)
+        return fail("no-black-window",
+                    format("marked r%u exists during H2", R.index()));
+    if (!greyRefs(M, S).empty())
+      return fail("no-black-window", "grey references exist during H2");
+    return std::nullopt;
+  }
+  if (Cur == HsRound::H3PhaseInit)
+    return NoBlack("H3 (hp_InitMark)");
+  if (Cur == HsRound::H4PhaseMark &&
+      Sys.Mem.memoryRead(MemLoc::globalVar(GVarFA)).asBool() != C.FA)
+    return NoBlack("H4 before the fA store committed");
+  return std::nullopt;
+}
+
+std::optional<Violation>
+InvariantSuite::checkMarkedInsertions(const GcSystemState &S) const {
+  const SysLocal &Sys = M.sysState(S);
+  // The §4 insertion-elision variant deliberately leaves post-root-marking
+  // insertions unmarked.
+  if (M.config().InsertionBarrierElideAfterRoots)
+    return std::nullopt;
+  if (roundOrder(Sys.CurRound) < roundOrder(HsRound::H3PhaseInit))
+    return std::nullopt;
+  const Heap &H = Sys.Mem.heap();
+  const bool FM = GcModel::collector(S).FM;
+  for (unsigned I = 0; I < M.config().NumMutators; ++I) {
+    const MutatorLocal &Mu = M.mutator(S, I);
+    if (roundOrder(Mu.CompletedRound) < roundOrder(HsRound::H3PhaseInit))
+      continue;
+    for (Ref R : pendingInsertions(M, S, mutatorPid(I)))
+      if (!isMarked(H, R, FM))
+        return fail("marked-insertions",
+                    format("mut%u has a pending insertion of unmarked r%u",
+                           I, R.index()));
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation>
+InvariantSuite::checkMarkedDeletions(const GcSystemState &S) const {
+  const SysLocal &Sys = M.sysState(S);
+  if (roundOrder(Sys.CurRound) < roundOrder(HsRound::H5GetRoots))
+    return std::nullopt;
+  const Heap &H = Sys.Mem.heap();
+  const bool FM = GcModel::collector(S).FM;
+  for (unsigned I = 0; I < M.config().NumMutators; ++I)
+    for (Ref R : pendingDeletions(M, S, mutatorPid(I)))
+      if (!isMarked(H, R, FM))
+        return fail("marked-deletions",
+                    format("mut%u is about to overwrite unmarked r%u", I,
+                           R.index()));
+  return std::nullopt;
+}
+
+std::optional<Violation>
+InvariantSuite::checkReachableSnapshot(const GcSystemState &S) const {
+  const SysLocal &Sys = M.sysState(S);
+  const HsRound Cur = Sys.CurRound;
+  if (Cur != HsRound::H5GetRoots && Cur != HsRound::H6GetWork)
+    return std::nullopt;
+  ColorView CV = colorView(M, S);
+  const Heap &H = Sys.Mem.heap();
+  for (unsigned I = 0; I < M.config().NumMutators; ++I) {
+    const MutatorLocal &Mu = M.mutator(S, I);
+    if (Mu.CompletedRound != HsRound::H5GetRoots &&
+        Mu.CompletedRound != HsRound::H6GetWork)
+      continue;
+    // This mutator is black: its roots will not be rescanned. Everything it
+    // can reach — including values it holds in flight — must be in the
+    // snapshot: black, or white but grey-protected.
+    std::vector<Ref> Roots(Mu.Roots.begin(), Mu.Roots.end());
+    if (!Mu.DeletedRef.isNull())
+      Roots.push_back(Mu.DeletedRef);
+    for (Ref R : pendingInsertions(M, S, mutatorPid(I)))
+      Roots.push_back(R);
+    Roots.insert(Roots.end(), Mu.WM.begin(), Mu.WM.end());
+    if (!Mu.MS.GhostHonoraryGrey.isNull())
+      Roots.push_back(Mu.MS.GhostHonoraryGrey);
+    for (Ref R : H.reachableFrom(Roots)) {
+      if (!H.isValid(R))
+        return fail("reachable-snapshot",
+                    format("mut%u reaches dangling r%u", I, R.index()));
+      if (!CV.isBlack(R) && !CV.isGreyProtected(R))
+        return fail("reachable-snapshot",
+                    format("mut%u reaches white unprotected r%u", I,
+                           R.index()));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation>
+InvariantSuite::checkSweepNoGrey(const GcSystemState &S) const {
+  if (GcModel::collector(S).Phase != GcPhase::Sweep)
+    return std::nullopt;
+  std::vector<Ref> Greys = greyRefs(M, S);
+  if (!Greys.empty())
+    return fail("sweep-no-grey",
+                format("r%u is grey during sweep", Greys.front().index()));
+  return std::nullopt;
+}
+
+std::optional<Violation>
+InvariantSuite::checkFreePrecondition(const GcSystemState &S) const {
+  if (GcModel::collector(S).Phase != GcPhase::Sweep)
+    return std::nullopt;
+  if (!M.atLabel(S, CollectorPid, "sweep:free"))
+    return std::nullopt;
+  const CollectorLocal &C = GcModel::collector(S);
+  TSOGC_CHECK(!C.SweepRefs.empty(), "at sweep:free with no sweep cursor");
+  Ref Target = C.SweepRefs.back();
+  ColorView CV = colorView(M, S);
+  if (!CV.isWhite(Target))
+    return fail("free-precondition",
+                format("about to free non-white r%u", Target.index()));
+  const Heap &H = M.sysState(S).Mem.heap();
+  for (Ref R : H.reachableFrom(extendedRoots(M, S)))
+    if (R == Target)
+      return fail("free-precondition",
+                  format("about to free reachable r%u", Target.index()));
+  return std::nullopt;
+}
+
+std::optional<Violation>
+InvariantSuite::checkHandshakeRelation(const GcSystemState &S) const {
+  const SysLocal &Sys = M.sysState(S);
+  const HsRound Cur = Sys.CurRound;
+
+  const bool Merged = M.config().MergedInitHandshakes;
+  auto IsPrev = [Cur, Merged](HsRound R) {
+    switch (Cur) {
+    case HsRound::None:
+      return R == HsRound::None;
+    case HsRound::H1Idle:
+      return R == HsRound::None || R == HsRound::H5GetRoots ||
+             R == HsRound::H6GetWork;
+    case HsRound::H2FlipFM:
+      return R == HsRound::H1Idle;
+    case HsRound::H3PhaseInit:
+      // In the merged-handshake variant H3 directly follows H1.
+      return R == HsRound::H2FlipFM || (Merged && R == HsRound::H1Idle);
+    case HsRound::H4PhaseMark:
+      return R == HsRound::H3PhaseInit;
+    case HsRound::H5GetRoots:
+      // In the merged variant H5 directly follows H3.
+      return R == HsRound::H4PhaseMark ||
+             (Merged && R == HsRound::H3PhaseInit);
+    case HsRound::H6GetWork:
+      return R == HsRound::H5GetRoots || R == HsRound::H6GetWork;
+    }
+    return false;
+  };
+
+  for (unsigned I = 0; I < M.config().NumMutators; ++I) {
+    const MutatorLocal &Mu = M.mutator(S, I);
+    if (Sys.HsPending[I]) {
+      if (!IsPrev(Mu.CompletedRound))
+        return fail("handshake-relation",
+                    format("mut%u pending in %s but completed %s", I,
+                           hsRoundName(Cur),
+                           hsRoundName(Mu.CompletedRound)));
+    } else if (Mu.CompletedRound != Cur && !IsPrev(Mu.CompletedRound)) {
+      return fail("handshake-relation",
+                  format("mut%u idle in %s but completed %s", I,
+                         hsRoundName(Cur), hsRoundName(Mu.CompletedRound)));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation>
+InvariantSuite::checkMutatorViews(const GcSystemState &S) const {
+  const SysLocal &Sys = M.sysState(S);
+  const CollectorLocal &C = GcModel::collector(S);
+  const unsigned CurOrd = roundOrder(Sys.CurRound);
+
+  for (unsigned I = 0; I < M.config().NumMutators; ++I) {
+    const MutatorLocal &Mu = M.mutator(S, I);
+    const unsigned Done = roundOrder(Mu.CompletedRound);
+
+    // While a mutator's pending bit is set it may be anywhere inside the
+    // handshake handler, with the view partially refreshed; the exact view
+    // relation only holds between handshakes.
+    if (Sys.HsPending[I])
+      continue;
+
+    // The phase view is a function of the last completed round (Figure 3).
+    GcPhase Expected = GcPhase::Idle;
+    if (Mu.CompletedRound == HsRound::H3PhaseInit)
+      Expected = GcPhase::Init;
+    else if (Done >= roundOrder(HsRound::H4PhaseMark))
+      Expected = GcPhase::Mark;
+    if (Mu.PhaseLocal != Expected)
+      return fail("mutator-views",
+                  format("mut%u completed %s but sees phase %s", I,
+                         hsRoundName(Mu.CompletedRound),
+                         gcPhaseName(Mu.PhaseLocal)));
+
+    // fM view: current-cycle H2 onwards sees the new sense.
+    if (CurOrd >= roundOrder(HsRound::H2FlipFM) &&
+        Done >= roundOrder(HsRound::H2FlipFM) && Mu.FMLocal != C.FM)
+      return fail("mutator-views",
+                  format("mut%u has a stale fM after H2", I));
+
+    // fA view: the collector changes fA between the H3 and H4 rounds, so
+    // inside that window a view may be one flip behind. Outside it — before
+    // the change (up to H2) and once the mutator has completed H4 — the
+    // view must agree with the collector's fA.
+    if (CurOrd <= roundOrder(HsRound::H2FlipFM)) {
+      if (Mu.FALocal != C.FA)
+        return fail("mutator-views",
+                    format("mut%u has a stale fA before H3", I));
+    } else if (CurOrd >= roundOrder(HsRound::H4PhaseMark) &&
+               Done >= roundOrder(HsRound::H4PhaseMark)) {
+      if (Mu.FALocal != C.FA)
+        return fail("mutator-views",
+                    format("mut%u completed H4 but has a stale fA", I));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> InvariantSuite::check(const GcSystemState &S) const {
+  if (auto V = checkSafetyHeadline(S))
+    return V;
+  if (auto V = checkValidRefs(S))
+    return V;
+  if (auto V = checkStrongTricolor(S))
+    return V;
+  if (auto V = checkWeakTricolor(S))
+    return V;
+  if (auto V = checkValidW(S))
+    return V;
+  if (auto V = checkIdleUniform(S))
+    return V;
+  if (auto V = checkNoBlackWindows(S))
+    return V;
+  if (auto V = checkMarkedInsertions(S))
+    return V;
+  if (auto V = checkMarkedDeletions(S))
+    return V;
+  if (auto V = checkReachableSnapshot(S))
+    return V;
+  if (auto V = checkSweepNoGrey(S))
+    return V;
+  if (auto V = checkFreePrecondition(S))
+    return V;
+  if (auto V = checkHandshakeRelation(S))
+    return V;
+  if (auto V = checkMutatorViews(S))
+    return V;
+  return std::nullopt;
+}

@@ -1,0 +1,103 @@
+//===- invariants/InvariantSuite.h - The global invariant of §3.2 --------===//
+///
+/// \file
+/// The executable counterpart of the paper's single global invariant: a
+/// conjunction of universal assertions and assertions gated on handshake
+/// phase (the "system-wide program counter" built from the handshake ghost
+/// state). The explorer evaluates the whole suite in every reachable state;
+/// this is the model-checking analogue of the paper's induction over _⇒_.
+///
+/// Individual checks are public so unit tests can exercise their gating and
+/// so ablation experiments can report which invariant breaks first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_INVARIANTS_INVARIANTSUITE_H
+#define TSOGC_INVARIANTS_INVARIANTSUITE_H
+
+#include "invariants/GcPredicates.h"
+
+#include <optional>
+#include <string>
+
+namespace tsogc {
+
+/// A failed invariant: which one and why.
+struct Violation {
+  std::string Name;
+  std::string Detail;
+};
+
+class InvariantSuite {
+public:
+  explicit InvariantSuite(const GcModel &M) : M(M) {}
+
+  /// Evaluate the full conjunction; first failure wins.
+  std::optional<Violation> check(const GcSystemState &S) const;
+
+  /// The headline theorem: every reference reachable from a mutator root
+  /// has an object in the heap (valid_refs over mutator roots).
+  std::optional<Violation> checkSafetyHeadline(const GcSystemState &S) const;
+
+  /// valid_refs_inv over the extended root set (adds TSO-buffer roots, the
+  /// deletion-barrier ghost root, work-lists, scan scratch).
+  std::optional<Violation> checkValidRefs(const GcSystemState &S) const;
+
+  /// Strong tricolor: no committed heap edge from a black object to a white
+  /// object (§2.1). Ungated: the algorithm maintains it at every state.
+  std::optional<Violation> checkStrongTricolor(const GcSystemState &S) const;
+
+  /// Weak tricolor: every white object referenced by a black object is
+  /// grey-protected (Figure 1). Implied by the strong invariant.
+  std::optional<Violation> checkWeakTricolor(const GcSystemState &S) const;
+
+  /// valid_W_inv: work-list entries (and honorary greys of processes not
+  /// holding the TSO lock) are marked on the heap; pending flag stores use
+  /// fM; work-lists are pairwise disjoint.
+  std::optional<Violation> checkValidW(const GcSystemState &S) const;
+
+  /// hp_Idle: while the collector phase is Idle, the heap is uniformly
+  /// flag == fA (black before the flip, white after) and there are no greys.
+  std::optional<Violation> checkIdleUniform(const GcSystemState &S) const;
+
+  /// hp_IdleInit: in the H2 window there are no marked objects and no greys.
+  /// hp_InitMark: in the H3 window there are no black references; in the H4
+  /// window none until the fA write commits.
+  std::optional<Violation> checkNoBlackWindows(const GcSystemState &S) const;
+
+  /// marked_insertions for every mutator past the phase-Init handshake
+  /// (within the current cycle).
+  std::optional<Violation> checkMarkedInsertions(const GcSystemState &S) const;
+
+  /// marked_deletions for all mutators once the root-marking round began.
+  std::optional<Violation> checkMarkedDeletions(const GcSystemState &S) const;
+
+  /// reachable_snapshot_inv: for each mutator that completed root marking,
+  /// everything it can reach is black or grey-protected.
+  std::optional<Violation>
+  checkReachableSnapshot(const GcSystemState &S) const;
+
+  /// Grey = ∅ during sweep (the mark-termination conclusion, Figure 10).
+  std::optional<Violation> checkSweepNoGrey(const GcSystemState &S) const;
+
+  /// The paper's at-p-ℓ assertion for Fig 2 line 42: when the collector is
+  /// *at* the free instruction, the target is white and unreachable — the
+  /// strongest statement of sweep correctness, checked at the exact
+  /// control location instead of after the fact.
+  std::optional<Violation> checkFreePrecondition(const GcSystemState &S) const;
+
+  /// The handshake-phase relation: each mutator has completed the current
+  /// round or its predecessor, consistently with its pending bit.
+  std::optional<Violation> checkHandshakeRelation(const GcSystemState &S) const;
+
+  /// Mutator control-state views are exactly as stale as their last
+  /// completed handshake allows (Figure 3).
+  std::optional<Violation> checkMutatorViews(const GcSystemState &S) const;
+
+private:
+  const GcModel &M;
+};
+
+} // namespace tsogc
+
+#endif // TSOGC_INVARIANTS_INVARIANTSUITE_H

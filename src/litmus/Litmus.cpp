@@ -1,0 +1,369 @@
+//===- litmus/Litmus.cpp ---------------------------------------------------===//
+
+#include "litmus/Litmus.h"
+
+#include "cimp/System.h"
+#include "support/Assert.h"
+#include "support/StringUtils.h"
+#include "tso/MemoryState.h"
+
+#include <memory>
+#include <unordered_set>
+#include <variant>
+
+using namespace tsogc;
+
+namespace {
+
+/// CIMP domain for litmus tests: each hardware thread has a register file
+/// and a program counter baked into control state; the memory process wraps
+/// MemoryState exactly as the GC model's system does.
+struct LitmusLocal {
+  std::vector<uint16_t> Regs;
+  bool operator==(const LitmusLocal &O) const = default;
+};
+
+struct LitmusMem {
+  MemoryState Mem;
+  explicit LitmusMem(unsigned Threads, unsigned Vars, unsigned Bound)
+      : Mem(Threads, Vars, /*NumRefs=*/1, /*NumFields=*/1, Bound) {}
+  bool operator==(const LitmusMem &O) const = default;
+};
+
+struct LDomain {
+  struct Request {
+    ProcId From = 0;
+    enum class Kind : uint8_t { Read, Write, Mfence, Drained } K = Kind::Read;
+    uint8_t Var = 0;
+    uint16_t Val = 0;
+  };
+  struct Response {
+    uint16_t Val = 0;
+  };
+  using LocalState = std::variant<LitmusLocal, LitmusMem>;
+};
+
+using LProg = cimp::Program<LDomain>;
+
+LitmusLocal &asThread(LDomain::LocalState &L) {
+  auto *P = std::get_if<LitmusLocal>(&L);
+  TSOGC_CHECK(P, "expected a litmus thread state");
+  return *P;
+}
+const LitmusLocal &asThread(const LDomain::LocalState &L) {
+  const auto *P = std::get_if<LitmusLocal>(&L);
+  TSOGC_CHECK(P, "expected a litmus thread state");
+  return *P;
+}
+const LitmusMem &asMem(const LDomain::LocalState &L) {
+  const auto *P = std::get_if<LitmusMem>(&L);
+  TSOGC_CHECK(P, "expected the litmus memory state");
+  return *P;
+}
+
+void buildThread(LProg &Prog, const LitmusThread &T, ProcId Self) {
+  std::vector<cimp::CmdId> Seq;
+  for (const LitmusInstr &I : T.Code) {
+    switch (I.K) {
+    case LitmusInstr::Kind::Store:
+      Seq.push_back(Prog.requestIgnore(
+          format("t%u:store g%u=%u", Self, I.Var, I.Val),
+          [Self, I](const LDomain::LocalState &) {
+            return LDomain::Request{Self, LDomain::Request::Kind::Write,
+                                    I.Var, I.Val};
+          }));
+      break;
+    case LitmusInstr::Kind::Load:
+      Seq.push_back(Prog.request(
+          format("t%u:load r%u=g%u", Self, I.Reg, I.Var),
+          [Self, I](const LDomain::LocalState &) {
+            return LDomain::Request{Self, LDomain::Request::Kind::Read, I.Var,
+                                    0};
+          },
+          [I](const LDomain::LocalState &L, const LDomain::Response &R,
+              std::vector<LDomain::LocalState> &Out) {
+            LDomain::LocalState Next = L;
+            asThread(Next).Regs[I.Reg] = R.Val;
+            Out.push_back(std::move(Next));
+          }));
+      break;
+    case LitmusInstr::Kind::Mfence:
+      Seq.push_back(Prog.requestIgnore(
+          format("t%u:mfence", Self), [Self](const LDomain::LocalState &) {
+            return LDomain::Request{Self, LDomain::Request::Kind::Mfence, 0,
+                                    0};
+          }));
+      break;
+    }
+  }
+  // Final barrier: a thread "retires" only when its buffer drained, so that
+  // terminal states compare committed memory.
+  Seq.push_back(Prog.requestIgnore(
+      format("t%u:drain", Self), [Self](const LDomain::LocalState &) {
+        return LDomain::Request{Self, LDomain::Request::Kind::Drained, 0, 0};
+      }));
+  Prog.setEntry(Prog.seq(std::move(Seq)));
+}
+
+void buildMemProcess(LProg &Prog, unsigned NumThreads) {
+  cimp::CmdId Respond = Prog.response(
+      "mem", [](const LDomain::Request &Req, const LDomain::LocalState &L,
+                std::vector<std::pair<LDomain::LocalState, LDomain::Response>>
+                    &Out) {
+        const LitmusMem &S = asMem(L);
+        switch (Req.K) {
+        case LDomain::Request::Kind::Read: {
+          if (S.Mem.isBlocked(Req.From))
+            return;
+          LDomain::Response R;
+          R.Val = S.Mem.read(Req.From, MemLoc::globalVar(Req.Var)).Raw;
+          Out.emplace_back(L, R);
+          return;
+        }
+        case LDomain::Request::Kind::Write: {
+          if (S.Mem.isBlocked(Req.From) || S.Mem.bufferFull(Req.From))
+            return;
+          LitmusMem Next = S;
+          Next.Mem.write(Req.From, MemLoc::globalVar(Req.Var),
+                         MemVal{Req.Val});
+          Out.emplace_back(LDomain::LocalState(std::move(Next)),
+                           LDomain::Response{});
+          return;
+        }
+        case LDomain::Request::Kind::Mfence:
+        case LDomain::Request::Kind::Drained:
+          if (S.Mem.isBlocked(Req.From) || !S.Mem.bufferEmpty(Req.From))
+            return;
+          Out.emplace_back(L, LDomain::Response{});
+          return;
+        }
+      });
+  cimp::CmdId Commit = Prog.localOp(
+      "mem:commit",
+      [NumThreads](const LDomain::LocalState &L,
+                   std::vector<LDomain::LocalState> &Out) {
+        const LitmusMem &S = asMem(L);
+        for (unsigned P = 0; P < NumThreads; ++P) {
+          if (S.Mem.bufferEmpty(static_cast<ProcId>(P)) ||
+              S.Mem.isBlocked(static_cast<ProcId>(P)))
+            continue;
+          LitmusMem Next = S;
+          Next.Mem.commitOldest(static_cast<ProcId>(P));
+          Out.push_back(LDomain::LocalState(std::move(Next)));
+        }
+      });
+  Prog.setEntry(Prog.loop(Prog.choice({Respond, Commit})));
+}
+
+std::string encodeLitmus(const cimp::SystemState<LDomain> &S) {
+  std::string Out;
+  for (const auto &PS : S) {
+    Out.push_back(static_cast<char>(PS.Stack.size()));
+    for (cimp::CmdId Id : PS.Stack) {
+      Out.push_back(static_cast<char>(Id & 0xff));
+      Out.push_back(static_cast<char>(Id >> 8));
+    }
+    if (const auto *T = std::get_if<LitmusLocal>(&PS.Local)) {
+      for (uint16_t R : T->Regs) {
+        Out.push_back(static_cast<char>(R & 0xff));
+        Out.push_back(static_cast<char>(R >> 8));
+      }
+    } else {
+      asMem(PS.Local).Mem.encode(Out);
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::set<LitmusOutcome> tsogc::enumerateOutcomes(const LitmusTest &T,
+                                                 unsigned BufferBound) {
+  LitmusStats Stats;
+  return enumerateOutcomes(T, BufferBound, Stats);
+}
+
+std::set<LitmusOutcome> tsogc::enumerateOutcomes(const LitmusTest &T,
+                                                 unsigned BufferBound,
+                                                 LitmusStats &Stats) {
+  const unsigned N = static_cast<unsigned>(T.Threads.size());
+  std::vector<std::unique_ptr<LProg>> Progs;
+  for (unsigned I = 0; I < N; ++I) {
+    Progs.push_back(std::make_unique<LProg>());
+    buildThread(*Progs[I], T.Threads[I], static_cast<ProcId>(I));
+  }
+  Progs.push_back(std::make_unique<LProg>());
+  buildMemProcess(*Progs.back(), N);
+
+  std::vector<const LProg *> Ptrs;
+  for (const auto &P : Progs)
+    Ptrs.push_back(P.get());
+  cimp::System<LDomain> Sys(std::move(Ptrs));
+
+  std::vector<LDomain::LocalState> Locals;
+  for (unsigned I = 0; I < N; ++I) {
+    LitmusLocal L;
+    L.Regs.assign(T.NumRegsPerThread, 0);
+    Locals.emplace_back(std::move(L));
+  }
+  Locals.emplace_back(LitmusMem(N, T.NumVars, BufferBound));
+
+  // Exhaustive DFS over the (finite) state space; record register files of
+  // states where every thread has terminated.
+  std::set<LitmusOutcome> Outcomes;
+  std::unordered_set<std::string> Visited;
+  std::vector<cimp::SystemState<LDomain>> Stack;
+  Stack.push_back(Sys.initialState(std::move(Locals)));
+  Visited.insert(encodeLitmus(Stack.back()));
+  Stats = LitmusStats{};
+  ++Stats.States;
+
+  std::vector<cimp::Successor<LDomain>> Succs;
+  while (!Stack.empty()) {
+    cimp::SystemState<LDomain> S = std::move(Stack.back());
+    Stack.pop_back();
+
+    bool AllDone = true;
+    for (unsigned I = 0; I < N; ++I)
+      if (!S[I].terminated())
+        AllDone = false;
+    if (AllDone) {
+      LitmusOutcome O;
+      for (unsigned I = 0; I < N; ++I)
+        O.Regs.push_back(asThread(S[I].Local).Regs);
+      const LitmusMem &Mem = asMem(S[N].Local);
+      for (unsigned V = 0; V < T.NumVars; ++V)
+        O.FinalMem.push_back(
+            Mem.Mem.memoryRead(MemLoc::globalVar(static_cast<uint8_t>(V)))
+                .Raw);
+      Outcomes.insert(std::move(O));
+      continue;
+    }
+
+    Succs.clear();
+    Sys.successors(S, Succs);
+    for (auto &Succ : Succs) {
+      ++Stats.Transitions;
+      if (Visited.insert(encodeLitmus(Succ.State)).second) {
+        ++Stats.States;
+        Stack.push_back(std::move(Succ.State));
+      }
+    }
+  }
+  return Outcomes;
+}
+
+LitmusTest tsogc::makeSB() {
+  LitmusTest T;
+  T.Name = "SB";
+  using K = LitmusInstr::Kind;
+  T.Threads = {
+      {{{K::Store, 0, 1, 0}, {K::Load, 1, 0, 0}}},
+      {{{K::Store, 1, 1, 0}, {K::Load, 0, 0, 0}}},
+  };
+  return T;
+}
+
+LitmusTest tsogc::makeSBFenced() {
+  LitmusTest T;
+  T.Name = "SB+mfence";
+  using K = LitmusInstr::Kind;
+  T.Threads = {
+      {{{K::Store, 0, 1, 0}, {K::Mfence, 0, 0, 0}, {K::Load, 1, 0, 0}}},
+      {{{K::Store, 1, 1, 0}, {K::Mfence, 0, 0, 0}, {K::Load, 0, 0, 0}}},
+  };
+  return T;
+}
+
+LitmusTest tsogc::makeMP() {
+  LitmusTest T;
+  T.Name = "MP";
+  using K = LitmusInstr::Kind;
+  T.Threads = {
+      {{{K::Store, 0, 1, 0}, {K::Store, 1, 1, 0}}},
+      {{{K::Load, 1, 0, 0}, {K::Load, 0, 0, 1}}},
+  };
+  return T;
+}
+
+LitmusTest tsogc::makeLB() {
+  LitmusTest T;
+  T.Name = "LB";
+  using K = LitmusInstr::Kind;
+  T.Threads = {
+      {{{K::Load, 0, 0, 0}, {K::Store, 1, 1, 0}}},
+      {{{K::Load, 1, 0, 0}, {K::Store, 0, 1, 0}}},
+  };
+  return T;
+}
+
+LitmusTest tsogc::makeCoRR() {
+  LitmusTest T;
+  T.Name = "CoRR";
+  using K = LitmusInstr::Kind;
+  T.Threads = {
+      {{{K::Store, 0, 1, 0}}},
+      {{{K::Load, 0, 0, 0}, {K::Load, 0, 0, 1}}},
+  };
+  return T;
+}
+
+LitmusTest tsogc::makeR() {
+  LitmusTest T;
+  T.Name = "R";
+  using K = LitmusInstr::Kind;
+  T.Threads = {
+      {{{K::Store, 0, 1, 0}, {K::Store, 1, 1, 0}}},  // t0: x:=1; y:=1
+      {{{K::Store, 1, 2, 0}, {K::Load, 0, 0, 0}}},   // t1: y:=2; r0:=x
+  };
+  return T;
+}
+
+LitmusTest tsogc::makeS() {
+  LitmusTest T;
+  T.Name = "S";
+  using K = LitmusInstr::Kind;
+  T.Threads = {
+      {{{K::Store, 0, 2, 0}, {K::Store, 1, 1, 0}}},  // t0: x:=2; y:=1
+      {{{K::Load, 1, 0, 0}, {K::Store, 0, 1, 0}}},   // t1: r0:=y; x:=1
+  };
+  return T;
+}
+
+LitmusTest tsogc::make2Plus2W() {
+  LitmusTest T;
+  T.Name = "2+2W";
+  using K = LitmusInstr::Kind;
+  T.Threads = {
+      {{{K::Store, 0, 1, 0}, {K::Store, 1, 2, 0}}},  // t0: x:=1; y:=2
+      {{{K::Store, 1, 1, 0}, {K::Store, 0, 2, 0}}},  // t1: y:=1; x:=2
+  };
+  return T;
+}
+
+LitmusTest tsogc::makeIRIW() {
+  LitmusTest T;
+  T.Name = "IRIW";
+  using K = LitmusInstr::Kind;
+  T.Threads = {
+      {{{K::Store, 0, 1, 0}}},                     // t0: x := 1
+      {{{K::Store, 1, 1, 0}}},                     // t1: y := 1
+      {{{K::Load, 0, 0, 0}, {K::Load, 1, 0, 1}}},  // t2: r0:=x; r1:=y
+      {{{K::Load, 1, 0, 0}, {K::Load, 0, 0, 1}}},  // t3: r0:=y; r1:=x
+  };
+  return T;
+}
+
+std::string tsogc::outcomeToString(const LitmusOutcome &O) {
+  std::vector<std::string> Threads;
+  for (size_t T = 0; T < O.Regs.size(); ++T) {
+    std::vector<std::string> Regs;
+    for (size_t R = 0; R < O.Regs[T].size(); ++R)
+      Regs.push_back(format("r%zu=%u", R, O.Regs[T][R]));
+    Threads.push_back(format("t%zu:[%s]", T, join(Regs, ",").c_str()));
+  }
+  std::vector<std::string> Mem;
+  for (size_t V = 0; V < O.FinalMem.size(); ++V)
+    Mem.push_back(format("g%zu=%u", V, O.FinalMem[V]));
+  return join(Threads, " ") + " mem:[" + join(Mem, ",") + "]";
+}

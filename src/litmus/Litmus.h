@@ -1,0 +1,99 @@
+//===- litmus/Litmus.h - x86-TSO litmus tests over CIMP -------------------===//
+///
+/// \file
+/// Classic litmus tests (SB, MP, LB, SB+MFENCE, CoRR) expressed as CIMP
+/// processes against the same memory-system process shape as the GC model's
+/// Figure 9 encoding. Enumerating their final-state outcomes validates the
+/// TSO substrate against the published x86-TSO results of Sewell et al.:
+///
+///   SB  (store buffering):  r0 = r1 = 0 allowed under TSO, not under SC.
+///   SB+MFENCE:              r0 = r1 = 0 forbidden.
+///   MP  (message passing):  r0 = 1 ∧ r1 = 0 forbidden under TSO
+///                           (stores commit in order; loads are not
+///                            reordered with older loads).
+///   LB  (load buffering):   r0 = 1 ∧ r1 = 1 forbidden (no load-store
+///                            reordering on TSO).
+///   CoRR (read coherence):  a reader never sees a location go backwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_LITMUS_LITMUS_H
+#define TSOGC_LITMUS_LITMUS_H
+
+#include <cstdint>
+#include <tuple>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tsogc {
+
+/// One hardware thread of a litmus test: straight-line instructions.
+struct LitmusInstr {
+  enum class Kind : uint8_t { Store, Load, Mfence } K = Kind::Store;
+  uint8_t Var = 0;   ///< Global variable index.
+  uint16_t Val = 0;  ///< Store value.
+  uint8_t Reg = 0;   ///< Load destination register.
+};
+
+struct LitmusThread {
+  std::vector<LitmusInstr> Code;
+};
+
+/// A litmus test: named threads plus the number of registers per thread.
+struct LitmusTest {
+  std::string Name;
+  unsigned NumVars = 2;
+  unsigned NumRegsPerThread = 2;
+  std::vector<LitmusThread> Threads;
+};
+
+/// A final outcome: per-thread register files plus the final shared-memory
+/// values, observed after all threads terminated and all buffers drained.
+struct LitmusOutcome {
+  std::vector<std::vector<uint16_t>> Regs;
+  std::vector<uint16_t> FinalMem;
+
+  bool operator==(const LitmusOutcome &O) const = default;
+  bool operator<(const LitmusOutcome &O) const {
+    return std::tie(Regs, FinalMem) < std::tie(O.Regs, O.FinalMem);
+  }
+};
+
+/// Enumerate all reachable final outcomes of \p T.
+/// \p BufferBound 0 selects SC mode (no store buffers).
+std::set<LitmusOutcome> enumerateOutcomes(const LitmusTest &T,
+                                          unsigned BufferBound);
+
+/// Number of distinct states visited by the last enumerateOutcomes-style
+/// run, for benchmark reporting.
+struct LitmusStats {
+  uint64_t States = 0;
+  uint64_t Transitions = 0;
+};
+std::set<LitmusOutcome> enumerateOutcomes(const LitmusTest &T,
+                                          unsigned BufferBound,
+                                          LitmusStats &Stats);
+
+/// The classic tests.
+LitmusTest makeSB();        ///< Store buffering.
+LitmusTest makeSBFenced();  ///< SB with MFENCE between store and load.
+LitmusTest makeMP();        ///< Message passing.
+LitmusTest makeLB();        ///< Load buffering.
+LitmusTest makeCoRR();      ///< Coherent read-read.
+LitmusTest makeIRIW();      ///< Independent reads of independent writes:
+                            ///< the two readers may not disagree on the
+                            ///< order of the writes (TSO is multi-copy
+                            ///< atomic).
+LitmusTest makeR();         ///< R: write-write vs write-read ordering.
+LitmusTest makeS();         ///< S: store ordering against a read.
+LitmusTest make2Plus2W();   ///< 2+2W: cross-located store pairs; the final
+                            ///< values may not both be the *first* store
+                            ///< of each thread (coherence + FIFO buffers).
+
+/// Render an outcome as "t0:[r0=…,r1=…] t1:[…]".
+std::string outcomeToString(const LitmusOutcome &O);
+
+} // namespace tsogc
+
+#endif // TSOGC_LITMUS_LITMUS_H

@@ -1,0 +1,103 @@
+//===- runtime/GcRuntime.cpp -----------------------------------------------===//
+
+#include "runtime/GcRuntime.h"
+
+#include "runtime/RtCollector.h"
+
+#include <chrono>
+
+using namespace tsogc::rt;
+
+GcRuntime::GcRuntime(const RtConfig &Cfg) : Heap(Cfg) {}
+
+GcRuntime::~GcRuntime() { stopCollector(); }
+
+MutatorContext *GcRuntime::registerMutator() {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  auto Slot = std::make_unique<MutatorSlot>();
+  unsigned Index = static_cast<unsigned>(Slots.size());
+  Slot->Ctx = std::make_unique<MutatorContext>(*this, Index);
+  Slot->Active.store(true, std::memory_order_release);
+  Slots.push_back(std::move(Slot));
+  return Slots.back()->Ctx.get();
+}
+
+void GcRuntime::deregisterMutator(MutatorContext *M) {
+  TSOGC_CHECK(M->numRoots() == 0,
+              "mutators must drop their roots before deregistering");
+  // Service any in-flight handshake, then leave. If a request lands in the
+  // gap, the collector observes Active == false and skips this mutator.
+  M->safepoint();
+  M->releaseAllocPool();
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  Slots[M->index()]->Active.store(false, std::memory_order_release);
+}
+
+std::vector<GcRuntime::MutatorSlot *> GcRuntime::activeSlots() {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  std::vector<MutatorSlot *> Out;
+  for (auto &S : Slots)
+    if (S->Active.load(std::memory_order_acquire))
+      Out.push_back(S.get());
+  return Out;
+}
+
+CycleStats GcRuntime::collectOnce() {
+  RtCollector C(*this);
+  CycleStats CS = C.runCycle();
+  recordCycle(CS);
+  return CS;
+}
+
+CycleStats GcRuntime::collectStw() {
+  RtCollector C(*this);
+  CycleStats CS = C.runStwCycle();
+  recordCycle(CS);
+  return CS;
+}
+
+void GcRuntime::startCollector(const CollectorPolicy &Policy) {
+  TSOGC_CHECK(!CollectorRunning.load(), "collector already running");
+  TSOGC_CHECK(Policy.OccupancyTrigger >= 0.0 &&
+                  Policy.OccupancyTrigger <= 1.0,
+              "occupancy trigger must be a fraction");
+  CollectorRunning.store(true);
+  CollectorThread = std::thread([this, Policy] {
+    const auto Threshold = static_cast<uint32_t>(
+        Policy.OccupancyTrigger * static_cast<double>(Heap.capacity()));
+    while (CollectorRunning.load(std::memory_order_relaxed)) {
+      if (Threshold != 0 && Heap.allocatedCount() < Threshold) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(Policy.IdlePollUs));
+        continue;
+      }
+      if (Policy.StopTheWorld)
+        collectStw();
+      else
+        collectOnce();
+    }
+  });
+}
+
+void GcRuntime::stopCollector() {
+  if (!CollectorThread.joinable())
+    return;
+  CollectorRunning.store(false);
+  CollectorThread.join();
+}
+
+GcRuntime::HeapAudit GcRuntime::auditHeap() {
+  RtCollector C(*this);
+  return C.audit();
+}
+
+std::vector<CycleStats> GcRuntime::cycleLog() {
+  std::lock_guard<std::mutex> Lock(LogMutex);
+  return Log;
+}
+
+void GcRuntime::recordCycle(const CycleStats &C) {
+  Stats.recordCycle(C);
+  std::lock_guard<std::mutex> Lock(LogMutex);
+  Log.push_back(C);
+}

@@ -1,0 +1,156 @@
+//===- runtime/GcRuntime.h - The runtime: heap + threads + control --------===//
+///
+/// \file
+/// The facade owning the slab heap, the shared collector control variables
+/// (fM, fA, phase — the three variables of Figure 2), the mutator registry
+/// with per-mutator handshake channels, and the collector thread. The
+/// memory-ordering discipline follows §2.4: plain (relaxed) heap accesses,
+/// sequentially-consistent CAS for marking, and the four handshake fences
+/// (store fence at initiation, load fence at acceptance, store fence at
+/// completion, load fence after all acknowledgements).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_RUNTIME_GCRUNTIME_H
+#define TSOGC_RUNTIME_GCRUNTIME_H
+
+#include "runtime/MutatorContext.h"
+#include "runtime/RtHeap.h"
+#include "runtime/RtStats.h"
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tsogc::rt {
+
+/// One mutator's handshake mailbox. Request encodes (sequence << 3 | type);
+/// Acked holds the last acknowledged sequence number.
+struct HsChannel {
+  std::atomic<uint32_t> Request{0};
+  std::atomic<uint32_t> Acked{0};
+
+  static uint32_t encode(uint32_t Seq, RtHsType T) {
+    return (Seq << 3) | static_cast<uint32_t>(T);
+  }
+  static uint32_t seqOf(uint32_t Req) { return Req >> 3; }
+  static RtHsType typeOf(uint32_t Req) {
+    return static_cast<RtHsType>(Req & 7);
+  }
+};
+
+class GcRuntime {
+public:
+  explicit GcRuntime(const RtConfig &Cfg);
+  ~GcRuntime();
+
+  GcRuntime(const GcRuntime &) = delete;
+  GcRuntime &operator=(const GcRuntime &) = delete;
+
+  RtHeap &heap() { return Heap; }
+  const RtConfig &config() const { return Heap.config(); }
+  RtStats &stats() { return Stats; }
+
+  /// Register the calling thread as a mutator. Mutators must call
+  /// safepoint() regularly once the collector is running, and must
+  /// deregister (with an empty root set) before destruction of the runtime.
+  MutatorContext *registerMutator();
+  void deregisterMutator(MutatorContext *M);
+
+  /// Run one on-the-fly collection cycle on the calling thread.
+  CycleStats collectOnce();
+
+  /// Run one stop-the-world mark-sweep cycle (the baseline of E11).
+  CycleStats collectStw();
+
+  /// When the background collector runs. The paper omits scheduling
+  /// ("we omit scheduling decisions"); this is the minimal policy an
+  /// adopting runtime needs.
+  struct CollectorPolicy {
+    bool StopTheWorld = false;
+    /// Trigger a cycle when allocated objects exceed this fraction of the
+    /// slab (0 = run back-to-back cycles continuously).
+    double OccupancyTrigger = 0.0;
+    /// Idle poll period while below the trigger.
+    unsigned IdlePollUs = 50;
+  };
+
+  /// Start/stop a background collector thread.
+  void startCollector(bool StopTheWorld = false) {
+    CollectorPolicy P;
+    P.StopTheWorld = StopTheWorld;
+    startCollector(P);
+  }
+  void startCollector(const CollectorPolicy &Policy);
+  void stopCollector();
+
+  /// Per-cycle records (guarded; copy out).
+  std::vector<CycleStats> cycleLog();
+
+  /// Result of a whole-heap verification pass.
+  struct HeapAudit {
+    uint32_t Reachable = 0;   ///< Objects reachable from some root.
+    uint32_t Unreachable = 0; ///< Allocated but unreachable (future garbage).
+    uint32_t DanglingRoots = 0;  ///< Roots whose object is gone (GC bug).
+    uint32_t DanglingFields = 0; ///< Reachable fields pointing at freed
+                                 ///< slots (GC bug).
+    bool clean() const { return DanglingRoots == 0 && DanglingFields == 0; }
+  };
+
+  /// Stop the world and audit the heap: every reference reachable from any
+  /// mutator root must name an allocated object — the runtime analogue of
+  /// the model's valid_refs_inv, independent of the per-access epoch
+  /// checks. Requires mutator threads at safepoints (they are parked for
+  /// the audit) and must not race a running collector cycle; call it from
+  /// the collector's thread context or between cycles.
+  HeapAudit auditHeap();
+
+  //===-- Shared control state (used by MutatorContext and collectors) ----===//
+
+  std::atomic<uint32_t> FM{0};
+  std::atomic<uint32_t> FA{0};
+  std::atomic<uint32_t> Phase{static_cast<uint32_t>(RtPhase::Idle)};
+  std::atomic<uint32_t> HsSeq{0};
+
+  /// Optional hook invoked while the collector awaits handshake
+  /// acknowledgements. Single-threaded deterministic tests set this to
+  /// service the mutators' safepoints from the collector's thread; normal
+  /// multi-threaded operation leaves it empty. Not usable with
+  /// stop-the-world cycles (a parked mutator blocks inside its handler).
+  std::function<void()> HandshakeServicer;
+
+  struct MutatorSlot {
+    std::unique_ptr<MutatorContext> Ctx;
+    HsChannel Channel;
+    std::atomic<bool> Active{false};
+  };
+
+  /// Snapshot of slots for handshake rounds (stable storage; slots are
+  /// never destroyed until runtime teardown).
+  std::vector<MutatorSlot *> activeSlots();
+
+  HsChannel &channelOf(unsigned Index) { return Slots[Index]->Channel; }
+
+private:
+  friend class MutatorContext;
+
+  RtHeap Heap;
+  RtStats Stats;
+
+  std::mutex RegistryMutex;
+  std::vector<std::unique_ptr<MutatorSlot>> Slots;
+
+  std::mutex LogMutex;
+  std::vector<CycleStats> Log;
+
+  std::thread CollectorThread;
+  std::atomic<bool> CollectorRunning{false};
+
+  void recordCycle(const CycleStats &C);
+};
+
+} // namespace tsogc::rt
+
+#endif // TSOGC_RUNTIME_GCRUNTIME_H

@@ -1,0 +1,243 @@
+//===- runtime/MutatorContext.cpp ------------------------------------------===//
+
+#include "runtime/MutatorContext.h"
+
+#include "runtime/GcRuntime.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+using namespace tsogc::rt;
+
+namespace {
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+MutatorContext::MutatorContext(GcRuntime &Rt, unsigned Index)
+    : Rt(Rt), Heap(Rt.heap()), Index(Index) {
+  TortureRng = 0x9e3779b97f4a7c15ULL * (Index + 1);
+  // A mutator registered while the collector is mid-cycle would join with
+  // stale views; registration is specified to happen while the collector is
+  // idle, so syncing with the current shared values is exact.
+  refreshView();
+}
+
+void MutatorContext::maybeYield() {
+  const uint32_t Level = Heap.config().TortureLevel;
+  if (Level == 0)
+    return;
+  // xorshift64*: cheap enough to sit inside the barriers.
+  TortureRng ^= TortureRng >> 12;
+  TortureRng ^= TortureRng << 25;
+  TortureRng ^= TortureRng >> 27;
+  if ((TortureRng * 0x2545f4914f6cdd1dULL >> 32) % Level == 0)
+    std::this_thread::yield();
+}
+
+void MutatorContext::checkHandle(const RootHandle &H, const char *What) const {
+  if (!Heap.config().Validate)
+    return;
+  uint32_t Hd = Heap.header(H.Ref);
+  if (!hdr::allocated(Hd) || hdr::epoch(Hd) != H.Epoch)
+    reportFatalError(
+        format("GC SAFETY VIOLATION: %s through root handle to freed object "
+               "%u (epoch %u, now %u, allocated=%d)",
+               What, H.Ref, H.Epoch, hdr::epoch(Hd), hdr::allocated(Hd) ? 1 : 0)
+            .c_str(),
+        __FILE__, __LINE__);
+}
+
+int MutatorContext::load(size_t SrcRootIdx, uint32_t Field) {
+  const RootHandle &Src = Roots[SrcRootIdx];
+  checkHandle(Src, "load");
+  ++Stats.Loads;
+  RtRef V = Heap.field(Src.Ref, Field);
+  if (V == RtNull)
+    return -1;
+  // Loads carry no barrier (§2.1: a read barrier would be too expensive);
+  // the loaded reference simply becomes a root.
+  Roots.push_back(RootHandle{V, Heap.epoch(V)});
+  checkHandle(Roots.back(), "load-acquire");
+  return static_cast<int>(Roots.size() - 1);
+}
+
+void MutatorContext::store(size_t DstRootIdx, size_t SrcRootIdx,
+                           uint32_t Field) {
+  const RootHandle &Dst = Roots[DstRootIdx];
+  const RootHandle &Src = Roots[SrcRootIdx];
+  checkHandle(Dst, "store-dst");
+  checkHandle(Src, "store-src");
+  ++Stats.Stores;
+  const RtConfig &Cfg = Heap.config();
+  // Deletion barrier: mark the reference about to be overwritten (Fig 6
+  // line 8). Note the read and the overwrite are not atomic — under racy
+  // stores by other mutators the marked reference may not be the one
+  // actually overwritten, exactly as the model permits.
+  if (Cfg.DeletionBarrier) {
+    RtRef Old = Heap.field(Src.Ref, Field);
+    maybeYield(); // torture: widen the read-to-mark window (§3.2's race)
+    if (Old != RtNull)
+      barrierMark(Old);
+  }
+  // Insertion barrier: mark the target being stored (Fig 6 line 9). The
+  // §4 elision variant adds one branch: skip it once this mutator's roots
+  // have been marked this cycle.
+  if (Cfg.InsertionBarrier &&
+      !(Cfg.InsertionBarrierElideAfterRoots && RootsMarkedThisCycle))
+    barrierMark(Dst.Ref);
+  maybeYield(); // torture: between the barriers and the store itself
+  Heap.setField(Src.Ref, Field, Dst.Ref);
+}
+
+int MutatorContext::alloc() {
+  ++Stats.Allocs;
+  // New objects take the allocation color from the *local* fA view; stale
+  // views are what the H3/H4 rounds are for.
+  RtRef R;
+  const uint32_t PoolSize = Heap.config().LocalAllocPool;
+  if (PoolSize == 0) {
+    R = Heap.alloc(FaLocal);
+  } else {
+    // §4 extension: fine-grained allocation from a thread-local pool; the
+    // free-list lock is taken once per PoolSize allocations.
+    if (AllocPool.empty())
+      Heap.reserveBatch(AllocPool, PoolSize);
+    if (AllocPool.empty()) {
+      R = RtNull;
+    } else {
+      R = Heap.allocFromReserved(AllocPool.back(), FaLocal);
+      AllocPool.pop_back();
+    }
+  }
+  if (R == RtNull) {
+    ++Stats.AllocFailures;
+    return -1;
+  }
+  Roots.push_back(RootHandle{R, Heap.epoch(R)});
+  return static_cast<int>(Roots.size() - 1);
+}
+
+void MutatorContext::releaseAllocPool() {
+  if (AllocPool.empty())
+    return;
+  Heap.unreserve(AllocPool);
+  AllocPool.clear();
+}
+
+void MutatorContext::discard(size_t RootIdx) {
+  TSOGC_CHECK(RootIdx < Roots.size(), "discard of a non-existent root");
+  Roots[RootIdx] = Roots.back();
+  Roots.pop_back();
+}
+
+void MutatorContext::barrierMark(RtRef R) {
+  maybeYield(); // torture: just before the unsynchronized flag load
+  const bool Active = PhaseLocal != RtPhase::Idle;
+  if (Heap.mark(R, FmLocal, Active, &Stats.BarrierCas)) {
+    ++Stats.BarrierMarks;
+    // Winner publishes the grey on the private work-list (Fig 5 line 13).
+    Heap.setWorkNext(R, WorkHead);
+    WorkHead = R;
+    if (WorkTail == RtNull)
+      WorkTail = R;
+  }
+}
+
+void MutatorContext::refreshView() {
+  FmLocal = Rt.FM.load(std::memory_order_relaxed) != 0;
+  FaLocal = Rt.FA.load(std::memory_order_relaxed) != 0;
+  PhaseLocal =
+      static_cast<RtPhase>(Rt.Phase.load(std::memory_order_relaxed));
+}
+
+void MutatorContext::markOwnRoots() {
+  for (const RootHandle &H : Roots) {
+    checkHandle(H, "root-mark");
+    if (Heap.mark(H.Ref, FmLocal, /*BarriersActive=*/true,
+                  &Stats.BarrierCas)) {
+      ++Stats.RootsMarked;
+      Heap.setWorkNext(H.Ref, WorkHead);
+      WorkHead = H.Ref;
+      if (WorkTail == RtNull)
+        WorkTail = H.Ref;
+    }
+  }
+}
+
+void MutatorContext::transferWorklist() {
+  if (WorkHead == RtNull)
+    return;
+  Heap.spliceShared(WorkHead, WorkTail);
+  WorkHead = WorkTail = RtNull;
+}
+
+void MutatorContext::safepoint() {
+  HsChannel &Ch = Rt.channelOf(Index);
+  uint32_t Req = Ch.Request.load(std::memory_order_acquire);
+  if (Req == LastHandledRequest)
+    return;
+  handleHandshake(Req);
+}
+
+void MutatorContext::handleHandshake(uint32_t Req) {
+  HsChannel &Ch = Rt.channelOf(Index);
+  uint64_t T0 = nowNs();
+  ++Stats.HandshakesSeen;
+
+  // Load fence at acceptance (§2.4). The acquire load of Request plus this
+  // fence order every earlier collector store before our view refresh.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+
+  RtHsType Type = HsChannel::typeOf(Req);
+  refreshView();
+  maybeYield(); // torture: after the view refresh, before the work
+
+  switch (Type) {
+  case RtHsType::None:
+  case RtHsType::Noop:
+    if (PhaseLocal == RtPhase::Idle)
+      RootsMarkedThisCycle = false; // a new cycle is beginning
+    break;
+  case RtHsType::GetRoots:
+    markOwnRoots();
+    transferWorklist();
+    RootsMarkedThisCycle = true;
+    break;
+  case RtHsType::GetWork:
+    transferWorklist();
+    break;
+  case RtHsType::Park: {
+    // Stop-the-world baseline: acknowledge (we are parked), then block
+    // until a new request arrives, and handle it (the resume no-op).
+    LastHandledRequest = Req;
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    Ch.Acked.store(HsChannel::seqOf(Req), std::memory_order_release);
+    uint32_t Next;
+    while ((Next = Ch.Request.load(std::memory_order_acquire)) == Req)
+      std::this_thread::yield();
+    handleHandshake(Next);
+    uint64_t Dt = nowNs() - T0;
+    Stats.HandshakeNs += Dt;
+    Stats.MaxHandshakeNs = std::max(Stats.MaxHandshakeNs, Dt);
+    return;
+  }
+  }
+
+  // Store fence at completion, then acknowledge.
+  LastHandledRequest = Req;
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  Ch.Acked.store(HsChannel::seqOf(Req), std::memory_order_release);
+
+  uint64_t Dt = nowNs() - T0;
+  Stats.HandshakeNs += Dt;
+  Stats.MaxHandshakeNs = std::max(Stats.MaxHandshakeNs, Dt);
+}

@@ -1,0 +1,140 @@
+//===- runtime/MutatorContext.h - Per-thread mutator interface ------------===//
+///
+/// \file
+/// The heap access protocol of Figure 6 for real threads. Each mutator
+/// thread owns a MutatorContext providing Load / Store (with both write
+/// barriers) / Alloc / Discard over a shadow-stack of roots, plus the
+/// safepoint poll that services soft handshakes (Figures 3, 4).
+///
+/// Root handles carry the object's allocation epoch: if the collector ever
+/// freed a reachable object, the very next access through a stale handle
+/// aborts with a diagnostic instead of silently touching recycled memory.
+/// This is the runtime's teeth for the headline safety property.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_RUNTIME_MUTATORCONTEXT_H
+#define TSOGC_RUNTIME_MUTATORCONTEXT_H
+
+#include "runtime/RtHeap.h"
+#include "runtime/RtStats.h"
+
+#include <atomic>
+#include <vector>
+
+namespace tsogc::rt {
+
+class GcRuntime;
+
+/// A rooted reference plus the epoch observed when it was acquired.
+struct RootHandle {
+  RtRef Ref = RtNull;
+  uint32_t Epoch = 0;
+};
+
+class MutatorContext {
+public:
+  /// Created via GcRuntime::registerMutator(); use from one thread only.
+  MutatorContext(GcRuntime &Rt, unsigned Index);
+
+  unsigned index() const { return Index; }
+  const MutStats &stats() const { return Stats; }
+  const RtConfig &config() const { return Heap.config(); }
+
+  //===-- The mutator operations of Figure 6 ------------------------------===//
+
+  /// roots := roots ∪ {src.fld}. Returns the index of the new root in the
+  /// shadow stack, or -1 if the field was null.
+  int load(size_t SrcRootIdx, uint32_t Field);
+
+  /// src.fld := dst, with the deletion barrier on the old value and the
+  /// insertion barrier on dst (both subject to the configured ablations).
+  void store(size_t DstRootIdx, size_t SrcRootIdx, uint32_t Field);
+
+  /// Allocate an object marked with the local allocation color; the new
+  /// reference becomes a root. Returns its root index or -1 if the heap is
+  /// exhausted.
+  int alloc();
+
+  /// roots := roots \ {roots[Idx]} (swap-with-back removal).
+  void discard(size_t RootIdx);
+
+  /// GC-safe point: poll for and service a pending handshake. Call this at
+  /// "backward branches and call returns" — i.e. regularly, and never
+  /// in the middle of a load/store/alloc (the API guarantees that).
+  void safepoint();
+
+  //===-- Introspection ----------------------------------------------------===//
+
+  size_t numRoots() const { return Roots.size(); }
+  const RootHandle &root(size_t Idx) const { return Roots[Idx]; }
+
+  /// Direct validated dereference used by tests.
+  RtRef rootRef(size_t Idx) const { return Roots[Idx].Ref; }
+
+  /// Return unused allocation-pool slots to the heap (called by
+  /// deregistration; harmless when the pool is disabled or empty).
+  void releaseAllocPool();
+
+private:
+  friend class RtCollector;
+  friend class StwCollector;
+
+  /// Validate a root handle before any access through it.
+  void checkHandle(const RootHandle &H, const char *What) const;
+
+  /// Fault injection: yield at a racy point with probability
+  /// 1/TortureLevel (no-op when torture is off).
+  void maybeYield();
+
+  /// The mark procedure with work-list publication (Fig 5 lines 12-13).
+  void barrierMark(RtRef R);
+
+  /// Handshake handler (the mutator side of Figure 4).
+  void handleHandshake(uint32_t Request);
+
+  /// Refresh the local control-state copies from the shared variables.
+  void refreshView();
+
+  /// Mark all roots into the private work-list (get-roots handshake).
+  void markOwnRoots();
+
+  /// Transfer the private work-list chain to the shared list.
+  void transferWorklist();
+
+  GcRuntime &Rt;
+  RtHeap &Heap;
+  unsigned Index;
+
+  // Local copies of the collector control state (refreshed at handshakes).
+  bool FmLocal = false;
+  bool FaLocal = false;
+  RtPhase PhaseLocal = RtPhase::Idle;
+
+  // Shadow stack of roots.
+  std::vector<RootHandle> Roots;
+
+  // Private work-list: intrusive chain through the heap's WorkNext links.
+  RtRef WorkHead = RtNull;
+  RtRef WorkTail = RtNull;
+
+  uint32_t LastHandledRequest = 0;
+
+  /// True between this cycle's get-roots handshake and the next idle
+  /// round; drives the §4 insertion-barrier elision branch.
+  bool RootsMarkedThisCycle = false;
+
+  /// §4 allocation-pool extension: reserved-but-unallocated slots owned by
+  /// this thread (empty when the pool is disabled). Returned to the heap
+  /// on deregistration.
+  std::vector<RtRef> AllocPool;
+
+  /// Cheap per-thread PRNG state for torture-mode yield decisions.
+  uint64_t TortureRng = 0;
+
+  MutStats Stats;
+};
+
+} // namespace tsogc::rt
+
+#endif // TSOGC_RUNTIME_MUTATORCONTEXT_H

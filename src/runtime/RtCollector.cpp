@@ -1,0 +1,243 @@
+//===- runtime/RtCollector.cpp ---------------------------------------------===//
+
+#include "runtime/RtCollector.h"
+
+#include <chrono>
+#include <thread>
+
+using namespace tsogc::rt;
+
+namespace {
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+void RtCollector::handshakeRound(RtHsType Type) {
+  auto Slots = Rt.activeSlots();
+  uint32_t Seq = Rt.HsSeq.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint32_t Req = HsChannel::encode(Seq, Type);
+
+  // Store fence when the collector initiates a round (§2.4): every control
+  // variable write is globally visible before any mutator sees its bit.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  for (auto *S : Slots)
+    S->Channel.Request.store(Req, std::memory_order_release);
+
+  for (auto *S : Slots) {
+    while (S->Channel.Acked.load(std::memory_order_acquire) != Seq) {
+      if (!S->Active.load(std::memory_order_acquire))
+        break; // Deregistered mid-round; it has no roots (checked).
+      if (Rt.HandshakeServicer)
+        Rt.HandshakeServicer();
+      else
+        std::this_thread::yield();
+    }
+  }
+  // Load fence after all acknowledgements (§2.4).
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+bool RtCollector::takeSharedWork() {
+  RtRef Chain = Heap.takeShared();
+  if (Chain == RtNull)
+    return false;
+  // Append our current list behind the incoming chain.
+  RtRef Tail = Chain;
+  while (Heap.workNext(Tail) != RtNull)
+    Tail = Heap.workNext(Tail);
+  Heap.setWorkNext(Tail, WorkHead);
+  WorkHead = Chain;
+  return true;
+}
+
+void RtCollector::drainWorklist(CycleStats &CS) {
+  while (WorkHead != RtNull) {
+    RtRef Src = WorkHead;
+    WorkHead = Heap.workNext(Src);
+    Heap.setWorkNext(Src, RtNull);
+    ++CS.ObjectsMarked;
+    // Scan the grey source: mark every child, collecting new greys
+    // (Fig 2 lines 27-30).
+    for (uint32_t F = 0; F < Heap.config().NumFields; ++F) {
+      RtRef Child = Heap.field(Src, F);
+      if (Child == RtNull)
+        continue;
+      if (Heap.mark(Child, Fm, /*BarriersActive=*/true, &CS.CollectorCas)) {
+        Heap.setWorkNext(Child, WorkHead);
+        WorkHead = Child;
+      }
+    }
+    // Dropping Src from the list blackens it: marked and not grey.
+  }
+}
+
+void RtCollector::sweep(CycleStats &CS) {
+  for (RtRef R = 0; R < Heap.capacity(); ++R) {
+    uint32_t H = Heap.header(R);
+    if (!hdr::allocated(H))
+      continue;
+    if (hdr::mark(H) != Fm) {
+      // ref ∈ White ∧ reachable_snapshot_inv ⇒ ref ∉ reachable
+      // (Fig 2 lines 41-44).
+      Heap.free(R);
+      ++CS.ObjectsFreed;
+    } else {
+      ++CS.ObjectsRetained;
+    }
+  }
+}
+
+CycleStats RtCollector::runCycle() {
+  CycleStats CS;
+  uint64_t T0 = nowNs();
+  Fm = Rt.FM.load(std::memory_order_relaxed) != 0;
+
+  // Lines 3-4: everyone sees Idle; heap uniformly black.
+  handshakeRound(RtHsType::Noop);
+  ++CS.HandshakeRounds;
+
+  const bool Merged = Heap.config().MergedInitHandshakes;
+
+  // Line 5: flip the mark sense — the heap becomes white.
+  Fm = !Fm;
+  Rt.FM.store(Fm ? 1 : 0, std::memory_order_relaxed);
+  if (!Merged) {
+    handshakeRound(RtHsType::Noop);
+    ++CS.HandshakeRounds;
+  }
+
+  // Line 8: barriers on. In the merged variant (§4 conjecture 1) this one
+  // round acknowledges both the flip and the barrier installation.
+  Rt.Phase.store(static_cast<uint32_t>(RtPhase::Init),
+                 std::memory_order_relaxed);
+  handshakeRound(RtHsType::Noop);
+  ++CS.HandshakeRounds;
+
+  // Lines 11-12: phase := Mark, allocate black from here. In the merged
+  // variant the get-roots round itself acknowledges these writes.
+  Rt.Phase.store(static_cast<uint32_t>(RtPhase::Mark),
+                 std::memory_order_relaxed);
+  Rt.FA.store(Fm ? 1 : 0, std::memory_order_relaxed);
+  if (!Merged) {
+    handshakeRound(RtHsType::Noop);
+    ++CS.HandshakeRounds;
+  }
+
+  // Lines 15-20: gather the mutators' marked roots.
+  uint64_t TM = nowNs();
+  handshakeRound(RtHsType::GetRoots);
+  ++CS.HandshakeRounds;
+  takeSharedWork();
+
+  // Lines 24-34: the marking loop with get-work termination rounds.
+  for (;;) {
+    drainWorklist(CS);
+    handshakeRound(RtHsType::GetWork);
+    ++CS.HandshakeRounds;
+    ++CS.TerminationRounds;
+    if (!takeSharedWork())
+      break; // A full round reported no work: no greys remain anywhere.
+  }
+  CS.MarkNs = nowNs() - TM;
+
+  // Lines 37-45: sweep.
+  Rt.Phase.store(static_cast<uint32_t>(RtPhase::Sweep),
+                 std::memory_order_relaxed);
+  uint64_t TS = nowNs();
+  sweep(CS);
+  CS.SweepNs = nowNs() - TS;
+
+  // Line 46.
+  Rt.Phase.store(static_cast<uint32_t>(RtPhase::Idle),
+                 std::memory_order_relaxed);
+  CS.CycleNs = nowNs() - T0;
+  return CS;
+}
+
+GcRuntime::HeapAudit RtCollector::audit() {
+  GcRuntime::HeapAudit A;
+  parkAllMutators();
+
+  // Mark-free BFS over the parked heap using a side bitmap (the audit must
+  // not disturb the mark bits the real collector owns).
+  std::vector<bool> Seen(Heap.capacity(), false);
+  std::vector<RtRef> Work;
+  auto Visit = [&](RtRef R, bool IsRoot) {
+    if (R == RtNull)
+      return;
+    if (!Heap.isAllocated(R)) {
+      if (IsRoot)
+        ++A.DanglingRoots;
+      else
+        ++A.DanglingFields;
+      return;
+    }
+    if (Seen[R])
+      return;
+    Seen[R] = true;
+    Work.push_back(R);
+  };
+  for (auto *S : Rt.activeSlots())
+    for (const RootHandle &H : S->Ctx->Roots)
+      Visit(H.Ref, /*IsRoot=*/true);
+  while (!Work.empty()) {
+    RtRef R = Work.back();
+    Work.pop_back();
+    ++A.Reachable;
+    for (uint32_t F = 0; F < Heap.config().NumFields; ++F)
+      Visit(Heap.field(R, F), /*IsRoot=*/false);
+  }
+  for (RtRef R = 0; R < Heap.capacity(); ++R)
+    if (Heap.isAllocated(R) && !Seen[R])
+      ++A.Unreachable;
+
+  resumeAllMutators();
+  return A;
+}
+
+void RtCollector::parkAllMutators() { handshakeRound(RtHsType::Park); }
+
+void RtCollector::resumeAllMutators() { handshakeRound(RtHsType::Noop); }
+
+CycleStats RtCollector::runStwCycle() {
+  CycleStats CS;
+  uint64_t T0 = nowNs();
+  Fm = Rt.FM.load(std::memory_order_relaxed) != 0;
+
+  // Stop the world: every mutator parks inside its handshake handler.
+  parkAllMutators();
+  ++CS.HandshakeRounds;
+
+  // With the world stopped the collector owns everything: flip the sense,
+  // mark from all roots, sweep.
+  Fm = !Fm;
+  Rt.FM.store(Fm ? 1 : 0, std::memory_order_relaxed);
+  Rt.FA.store(Fm ? 1 : 0, std::memory_order_relaxed);
+
+  uint64_t TM = nowNs();
+  for (auto *S : Rt.activeSlots()) {
+    MutatorContext &M = *S->Ctx;
+    for (const RootHandle &H : M.Roots)
+      if (Heap.mark(H.Ref, Fm, /*BarriersActive=*/true, &CS.CollectorCas)) {
+        Heap.setWorkNext(H.Ref, WorkHead);
+        WorkHead = H.Ref;
+      }
+  }
+  drainWorklist(CS);
+  CS.MarkNs = nowNs() - TM;
+
+  uint64_t TS = nowNs();
+  sweep(CS);
+  CS.SweepNs = nowNs() - TS;
+
+  resumeAllMutators();
+  ++CS.HandshakeRounds;
+  CS.CycleNs = nowNs() - T0;
+  return CS;
+}

@@ -1,0 +1,66 @@
+//===- runtime/RtCollector.h - The collector cycle (Figure 2, real) -------===//
+///
+/// \file
+/// One mark-sweep cycle over real threads: the six handshake rounds of
+/// Figure 2, the marking loop with get-work termination rounds, and the
+/// sweep. Also the stop-the-world baseline cycle, which parks every mutator
+/// for the whole mark+sweep (experiment E11's comparison point).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_RUNTIME_RTCOLLECTOR_H
+#define TSOGC_RUNTIME_RTCOLLECTOR_H
+
+#include "runtime/GcRuntime.h"
+
+namespace tsogc::rt {
+
+class RtCollector {
+public:
+  explicit RtCollector(GcRuntime &Rt) : Rt(Rt), Heap(Rt.heap()) {}
+
+  /// Run one on-the-fly collection cycle on the calling thread.
+  CycleStats runCycle();
+
+  /// Run one stop-the-world cycle: park all mutators, mark from their
+  /// roots, sweep, release.
+  CycleStats runStwCycle();
+
+  /// Park the world and audit reachability (see GcRuntime::auditHeap).
+  GcRuntime::HeapAudit audit();
+
+private:
+  /// One round of soft handshakes (Figure 4): store fence, set every
+  /// active mutator's request, await all acknowledgements, load fence.
+  void handshakeRound(RtHsType Type);
+
+  /// Drain the collector's work-list, scanning fields through mark.
+  void drainWorklist(CycleStats &CS);
+
+  /// Take the shared list into the collector's private chain.
+  bool takeSharedWork();
+
+  /// Sweep the slab: free every allocated object whose mark differs from
+  /// the current sense.
+  void sweep(CycleStats &CS);
+
+  /// Park/resume for the STW baseline.
+  void parkAllMutators();
+  void resumeAllMutators();
+
+  GcRuntime &Rt;
+  RtHeap &Heap;
+
+  // Collector-private authoritative control copies (it is the only writer
+  // of the shared variables).
+  bool Fm = false;
+
+  // Collector work-list: intrusive chain.
+  RtRef WorkHead = RtNull;
+
+  uint32_t HsSeq = 0;
+};
+
+} // namespace tsogc::rt
+
+#endif // TSOGC_RUNTIME_RTCOLLECTOR_H

@@ -1,0 +1,124 @@
+//===- runtime/RtHeap.cpp --------------------------------------------------===//
+
+#include "runtime/RtHeap.h"
+
+using namespace tsogc::rt;
+
+RtHeap::RtHeap(const RtConfig &C)
+    : Cfg(C), Headers(C.HeapObjects),
+      Fields(static_cast<size_t>(C.HeapObjects) * C.NumFields),
+      WorkNext(C.HeapObjects) {
+  TSOGC_CHECK(C.HeapObjects > 0 && C.HeapObjects < RtNull,
+              "bad heap capacity");
+  TSOGC_CHECK(C.NumFields > 0, "objects need at least one field");
+  for (auto &H : Headers)
+    H.store(0, std::memory_order_relaxed);
+  for (auto &F : Fields)
+    F.store(RtNull, std::memory_order_relaxed);
+  for (auto &N : WorkNext)
+    N.store(RtNull, std::memory_order_relaxed);
+  FreeList.reserve(C.HeapObjects);
+  // LIFO free list; lowest indices allocated first.
+  for (uint32_t I = C.HeapObjects; I > 0; --I)
+    FreeList.push_back(I - 1);
+}
+
+RtRef RtHeap::alloc(bool MarkFlag) {
+  RtRef R;
+  {
+    std::lock_guard<std::mutex> Lock(FreeMutex);
+    if (FreeList.empty())
+      return RtNull;
+    R = FreeList.back();
+    FreeList.pop_back();
+  }
+  return allocFromReserved(R, MarkFlag);
+}
+
+unsigned RtHeap::reserveBatch(std::vector<RtRef> &Out, unsigned N) {
+  std::lock_guard<std::mutex> Lock(FreeMutex);
+  unsigned Taken = 0;
+  while (Taken < N && !FreeList.empty()) {
+    Out.push_back(FreeList.back());
+    FreeList.pop_back();
+    ++Taken;
+  }
+  return Taken;
+}
+
+void RtHeap::unreserve(const std::vector<RtRef> &Slots) {
+  std::lock_guard<std::mutex> Lock(FreeMutex);
+  for (RtRef R : Slots) {
+    TSOGC_CHECK(!hdr::allocated(Headers[R].load(std::memory_order_relaxed)),
+                "unreserving an allocated slot");
+    FreeList.push_back(R);
+  }
+}
+
+RtRef RtHeap::allocFromReserved(RtRef R, bool MarkFlag) {
+  // Initialize fields before publishing the allocated bit. On TSO the
+  // publication order suffices (§4: no MFENCE needed at allocation because
+  // the reference can only escape after the initializing stores commit).
+  for (uint32_t F = 0; F < Cfg.NumFields; ++F)
+    Fields[fieldIndex(R, F)].store(RtNull, std::memory_order_relaxed);
+  WorkNext[R].store(RtNull, std::memory_order_relaxed);
+  uint32_t H = Headers[R].load(std::memory_order_relaxed);
+  TSOGC_CHECK(!hdr::allocated(H), "free-list slot already allocated");
+  Headers[R].store(hdr::withMark(H, MarkFlag) | hdr::AllocBit,
+                   std::memory_order_release);
+  AllocCount.fetch_add(1, std::memory_order_relaxed);
+  return R;
+}
+
+void RtHeap::free(RtRef R) {
+  uint32_t H = Headers[R].load(std::memory_order_relaxed);
+  TSOGC_CHECK(hdr::allocated(H), "double free");
+  // Clear allocated, bump epoch; stale root handles now fail validation.
+  uint32_t NewH = (H & hdr::MarkBit) | ((hdr::epoch(H) + 1) << hdr::EpochShift);
+  Headers[R].store(NewH, std::memory_order_release);
+  AllocCount.fetch_sub(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(FreeMutex);
+  FreeList.push_back(R);
+}
+
+bool RtHeap::mark(RtRef R, bool FmLocal, bool BarriersActive,
+                  uint64_t *CasAttempts) {
+  if (R == RtNull)
+    return false;
+  // Fig 5 line 3: the unsynchronized load; in the common case the object is
+  // already marked and no synchronization executes at all.
+  uint32_t H = Headers[R].load(std::memory_order_relaxed);
+  const bool Expected = !FmLocal;
+  if (hdr::mark(H) != Expected)
+    return false;
+  // Fig 5 line 4: barriers disabled while the collector is idle.
+  if (!BarriersActive)
+    return false;
+  // The CAS: strong, with an implied full fence (x86 locked CMPXCHG).
+  if (CasAttempts)
+    ++*CasAttempts;
+  for (;;) {
+    uint32_t Want = hdr::withMark(H, FmLocal);
+    if (Headers[R].compare_exchange_strong(H, Want,
+                                           std::memory_order_seq_cst)) {
+      return true; // We won; the caller publishes the grey.
+    }
+    // H reloaded by the failed CAS. If the mark bit flipped, another thread
+    // won (Fig 5 lines 10-11). Epoch/alloc churn cannot occur while we hold
+    // a reference that keeps the object live, but re-check defensively.
+    if (hdr::mark(H) != Expected)
+      return false;
+  }
+}
+
+void RtHeap::spliceShared(RtRef Head, RtRef Tail) {
+  TSOGC_CHECK(Head != RtNull && Tail != RtNull, "splicing an empty chain");
+  RtRef Old = SharedWork.load(std::memory_order_relaxed);
+  for (;;) {
+    WorkNext[Tail].store(Old, std::memory_order_relaxed);
+    if (SharedWork.compare_exchange_weak(Old, Head,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed))
+      return;
+  }
+}

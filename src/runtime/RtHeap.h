@@ -1,0 +1,132 @@
+//===- runtime/RtHeap.h - Slab heap with atomic headers and fields --------===//
+///
+/// \file
+/// The shared-memory heap of the runtime collector: a fixed slab of objects,
+/// each with an atomic header (allocated + mark + epoch), atomic reference
+/// fields, and an intrusive work-list link (Schism keeps the work-list link
+/// in the object header; so do we). Allocation pops a free list; sweep
+/// pushes freed objects back and bumps their epoch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_RUNTIME_RTHEAP_H
+#define TSOGC_RUNTIME_RTHEAP_H
+
+#include "runtime/RtTypes.h"
+#include "support/Assert.h"
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace tsogc::rt {
+
+class RtHeap {
+public:
+  explicit RtHeap(const RtConfig &Cfg);
+
+  const RtConfig &config() const { return Cfg; }
+  uint32_t capacity() const { return Cfg.HeapObjects; }
+
+  /// Number of currently allocated objects (approximate under concurrency).
+  uint32_t allocatedCount() const {
+    return AllocCount.load(std::memory_order_relaxed);
+  }
+
+  /// Pop a free object and initialize it: allocated, mark = \p MarkFlag,
+  /// fields null. Returns RtNull when the slab is exhausted.
+  /// Thread-safe (the model's atomic allocation, §3.1).
+  RtRef alloc(bool MarkFlag);
+
+  /// Reserve up to \p N free slots for a thread-local allocation pool (the
+  /// §4 extension). Reserved slots are invisible to other allocators and,
+  /// being unallocated, ignored by the sweep. Appends to \p Out; returns
+  /// the number reserved.
+  unsigned reserveBatch(std::vector<RtRef> &Out, unsigned N);
+
+  /// Return unused reserved slots to the global free list.
+  void unreserve(const std::vector<RtRef> &Slots);
+
+  /// Turn a reserved slot into a live object without synchronization: the
+  /// slot is owned by the calling thread, and on TSO the reference can
+  /// only escape after the initializing stores, so no fence is needed
+  /// (§4 "Representations").
+  RtRef allocFromReserved(RtRef R, bool MarkFlag);
+
+  /// Sweep-side free: clears allocated, bumps the epoch, returns the slot
+  /// to the free list. Collector only.
+  void free(RtRef R);
+
+  /// Raw header access.
+  uint32_t header(RtRef R) const {
+    return Headers[R].load(std::memory_order_relaxed);
+  }
+  bool isAllocated(RtRef R) const { return hdr::allocated(header(R)); }
+  bool markFlag(RtRef R) const { return hdr::mark(header(R)); }
+  uint32_t epoch(RtRef R) const { return hdr::epoch(header(R)); }
+
+  /// The mark procedure of Figure 5: plain load; if the object appears
+  /// unmarked and \p BarriersActive, attempt the CAS; the winner (and only
+  /// the winner) returns true and must push the object onto its work-list.
+  /// \p CasAttempts is incremented when the slow path executes (for the
+  /// Figure 5 cost experiments).
+  bool mark(RtRef R, bool FmLocal, bool BarriersActive,
+            uint64_t *CasAttempts = nullptr);
+
+  /// Field accessors. Plain (relaxed) accesses: all ordering is provided by
+  /// barriers, CAS and handshake fences, exactly as in §2.4.
+  RtRef field(RtRef R, uint32_t F) const {
+    return Fields[fieldIndex(R, F)].load(std::memory_order_relaxed);
+  }
+  void setField(RtRef R, uint32_t F, RtRef V) {
+    Fields[fieldIndex(R, F)].store(V, std::memory_order_relaxed);
+  }
+
+  /// Instrumentation backdoor for tests and benchmarks: force the mark bit
+  /// of a live object. Never used by the collector or the barriers.
+  void setMarkFlagRaw(RtRef R, bool Mark) {
+    uint32_t H = Headers[R].load(std::memory_order_relaxed);
+    Headers[R].store(hdr::withMark(H, Mark), std::memory_order_relaxed);
+  }
+
+  /// Intrusive work-list link (one per object, like Schism's header word).
+  RtRef workNext(RtRef R) const {
+    return WorkNext[R].load(std::memory_order_relaxed);
+  }
+  void setWorkNext(RtRef R, RtRef V) {
+    WorkNext[R].store(V, std::memory_order_relaxed);
+  }
+
+  /// Lock-free transfer target: splice a whole private chain onto the
+  /// shared list head (the atomic W := W ∪ W_m of Figure 2 line 20).
+  void spliceShared(RtRef Head, RtRef Tail);
+
+  /// Collector side: atomically take the entire shared list.
+  RtRef takeShared() {
+    return SharedWork.exchange(RtNull, std::memory_order_acq_rel);
+  }
+
+private:
+  uint32_t fieldIndex(RtRef R, uint32_t F) const {
+    TSOGC_CHECK(R < Cfg.HeapObjects && F < Cfg.NumFields,
+                "field access out of range");
+    return R * Cfg.NumFields + F;
+  }
+
+  RtConfig Cfg;
+  std::vector<std::atomic<uint32_t>> Headers;
+  std::vector<std::atomic<RtRef>> Fields;
+  std::vector<std::atomic<RtRef>> WorkNext;
+  std::atomic<RtRef> SharedWork{RtNull};
+
+  // Allocation is the model's single atomic action; a mutex keeps it
+  // simple — the same coarseness the paper grants itself (§3.1, "the
+  // coarsest and least defensible abstraction"), documented in DESIGN.md.
+  std::mutex FreeMutex;
+  std::vector<RtRef> FreeList;
+  std::atomic<uint32_t> AllocCount{0};
+};
+
+} // namespace tsogc::rt
+
+#endif // TSOGC_RUNTIME_RTHEAP_H

@@ -1,0 +1,76 @@
+//===- runtime/RtStats.h - Runtime collector instrumentation --------------===//
+///
+/// \file
+/// Counters and timing collected by the runtime collector and mutators:
+/// cycle durations, per-handshake latencies, barrier activity, and the
+/// marking split between collector and mutators. These feed the benchmark
+/// harnesses for experiments E4, E6, E7, E11, E12.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_RUNTIME_RTSTATS_H
+#define TSOGC_RUNTIME_RTSTATS_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace tsogc::rt {
+
+/// Mutator-side counters (owned by one thread; plain fields).
+struct MutStats {
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t Allocs = 0;
+  uint64_t AllocFailures = 0;
+  uint64_t BarrierMarks = 0;   ///< Greys published by this mutator's barriers.
+  uint64_t BarrierCas = 0;     ///< CAS slow paths taken in barriers.
+  uint64_t HandshakesSeen = 0;
+  uint64_t RootsMarked = 0;
+  /// Nanoseconds spent inside handshake handlers (the mutator's only
+  /// collector-induced pauses — experiment E11).
+  uint64_t HandshakeNs = 0;
+  uint64_t MaxHandshakeNs = 0;
+};
+
+/// Collector-side per-cycle record.
+struct CycleStats {
+  uint64_t CycleNs = 0;
+  uint64_t SweepNs = 0;
+  uint64_t MarkNs = 0;
+  uint64_t HandshakeRounds = 0;
+  uint64_t TerminationRounds = 0; ///< get-work rounds (≥1 per cycle).
+  uint64_t ObjectsMarked = 0;     ///< Greys processed by the collector.
+  uint64_t ObjectsFreed = 0;
+  uint64_t ObjectsRetained = 0;   ///< Marked objects surviving the sweep.
+  uint64_t CollectorCas = 0;
+};
+
+/// Aggregate, shared between threads.
+struct RtStats {
+  std::atomic<uint64_t> Cycles{0};
+  std::atomic<uint64_t> TotalFreed{0};
+  std::atomic<uint64_t> TotalMarkedByCollector{0};
+  std::atomic<uint64_t> TotalBarrierMarks{0};
+  std::atomic<uint64_t> TotalTerminationRounds{0};
+  std::atomic<uint64_t> TotalCycleNs{0};
+  std::atomic<uint64_t> MaxCycleNs{0};
+
+  void recordCycle(const CycleStats &C) {
+    Cycles.fetch_add(1, std::memory_order_relaxed);
+    TotalFreed.fetch_add(C.ObjectsFreed, std::memory_order_relaxed);
+    TotalMarkedByCollector.fetch_add(C.ObjectsMarked,
+                                     std::memory_order_relaxed);
+    TotalTerminationRounds.fetch_add(C.TerminationRounds,
+                                     std::memory_order_relaxed);
+    TotalCycleNs.fetch_add(C.CycleNs, std::memory_order_relaxed);
+    uint64_t Prev = MaxCycleNs.load(std::memory_order_relaxed);
+    while (C.CycleNs > Prev &&
+           !MaxCycleNs.compare_exchange_weak(Prev, C.CycleNs,
+                                             std::memory_order_relaxed)) {
+    }
+  }
+};
+
+} // namespace tsogc::rt
+
+#endif // TSOGC_RUNTIME_RTSTATS_H

@@ -1,0 +1,96 @@
+//===- runtime/RtTypes.h - Runtime collector basic types ------------------===//
+///
+/// \file
+/// Object references, header encoding, and configuration for the runtime
+/// (real-threads) incarnation of the verified collector. The runtime mirrors
+/// the model: mark-sense flags fM/fA, phase variable, four no-op handshake
+/// rounds plus get-roots and get-work rounds, CAS-on-contention marking
+/// (Figure 5), and both write barriers (Figure 6).
+///
+/// Objects are dense slab indices rather than raw pointers: this keeps the
+/// heap compact and lets the validation layer detect unsafe frees precisely
+/// via per-object epochs (a freed-then-reused slot changes epoch; a stale
+/// root handle trips the check instead of silently reading recycled memory).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_RUNTIME_RTTYPES_H
+#define TSOGC_RUNTIME_RTTYPES_H
+
+#include <cstdint>
+
+namespace tsogc::rt {
+
+/// A heap reference: a slab index, or RtNull.
+using RtRef = uint32_t;
+inline constexpr RtRef RtNull = ~0u;
+
+/// Object header bit layout (one 32-bit atomic per object):
+///   bit 0      allocated
+///   bit 1      mark flag (interpreted relative to fM)
+///   bits 2-31  epoch, bumped on every free (validation)
+namespace hdr {
+inline constexpr uint32_t AllocBit = 1u << 0;
+inline constexpr uint32_t MarkBit = 1u << 1;
+inline constexpr uint32_t EpochShift = 2;
+
+inline bool allocated(uint32_t H) { return (H & AllocBit) != 0; }
+inline bool mark(uint32_t H) { return (H & MarkBit) != 0; }
+inline uint32_t epoch(uint32_t H) { return H >> EpochShift; }
+inline uint32_t withMark(uint32_t H, bool M) {
+  return M ? (H | MarkBit) : (H & ~MarkBit);
+}
+} // namespace hdr
+
+/// Collector phase; stored in one std::atomic shared variable, read by
+/// mutators only at handshakes (local copies elsewhere), as in the model.
+enum class RtPhase : uint8_t { Idle = 0, Init, Mark, Sweep };
+
+/// Handshake work requests (Figure 3).
+enum class RtHsType : uint8_t {
+  None = 0,
+  Noop,
+  GetRoots,
+  GetWork,
+  Park, ///< Stop-the-world baseline only: block until released.
+};
+
+struct RtConfig {
+  /// Slab capacity in objects.
+  uint32_t HeapObjects = 1u << 14;
+  /// Reference fields per object.
+  uint32_t NumFields = 2;
+
+  /// Barrier ablations (both on = the verified algorithm).
+  bool DeletionBarrier = true;
+  bool InsertionBarrier = true;
+
+  /// §4 "Observations" variants, model-checked in tests/observations_test:
+  /// drop the H2/H4 no-op rounds (two fewer handshakes per cycle), and
+  /// elide the insertion barrier once this mutator's roots are marked.
+  bool MergedInitHandshakes = false;
+  bool InsertionBarrierElideAfterRoots = false;
+
+  /// Check per-access that targets are live with matching epochs; any
+  /// unsafe free by the collector trips an assertion in the mutator.
+  bool Validate = true;
+
+  /// Fault-injection for stress testing: when non-zero, mutators yield the
+  /// CPU with probability 1/TortureLevel at the algorithm's racy points
+  /// (between the barrier read and the store, around the marking CAS,
+  /// after the handshake view refresh). This widens the race windows the
+  /// verification reasons about, so latent ordering bugs surface under
+  /// test instead of in production.
+  uint32_t TortureLevel = 0;
+
+  /// §4 extension ("devised but not yet verified" in the paper): mutators
+  /// gather pools of unallocated references from which to perform
+  /// fine-grained allocation without synchronizing. 0 disables the pool
+  /// (every allocation takes the global free-list lock); N > 0 refills a
+  /// thread-local pool of N slots per lock acquisition.
+  uint32_t LocalAllocPool = 0;
+};
+
+} // namespace tsogc::rt
+
+#endif // TSOGC_RUNTIME_RTTYPES_H

@@ -1,0 +1,18 @@
+//===- support/Assert.cpp ------------------------------------------------===//
+
+#include "support/Assert.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void tsogc::reportFatalError(const char *Msg, const char *File, int Line) {
+  std::fprintf(stderr, "fatal error: %s:%d: %s\n", File, Line, Msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void tsogc::reportUnreachable(const char *Msg, const char *File, int Line) {
+  std::fprintf(stderr, "unreachable executed: %s:%d: %s\n", File, Line, Msg);
+  std::fflush(stderr);
+  std::abort();
+}

@@ -1,0 +1,48 @@
+//===- support/Assert.h - Fatal-error and unreachable helpers ------------===//
+//
+// Part of the relaxing-safely reproduction of Gammie, Hosking & Engelhardt,
+// "Relaxing Safely: Verified On-the-Fly Garbage Collection for x86-TSO"
+// (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programmatic-error reporting used across the library. The library never
+/// throws; invariant violations abort with a message, mirroring the
+/// assert-liberally style the verification work demands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_SUPPORT_ASSERT_H
+#define TSOGC_SUPPORT_ASSERT_H
+
+#include <cassert>
+
+namespace tsogc {
+
+/// Print \p Msg (with file/line context) to stderr and abort.
+///
+/// Used for violated preconditions that must be diagnosed even in release
+/// builds (e.g. a model-checker state decoding mismatch).
+[[noreturn]] void reportFatalError(const char *Msg, const char *File,
+                                   int Line);
+
+/// Mark a point in control flow that the enclosing invariants make
+/// impossible. Aborts with a diagnostic when reached.
+[[noreturn]] void reportUnreachable(const char *Msg, const char *File,
+                                    int Line);
+
+} // namespace tsogc
+
+/// Abort with \p Msg if \p Cond is false, in all build modes.
+#define TSOGC_CHECK(Cond, Msg)                                                 \
+  do {                                                                         \
+    if (!(Cond))                                                               \
+      ::tsogc::reportFatalError(Msg, __FILE__, __LINE__);                      \
+  } while (false)
+
+/// Document control flow that cannot be reached if the model is coherent.
+#define TSOGC_UNREACHABLE(Msg)                                                 \
+  ::tsogc::reportUnreachable(Msg, __FILE__, __LINE__)
+
+#endif // TSOGC_SUPPORT_ASSERT_H

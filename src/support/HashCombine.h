@@ -1,0 +1,50 @@
+//===- support/HashCombine.h - Order-dependent hash mixing ---------------===//
+///
+/// \file
+/// A small, deterministic hash-combining facility used to fingerprint model
+/// states. The explorer stores full canonical encodings for exactness; these
+/// hashes only pick the bucket, so quality matters more than
+/// cryptographic strength.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_SUPPORT_HASHCOMBINE_H
+#define TSOGC_SUPPORT_HASHCOMBINE_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tsogc {
+
+/// Mix one 64-bit value into a running hash (xxHash-style avalanche).
+inline uint64_t hashMix(uint64_t Seed, uint64_t Value) {
+  const uint64_t Prime = 0x9e3779b97f4a7c15ULL;
+  uint64_t H = Seed ^ (Value + Prime + (Seed << 6) + (Seed >> 2));
+  H ^= H >> 33;
+  H *= 0xff51afd7ed558ccdULL;
+  H ^= H >> 33;
+  return H;
+}
+
+/// Hash an arbitrary byte range.
+inline uint64_t hashBytes(const void *Data, size_t Len, uint64_t Seed = 0) {
+  const auto *P = static_cast<const uint8_t *>(Data);
+  uint64_t H = Seed ^ (Len * 0x9e3779b97f4a7c15ULL);
+  size_t I = 0;
+  for (; I + 8 <= Len; I += 8) {
+    uint64_t W = 0;
+    for (int B = 0; B < 8; ++B)
+      W |= static_cast<uint64_t>(P[I + B]) << (8 * B);
+    H = hashMix(H, W);
+  }
+  uint64_t Tail = 0;
+  for (int B = 0; I < Len; ++I, ++B)
+    Tail |= static_cast<uint64_t>(P[I]) << (8 * B);
+  if (Len % 8 != 0)
+    H = hashMix(H, Tail);
+  return H;
+}
+
+} // namespace tsogc
+
+#endif // TSOGC_SUPPORT_HASHCOMBINE_H

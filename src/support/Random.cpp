@@ -1,0 +1,45 @@
+//===- support/Random.cpp -------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include "support/Assert.h"
+
+using namespace tsogc;
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+Xoshiro256::Xoshiro256(uint64_t Seed) {
+  SplitMix64 SM(Seed);
+  for (auto &Word : S)
+    Word = SM.next();
+}
+
+uint64_t Xoshiro256::next() {
+  const uint64_t Result = rotl(S[1] * 5, 7) * 9;
+  const uint64_t T = S[1] << 17;
+  S[2] ^= S[0];
+  S[3] ^= S[1];
+  S[1] ^= S[2];
+  S[0] ^= S[3];
+  S[2] ^= T;
+  S[3] = rotl(S[3], 45);
+  return Result;
+}
+
+uint64_t Xoshiro256::nextBelow(uint64_t Bound) {
+  TSOGC_CHECK(Bound != 0, "nextBelow requires a non-zero bound");
+  // Rejection sampling to avoid modulo bias; the loop terminates quickly
+  // because the acceptance probability is at least 1/2.
+  const uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t R = next();
+    if (R >= Threshold)
+      return R % Bound;
+  }
+}
+
+double Xoshiro256::nextDouble() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Xoshiro256::nextBool(double P) { return nextDouble() < P; }

@@ -1,0 +1,56 @@
+//===- support/Random.h - Deterministic PRNGs for exploration ------------===//
+///
+/// \file
+/// Seedable pseudo-random number generators. Random exploration of the model
+/// must be reproducible from a seed, so every randomized component takes one
+/// of these by reference instead of using global entropy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_SUPPORT_RANDOM_H
+#define TSOGC_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace tsogc {
+
+/// SplitMix64: used to seed Xoshiro and as a cheap standalone generator.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Xoshiro256**: the workhorse generator for randomized walks.
+class Xoshiro256 {
+public:
+  explicit Xoshiro256(uint64_t Seed);
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform value in [0, Bound). \p Bound must be non-zero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+  /// Bernoulli trial with probability \p P.
+  bool nextBool(double P = 0.5);
+
+private:
+  uint64_t S[4];
+};
+
+} // namespace tsogc
+
+#endif // TSOGC_SUPPORT_RANDOM_H

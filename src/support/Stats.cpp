@@ -1,0 +1,98 @@
+//===- support/Stats.cpp --------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include "support/Assert.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace tsogc;
+
+void RunningStat::add(double X) {
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  ++N;
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+}
+
+double RunningStat::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+std::string RunningStat::summary() const {
+  return format("n=%llu mean=%.3f sd=%.3f min=%.3f max=%.3f",
+                static_cast<unsigned long long>(N), mean(), stddev(), min(),
+                max());
+}
+
+Histogram::Histogram(double Lo, double Hi, unsigned NumBuckets)
+    : Lo(Lo), Hi(Hi), Buckets(NumBuckets, 0) {
+  TSOGC_CHECK(Lo < Hi, "histogram range must be non-empty");
+  TSOGC_CHECK(NumBuckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double X) {
+  ++Total;
+  if (X < Lo) {
+    ++Underflow;
+    return;
+  }
+  if (X >= Hi) {
+    ++Overflow;
+    return;
+  }
+  double Frac = (X - Lo) / (Hi - Lo);
+  auto I = static_cast<size_t>(Frac * static_cast<double>(Buckets.size()));
+  I = std::min(I, Buckets.size() - 1);
+  ++Buckets[I];
+}
+
+double Histogram::quantile(double Q) const {
+  if (Total == 0)
+    return Lo;
+  auto Target = static_cast<uint64_t>(Q * static_cast<double>(Total));
+  uint64_t Seen = Underflow;
+  if (Seen > Target)
+    return Lo;
+  double BucketWidth = (Hi - Lo) / static_cast<double>(Buckets.size());
+  for (size_t I = 0; I < Buckets.size(); ++I) {
+    Seen += Buckets[I];
+    if (Seen > Target)
+      return Lo + BucketWidth * static_cast<double>(I + 1);
+  }
+  return Hi;
+}
+
+std::string Histogram::render(unsigned Width) const {
+  uint64_t Peak = 1;
+  for (uint64_t C : Buckets)
+    Peak = std::max(Peak, C);
+  double BucketWidth = (Hi - Lo) / static_cast<double>(Buckets.size());
+  std::string Out;
+  for (size_t I = 0; I < Buckets.size(); ++I) {
+    double BLo = Lo + BucketWidth * static_cast<double>(I);
+    auto Bar = static_cast<unsigned>(
+        (static_cast<double>(Buckets[I]) / static_cast<double>(Peak)) * Width);
+    Out += format("[%10.3f) %8llu |", BLo,
+                  static_cast<unsigned long long>(Buckets[I]));
+    Out.append(Bar, '#');
+    Out += '\n';
+  }
+  if (Underflow || Overflow)
+    Out += format("underflow=%llu overflow=%llu\n",
+                  static_cast<unsigned long long>(Underflow),
+                  static_cast<unsigned long long>(Overflow));
+  return Out;
+}

@@ -1,0 +1,68 @@
+//===- support/Stats.h - Running statistics and histograms ---------------===//
+///
+/// \file
+/// Lightweight statistics used by the benchmark harnesses and the runtime
+/// collector's instrumentation (cycle times, pause times, barrier counts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_SUPPORT_STATS_H
+#define TSOGC_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsogc {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStat {
+public:
+  void add(double X);
+
+  uint64_t count() const { return N; }
+  double mean() const { return N ? Mean : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return N ? Min : 0.0; }
+  double max() const { return N ? Max : 0.0; }
+
+  /// Render as "n=… mean=… sd=… min=… max=…".
+  std::string summary() const;
+
+private:
+  uint64_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Fixed-bucket histogram over [Lo, Hi) with overflow/underflow buckets.
+class Histogram {
+public:
+  Histogram(double Lo, double Hi, unsigned NumBuckets);
+
+  void add(double X);
+
+  uint64_t total() const { return Total; }
+  uint64_t bucketCount(unsigned I) const { return Buckets[I]; }
+  unsigned numBuckets() const { return static_cast<unsigned>(Buckets.size()); }
+
+  /// Value below which \p Q of the mass lies (bucket-resolution estimate).
+  double quantile(double Q) const;
+
+  /// Multi-line ASCII rendering for example programs.
+  std::string render(unsigned Width = 40) const;
+
+private:
+  double Lo, Hi;
+  std::vector<uint64_t> Buckets;
+  uint64_t Underflow = 0;
+  uint64_t Overflow = 0;
+  uint64_t Total = 0;
+};
+
+} // namespace tsogc
+
+#endif // TSOGC_SUPPORT_STATS_H

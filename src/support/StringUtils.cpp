@@ -1,0 +1,36 @@
+//===- support/StringUtils.cpp --------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace tsogc;
+
+std::string tsogc::format(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  std::string Out;
+  if (Len > 0) {
+    Out.resize(static_cast<size_t>(Len) + 1);
+    std::vsnprintf(Out.data(), Out.size(), Fmt, Args);
+    Out.resize(static_cast<size_t>(Len));
+  }
+  va_end(Args);
+  return Out;
+}
+
+std::string tsogc::join(const std::vector<std::string> &Parts,
+                        const char *Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}

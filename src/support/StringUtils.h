@@ -1,0 +1,25 @@
+//===- support/StringUtils.h - printf-style std::string formatting -------===//
+///
+/// \file
+/// Small string helpers. The library avoids iostreams; everything renders
+/// through these helpers or std::snprintf.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_SUPPORT_STRINGUTILS_H
+#define TSOGC_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace tsogc {
+
+/// printf into a std::string.
+std::string format(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Join the elements of \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts, const char *Sep);
+
+} // namespace tsogc
+
+#endif // TSOGC_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,25 @@
+//===- tso/MemLoc.cpp ------------------------------------------------------===//
+
+#include "tso/MemLoc.h"
+
+#include "support/StringUtils.h"
+
+using namespace tsogc;
+
+std::string MemLoc::toString() const {
+  switch (Kind) {
+  case MemLocKind::GlobalVar:
+    return format("g%u", Var);
+  case MemLocKind::ObjFlag:
+    return format("flag(r%u)", R.index());
+  case MemLocKind::ObjField:
+    return format("r%u.f%u", R.index(), Field);
+  }
+  return "<bad-loc>";
+}
+
+std::string MemVal::toString() const {
+  if (Raw == Ref::null().raw())
+    return "null";
+  return format("%u", Raw);
+}

@@ -1,0 +1,87 @@
+//===- tso/MemLoc.h - Memory locations and values for the TSO model ------===//
+///
+/// \file
+/// Typed addresses and cell values for the x86-TSO memory subsystem
+/// (Figure 9). The GC model puts the collector control variables (fA, fM,
+/// phase) and all per-object state (mark flags, reference fields) under TSO
+/// (§3.1); litmus tests use plain global variables. All three shapes are
+/// covered by one MemLoc sum so one store-buffer mechanism serves both.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_TSO_MEMLOC_H
+#define TSOGC_TSO_MEMLOC_H
+
+#include "heap/Ref.h"
+
+#include <string>
+
+namespace tsogc {
+
+enum class MemLocKind : uint8_t {
+  GlobalVar, ///< A named scalar (fA, fM, phase; x, y in litmus tests).
+  ObjFlag,   ///< The mark flag of a heap object.
+  ObjField,  ///< One reference field of a heap object.
+};
+
+/// An addressable memory cell.
+struct MemLoc {
+  MemLocKind Kind = MemLocKind::GlobalVar;
+  uint8_t Var = 0;     ///< GlobalVar index.
+  Ref R;               ///< ObjFlag/ObjField target.
+  FieldId Field = 0;   ///< ObjField selector.
+
+  static MemLoc globalVar(uint8_t V) {
+    MemLoc L;
+    L.Kind = MemLocKind::GlobalVar;
+    L.Var = V;
+    return L;
+  }
+  static MemLoc objFlag(Ref R) {
+    MemLoc L;
+    L.Kind = MemLocKind::ObjFlag;
+    L.R = R;
+    return L;
+  }
+  static MemLoc objField(Ref R, FieldId F) {
+    MemLoc L;
+    L.Kind = MemLocKind::ObjField;
+    L.R = R;
+    L.Field = F;
+    return L;
+  }
+
+  bool operator==(const MemLoc &O) const = default;
+
+  std::string toString() const;
+};
+
+/// A 16-bit cell value. Locations are typed by convention: booleans store
+/// 0/1, references store Ref::raw(), small enums store their ordinal.
+struct MemVal {
+  uint16_t Raw = 0;
+
+  static MemVal fromBool(bool B) { return MemVal{static_cast<uint16_t>(B)}; }
+  static MemVal fromRef(Ref R) { return MemVal{R.raw()}; }
+  static MemVal fromByte(uint8_t B) { return MemVal{B}; }
+
+  bool asBool() const { return Raw != 0; }
+  Ref asRef() const { return Ref::fromRaw(Raw); }
+  uint8_t asByte() const { return static_cast<uint8_t>(Raw); }
+
+  bool operator==(const MemVal &O) const = default;
+
+  std::string toString() const;
+};
+
+/// One entry of a TSO store buffer.
+struct PendingWrite {
+  MemLoc Loc;
+  MemVal Val;
+
+  bool operator==(const PendingWrite &O) const = default;
+};
+
+} // namespace tsogc
+
+#endif // TSOGC_TSO_MEMLOC_H

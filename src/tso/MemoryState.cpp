@@ -1,0 +1,140 @@
+//===- tso/MemoryState.cpp -------------------------------------------------===//
+
+#include "tso/MemoryState.h"
+
+#include "support/Assert.h"
+
+using namespace tsogc;
+
+MemoryState::MemoryState(unsigned NumProcs, unsigned NumGlobals,
+                         unsigned NumRefs, unsigned NumFields,
+                         unsigned BufferBound)
+    : TheHeap(NumRefs, NumFields), Globals(NumGlobals, 0), Buffers(NumProcs),
+      BufferBound(BufferBound) {
+  TSOGC_CHECK(NumProcs > 0, "need at least one process");
+}
+
+MemVal MemoryState::read(ProcId P, MemLoc Loc) const {
+  TSOGC_CHECK(!isBlocked(P), "read while blocked by the bus lock");
+  // A load first consults the issuing thread's own store buffer: the most
+  // recent pending store to the same location wins (§2.4).
+  const auto &Buf = Buffers[P];
+  for (auto It = Buf.rbegin(); It != Buf.rend(); ++It)
+    if (It->Loc == Loc)
+      return It->Val;
+  return memoryRead(Loc);
+}
+
+void MemoryState::write(ProcId P, MemLoc Loc, MemVal Val) {
+  TSOGC_CHECK(!isBlocked(P), "write while blocked by the bus lock");
+  if (scMode()) {
+    memoryWrite(Loc, Val);
+    return;
+  }
+  TSOGC_CHECK(!bufferFull(P), "store buffer overflow (raise BufferBound)");
+  Buffers[P].push_back(PendingWrite{Loc, Val});
+}
+
+void MemoryState::commitOldest(ProcId P) {
+  TSOGC_CHECK(!Buffers[P].empty(), "no pending write to commit");
+  TSOGC_CHECK(!isBlocked(P), "commit while blocked by the bus lock");
+  PendingWrite W = Buffers[P].front();
+  Buffers[P].erase(Buffers[P].begin());
+  memoryWrite(W.Loc, W.Val);
+}
+
+void MemoryState::acquireLock(ProcId P) {
+  TSOGC_CHECK(LockOwner == NoOwner, "bus lock already held");
+  LockOwner = P;
+}
+
+void MemoryState::releaseLock(ProcId P) {
+  TSOGC_CHECK(lockHeldBy(P), "releasing a lock the process does not hold");
+  TSOGC_CHECK(bufferEmpty(P), "unlock requires a drained store buffer");
+  LockOwner = NoOwner;
+}
+
+MemVal MemoryState::memoryRead(MemLoc Loc) const {
+  switch (Loc.Kind) {
+  case MemLocKind::GlobalVar:
+    TSOGC_CHECK(Loc.Var < Globals.size(), "global variable out of range");
+    return MemVal{Globals[Loc.Var]};
+  case MemLocKind::ObjFlag:
+    if (!TheHeap.isValid(Loc.R)) {
+      ++const_cast<MemoryState *>(this)->DanglingAccesses;
+      return MemVal::fromRef(Ref::null());
+    }
+    return MemVal::fromBool(TheHeap.markFlag(Loc.R));
+  case MemLocKind::ObjField:
+    if (!TheHeap.isValid(Loc.R)) {
+      ++const_cast<MemoryState *>(this)->DanglingAccesses;
+      return MemVal::fromRef(Ref::null());
+    }
+    return MemVal::fromRef(TheHeap.field(Loc.R, Loc.Field));
+  }
+  TSOGC_UNREACHABLE("bad MemLocKind");
+}
+
+void MemoryState::memoryWrite(MemLoc Loc, MemVal Val) {
+  switch (Loc.Kind) {
+  case MemLocKind::GlobalVar:
+    TSOGC_CHECK(Loc.Var < Globals.size(), "global variable out of range");
+    Globals[Loc.Var] = Val.Raw;
+    return;
+  case MemLocKind::ObjFlag:
+    // A pending mark may commit after the sweep freed the object in
+    // barrier-ablated runs; count it and drop the store.
+    if (!TheHeap.isValid(Loc.R)) {
+      ++DanglingAccesses;
+      return;
+    }
+    TheHeap.setMarkFlag(Loc.R, Val.asBool());
+    return;
+  case MemLocKind::ObjField:
+    if (!TheHeap.isValid(Loc.R)) {
+      ++DanglingAccesses;
+      return;
+    }
+    TheHeap.setField(Loc.R, Loc.Field, Val.asRef());
+    return;
+  }
+  TSOGC_UNREACHABLE("bad MemLocKind");
+}
+
+std::vector<PendingWrite> MemoryState::pendingWritesTo(MemLoc Loc) const {
+  std::vector<PendingWrite> Out;
+  for (const auto &Buf : Buffers)
+    for (const PendingWrite &W : Buf)
+      if (W.Loc == Loc)
+        Out.push_back(W);
+  return Out;
+}
+
+void MemoryState::encode(std::string &Out) const {
+  TheHeap.encode(Out);
+  for (uint16_t G : Globals) {
+    Out.push_back(static_cast<char>(G & 0xff));
+    Out.push_back(static_cast<char>(G >> 8));
+  }
+  Out.push_back(static_cast<char>(LockOwner + 1));
+  for (const auto &Buf : Buffers) {
+    Out.push_back(static_cast<char>(Buf.size()));
+    for (const PendingWrite &W : Buf) {
+      Out.push_back(static_cast<char>(W.Loc.Kind));
+      Out.push_back(static_cast<char>(W.Loc.Var));
+      Out.push_back(static_cast<char>(W.Loc.R.raw() & 0xff));
+      Out.push_back(static_cast<char>(W.Loc.R.raw() >> 8));
+      Out.push_back(static_cast<char>(W.Loc.Field));
+      Out.push_back(static_cast<char>(W.Val.Raw & 0xff));
+      Out.push_back(static_cast<char>(W.Val.Raw >> 8));
+    }
+  }
+}
+
+bool MemoryState::operator==(const MemoryState &O) const {
+  // DanglingAccesses is a diagnostic counter, deliberately excluded so it
+  // does not split otherwise-identical states in the visited set.
+  return TheHeap == O.TheHeap && Globals == O.Globals &&
+         Buffers == O.Buffers && BufferBound == O.BufferBound &&
+         LockOwner == O.LockOwner;
+}

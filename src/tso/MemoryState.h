@@ -1,0 +1,118 @@
+//===- tso/MemoryState.h - x86-TSO store buffers, lock, memory -----------===//
+///
+/// \file
+/// The data state of the memory subsystem of Figure 9, following Sewell et
+/// al.'s x86-TSO: one FIFO store buffer per hardware thread, a global bus
+/// lock, and shared memory. Shared memory here is a set of global scalar
+/// variables plus an embedded model Heap (object flags and fields are
+/// ordinary memory cells subject to TSO, §3.1).
+///
+/// Deviations, both documented in DESIGN.md:
+///  * store buffers are bounded by BufferBound to keep model instances
+///    finite (a full buffer disables further writes until a commit);
+///  * SC mode (BufferBound == 0) applies writes immediately, used as the
+///    sequential-consistency ablation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_TSO_MEMORYSTATE_H
+#define TSOGC_TSO_MEMORYSTATE_H
+
+#include "heap/Heap.h"
+#include "tso/MemLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace tsogc {
+
+/// Identifies a process/hardware thread in the model. The paper assumes
+/// each software thread runs on its own core, i.e. owns a buffer (§4
+/// "Representations").
+using ProcId = uint8_t;
+
+class MemoryState {
+public:
+  static constexpr int NoOwner = -1;
+
+  /// \p NumProcs buffers; \p NumGlobals scalar cells; heap dimensions as in
+  /// Heap. \p BufferBound caps each store buffer (0 = SC mode: stores
+  /// commit immediately).
+  MemoryState(unsigned NumProcs, unsigned NumGlobals, unsigned NumRefs,
+              unsigned NumFields, unsigned BufferBound);
+
+  unsigned numProcs() const { return static_cast<unsigned>(Buffers.size()); }
+  bool scMode() const { return BufferBound == 0; }
+
+  /// True iff \p P cannot take memory actions because another process holds
+  /// the bus lock (Figure 9's not-blocked).
+  bool isBlocked(ProcId P) const {
+    return LockOwner != NoOwner && LockOwner != P;
+  }
+
+  bool bufferEmpty(ProcId P) const { return Buffers[P].empty(); }
+  bool bufferFull(ProcId P) const {
+    return !scMode() && Buffers[P].size() >= BufferBound;
+  }
+  const std::vector<PendingWrite> &buffer(ProcId P) const {
+    return Buffers[P];
+  }
+
+  int lockOwner() const { return LockOwner; }
+  bool lockHeldBy(ProcId P) const { return LockOwner == static_cast<int>(P); }
+
+  /// TSO read: most recent pending write to \p Loc in P's own buffer, else
+  /// shared memory. Requires !isBlocked(P).
+  MemVal read(ProcId P, MemLoc Loc) const;
+
+  /// TSO write: enqueue on P's buffer (or write through in SC mode).
+  /// Requires !isBlocked(P) and !bufferFull(P).
+  void write(ProcId P, MemLoc Loc, MemVal Val);
+
+  /// Commit P's oldest pending write to shared memory (the system-internal
+  /// sys-dequeue-write-buffer step). Requires a non-empty buffer and
+  /// !isBlocked(P).
+  void commitOldest(ProcId P);
+
+  /// MFENCE/unlock enabling condition: P's buffer drained.
+  bool canFence(ProcId P) const { return bufferEmpty(P); }
+
+  /// Acquire/release the bus lock (locked instructions). acquire requires
+  /// the lock free; release requires P to hold it with an empty buffer.
+  void acquireLock(ProcId P);
+  void releaseLock(ProcId P);
+
+  /// Read/write that bypass the buffers (used by invariant checking to see
+  /// the authoritative shared memory, never by modeled code).
+  MemVal memoryRead(MemLoc Loc) const;
+  void memoryWrite(MemLoc Loc, MemVal Val);
+
+  /// The embedded heap (shared memory's object store).
+  Heap &heap() { return TheHeap; }
+  const Heap &heap() const { return TheHeap; }
+
+  /// Count of reads/writes that addressed a freed object. Zero in every
+  /// safe run; non-zero only in barrier-ablated configurations.
+  uint64_t danglingAccesses() const { return DanglingAccesses; }
+
+  /// Pending writes (all processes) that target \p Loc — used by invariants
+  /// over insertions/deletions.
+  std::vector<PendingWrite> pendingWritesTo(MemLoc Loc) const;
+
+  /// Canonical byte encoding for visited-state sets.
+  void encode(std::string &Out) const;
+
+  bool operator==(const MemoryState &O) const;
+
+private:
+  Heap TheHeap;
+  std::vector<uint16_t> Globals;
+  std::vector<std::vector<PendingWrite>> Buffers;
+  unsigned BufferBound;
+  int LockOwner = NoOwner;
+  uint64_t DanglingAccesses = 0;
+};
+
+} // namespace tsogc
+
+#endif // TSOGC_TSO_MEMORYSTATE_H

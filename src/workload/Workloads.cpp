@@ -1,0 +1,151 @@
+//===- workload/Workloads.cpp ----------------------------------------------===//
+
+#include "workload/Workloads.h"
+
+#include "support/Assert.h"
+
+using namespace tsogc;
+using namespace tsogc::wl;
+using rt::MutatorContext;
+
+Workload::~Workload() = default;
+
+//===----------------------------------------------------------------------===//
+// ListChurn
+//===----------------------------------------------------------------------===//
+
+ListChurn::ListChurn(MutatorContext &M, uint64_t Seed, unsigned ListLen,
+                     unsigned KeepLists)
+    : M(M), Rng(Seed), ListLen(ListLen), KeepLists(KeepLists) {}
+
+bool ListChurn::step() {
+  M.safepoint();
+  if (CurHead < 0) {
+    CurHead = M.alloc();
+    CurLen = 1;
+    return CurHead >= 0;
+  }
+  if (CurLen < ListLen) {
+    int Node = M.alloc();
+    if (Node < 0)
+      return false;
+    // node.f0 := head; the new node becomes the rooted head (discard swaps
+    // the last root — the node — into the vacated slot).
+    M.store(static_cast<size_t>(CurHead), static_cast<size_t>(Node), 0);
+    M.discard(static_cast<size_t>(CurHead));
+    ++CurLen;
+    return true;
+  }
+  // List finished: keep up to KeepLists heads rooted, abandon the oldest
+  // beyond that (bulk garbage for the collector).
+  CurHead = -1;
+  CurLen = 0;
+  while (M.numRoots() > KeepLists)
+    M.discard(Rng.nextBelow(M.numRoots()));
+  return true;
+}
+
+void ListChurn::teardown() {
+  while (M.numRoots() > 0)
+    M.discard(0);
+  CurHead = -1;
+}
+
+//===----------------------------------------------------------------------===//
+// TreeBuilder
+//===----------------------------------------------------------------------===//
+
+TreeBuilder::TreeBuilder(MutatorContext &M, uint64_t Seed, unsigned Depth,
+                         unsigned KeepTrees)
+    : M(M), Rng(Seed), Depth(Depth), KeepTrees(KeepTrees) {
+  TSOGC_CHECK(M.numRoots() == 0, "TreeBuilder wants a fresh mutator");
+}
+
+int TreeBuilder::buildTree(unsigned D) {
+  int Node = M.alloc();
+  if (Node < 0 || D == 0)
+    return Node;
+  for (uint32_t F = 0; F < 2; ++F) {
+    int Child = buildTree(D - 1);
+    if (Child < 0)
+      break;
+    // node.fF := child, then unroot the child (it lives via the edge).
+    M.store(static_cast<size_t>(Child), static_cast<size_t>(Node), F);
+    // The child is the most recent root; Node's index is unaffected.
+    TSOGC_CHECK(static_cast<size_t>(Child) == M.numRoots() - 1,
+                "tree build root discipline broken");
+    M.discard(static_cast<size_t>(Child));
+  }
+  return Node;
+}
+
+bool TreeBuilder::step() {
+  M.safepoint();
+  int Root = buildTree(Depth);
+  if (Root < 0) {
+    // Exhausted mid-build: drop partial work.
+    while (M.numRoots() > KeepTrees)
+      M.discard(M.numRoots() - 1);
+    return false;
+  }
+  while (M.numRoots() > KeepTrees)
+    M.discard(Rng.nextBelow(M.numRoots()));
+  return true;
+}
+
+void TreeBuilder::teardown() {
+  while (M.numRoots() > 0)
+    M.discard(0);
+}
+
+//===----------------------------------------------------------------------===//
+// GraphMutator
+//===----------------------------------------------------------------------===//
+
+GraphMutator::GraphMutator(MutatorContext &M, uint64_t Seed,
+                           unsigned WorkingSet)
+    : M(M), Rng(Seed), WorkingSet(WorkingSet) {}
+
+bool GraphMutator::step() {
+  M.safepoint();
+  size_t N = M.numRoots();
+  if (N < WorkingSet) {
+    return M.alloc() >= 0;
+  }
+  uint64_t Pick = Rng.nextBelow(100);
+  if (Pick < 60 && N >= 2) {
+    // Rewire a random edge: both barriers fire.
+    uint32_t F = static_cast<uint32_t>(Rng.nextBelow(M.config().NumFields));
+    M.store(Rng.nextBelow(N), Rng.nextBelow(N), F);
+    return true;
+  }
+  if (Pick < 80) {
+    // Chase an edge into the roots, then trim.
+    int Idx = M.load(Rng.nextBelow(N), 0);
+    if (Idx >= 0 && M.numRoots() > WorkingSet)
+      M.discard(static_cast<size_t>(Idx));
+    return true;
+  }
+  // Replace a working-set member.
+  M.discard(Rng.nextBelow(N));
+  return M.alloc() >= 0;
+}
+
+void GraphMutator::teardown() {
+  while (M.numRoots() > 0)
+    M.discard(0);
+}
+
+//===----------------------------------------------------------------------===//
+// Factory
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Workload> tsogc::wl::makeWorkload(const std::string &Name,
+                                                  MutatorContext &M,
+                                                  uint64_t Seed) {
+  if (Name == "tree")
+    return std::make_unique<TreeBuilder>(M, Seed);
+  if (Name == "graph")
+    return std::make_unique<GraphMutator>(M, Seed);
+  return std::make_unique<ListChurn>(M, Seed);
+}

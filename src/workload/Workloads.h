@@ -1,0 +1,109 @@
+//===- workload/Workloads.h - Realistic mutator workloads -----------------===//
+///
+/// \file
+/// Reusable mutator behaviors over the runtime's Figure 6 API, shared by
+/// the stress tests, benchmarks, and examples. Each workload owns a
+/// strategy for exercising the heap access protocol the way an application
+/// would: list churn (allocation-heavy, the embedded/real-time pattern the
+/// paper's introduction motivates), tree building (deeper shapes, more
+/// tracing work), and random graph mutation (barrier-heavy, maximally racy
+/// when run from several threads over shared roots).
+///
+/// A workload never blocks and calls safepoint() exactly once per step, so
+/// its step latency distribution is a direct read on mutator-visible GC
+/// interference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_WORKLOAD_WORKLOADS_H
+#define TSOGC_WORKLOAD_WORKLOADS_H
+
+#include "runtime/MutatorContext.h"
+#include "support/Random.h"
+
+#include <memory>
+#include <string>
+
+namespace tsogc::wl {
+
+/// One mutator-thread workload. step() performs a small unit of work
+/// (including one safepoint); teardown() drops all roots.
+class Workload {
+public:
+  virtual ~Workload();
+
+  /// Perform one unit of work. Returns false if the workload could not
+  /// make progress (heap exhausted) — callers typically just keep going,
+  /// letting the collector catch up.
+  virtual bool step() = 0;
+
+  /// Drop every root this workload holds.
+  virtual void teardown() = 0;
+
+  virtual const char *name() const = 0;
+};
+
+/// Builds singly linked lists, keeps a bounded set of them alive, abandons
+/// the rest. Allocation-dominated; garbage is produced in bursts.
+class ListChurn : public Workload {
+public:
+  ListChurn(rt::MutatorContext &M, uint64_t Seed, unsigned ListLen = 32,
+            unsigned KeepLists = 4);
+  bool step() override;
+  void teardown() override;
+  const char *name() const override { return "list-churn"; }
+
+private:
+  rt::MutatorContext &M;
+  Xoshiro256 Rng;
+  unsigned ListLen;
+  unsigned KeepLists;
+  int CurHead = -1;   ///< Root index of the list under construction.
+  unsigned CurLen = 0;
+};
+
+/// Builds binary trees (requires ≥ 2 fields), replacing a random kept tree
+/// when the nursery is full. Produces deep tracing work for the collector.
+class TreeBuilder : public Workload {
+public:
+  TreeBuilder(rt::MutatorContext &M, uint64_t Seed, unsigned Depth = 5,
+              unsigned KeepTrees = 3);
+  bool step() override;
+  void teardown() override;
+  const char *name() const override { return "tree-builder"; }
+
+private:
+  /// Builds a complete tree of the given depth; returns its root index or
+  /// -1 on exhaustion.
+  int buildTree(unsigned Depth);
+
+  rt::MutatorContext &M;
+  Xoshiro256 Rng;
+  unsigned Depth;
+  unsigned KeepTrees;
+};
+
+/// Random edge rewiring over a bounded working set: store-dominated, the
+/// worst case for write barriers, and racy when several instances share a
+/// heap.
+class GraphMutator : public Workload {
+public:
+  GraphMutator(rt::MutatorContext &M, uint64_t Seed,
+               unsigned WorkingSet = 24);
+  bool step() override;
+  void teardown() override;
+  const char *name() const override { return "graph-mutator"; }
+
+private:
+  rt::MutatorContext &M;
+  Xoshiro256 Rng;
+  unsigned WorkingSet;
+};
+
+/// Factory by name ("list", "tree", "graph"), for example CLIs.
+std::unique_ptr<Workload> makeWorkload(const std::string &Name,
+                                       rt::MutatorContext &M, uint64_t Seed);
+
+} // namespace tsogc::wl
+
+#endif // TSOGC_WORKLOAD_WORKLOADS_H

@@ -1,0 +1,183 @@
+//===- tests/ablation_test.cpp - Barrier-necessity counterexamples --------===//
+///
+/// The proof's contrapositive, checked mechanically: removing either write
+/// barrier admits executions in which the collector frees a reachable
+/// object (the headline safety property fails). With both barriers on, the
+/// very same schedules are harmless.
+
+#include "explore/Explorer.h"
+#include "explore/Guided.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsogc;
+
+namespace {
+
+/// Neutral schedule: collector, system, and mutator handshake handling may
+/// run; mutator *operations* (Figure 6) only when scripted.
+bool neutralLabel(const std::string &L) {
+  if (L.rfind("p0:", 0) == 0 || L.rfind("p2:", 0) == 0)
+    return true;
+  return L.find(":mut:hs-") != std::string::npos ||
+         L.find(":mut:root") != std::string::npos;
+}
+
+ModelConfig smallConfig() {
+  ModelConfig Cfg;
+  Cfg.NumMutators = 1;
+  Cfg.NumRefs = 3;
+  Cfg.NumFields = 1;
+  Cfg.BufferBound = 2;
+  Cfg.InitialHeap = ModelConfig::InitHeap::SingleRoot;
+  return Cfg;
+}
+
+Ref R(unsigned I) { return Ref(static_cast<uint16_t>(I)); }
+
+/// Drive the insertion-barrier violation scenario of §2 ("On-the-Fly"):
+///   * W is allocated white (the mutator's fA view is stale: it has
+///     completed H3 but not H4);
+///   * B is allocated black (after H4);
+///   * W is stored into B's field — with no insertion barrier W stays
+///     unmarked — and dropped from the roots;
+///   * root marking (H5) marks B, but B is already marked, so B is never
+///     greyed and its fields are never scanned;
+///   * the sweep frees W even though roots → B → W.
+/// Returns the first headline violation encountered, if any; \p Survived is
+/// set if a full cycle completes with W still allocated.
+std::optional<Violation> driveInsertionScenario(const GcModel &M,
+                                                bool &Survived) {
+  InvariantSuite Inv(M);
+  GuidedDriver D(M);
+  Survived = false;
+
+  auto MutDone = [&M](HsRound Round) {
+    return [&M, Round](const GcSystemState &S) {
+      return M.mutator(S, 0).CompletedRound == Round;
+    };
+  };
+  auto Violated = [&Inv](const GcSystemState &S) {
+    return Inv.checkSafetyHeadline(S).has_value();
+  };
+
+  // Let the cycle progress until the mutator has completed H3 (its phase
+  // view is Init; its fA view is still the old sense).
+  EXPECT_TRUE(D.advance(neutralLabel, MutDone(HsRound::H3PhaseInit)));
+
+  // Allocate W = r1, white.
+  EXPECT_TRUE(D.take("p1:mut:alloc"));
+  EXPECT_TRUE(M.mutator(D.state(), 0).Roots.count(R(1)));
+  EXPECT_NE(M.sysState(D.state()).Mem.heap().markFlag(R(1)),
+            GcModel::collector(D.state()).FM)
+      << "W must be allocated white (stale fA view)";
+
+  // Complete H4; allocations are black from here on.
+  EXPECT_TRUE(D.advance(neutralLabel, MutDone(HsRound::H4PhaseMark)));
+
+  // Allocate B = r2, black.
+  EXPECT_TRUE(D.take("p1:mut:alloc"));
+  EXPECT_EQ(M.sysState(D.state()).Mem.heap().markFlag(R(2)),
+            GcModel::collector(D.state()).FM)
+      << "B must be allocated black";
+
+  // Store W into B's field: B.f := W (dst = r1, src = r2).
+  EXPECT_TRUE(D.take("p1:mut:choose-store", [](const GcSystemState &S) {
+    const MutatorLocal &Mu = asMutator(S[1].Local);
+    return Mu.TmpDst == R(1) && Mu.TmpSrc == R(2) && Mu.TmpFld == 0;
+  }));
+  // Run the store operation to completion (barrier sub-steps included when
+  // the barriers are configured on).
+  auto StoreSteps = [](const std::string &L) {
+    return neutralLabel(L) || L.find("p1:mut:del") != std::string::npos ||
+           L.find("p1:mut:ins") != std::string::npos ||
+           L.find("p1:mut:store") != std::string::npos;
+  };
+  EXPECT_TRUE(D.advance(StoreSteps, [&M](const GcSystemState &S) {
+    return M.mutator(S, 0).TmpSrc.isNull() && // op finished
+           M.sysState(S).Mem.heap().field(R(2), 0) == R(1); // committed
+  }));
+
+  // Drop W from the roots; it now lives only in B.f.
+  EXPECT_TRUE(D.take("p1:mut:discard", [](const GcSystemState &S) {
+    return asMutator(S[1].Local).Roots.count(R(1)) == 0;
+  }));
+
+  // Complete root marking; from here the schedule is fully neutral.
+  EXPECT_TRUE(D.advance(neutralLabel, MutDone(HsRound::H5GetRoots)));
+
+  // Hunt for a headline violation along neutral schedules (mark loop
+  // termination and sweep).
+  if (D.advance(neutralLabel, Violated, 300'000))
+    return Inv.checkSafetyHeadline(D.state());
+
+  // No violation: confirm the cycle completed and W survived.
+  EXPECT_TRUE(D.advance(neutralLabel, [](const GcSystemState &S) {
+    return GcModel::collector(S).CycleCount >= 1;
+  }));
+  Survived = M.sysState(D.state()).Mem.heap().isValid(R(1));
+  return std::nullopt;
+}
+
+} // namespace
+
+TEST(Ablation, NoDeletionBarrierViolatesSafety) {
+  ModelConfig Cfg;
+  Cfg.NumMutators = 1;
+  Cfg.NumRefs = 3;
+  Cfg.NumFields = 1;
+  Cfg.BufferBound = 1;
+  Cfg.InitialHeap = ModelConfig::InitHeap::Chain;
+  Cfg.DeletionBarrier = false;
+  Cfg.MutatorAlloc = false;
+  GcModel M(Cfg);
+  InvariantSuite Inv(M);
+  ExploreOptions Opts;
+  Opts.Dfs = true;
+  Opts.MaxStates = 2'000'000;
+  ExploreResult Res = exploreExhaustive(M, headlineChecker(Inv), Opts);
+  ASSERT_TRUE(Res.Bug.has_value())
+      << "deletion-barrier ablation must violate safety";
+  EXPECT_EQ(Res.Bug->Name, "safety-headline");
+  EXPECT_FALSE(Res.Path.empty());
+}
+
+TEST(Ablation, NoInsertionBarrierViolatesSafety) {
+  ModelConfig Cfg = smallConfig();
+  Cfg.InsertionBarrier = false;
+  GcModel M(Cfg);
+  bool Survived = false;
+  auto Bug = driveInsertionScenario(M, Survived);
+  ASSERT_TRUE(Bug.has_value())
+      << "insertion-barrier ablation must admit the §2 violation scenario";
+  EXPECT_EQ(Bug->Name, "safety-headline");
+}
+
+TEST(Ablation, SameScheduleSafeWithBothBarriers) {
+  GcModel M(smallConfig());
+  bool Survived = false;
+  auto Bug = driveInsertionScenario(M, Survived);
+  EXPECT_FALSE(Bug.has_value())
+      << "with both barriers the schedule must be safe: " << Bug->Detail;
+  EXPECT_TRUE(Survived) << "W must survive the cycle (it is reachable)";
+}
+
+TEST(Ablation, DeletionAblationSafeUnderSCIsFalse) {
+  // The deletion-barrier violation is not a TSO artifact: it exists under
+  // sequential consistency too (the race is at the algorithmic level).
+  ModelConfig Cfg;
+  Cfg.NumMutators = 1;
+  Cfg.NumRefs = 3;
+  Cfg.NumFields = 1;
+  Cfg.BufferBound = 0; // SC
+  Cfg.InitialHeap = ModelConfig::InitHeap::Chain;
+  Cfg.DeletionBarrier = false;
+  Cfg.MutatorAlloc = false;
+  GcModel M(Cfg);
+  InvariantSuite Inv(M);
+  ExploreOptions Opts;
+  Opts.Dfs = true;
+  Opts.MaxStates = 2'000'000;
+  ExploreResult Res = exploreExhaustive(M, headlineChecker(Inv), Opts);
+  EXPECT_TRUE(Res.Bug.has_value());
+}

@@ -1,0 +1,250 @@
+//===- tests/cimp_test.cpp - CIMP language semantics tests ----------------===//
+///
+/// Exercises the Figure 7/8 semantics on a toy domain: integer local
+/// states, integer request/response values.
+
+#include "cimp/System.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsogc;
+using namespace tsogc::cimp;
+
+namespace {
+
+struct IntDomain {
+  using LocalState = int;
+  using Request = int;
+  using Response = int;
+};
+
+using IProg = Program<IntDomain>;
+using IState = SystemState<IntDomain>;
+
+/// Deterministic +K local op.
+CmdId add(IProg &P, int K, std::string Label = "add") {
+  return P.localDet(std::move(Label), [K](int &S) { S += K; });
+}
+
+} // namespace
+
+TEST(CimpNormalize, SeqUnfoldsInOrder) {
+  IProg P;
+  P.setEntry(P.seq({add(P, 1, "a"), add(P, 2, "b"), add(P, 4, "c")}));
+  System<IntDomain> Sys({&P});
+  IState S = Sys.initialState({0});
+
+  for (int Expected : {1, 3, 7}) {
+    auto Succs = Sys.successors(S);
+    ASSERT_EQ(Succs.size(), 1u);
+    S = Succs[0].State;
+    EXPECT_EQ(S[0].Local, Expected);
+  }
+  EXPECT_TRUE(Sys.successors(S).empty());
+  EXPECT_TRUE(S[0].terminated());
+}
+
+TEST(CimpNormalize, ChoiceBranches) {
+  IProg P;
+  P.setEntry(P.choice({add(P, 1), add(P, 10), add(P, 100)}));
+  System<IntDomain> Sys({&P});
+  auto Succs = Sys.successors(Sys.initialState({0}));
+  ASSERT_EQ(Succs.size(), 3u);
+  EXPECT_EQ(Succs[0].State[0].Local, 1);
+  EXPECT_EQ(Succs[1].State[0].Local, 10);
+  EXPECT_EQ(Succs[2].State[0].Local, 100);
+}
+
+TEST(CimpNormalize, NondeterministicLocalOp) {
+  IProg P;
+  P.setEntry(P.localOp("pick", [](const int &S, std::vector<int> &Out) {
+    Out.push_back(S + 1);
+    Out.push_back(S + 2);
+  }));
+  System<IntDomain> Sys({&P});
+  auto Succs = Sys.successors(Sys.initialState({5}));
+  ASSERT_EQ(Succs.size(), 2u);
+  EXPECT_EQ(Succs[0].State[0].Local, 6);
+  EXPECT_EQ(Succs[1].State[0].Local, 7);
+}
+
+TEST(CimpNormalize, EmptyLocalOpBlocks) {
+  IProg P;
+  P.setEntry(P.localOp("stuck", [](const int &, std::vector<int> &) {}));
+  System<IntDomain> Sys({&P});
+  EXPECT_TRUE(Sys.successors(Sys.initialState({0})).empty());
+}
+
+TEST(CimpNormalize, IfSelectsBranchOnLocalState) {
+  IProg P;
+  P.setEntry(P.ifThenElse([](const int &S) { return S > 0; },
+                          add(P, 100, "then"), add(P, -100, "else")));
+  System<IntDomain> Sys({&P});
+
+  auto SuccsPos = Sys.successors(Sys.initialState({1}));
+  ASSERT_EQ(SuccsPos.size(), 1u);
+  EXPECT_EQ(SuccsPos[0].State[0].Local, 101);
+
+  auto SuccsNeg = Sys.successors(Sys.initialState({0}));
+  ASSERT_EQ(SuccsNeg.size(), 1u);
+  EXPECT_EQ(SuccsNeg[0].State[0].Local, -100);
+}
+
+TEST(CimpNormalize, IfThenWithoutElseIsSkippable) {
+  IProg P;
+  P.setEntry(P.seq({P.ifThen([](const int &S) { return S > 0; },
+                             add(P, 100, "then")),
+                    add(P, 1, "after")}));
+  System<IntDomain> Sys({&P});
+  // Guard false: the skip is erased during normalization, so the single
+  // successor is directly the "after" step.
+  auto Succs = Sys.successors(Sys.initialState({0}));
+  ASSERT_EQ(Succs.size(), 1u);
+  EXPECT_EQ(Succs[0].State[0].Local, 1);
+  EXPECT_TRUE(Succs[0].State[0].terminated());
+}
+
+TEST(CimpNormalize, WhileIterates) {
+  IProg P;
+  P.setEntry(P.whileLoop([](const int &S) { return S < 3; }, add(P, 1)));
+  System<IntDomain> Sys({&P});
+  IState S = Sys.initialState({0});
+  int Steps = 0;
+  for (;;) {
+    auto Succs = Sys.successors(S);
+    if (Succs.empty())
+      break;
+    ASSERT_EQ(Succs.size(), 1u);
+    S = Succs[0].State;
+    ++Steps;
+  }
+  EXPECT_EQ(S[0].Local, 3);
+  EXPECT_EQ(Steps, 3);
+}
+
+TEST(CimpNormalize, LoopNeverTerminates) {
+  IProg P;
+  P.setEntry(P.loop(add(P, 1)));
+  System<IntDomain> Sys({&P});
+  IState S = Sys.initialState({0});
+  for (int I = 0; I < 10; ++I) {
+    auto Succs = Sys.successors(S);
+    ASSERT_EQ(Succs.size(), 1u);
+    S = Succs[0].State;
+  }
+  EXPECT_EQ(S[0].Local, 10);
+  // The control stack stays bounded (Loop re-expands, it does not grow).
+  EXPECT_LE(S[0].Stack.size(), 3u);
+}
+
+TEST(CimpRendezvous, RequestPairsWithResponse) {
+  // Client sends its value; server doubles it and sends it back.
+  IProg Client, Server;
+  Client.setEntry(Client.request(
+      "ask", [](const int &S) { return S; },
+      [](const int &, const int &Rsp, std::vector<int> &Out) {
+        Out.push_back(Rsp);
+      }));
+  Server.setEntry(Server.response(
+      "serve", [](const int &Req, const int &S,
+                  std::vector<std::pair<int, int>> &Out) {
+        Out.emplace_back(S + 1, Req * 2);
+      }));
+  System<IntDomain> Sys({&Client, &Server});
+  auto Succs = Sys.successors(Sys.initialState({21, 0}));
+  ASSERT_EQ(Succs.size(), 1u);
+  EXPECT_TRUE(Succs[0].IsRendezvous);
+  EXPECT_EQ(Succs[0].State[0].Local, 42); // client got 21*2
+  EXPECT_EQ(Succs[0].State[1].Local, 1);  // server state advanced
+}
+
+TEST(CimpRendezvous, BlockedResponseDisablesTransition) {
+  IProg Client, Server;
+  Client.setEntry(Client.requestIgnore("ask", [](const int &S) { return S; }));
+  // The server only accepts even requests.
+  Server.setEntry(Server.response(
+      "serve", [](const int &Req, const int &S,
+                  std::vector<std::pair<int, int>> &Out) {
+        if (Req % 2 == 0)
+          Out.emplace_back(S, 0);
+      }));
+  System<IntDomain> Sys({&Client, &Server});
+  EXPECT_TRUE(Sys.successors(Sys.initialState({3, 0})).empty());
+  EXPECT_EQ(Sys.successors(Sys.initialState({4, 0})).size(), 1u);
+}
+
+TEST(CimpRendezvous, NondeterministicResponseFansOut) {
+  IProg Client, Server;
+  Client.setEntry(Client.request(
+      "ask", [](const int &) { return 0; },
+      [](const int &, const int &Rsp, std::vector<int> &Out) {
+        Out.push_back(Rsp);
+      }));
+  Server.setEntry(Server.response(
+      "serve", [](const int &, const int &S,
+                  std::vector<std::pair<int, int>> &Out) {
+        Out.emplace_back(S, 1);
+        Out.emplace_back(S, 2);
+      }));
+  System<IntDomain> Sys({&Client, &Server});
+  auto Succs = Sys.successors(Sys.initialState({0, 0}));
+  ASSERT_EQ(Succs.size(), 2u);
+  EXPECT_EQ(Succs[0].State[0].Local, 1);
+  EXPECT_EQ(Succs[1].State[0].Local, 2);
+}
+
+TEST(CimpRendezvous, TwoRequestersInterleave) {
+  IProg C1, C2, Server;
+  for (IProg *C : {&C1, &C2})
+    C->setEntry(C->requestIgnore("ask", [](const int &S) { return S; }));
+  Server.setEntry(Server.loop(Server.response(
+      "serve", [](const int &, const int &S,
+                  std::vector<std::pair<int, int>> &Out) {
+        Out.emplace_back(S + 1, 0);
+      })));
+  System<IntDomain> Sys({&C1, &C2, &Server});
+  auto Succs = Sys.successors(Sys.initialState({0, 0, 0}));
+  // Either client can rendezvous first.
+  EXPECT_EQ(Succs.size(), 2u);
+}
+
+TEST(CimpRendezvous, ResponsesDoNotPairWithEachOther) {
+  IProg S1, S2;
+  for (IProg *S : {&S1, &S2})
+    S->setEntry(S->response("serve",
+                            [](const int &, const int &,
+                               std::vector<std::pair<int, int>> &) {}));
+  System<IntDomain> Sys({&S1, &S2});
+  EXPECT_TRUE(Sys.successors(Sys.initialState({0, 0})).empty());
+}
+
+TEST(CimpInterleaving, LocalStepsOfDifferentProcsBothEnabled) {
+  IProg P1, P2;
+  P1.setEntry(add(P1, 1));
+  P2.setEntry(add(P2, 1));
+  System<IntDomain> Sys({&P1, &P2});
+  auto Succs = Sys.successors(Sys.initialState({0, 0}));
+  ASSERT_EQ(Succs.size(), 2u);
+  EXPECT_EQ(Succs[0].P, 0);
+  EXPECT_EQ(Succs[1].P, 1);
+}
+
+TEST(CimpProgram, DumpRendersStructure) {
+  IProg P;
+  CmdId Body = P.seq({add(P, 1, "inc"), P.nop("skip")});
+  P.setEntry(P.loop(Body));
+  std::string D = P.dump(P.entry());
+  EXPECT_NE(D.find("LOOP"), std::string::npos);
+  EXPECT_NE(D.find("SEQ"), std::string::npos);
+  EXPECT_NE(D.find("{inc} LOCALOP"), std::string::npos);
+  EXPECT_NE(D.find("{skip} SKIP"), std::string::npos);
+}
+
+TEST(CimpProgram, LabelsAppearInSuccessors) {
+  IProg P;
+  P.setEntry(add(P, 1, "mystep"));
+  System<IntDomain> Sys({&P});
+  auto Succs = Sys.successors(Sys.initialState({0}));
+  ASSERT_EQ(Succs.size(), 1u);
+  EXPECT_EQ(Succs[0].Label, "p0:mystep");
+}

@@ -1,0 +1,99 @@
+//===- tests/export_test.cpp - DOT/JSON export tests ----------------------===//
+
+#include "explore/Export.h"
+#include "explore/Guided.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsogc;
+
+namespace {
+
+ModelConfig cfg() {
+  ModelConfig C;
+  C.NumMutators = 1;
+  C.NumRefs = 3;
+  C.NumFields = 1;
+  C.BufferBound = 2;
+  C.InitialHeap = ModelConfig::InitHeap::Chain;
+  return C;
+}
+
+} // namespace
+
+TEST(Export, DotContainsObjectsAndEdges) {
+  GcModel M(cfg());
+  std::string Dot = heapToDot(M, M.initial());
+  EXPECT_NE(Dot.find("digraph heap"), std::string::npos);
+  EXPECT_NE(Dot.find("r0 ["), std::string::npos);
+  EXPECT_NE(Dot.find("r1 ["), std::string::npos);
+  EXPECT_NE(Dot.find("r0 -> r1 [label=f0]"), std::string::npos);
+  EXPECT_NE(Dot.find("mut0 -> r0"), std::string::npos);
+  // Initial heap is black (flag == fM).
+  EXPECT_NE(Dot.find("fillcolor=black"), std::string::npos);
+}
+
+TEST(Export, DotShowsBufferedWriteAsDashedEdge) {
+  GcModel M(cfg());
+  GuidedDriver D(M);
+  // Drive a store to the point where the write sits in the buffer.
+  EXPECT_TRUE(D.take("p1:mut:choose-store", [](const GcSystemState &S) {
+    const MutatorLocal &Mu = asMutator(S[1].Local);
+    return Mu.TmpDst == Ref(0) && Mu.TmpSrc == Ref(0);
+  }));
+  auto Ops = [](const std::string &L) {
+    return true && L.find("sys-dequeue") == std::string::npos;
+  };
+  EXPECT_TRUE(D.advance(Ops, [&M](const GcSystemState &S) {
+    return !M.sysState(S).Mem.buffer(1).empty();
+  }));
+  std::string Dot = heapToDot(M, D.state());
+  EXPECT_NE(Dot.find("style=dashed"), std::string::npos);
+  EXPECT_NE(Dot.find("buf(mut0)"), std::string::npos);
+}
+
+TEST(Export, StateJsonHasAllSections) {
+  GcModel M(cfg());
+  std::string J = stateToJson(M, M.initial());
+  EXPECT_NE(J.find("\"collector\":{\"phase\":\"Idle\""), std::string::npos);
+  EXPECT_NE(J.find("\"mutators\":[{\"roots\":[0]"), std::string::npos);
+  EXPECT_NE(J.find("\"heap\":[{\"ref\":0"), std::string::npos);
+  EXPECT_NE(J.find("\"round\":\"none\""), std::string::npos);
+  // Crude balance check.
+  EXPECT_EQ(std::count(J.begin(), J.end(), '{'),
+            std::count(J.begin(), J.end(), '}'));
+  EXPECT_EQ(std::count(J.begin(), J.end(), '['),
+            std::count(J.begin(), J.end(), ']'));
+}
+
+TEST(Export, CleanResultJson) {
+  GcModel M(cfg());
+  InvariantSuite Inv(M);
+  ExploreOptions Opts;
+  Opts.MaxStates = 500;
+  ExploreResult Res = exploreExhaustive(M, Inv, Opts);
+  std::string J = exploreResultToJson(M, Res);
+  EXPECT_NE(J.find("\"violation\":null"), std::string::npos);
+  EXPECT_NE(J.find("\"truncated\":true"), std::string::npos);
+}
+
+TEST(Export, ViolationResultJsonCarriesTrace) {
+  ModelConfig C = cfg();
+  C.DeletionBarrier = false;
+  C.MutatorAlloc = false;
+  C.BufferBound = 1;
+  GcModel M(C);
+  InvariantSuite Inv(M);
+  ExploreOptions Opts;
+  Opts.Dfs = true;
+  Opts.MaxStates = 2'000'000;
+  ExploreResult Res = exploreExhaustive(M, headlineChecker(Inv), Opts);
+  ASSERT_TRUE(Res.Bug.has_value());
+  std::string J = exploreResultToJson(M, Res);
+  EXPECT_NE(J.find("\"violation\":{\"name\":\"safety-headline\""),
+            std::string::npos);
+  EXPECT_NE(J.find("\"trace\":[\""), std::string::npos);
+  EXPECT_NE(J.find("\"badState\":{"), std::string::npos);
+  EXPECT_EQ(std::count(J.begin(), J.end(), '{'),
+            std::count(J.begin(), J.end(), '}'));
+}

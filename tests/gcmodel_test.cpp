@@ -1,0 +1,173 @@
+//===- tests/gcmodel_test.cpp - Model assembly and state plumbing ---------===//
+
+#include "explore/Explorer.h"
+#include "gcmodel/GcModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsogc;
+
+namespace {
+
+Ref R(unsigned I) { return Ref(static_cast<uint16_t>(I)); }
+
+ModelConfig cfg(ModelConfig::InitHeap H = ModelConfig::InitHeap::Chain) {
+  ModelConfig C;
+  C.NumMutators = 1;
+  C.NumRefs = 3;
+  C.NumFields = 1;
+  C.BufferBound = 1;
+  C.InitialHeap = H;
+  return C;
+}
+
+} // namespace
+
+TEST(GcModelInit, ChainHeap) {
+  GcModel M(cfg());
+  GcSystemState S = M.initial();
+  const Heap &H = M.sysState(S).Mem.heap();
+  EXPECT_EQ(H.numAllocated(), 2u);
+  EXPECT_EQ(H.field(R(0), 0), R(1));
+  EXPECT_EQ(M.mutator(S, 0).Roots, std::set<Ref>{R(0)});
+  // Everything black: flag == fM == fA == false.
+  EXPECT_FALSE(H.markFlag(R(0)));
+  EXPECT_FALSE(H.markFlag(R(1)));
+}
+
+TEST(GcModelInit, EmptyHeap) {
+  GcModel M(cfg(ModelConfig::InitHeap::Empty));
+  GcSystemState S = M.initial();
+  EXPECT_EQ(M.sysState(S).Mem.heap().numAllocated(), 0u);
+  EXPECT_TRUE(M.mutator(S, 0).Roots.empty());
+}
+
+TEST(GcModelInit, SharedPairHeap) {
+  GcModel M(cfg(ModelConfig::InitHeap::SharedPair));
+  GcSystemState S = M.initial();
+  EXPECT_EQ(M.sysState(S).Mem.heap().numAllocated(), 2u);
+  EXPECT_EQ(M.mutator(S, 0).Roots.size(), 2u);
+}
+
+TEST(GcModelInit, ViewsStartSynchronized) {
+  GcModel M(cfg());
+  GcSystemState S = M.initial();
+  const CollectorLocal &C = GcModel::collector(S);
+  const MutatorLocal &Mu = M.mutator(S, 0);
+  EXPECT_EQ(C.Phase, GcPhase::Idle);
+  EXPECT_EQ(Mu.PhaseLocal, GcPhase::Idle);
+  EXPECT_EQ(Mu.FMLocal, C.FM);
+  EXPECT_EQ(Mu.FALocal, C.FA);
+  EXPECT_EQ(Mu.CompletedRound, HsRound::None);
+  EXPECT_EQ(M.sysState(S).CurRound, HsRound::None);
+}
+
+TEST(GcModelInit, MultipleMutatorsShareRoots) {
+  ModelConfig C = cfg();
+  C.NumMutators = 3;
+  GcModel M(C);
+  GcSystemState S = M.initial();
+  for (unsigned I = 0; I < 3; ++I)
+    EXPECT_EQ(M.mutator(S, I).Roots, std::set<Ref>{R(0)});
+}
+
+TEST(GcModelState, EncodeIsDeterministic) {
+  GcModel M(cfg());
+  EXPECT_EQ(M.encode(M.initial()), M.encode(M.initial()));
+}
+
+TEST(GcModelState, EncodeSeparatesDistinctStates) {
+  GcModel M(cfg());
+  GcSystemState S = M.initial();
+  auto Succs = M.system().successors(S);
+  ASSERT_FALSE(Succs.empty());
+  for (const auto &Succ : Succs)
+    EXPECT_NE(M.encode(Succ.State), M.encode(S)) << Succ.Label;
+}
+
+TEST(GcModelState, ProcNames) {
+  GcModel M(cfg());
+  EXPECT_EQ(M.procName(0), "gc");
+  EXPECT_EQ(M.procName(1), "mut0");
+  EXPECT_EQ(M.procName(2), "sys");
+}
+
+TEST(GcModelState, InitialSuccessorsSaneLabels) {
+  GcModel M(cfg());
+  auto Succs = M.system().successors(M.initial());
+  ASSERT_FALSE(Succs.empty());
+  // The collector's first step is the H1 store fence; the mutator can act.
+  bool SawCollector = false, SawMutator = false;
+  for (const auto &S : Succs) {
+    if (S.Label.find("p0:H1-idle:fence-initiate") != std::string::npos)
+      SawCollector = true;
+    if (S.Label.find("p1:mut:") != std::string::npos)
+      SawMutator = true;
+  }
+  EXPECT_TRUE(SawCollector);
+  EXPECT_TRUE(SawMutator);
+}
+
+TEST(GcModelState, ReplayIsDeterministic) {
+  GcModel M(cfg());
+  // Record a valid choice sequence by walking, then replay it twice.
+  std::vector<uint32_t> Choices;
+  GcSystemState S = M.initial();
+  for (int I = 0; I < 12; ++I) {
+    auto Succs = M.system().successors(S);
+    ASSERT_FALSE(Succs.empty());
+    uint32_t Pick = static_cast<uint32_t>(I % Succs.size());
+    Choices.push_back(Pick);
+    S = Succs[Pick].State;
+  }
+  auto A = replayChoices(M, Choices);
+  auto B = replayChoices(M, Choices);
+  ASSERT_EQ(A.size(), 13u);
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(M.encode(A[I]), M.encode(B[I]));
+  EXPECT_EQ(M.encode(A.back()), M.encode(S));
+}
+
+TEST(GcModelState, NoDeadlockNearInitialState) {
+  // Every state within a few steps of the initial state has successors
+  // (the composed system never wedges).
+  GcModel M(cfg());
+  std::vector<GcSystemState> Layer{M.initial()};
+  for (int Depth = 0; Depth < 4; ++Depth) {
+    std::vector<GcSystemState> Next;
+    for (const auto &S : Layer) {
+      auto Succs = M.system().successors(S);
+      EXPECT_FALSE(Succs.empty());
+      for (auto &Succ : Succs)
+        Next.push_back(std::move(Succ.State));
+    }
+    Layer = std::move(Next);
+  }
+}
+
+TEST(GcModelState, AllocNondetFansOut) {
+  ModelConfig C = cfg(ModelConfig::InitHeap::Empty);
+  C.AllocNondet = true;
+  C.MutatorLoad = C.MutatorStore = C.MutatorDiscard = false;
+  GcModel M(C);
+  // The only mutator ops are handshake poll and alloc; find the alloc
+  // successors: one per free slot.
+  auto Succs = M.system().successors(M.initial());
+  unsigned AllocBranches = 0;
+  for (const auto &S : Succs)
+    if (S.Label.find("mut:alloc") != std::string::npos)
+      ++AllocBranches;
+  EXPECT_EQ(AllocBranches, 3u);
+}
+
+TEST(GcModelState, DeterministicAllocSingleBranch) {
+  ModelConfig C = cfg(ModelConfig::InitHeap::Empty);
+  C.MutatorLoad = C.MutatorStore = C.MutatorDiscard = false;
+  GcModel M(C);
+  auto Succs = M.system().successors(M.initial());
+  unsigned AllocBranches = 0;
+  for (const auto &S : Succs)
+    if (S.Label.find("mut:alloc") != std::string::npos)
+      ++AllocBranches;
+  EXPECT_EQ(AllocBranches, 1u);
+}

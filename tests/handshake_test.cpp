@@ -1,0 +1,166 @@
+//===- tests/handshake_test.cpp - Soft handshakes in the model (Figs 3, 4) -===//
+
+#include "explore/Guided.h"
+#include "invariants/InvariantSuite.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsogc;
+
+namespace {
+
+/// Config-independent neutral schedule: the collector, the system's commit
+/// step, and every mutator's handshake handling (but no Figure 6 ops).
+bool neutral(const std::string &L) {
+  if (L.rfind("p0:", 0) == 0)
+    return true;
+  if (L.find("sys-dequeue-write-buffer") != std::string::npos)
+    return true;
+  return L.find(":mut:hs-") != std::string::npos ||
+         L.find(":mut:root") != std::string::npos;
+}
+
+ModelConfig twoMutCfg() {
+  ModelConfig C;
+  C.NumMutators = 2;
+  C.NumRefs = 3;
+  C.NumFields = 1;
+  C.BufferBound = 2;
+  C.InitialHeap = ModelConfig::InitHeap::Chain;
+  return C;
+}
+
+ModelConfig oneMutCfg() {
+  ModelConfig C = twoMutCfg();
+  C.NumMutators = 1;
+  return C;
+}
+
+} // namespace
+
+TEST(Handshake, RoundsProgressInOrder) {
+  GcModel M(oneMutCfg());
+  GuidedDriver D(M);
+  const HsRound Seq[] = {HsRound::H1Idle,      HsRound::H2FlipFM,
+                         HsRound::H3PhaseInit, HsRound::H4PhaseMark,
+                         HsRound::H5GetRoots,  HsRound::H6GetWork};
+  for (HsRound R : Seq)
+    ASSERT_TRUE(D.advance(neutral, [&M, R](const GcSystemState &S) {
+      return M.mutator(S, 0).CompletedRound == R;
+    })) << "round " << hsRoundName(R);
+}
+
+TEST(Handshake, CollectorBlocksUntilMutatorAcks) {
+  GcModel M(oneMutCfg());
+  GuidedDriver D(M);
+  // Allow only collector and system: the collector can initiate H1 but can
+  // never complete the round because the mutator never acknowledges.
+  auto NoMutator = [](const std::string &L) {
+    return L.rfind("p0:", 0) == 0 ||
+           L.find("sys-dequeue-write-buffer") != std::string::npos;
+  };
+  EXPECT_FALSE(D.advance(
+      NoMutator,
+      [&M](const GcSystemState &S) {
+        return GcModel::collector(S).FM != false; // the post-H1 fM flip
+      },
+      50'000));
+}
+
+TEST(Handshake, MutatorLearnsPhaseOnlyAtHandshake) {
+  GcModel M(oneMutCfg());
+  GuidedDriver D(M);
+  // Run to the point where the collector set phase=Init in memory but the
+  // mutator has only completed H2.
+  ASSERT_TRUE(D.advance(neutral, [&M](const GcSystemState &S) {
+    return M.sysState(S).Mem.memoryRead(MemLoc::globalVar(GVarPhase))
+                   .asByte() == static_cast<uint8_t>(GcPhase::Init) &&
+           M.mutator(S, 0).CompletedRound == HsRound::H2FlipFM;
+  }));
+  // The mutator still sees Idle (its barriers are off).
+  EXPECT_EQ(M.mutator(D.state(), 0).PhaseLocal, GcPhase::Idle);
+  // After completing H3 it sees Init.
+  ASSERT_TRUE(D.advance(neutral, [&M](const GcSystemState &S) {
+    return M.mutator(S, 0).CompletedRound == HsRound::H3PhaseInit;
+  }));
+  EXPECT_EQ(M.mutator(D.state(), 0).PhaseLocal, GcPhase::Init);
+}
+
+TEST(Handshake, RaggedRounds) {
+  // With two mutators, one can be a full round ahead of the other: m0 has
+  // completed H5 while m1 is still at H4 — and m0 keeps mutating.
+  GcModel M(twoMutCfg());
+  GuidedDriver D(M);
+  ASSERT_TRUE(D.advance(neutral, [&M](const GcSystemState &S) {
+    return M.mutator(S, 0).CompletedRound == HsRound::H4PhaseMark &&
+           M.mutator(S, 1).CompletedRound == HsRound::H4PhaseMark &&
+           M.sysState(S).CurRound == HsRound::H5GetRoots &&
+           M.sysState(S).HsPending[0] && M.sysState(S).HsPending[1];
+  }));
+  // Let only m0 (and collector/sys) advance through its H5; m1 (pid 2)
+  // never polls.
+  auto M0Only = [](const std::string &L) {
+    if (L.rfind("p0:", 0) == 0 ||
+        L.find("sys-dequeue-write-buffer") != std::string::npos)
+      return true;
+    return L.rfind("p1:mut:hs-", 0) == 0 || L.rfind("p1:mut:root", 0) == 0;
+  };
+  ASSERT_TRUE(D.advance(M0Only, [&M](const GcSystemState &S) {
+    return M.mutator(S, 0).CompletedRound == HsRound::H5GetRoots;
+  }));
+  EXPECT_EQ(M.mutator(D.state(), 1).CompletedRound, HsRound::H4PhaseMark);
+  // The handshake-phase relation of §3.2 still holds in this ragged state.
+  InvariantSuite Inv(M);
+  EXPECT_FALSE(Inv.checkHandshakeRelation(D.state()).has_value());
+}
+
+TEST(Handshake, FenceForcesControlWritesBeforeBits) {
+  // When a mutator observes its pending bit for H2, the fM store has
+  // already committed: the H2 fence-initiate drained the collector buffer.
+  GcModel M(oneMutCfg());
+  GuidedDriver D(M);
+  ASSERT_TRUE(D.advance(neutral, [&M](const GcSystemState &S) {
+    return M.sysState(S).CurRound == HsRound::H2FlipFM &&
+           M.sysState(S).HsPending[0];
+  }));
+  const SysLocal &Sys = M.sysState(D.state());
+  EXPECT_TRUE(Sys.Mem.bufferEmpty(0)) << "collector buffer must be drained";
+  EXPECT_EQ(Sys.Mem.memoryRead(MemLoc::globalVar(GVarFM)).asBool(),
+            GcModel::collector(D.state()).FM);
+}
+
+TEST(Handshake, WorklistTransferredAtGetRoots) {
+  GcModel M(oneMutCfg());
+  GuidedDriver D(M);
+  // After the mutator completes H5, its private work-list is empty and the
+  // shared (or already-taken) work-list holds its root.
+  ASSERT_TRUE(D.advance(neutral, [&M](const GcSystemState &S) {
+    return M.mutator(S, 0).CompletedRound == HsRound::H5GetRoots;
+  }));
+  EXPECT_TRUE(M.mutator(D.state(), 0).WM.empty());
+  const auto &Shared = M.sysState(D.state()).SharedW;
+  const auto &W = GcModel::collector(D.state()).W;
+  EXPECT_TRUE(Shared.count(Ref(0)) || W.count(Ref(0)));
+}
+
+TEST(Handshake, TerminationRoundRunsAtLeastOnce) {
+  GcModel M(oneMutCfg());
+  GuidedDriver D(M);
+  ASSERT_TRUE(D.advance(neutral, [&M](const GcSystemState &S) {
+    return GcModel::collector(S).CycleCount >= 1;
+  }));
+  // CurRound after a completed cycle is the last round initiated: get-work.
+  EXPECT_EQ(M.sysState(D.state()).CurRound, HsRound::H6GetWork);
+}
+
+TEST(Handshake, PendingBitsClearBetweenRounds) {
+  GcModel M(twoMutCfg());
+  GuidedDriver D(M);
+  ASSERT_TRUE(D.advance(neutral, [&M](const GcSystemState &S) {
+    return M.sysState(S).CurRound == HsRound::H3PhaseInit &&
+           !M.sysState(S).HsPending[0] && !M.sysState(S).HsPending[1] &&
+           M.mutator(S, 0).CompletedRound == HsRound::H3PhaseInit &&
+           M.mutator(S, 1).CompletedRound == HsRound::H3PhaseInit;
+  }));
+  SUCCEED();
+}

@@ -1,0 +1,199 @@
+//===- tests/heap_test.cpp - Heap, reachability, tricolor tests -----------===//
+
+#include "heap/Color.h"
+#include "heap/Heap.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsogc;
+
+namespace {
+
+Ref R(unsigned I) { return Ref(static_cast<uint16_t>(I)); }
+
+class HeapTest : public ::testing::Test {
+protected:
+  Heap H{8, 2};
+};
+
+} // namespace
+
+TEST(RefTest, NullBehaviour) {
+  Ref N;
+  EXPECT_TRUE(N.isNull());
+  EXPECT_EQ(N, Ref::null());
+  EXPECT_NE(N, R(0));
+  EXPECT_EQ(Ref::fromRaw(N.raw()), N);
+}
+
+TEST(RefTest, Ordering) {
+  EXPECT_LT(R(1), R(2));
+  EXPECT_LT(R(2), Ref::null()); // null encodes as the max raw value
+}
+
+TEST_F(HeapTest, AllocFreeRoundTrip) {
+  EXPECT_EQ(H.numAllocated(), 0u);
+  H.allocAt(R(3), true);
+  EXPECT_TRUE(H.isValid(R(3)));
+  EXPECT_FALSE(H.isValid(R(2)));
+  EXPECT_EQ(H.numAllocated(), 1u);
+  EXPECT_TRUE(H.markFlag(R(3)));
+  H.free(R(3));
+  EXPECT_FALSE(H.isValid(R(3)));
+  EXPECT_EQ(H.numAllocated(), 0u);
+}
+
+TEST_F(HeapTest, NullIsNeverValid) {
+  EXPECT_FALSE(H.isValid(Ref::null()));
+}
+
+TEST_F(HeapTest, FreshObjectFieldsAreNull) {
+  H.allocAt(R(0), false);
+  EXPECT_TRUE(H.field(R(0), 0).isNull());
+  EXPECT_TRUE(H.field(R(0), 1).isNull());
+}
+
+TEST_F(HeapTest, FirstFreeSkipsAllocated) {
+  H.allocAt(R(0), false);
+  H.allocAt(R(1), false);
+  EXPECT_EQ(H.firstFreeRef(), R(2));
+  EXPECT_EQ(H.freeRefs().size(), 6u);
+}
+
+TEST_F(HeapTest, FullHeapHasNoFreeRef) {
+  Heap Small(2, 1);
+  Small.allocAt(R(0), false);
+  Small.allocAt(R(1), false);
+  EXPECT_TRUE(Small.firstFreeRef().isNull());
+  EXPECT_TRUE(Small.freeRefs().empty());
+}
+
+TEST_F(HeapTest, FieldWriteRead) {
+  H.allocAt(R(0), false);
+  H.allocAt(R(1), false);
+  H.setField(R(0), 1, R(1));
+  EXPECT_EQ(H.field(R(0), 1), R(1));
+  EXPECT_TRUE(H.field(R(0), 0).isNull());
+}
+
+TEST_F(HeapTest, ReachabilityFollowsChains) {
+  for (unsigned I = 0; I < 4; ++I)
+    H.allocAt(R(I), false);
+  H.setField(R(0), 0, R(1));
+  H.setField(R(1), 0, R(2));
+  // r3 is disconnected.
+  auto Reached = H.reachableFrom({R(0)});
+  EXPECT_EQ(Reached, (std::vector<Ref>{R(0), R(1), R(2)}));
+}
+
+TEST_F(HeapTest, ReachabilityHandlesCycles) {
+  H.allocAt(R(0), false);
+  H.allocAt(R(1), false);
+  H.setField(R(0), 0, R(1));
+  H.setField(R(1), 0, R(0));
+  auto Reached = H.reachableFrom({R(0)});
+  EXPECT_EQ(Reached.size(), 2u);
+}
+
+TEST_F(HeapTest, DanglingRootIsReportedButNotFollowed) {
+  H.allocAt(R(0), false);
+  // R(5) has no object: it is itself "reachable" (it is a root) but reaches
+  // nothing — this is exactly the shape of a safety violation.
+  auto Reached = H.reachableFrom({R(0), R(5)});
+  EXPECT_EQ(Reached, (std::vector<Ref>{R(0), R(5)}));
+  EXPECT_FALSE(H.isValid(R(5)));
+}
+
+TEST_F(HeapTest, ReachableFromEmptyRootsIsEmpty) {
+  H.allocAt(R(0), false);
+  EXPECT_TRUE(H.reachableFrom({}).empty());
+}
+
+TEST_F(HeapTest, WhiteReachableZeroLength) {
+  H.allocAt(R(0), false);
+  EXPECT_TRUE(H.whiteReachable(R(0), R(0), true));
+}
+
+TEST_F(HeapTest, WhiteReachableThroughWhiteChainOnly) {
+  // Mark sense = true; flag false = white.
+  for (unsigned I = 0; I < 4; ++I)
+    H.allocAt(R(I), false);
+  H.setField(R(0), 0, R(1));
+  H.setField(R(1), 0, R(2));
+  H.setField(R(2), 0, R(3));
+  EXPECT_TRUE(H.whiteReachable(R(0), R(3), true));
+  // Blacken the middle of the chain: the path no longer counts as a white
+  // chain (a black node interrupts grey protection).
+  H.setMarkFlag(R(1), true);
+  EXPECT_FALSE(H.whiteReachable(R(0), R(3), true));
+  // Direct edges are always usable regardless of target color.
+  EXPECT_TRUE(H.whiteReachable(R(0), R(1), true));
+}
+
+TEST_F(HeapTest, EncodeDistinguishesStates) {
+  Heap A(4, 1), B(4, 1);
+  A.allocAt(R(0), false);
+  B.allocAt(R(0), true);
+  std::string EA, EB;
+  A.encode(EA);
+  B.encode(EB);
+  EXPECT_NE(EA, EB);
+  std::string EA2;
+  A.encode(EA2);
+  EXPECT_EQ(EA, EA2);
+}
+
+TEST(ColorViewTest, BasicColors) {
+  Heap H(4, 1);
+  H.allocAt(R(0), true);  // marked
+  H.allocAt(R(1), false); // unmarked
+  H.allocAt(R(2), true);  // marked but grey (on a work-list)
+  ColorView CV(H, /*MarkSense=*/true, {R(2)});
+  EXPECT_TRUE(CV.isBlack(R(0)));
+  EXPECT_FALSE(CV.isWhite(R(0)));
+  EXPECT_TRUE(CV.isWhite(R(1)));
+  EXPECT_FALSE(CV.isBlack(R(1)));
+  EXPECT_TRUE(CV.isGrey(R(2)));
+  EXPECT_FALSE(CV.isBlack(R(2)));
+  EXPECT_EQ(CV.color(R(0)), Color::Black);
+  EXPECT_EQ(CV.color(R(1)), Color::White);
+  EXPECT_EQ(CV.color(R(2)), Color::Grey);
+}
+
+TEST(ColorViewTest, WhiteAndGreyOverlap) {
+  // During the CAS window an object can be white (unmarked on the heap) yet
+  // grey (honorary); the dominant color is grey.
+  Heap H(2, 1);
+  H.allocAt(R(0), false);
+  ColorView CV(H, true, {R(0)});
+  EXPECT_TRUE(CV.isWhite(R(0)));
+  EXPECT_TRUE(CV.isGrey(R(0)));
+  EXPECT_FALSE(CV.isBlack(R(0)));
+  EXPECT_EQ(CV.color(R(0)), Color::Grey);
+}
+
+TEST(ColorViewTest, GreyProtection) {
+  // G(grey) -> w1 -> w2 ; B(black) -> w2 : w2 is grey-protected (Figure 1).
+  Heap H(5, 2);
+  for (unsigned I = 0; I < 4; ++I)
+    H.allocAt(R(I), false);
+  H.setMarkFlag(R(0), true); // G is marked, on the work-list
+  H.setMarkFlag(R(3), true); // B is black
+  H.setField(R(0), 0, R(1));
+  H.setField(R(1), 0, R(2));
+  H.setField(R(3), 0, R(2));
+  ColorView CV(H, true, {R(0)});
+  EXPECT_TRUE(CV.isGreyProtected(R(2)));
+  EXPECT_TRUE(CV.isGreyProtected(R(1)));
+  // Deleting the chain edge removes protection.
+  H.setField(R(1), 0, Ref::null());
+  ColorView CV2(H, true, {R(0)});
+  EXPECT_FALSE(CV2.isGreyProtected(R(2)));
+}
+
+TEST(ColorViewTest, GreysAreDeduplicatedAndNullFree) {
+  Heap H(2, 1);
+  H.allocAt(R(0), true);
+  ColorView CV(H, true, {R(0), R(0), Ref::null()});
+  EXPECT_EQ(CV.greys().size(), 1u);
+}

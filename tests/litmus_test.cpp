@@ -1,0 +1,166 @@
+//===- tests/litmus_test.cpp - x86-TSO litmus validation (Figure 9) -------===//
+///
+/// Validates the TSO encoding against the published x86-TSO results
+/// (Sewell et al.): SB relaxes, SB+MFENCE does not, MP/LB/CoRR anomalies
+/// are forbidden, and SC mode forbids the SB relaxation.
+
+#include "litmus/Litmus.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsogc;
+
+namespace {
+
+bool hasOutcome(const std::set<LitmusOutcome> &Os, uint16_t T0R0,
+                uint16_t T1R0) {
+  for (const LitmusOutcome &O : Os)
+    if (O.Regs[0][0] == T0R0 && O.Regs[1][0] == T1R0)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(Litmus, SBRelaxationAllowedUnderTSO) {
+  auto Os = enumerateOutcomes(makeSB(), /*BufferBound=*/2);
+  // The famous relaxed outcome: both loads read 0.
+  EXPECT_TRUE(hasOutcome(Os, 0, 0));
+  // SC-style outcomes remain possible too.
+  EXPECT_TRUE(hasOutcome(Os, 1, 1));
+  EXPECT_TRUE(hasOutcome(Os, 0, 1));
+  EXPECT_TRUE(hasOutcome(Os, 1, 0));
+  EXPECT_EQ(Os.size(), 4u);
+}
+
+TEST(Litmus, SBRelaxationForbiddenUnderSC) {
+  auto Os = enumerateOutcomes(makeSB(), /*BufferBound=*/0);
+  EXPECT_FALSE(hasOutcome(Os, 0, 0));
+  EXPECT_EQ(Os.size(), 3u);
+}
+
+TEST(Litmus, MfenceRestoresSC) {
+  auto Os = enumerateOutcomes(makeSBFenced(), /*BufferBound=*/2);
+  EXPECT_FALSE(hasOutcome(Os, 0, 0));
+  EXPECT_EQ(Os.size(), 3u);
+}
+
+TEST(Litmus, BufferBoundOneStillRelaxesSB) {
+  // A single buffer slot per thread already exhibits the SB relaxation —
+  // this justifies using small bounds in the GC model's exhaustive runs.
+  auto Os = enumerateOutcomes(makeSB(), /*BufferBound=*/1);
+  EXPECT_TRUE(hasOutcome(Os, 0, 0));
+}
+
+TEST(Litmus, MessagePassingIsSafeOnTSO) {
+  // t0: x:=1; y:=1.  t1: r0:=y; r1:=x.  Forbidden: r0=1 ∧ r1=0
+  // (stores commit in order, loads are not reordered).
+  auto Os = enumerateOutcomes(makeMP(), 2);
+  for (const LitmusOutcome &O : Os)
+    EXPECT_FALSE(O.Regs[1][0] == 1 && O.Regs[1][1] == 0)
+        << "MP anomaly: " << outcomeToString(O);
+  // All three legal observations occur.
+  EXPECT_EQ(Os.size(), 3u);
+}
+
+TEST(Litmus, LoadBufferingForbidden) {
+  // t0: r0:=x; y:=1.  t1: r1:=y; x:=1.  Forbidden: r0=1 ∧ r1=1.
+  auto Os = enumerateOutcomes(makeLB(), 2);
+  for (const LitmusOutcome &O : Os)
+    EXPECT_FALSE(O.Regs[0][0] == 1 && O.Regs[1][0] == 1)
+        << "LB anomaly: " << outcomeToString(O);
+}
+
+TEST(Litmus, CoherentReadRead) {
+  // t1 reads x twice; the second read may not see an older value.
+  auto Os = enumerateOutcomes(makeCoRR(), 2);
+  for (const LitmusOutcome &O : Os)
+    EXPECT_FALSE(O.Regs[1][0] == 1 && O.Regs[1][1] == 0)
+        << "CoRR anomaly: " << outcomeToString(O);
+}
+
+TEST(Litmus, IRIWReadersAgreeOnWriteOrder) {
+  // t2 sees x then ¬y while t3 sees y then ¬x would mean the two readers
+  // observed the independent writes in opposite orders — forbidden on TSO
+  // (stores become visible to everyone at a single commit point).
+  auto Os = enumerateOutcomes(makeIRIW(), 1);
+  for (const LitmusOutcome &O : Os)
+    EXPECT_FALSE(O.Regs[2][0] == 1 && O.Regs[2][1] == 0 &&
+                 O.Regs[3][0] == 1 && O.Regs[3][1] == 0)
+        << "IRIW anomaly: " << outcomeToString(O);
+  EXPECT_GT(Os.size(), 4u);
+}
+
+TEST(Litmus, RRelaxationAllowedOnTsoOnly) {
+  // R: t0{x:=1; y:=1}  t1{y:=2; r0:=x}. The outcome (final y = 2 ∧
+  // r0 = 0) IS observable on x86-TSO — t1's load runs while its y:=2 is
+  // still buffered — but is impossible under SC.
+  auto HasAnomaly = [](const std::set<LitmusOutcome> &Os) {
+    for (const LitmusOutcome &O : Os)
+      if (O.FinalMem[1] == 2 && O.Regs[1][0] == 0)
+        return true;
+    return false;
+  };
+  EXPECT_TRUE(HasAnomaly(enumerateOutcomes(makeR(), 2)));
+  EXPECT_FALSE(HasAnomaly(enumerateOutcomes(makeR(), 0)));
+}
+
+TEST(Litmus, SForbidsWriteReorderAgainstRead) {
+  // S: t0{x:=2; y:=1}  t1{r0:=y; x:=1}. Forbidden: r0 = 1 (t1 saw y:=1,
+  // so t0's x:=2 already committed) with final x = 2 (t1's later x:=1
+  // cannot be overtaken by the earlier x:=2).
+  auto Os = enumerateOutcomes(makeS(), 2);
+  for (const LitmusOutcome &O : Os)
+    EXPECT_FALSE(O.Regs[1][0] == 1 && O.FinalMem[0] == 2)
+        << "S anomaly: " << outcomeToString(O);
+}
+
+TEST(Litmus, TwoPlusTwoWCoherence) {
+  // 2+2W: t0{x:=1; y:=2}  t1{y:=1; x:=2}. Forbidden: final x = 1 ∧
+  // final y = 1 (each location would have ordered the threads' stores
+  // oppositely — impossible with FIFO buffers and a single commit order
+  // per thread).
+  auto Os = enumerateOutcomes(make2Plus2W(), 2);
+  for (const LitmusOutcome &O : Os)
+    EXPECT_FALSE(O.FinalMem[0] == 1 && O.FinalMem[1] == 1)
+        << "2+2W anomaly: " << outcomeToString(O);
+  // Both "one thread entirely last" outcomes exist.
+  bool SawXY21 = false, SawXY12 = false;
+  for (const LitmusOutcome &O : Os) {
+    SawXY21 |= O.FinalMem[0] == 2 && O.FinalMem[1] == 1;
+    SawXY12 |= O.FinalMem[0] == 1 && O.FinalMem[1] == 2;
+  }
+  EXPECT_TRUE(SawXY21);
+  EXPECT_TRUE(SawXY12);
+}
+
+TEST(Litmus, FinalMemoryRecorded) {
+  auto Os = enumerateOutcomes(makeSB(), 1);
+  for (const LitmusOutcome &O : Os) {
+    ASSERT_EQ(O.FinalMem.size(), 2u);
+    // Both stores always commit before retirement.
+    EXPECT_EQ(O.FinalMem[0], 1);
+    EXPECT_EQ(O.FinalMem[1], 1);
+  }
+}
+
+TEST(Litmus, StatsAreReported) {
+  LitmusStats Stats;
+  enumerateOutcomes(makeSB(), 2, Stats);
+  EXPECT_GT(Stats.States, 10u);
+  EXPECT_GT(Stats.Transitions, Stats.States - 1);
+}
+
+TEST(Litmus, OutcomeToString) {
+  LitmusOutcome O;
+  O.Regs = {{1, 2}, {3, 4}};
+  O.FinalMem = {1, 0};
+  EXPECT_EQ(outcomeToString(O),
+            "t0:[r0=1,r1=2] t1:[r0=3,r1=4] mem:[g0=1,g1=0]");
+}
+
+TEST(Litmus, ScAndTsoAgreeOnFencedPrograms) {
+  auto Tso = enumerateOutcomes(makeSBFenced(), 4);
+  auto Sc = enumerateOutcomes(makeSBFenced(), 0);
+  EXPECT_EQ(Tso, Sc);
+}

@@ -1,0 +1,176 @@
+//===- tests/mutator_model_test.cpp - Figure 6 operation semantics --------===//
+
+#include "explore/Guided.h"
+#include "invariants/GcPredicates.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsogc;
+
+namespace {
+
+Ref R(unsigned I) { return Ref(static_cast<uint16_t>(I)); }
+
+bool neutral(const std::string &L) {
+  if (L.rfind("p0:", 0) == 0)
+    return true;
+  if (L.find("sys-dequeue-write-buffer") != std::string::npos)
+    return true;
+  return L.find(":mut:hs-") != std::string::npos ||
+         L.find(":mut:root") != std::string::npos;
+}
+
+ModelConfig cfg() {
+  ModelConfig C;
+  C.NumMutators = 1;
+  C.NumRefs = 3;
+  C.NumFields = 1;
+  C.BufferBound = 2;
+  C.InitialHeap = ModelConfig::InitHeap::Chain;
+  return C;
+}
+
+} // namespace
+
+TEST(MutatorModel, LoadAddsFieldValueToRoots) {
+  GcModel M(cfg());
+  GuidedDriver D(M);
+  ASSERT_TRUE(D.take("p1:mut:choose-load", [](const GcSystemState &S) {
+    const MutatorLocal &Mu = asMutator(S[1].Local);
+    return Mu.TmpSrc == R(0) && Mu.TmpFld == 0;
+  }));
+  ASSERT_TRUE(D.take("p1:mut:load"));
+  const MutatorLocal &Mu = M.mutator(D.state(), 0);
+  EXPECT_TRUE(Mu.Roots.count(R(1)));
+  EXPECT_EQ(Mu.Roots.size(), 2u);
+  // Scratch registers released.
+  EXPECT_TRUE(Mu.TmpSrc.isNull());
+}
+
+TEST(MutatorModel, LoadOfNullFieldAddsNothing) {
+  ModelConfig C = cfg();
+  C.InitialHeap = ModelConfig::InitHeap::SingleRoot;
+  GcModel M(C);
+  GuidedDriver D(M);
+  ASSERT_TRUE(D.take("p1:mut:choose-load"));
+  ASSERT_TRUE(D.take("p1:mut:load"));
+  EXPECT_EQ(M.mutator(D.state(), 0).Roots.size(), 1u);
+}
+
+TEST(MutatorModel, StoreWritesThroughTsoBuffer) {
+  GcModel M(cfg());
+  GuidedDriver D(M);
+  ASSERT_TRUE(D.take("p1:mut:choose-store", [](const GcSystemState &S) {
+    const MutatorLocal &Mu = asMutator(S[1].Local);
+    return Mu.TmpDst == R(0) && Mu.TmpSrc == R(0) && Mu.TmpFld == 0;
+  }));
+  // Idle phase: barriers read but do not mark; heap is black so the fast
+  // path is taken. Walk to the store step.
+  ASSERT_TRUE(D.take("p1:mut:del-barrier-read"));
+  ASSERT_TRUE(D.take("p1:mut:del:mark-load-flag"));
+  ASSERT_TRUE(D.take("p1:mut:del:mark-done"));
+  ASSERT_TRUE(D.take("p1:mut:ins-barrier-target"));
+  ASSERT_TRUE(D.take("p1:mut:ins:mark-load-flag"));
+  ASSERT_TRUE(D.take("p1:mut:ins:mark-done"));
+  ASSERT_TRUE(D.take("p1:mut:store"));
+  // The write is pending, not committed: the heap still shows r0.f = r1,
+  // and the buffered value r0 is an extended root.
+  const SysLocal &Sys = M.sysState(D.state());
+  EXPECT_EQ(Sys.Mem.heap().field(R(0), 0), R(1));
+  EXPECT_EQ(Sys.Mem.buffer(1).size(), 1u);
+  auto Ins = pendingInsertions(M, D.state(), 1);
+  ASSERT_EQ(Ins.size(), 1u);
+  EXPECT_EQ(Ins[0], R(0));
+  // Commit makes it visible.
+  ASSERT_TRUE(D.take("sys-dequeue-write-buffer"));
+  EXPECT_EQ(M.sysState(D.state()).Mem.heap().field(R(0), 0), R(0));
+}
+
+TEST(MutatorModel, DeletionBarrierGhostRootLifetime) {
+  GcModel M(cfg());
+  GuidedDriver D(M);
+  ASSERT_TRUE(D.take("p1:mut:choose-store", [](const GcSystemState &S) {
+    const MutatorLocal &Mu = asMutator(S[1].Local);
+    return Mu.TmpDst == R(0) && Mu.TmpSrc == R(0);
+  }));
+  ASSERT_TRUE(D.take("p1:mut:del-barrier-read"));
+  EXPECT_EQ(M.mutator(D.state(), 0).DeletedRef, R(1));
+  // Finish the op; the ghost root is released at the store.
+  auto Ops = [](const std::string &L) {
+    return neutral(L) || L.find("p1:mut:") != std::string::npos;
+  };
+  ASSERT_TRUE(D.advance(Ops, [&M](const GcSystemState &S) {
+    return M.mutator(S, 0).TmpSrc.isNull();
+  }));
+  EXPECT_TRUE(M.mutator(D.state(), 0).DeletedRef.isNull());
+}
+
+TEST(MutatorModel, AllocFailsGracefullyWhenFull) {
+  ModelConfig C = cfg();
+  C.NumRefs = 2; // chain fills the heap completely
+  GcModel M(C);
+  GuidedDriver D(M);
+  ASSERT_TRUE(D.take("p1:mut:alloc"));
+  // Roots unchanged (null response), and the mutator is not stuck: another
+  // alloc attempt is still enabled.
+  EXPECT_EQ(M.mutator(D.state(), 0).Roots.size(), 1u);
+  EXPECT_TRUE(D.take("p1:mut:alloc"));
+}
+
+TEST(MutatorModel, AllocUsesLocalFaView) {
+  GcModel M(cfg());
+  GuidedDriver D(M);
+  // Before any handshake the local fA is false: allocation is black
+  // (fA == fM == false).
+  ASSERT_TRUE(D.take("p1:mut:alloc"));
+  const GcSystemState &S = D.state();
+  EXPECT_TRUE(M.sysState(S).Mem.heap().isValid(R(2)));
+  EXPECT_EQ(M.sysState(S).Mem.heap().markFlag(R(2)), false);
+  ColorView CV = colorView(M, S);
+  EXPECT_TRUE(CV.isBlack(R(2)));
+}
+
+TEST(MutatorModel, DiscardSheddingAllRoots) {
+  GcModel M(cfg());
+  GuidedDriver D(M);
+  ASSERT_TRUE(D.take("p1:mut:discard"));
+  EXPECT_TRUE(M.mutator(D.state(), 0).Roots.empty());
+  // With no roots, Load/Store/Discard enumerate no choices; only alloc and
+  // the handshake poll remain.
+  auto Succs = M.system().successors(D.state());
+  for (const auto &Succ : Succs) {
+    EXPECT_EQ(Succ.Label.find("choose-load"), std::string::npos);
+    EXPECT_EQ(Succ.Label.find("choose-store"), std::string::npos);
+    EXPECT_EQ(Succ.Label.find("mut:discard"), std::string::npos);
+  }
+}
+
+TEST(MutatorModel, StoreChoicesCoverRootsSquared) {
+  ModelConfig C = cfg();
+  C.InitialHeap = ModelConfig::InitHeap::SharedPair;
+  GcModel M(C);
+  auto Succs = M.system().successors(M.initial());
+  unsigned StoreChoices = 0;
+  for (const auto &Succ : Succs)
+    if (Succ.Label.find("choose-store") != std::string::npos)
+      ++StoreChoices;
+  // dst ∈ {r0,r1} × src ∈ {r0,r1} × fld ∈ {0} = 4.
+  EXPECT_EQ(StoreChoices, 4u);
+}
+
+TEST(MutatorModel, RootsNeverContainNull) {
+  // Structural sweep: across a bounded exploration, no mutator root set
+  // ever contains the null reference.
+  GcModel M(cfg());
+  StateChecker NoNullRoot =
+      [&M](const GcSystemState &S) -> std::optional<Violation> {
+    for (unsigned I = 0; I < M.config().NumMutators; ++I)
+      if (M.mutator(S, I).Roots.count(Ref::null()))
+        return Violation{"null-root", "null in a root set"};
+    return std::nullopt;
+  };
+  ExploreOptions Opts;
+  Opts.MaxStates = 150'000;
+  ExploreResult Res = exploreExhaustive(M, NoNullRoot, Opts);
+  EXPECT_FALSE(Res.Bug.has_value());
+}

@@ -1,0 +1,113 @@
+//===- tests/policy_test.cpp - Collector scheduling policy ----------------===//
+///
+/// The paper "omits scheduling decisions (i.e., when to trigger a
+/// collection)"; the runtime provides the minimal occupancy policy an
+/// adopter needs. These tests pin its semantics.
+
+#include "runtime/GcRuntime.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+using namespace tsogc::rt;
+
+namespace {
+
+RtConfig cfg() {
+  RtConfig C;
+  C.HeapObjects = 256;
+  C.NumFields = 1;
+  return C;
+}
+
+} // namespace
+
+TEST(CollectorPolicy, NoCyclesBelowTrigger) {
+  GcRuntime Rt(cfg());
+  MutatorContext *M = Rt.registerMutator();
+  GcRuntime::CollectorPolicy P;
+  P.OccupancyTrigger = 0.5; // 128 objects
+  Rt.startCollector(P);
+  // Far below the trigger: the collector stays idle.
+  for (int I = 0; I < 10; ++I) {
+    int Idx = M->alloc();
+    ASSERT_GE(Idx, 0);
+    M->safepoint();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(Rt.stats().Cycles.load(), 0u);
+  std::atomic<bool> Done{false};
+  std::thread Service([&] {
+    while (!Done.load()) {
+      M->safepoint();
+      std::this_thread::yield();
+    }
+  });
+  Rt.stopCollector();
+  Done.store(true);
+  Service.join();
+  while (M->numRoots())
+    M->discard(0);
+  Rt.deregisterMutator(M);
+}
+
+TEST(CollectorPolicy, TriggersUnderPressure) {
+  GcRuntime Rt(cfg());
+  MutatorContext *M = Rt.registerMutator();
+  GcRuntime::CollectorPolicy P;
+  P.OccupancyTrigger = 0.25; // 64 objects
+  P.IdlePollUs = 10;
+  Rt.startCollector(P);
+  // Produce garbage past the trigger and keep servicing safepoints until
+  // the collector has reclaimed it.
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  bool Reclaimed = false;
+  while (std::chrono::steady_clock::now() < Deadline) {
+    M->safepoint();
+    int Idx = M->alloc();
+    if (Idx >= 0)
+      M->discard(static_cast<size_t>(Idx));
+    if (Rt.stats().Cycles.load() >= 2 &&
+        Rt.stats().TotalFreed.load() > 0) {
+      Reclaimed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(Reclaimed) << "occupancy trigger never fired";
+  std::atomic<bool> Done{false};
+  std::thread Service([&] {
+    while (!Done.load()) {
+      M->safepoint();
+      std::this_thread::yield();
+    }
+  });
+  Rt.stopCollector();
+  Done.store(true);
+  Service.join();
+  Rt.deregisterMutator(M);
+}
+
+TEST(CollectorPolicy, ContinuousModeIsDefault) {
+  GcRuntime Rt(cfg());
+  MutatorContext *M = Rt.registerMutator();
+  Rt.startCollector(); // trigger 0: back-to-back cycles
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::seconds(10);
+  while (Rt.stats().Cycles.load() < 3 &&
+         std::chrono::steady_clock::now() < Deadline)
+    M->safepoint();
+  EXPECT_GE(Rt.stats().Cycles.load(), 3u);
+  std::atomic<bool> Done{false};
+  std::thread Service([&] {
+    while (!Done.load()) {
+      M->safepoint();
+      std::this_thread::yield();
+    }
+  });
+  Rt.stopCollector();
+  Done.store(true);
+  Service.join();
+  Rt.deregisterMutator(M);
+}

@@ -1,0 +1,225 @@
+//===- tests/property_test.cpp - Parameterized property sweeps ------------===//
+///
+/// Structural properties checked across a grid of model configurations
+/// (bounded exploration) and runtime configurations (deterministic
+/// workloads): no deadlock, canonical-encoding injectivity along
+/// transitions, work-list disjointness, and reclamation/retention laws.
+
+#include "explore/Explorer.h"
+#include "runtime/GcRuntime.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsogc;
+
+namespace {
+
+struct ModelParam {
+  unsigned Mutators, Refs, Fields, Buffer;
+  ModelConfig::InitHeap Heap;
+  bool Merged, Elide;
+};
+
+std::vector<ModelParam> modelGrid() {
+  std::vector<ModelParam> Out;
+  for (unsigned Muts : {1u, 2u})
+    for (unsigned Buf : {0u, 1u, 2u})
+      for (auto Heap : {ModelConfig::InitHeap::Chain,
+                        ModelConfig::InitHeap::SharedPair})
+        Out.push_back({Muts, 3, 1, Buf, Heap, false, false});
+  Out.push_back({1, 3, 2, 1, ModelConfig::InitHeap::Chain, false, false});
+  Out.push_back({1, 3, 1, 1, ModelConfig::InitHeap::Chain, true, false});
+  Out.push_back({1, 3, 1, 1, ModelConfig::InitHeap::Chain, false, true});
+  return Out;
+}
+
+ModelConfig toConfig(const ModelParam &P) {
+  ModelConfig C;
+  C.NumMutators = P.Mutators;
+  C.NumRefs = P.Refs;
+  C.NumFields = P.Fields;
+  C.BufferBound = P.Buffer;
+  C.InitialHeap = P.Heap;
+  C.MergedInitHandshakes = P.Merged;
+  C.InsertionBarrierElideAfterRoots = P.Elide;
+  return C;
+}
+
+std::string paramName(const ::testing::TestParamInfo<ModelParam> &I) {
+  const ModelParam &P = I.param;
+  return format("m%u_b%u_h%u_f%u%s%s_%zu", P.Mutators, P.Buffer,
+                static_cast<unsigned>(P.Heap), P.Fields,
+                P.Merged ? "_merged" : "", P.Elide ? "_elide" : "", I.index);
+}
+
+class ModelProperties : public ::testing::TestWithParam<ModelParam> {};
+
+} // namespace
+
+TEST_P(ModelProperties, NoDeadlockInBoundedPrefix) {
+  GcModel M(toConfig(GetParam()));
+  // Walk a pseudo-random path; every state along it must have successors
+  // (the system semantics never wedges: at minimum a handshake poll or a
+  // collector step is enabled).
+  GcSystemState S = M.initial();
+  uint64_t X = 0x9e3779b97f4a7c15ULL;
+  for (int Step = 0; Step < 400; ++Step) {
+    auto Succs = M.system().successors(S);
+    ASSERT_FALSE(Succs.empty()) << "deadlock at step " << Step;
+    X = X * 6364136223846793005ULL + 1442695040888963407ULL;
+    S = std::move(Succs[X % Succs.size()].State);
+  }
+}
+
+TEST_P(ModelProperties, EncodingSeparatesTransitions) {
+  GcModel M(toConfig(GetParam()));
+  GcSystemState S = M.initial();
+  uint64_t X = 12345;
+  for (int Step = 0; Step < 60; ++Step) {
+    auto Succs = M.system().successors(S);
+    ASSERT_FALSE(Succs.empty());
+    // Distinct successor states encode distinctly; equal states equal.
+    for (size_t I = 0; I < Succs.size(); ++I)
+      for (size_t J = I + 1; J < Succs.size(); ++J) {
+        bool SameEnc =
+            M.encode(Succs[I].State) == M.encode(Succs[J].State);
+        bool SameState = Succs[I].State == Succs[J].State;
+        EXPECT_EQ(SameEnc, SameState)
+            << Succs[I].Label << " vs " << Succs[J].Label;
+      }
+    X = X * 6364136223846793005ULL + 1;
+    S = std::move(Succs[X % Succs.size()].State);
+  }
+}
+
+TEST_P(ModelProperties, LabelsIdentifyActingProcess) {
+  GcModel M(toConfig(GetParam()));
+  auto Succs = M.system().successors(M.initial());
+  for (const auto &Succ : Succs) {
+    ASSERT_GE(Succ.Label.size(), 3u);
+    EXPECT_EQ(Succ.Label[0], 'p');
+    EXPECT_EQ(Succ.Label.substr(0, format("p%u", Succ.P).size()),
+              format("p%u", Succ.P));
+  }
+}
+
+TEST_P(ModelProperties, InvariantsHoldOnBoundedPrefix) {
+  GcModel M(toConfig(GetParam()));
+  InvariantSuite Inv(M);
+  ExploreOptions Opts;
+  Opts.MaxStates = 30'000;
+  ExploreResult Res = exploreExhaustive(M, Inv, Opts);
+  EXPECT_FALSE(Res.Bug.has_value())
+      << Res.Bug->Name << ": " << Res.Bug->Detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ModelProperties,
+                         ::testing::ValuesIn(modelGrid()), paramName);
+
+//===----------------------------------------------------------------------===//
+// Runtime property sweeps.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct RtParam {
+  uint32_t HeapObjects;
+  uint32_t Fields;
+  uint32_t Pool;
+  bool Merged;
+  bool Elide;
+};
+
+std::vector<RtParam> rtGrid() {
+  std::vector<RtParam> Out;
+  for (uint32_t Pool : {0u, 8u})
+    for (bool Merged : {false, true})
+      Out.push_back({256, 2, Pool, Merged, false});
+  Out.push_back({256, 1, 0, false, true});
+  Out.push_back({64, 1, 4, true, true});
+  return Out;
+}
+
+class RuntimeProperties : public ::testing::TestWithParam<RtParam> {};
+
+rt::RtConfig toRtConfig(const RtParam &P) {
+  rt::RtConfig C;
+  C.HeapObjects = P.HeapObjects;
+  C.NumFields = P.Fields;
+  C.LocalAllocPool = P.Pool;
+  C.MergedInitHandshakes = P.Merged;
+  C.InsertionBarrierElideAfterRoots = P.Elide;
+  return C;
+}
+
+} // namespace
+
+TEST_P(RuntimeProperties, RootedSurviveUnrootedDieWithinTwoCycles) {
+  rt::GcRuntime Rt(toRtConfig(GetParam()));
+  rt::MutatorContext *M = Rt.registerMutator();
+  Rt.HandshakeServicer = [M] { M->safepoint(); };
+  // 8 rooted, 24 garbage.
+  for (int I = 0; I < 8; ++I)
+    ASSERT_GE(M->alloc(), 0);
+  for (int I = 0; I < 24; ++I) {
+    int Idx = M->alloc();
+    ASSERT_GE(Idx, 0);
+    M->discard(static_cast<size_t>(Idx));
+  }
+  Rt.collectOnce();
+  Rt.collectOnce();
+  EXPECT_EQ(Rt.heap().allocatedCount(), 8u);
+  // Every root still validates.
+  for (size_t I = 0; I < M->numRoots(); ++I)
+    M->load(I, 0);
+  while (M->numRoots())
+    M->discard(0);
+  Rt.deregisterMutator(M);
+}
+
+TEST_P(RuntimeProperties, HeapDrainsCompletely) {
+  rt::GcRuntime Rt(toRtConfig(GetParam()));
+  rt::MutatorContext *M = Rt.registerMutator();
+  Rt.HandshakeServicer = [M] { M->safepoint(); };
+  // Build then abandon a deep chain.
+  int Head = M->alloc();
+  ASSERT_GE(Head, 0);
+  size_t HeadIdx = static_cast<size_t>(Head);
+  for (int I = 0; I < 30; ++I) {
+    int N = M->alloc();
+    ASSERT_GE(N, 0);
+    M->store(HeadIdx, static_cast<size_t>(N), 0);
+    M->discard(HeadIdx);
+  }
+  while (M->numRoots())
+    M->discard(0);
+  Rt.collectOnce();
+  Rt.collectOnce();
+  EXPECT_EQ(Rt.heap().allocatedCount(), 0u);
+  Rt.deregisterMutator(M);
+}
+
+TEST_P(RuntimeProperties, MergedVariantRunsFewerHandshakes) {
+  const RtParam &P = GetParam();
+  rt::GcRuntime Rt(toRtConfig(P));
+  rt::MutatorContext *M = Rt.registerMutator();
+  Rt.HandshakeServicer = [M] { M->safepoint(); };
+  rt::CycleStats CS = Rt.collectOnce();
+  // Baseline: 4 noop + 1 get-roots + ≥1 get-work = ≥6 rounds; merged saves
+  // exactly two noop rounds.
+  if (P.Merged)
+    EXPECT_EQ(CS.HandshakeRounds, 4u + CS.TerminationRounds - 1);
+  else
+    EXPECT_EQ(CS.HandshakeRounds, 6u + CS.TerminationRounds - 1);
+  Rt.deregisterMutator(M);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RuntimeProperties,
+                         ::testing::ValuesIn(rtGrid()),
+                         [](const ::testing::TestParamInfo<RtParam> &I) {
+                           const RtParam &P = I.param;
+                           return format("h%u_f%u_p%u%s%s", P.HeapObjects,
+                                         P.Fields, P.Pool,
+                                         P.Merged ? "_merged" : "",
+                                         P.Elide ? "_elide" : "");
+                         });

@@ -1,0 +1,168 @@
+//===- tests/runtime_heap_test.cpp - RtHeap unit tests --------------------===//
+
+#include "runtime/RtHeap.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace tsogc::rt;
+
+namespace {
+
+RtConfig smallCfg() {
+  RtConfig C;
+  C.HeapObjects = 64;
+  C.NumFields = 2;
+  return C;
+}
+
+} // namespace
+
+TEST(RtHeapTest, AllocInitializesObject) {
+  RtHeap H(smallCfg());
+  RtRef R = H.alloc(true);
+  ASSERT_NE(R, RtNull);
+  EXPECT_TRUE(H.isAllocated(R));
+  EXPECT_TRUE(H.markFlag(R));
+  EXPECT_EQ(H.field(R, 0), RtNull);
+  EXPECT_EQ(H.field(R, 1), RtNull);
+  EXPECT_EQ(H.allocatedCount(), 1u);
+}
+
+TEST(RtHeapTest, ExhaustionReturnsNull) {
+  RtConfig C = smallCfg();
+  C.HeapObjects = 4;
+  RtHeap H(C);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_NE(H.alloc(false), RtNull);
+  EXPECT_EQ(H.alloc(false), RtNull);
+}
+
+TEST(RtHeapTest, FreeBumpsEpochAndRecycles) {
+  RtConfig C = smallCfg();
+  C.HeapObjects = 1;
+  RtHeap H(C);
+  RtRef R = H.alloc(false);
+  uint32_t E0 = H.epoch(R);
+  H.free(R);
+  EXPECT_FALSE(H.isAllocated(R));
+  EXPECT_EQ(H.epoch(R), E0 + 1);
+  RtRef R2 = H.alloc(false);
+  EXPECT_EQ(R2, R); // only one slot
+  EXPECT_EQ(H.epoch(R2), E0 + 1);
+}
+
+TEST(RtHeapTest, FieldsResetOnRealloc) {
+  RtConfig C = smallCfg();
+  C.HeapObjects = 2;
+  RtHeap H(C);
+  RtRef A = H.alloc(false);
+  RtRef B = H.alloc(false);
+  H.setField(A, 0, B);
+  H.free(A);
+  RtRef A2 = H.alloc(false);
+  EXPECT_EQ(A2, A);
+  EXPECT_EQ(H.field(A2, 0), RtNull);
+}
+
+TEST(RtHeapTest, MarkFastPathWhenAlreadyMarked) {
+  RtHeap H(smallCfg());
+  // fm = true; object allocated already-marked: no CAS, no win.
+  RtRef R = H.alloc(true);
+  uint64_t Cas = 0;
+  EXPECT_FALSE(H.mark(R, /*FmLocal=*/true, true, &Cas));
+  EXPECT_EQ(Cas, 0u);
+}
+
+TEST(RtHeapTest, MarkWinsOnceOnly) {
+  RtHeap H(smallCfg());
+  RtRef R = H.alloc(false); // white relative to fm=true
+  uint64_t Cas = 0;
+  EXPECT_TRUE(H.mark(R, true, true, &Cas));
+  EXPECT_EQ(Cas, 1u);
+  EXPECT_TRUE(H.markFlag(R));
+  // Second marker loses on the fast path.
+  EXPECT_FALSE(H.mark(R, true, true, &Cas));
+  EXPECT_EQ(Cas, 1u);
+}
+
+TEST(RtHeapTest, MarkDisabledWhenIdle) {
+  RtHeap H(smallCfg());
+  RtRef R = H.alloc(false);
+  EXPECT_FALSE(H.mark(R, true, /*BarriersActive=*/false));
+  EXPECT_FALSE(H.markFlag(R));
+}
+
+TEST(RtHeapTest, MarkOfNullIsNoop) {
+  RtHeap H(smallCfg());
+  EXPECT_FALSE(H.mark(RtNull, true, true));
+}
+
+TEST(RtHeapTest, ConcurrentMarkersExactlyOneWinner) {
+  // The Figure 5 race: many threads mark the same object; exactly one wins.
+  RtConfig C = smallCfg();
+  RtHeap H(C);
+  for (int Round = 0; Round < 20; ++Round) {
+    RtRef R = H.alloc(false);
+    std::atomic<int> Winners{0};
+    std::atomic<bool> Go{false};
+    std::vector<std::thread> Ts;
+    for (int T = 0; T < 4; ++T)
+      Ts.emplace_back([&] {
+        while (!Go.load())
+          std::this_thread::yield();
+        if (H.mark(R, true, true))
+          Winners.fetch_add(1);
+      });
+    Go.store(true);
+    for (auto &T : Ts)
+      T.join();
+    EXPECT_EQ(Winners.load(), 1) << "round " << Round;
+    EXPECT_TRUE(H.markFlag(R));
+    H.free(R);
+  }
+}
+
+TEST(RtHeapTest, SpliceAndTakeSharedChain) {
+  RtHeap H(smallCfg());
+  RtRef A = H.alloc(false), B = H.alloc(false), C2 = H.alloc(false);
+  // Chain A -> B.
+  H.setWorkNext(A, B);
+  H.setWorkNext(B, RtNull);
+  H.spliceShared(A, B);
+  // Splice a second chain (just C2).
+  H.setWorkNext(C2, RtNull);
+  H.spliceShared(C2, C2);
+  RtRef Got = H.takeShared();
+  // C2 spliced last, so it heads the list: C2 -> A -> B.
+  EXPECT_EQ(Got, C2);
+  EXPECT_EQ(H.workNext(Got), A);
+  EXPECT_EQ(H.workNext(A), B);
+  EXPECT_EQ(H.workNext(B), RtNull);
+  // The shared list is now empty.
+  EXPECT_EQ(H.takeShared(), RtNull);
+}
+
+TEST(RtHeapTest, ConcurrentSplices) {
+  RtConfig C = smallCfg();
+  C.HeapObjects = 4096;
+  RtHeap H(C);
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < 4; ++T)
+    Ts.emplace_back([&H] {
+      for (int I = 0; I < 256; ++I) {
+        RtRef R = H.alloc(false);
+        ASSERT_NE(R, RtNull);
+        H.setWorkNext(R, RtNull);
+        H.spliceShared(R, R);
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  // Every spliced node is on the shared chain exactly once.
+  unsigned Count = 0;
+  for (RtRef R = H.takeShared(); R != RtNull; R = H.workNext(R))
+    ++Count;
+  EXPECT_EQ(Count, 4u * 256u);
+}

@@ -1,0 +1,188 @@
+//===- tests/runtime_stress_test.cpp - Concurrent GC stress ---------------===//
+///
+/// Real threads: mutators continuously build and drop linked structures
+/// while the collector runs back-to-back on-the-fly cycles. Epoch
+/// validation is on, so any unsafe free aborts the test process. This is
+/// the runtime counterpart of the model's randomized exploration.
+
+#include "runtime/GcRuntime.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace tsogc;
+using namespace tsogc::rt;
+
+namespace {
+
+struct StressResult {
+  uint64_t Ops = 0;
+  uint64_t AllocFailures = 0;
+};
+
+/// One mutator thread's workload: random Figure 6 operations over a
+/// bounded shadow stack, with a safepoint per iteration.
+StressResult mutatorWorkload(GcRuntime &Rt, MutatorContext *M, uint64_t Seed,
+                             uint64_t Iters, size_t MaxRoots) {
+  Xoshiro256 Rng(Seed);
+  StressResult Res;
+  for (uint64_t I = 0; I < Iters; ++I) {
+    M->safepoint();
+    ++Res.Ops;
+    const uint64_t Pick = Rng.nextBelow(100);
+    const size_t N = M->numRoots();
+    if (Pick < 35 || N == 0) {
+      if (N < MaxRoots) {
+        if (M->alloc() < 0)
+          ++Res.AllocFailures;
+      } else {
+        M->discard(Rng.nextBelow(N));
+      }
+    } else if (Pick < 55 && N >= 2) {
+      // Link two rooted objects.
+      M->store(Rng.nextBelow(N), Rng.nextBelow(N),
+               static_cast<uint32_t>(
+                   Rng.nextBelow(Rt.config().NumFields)));
+    } else if (Pick < 75) {
+      int Idx = M->load(Rng.nextBelow(N),
+                        static_cast<uint32_t>(
+                            Rng.nextBelow(Rt.config().NumFields)));
+      if (Idx >= 0 && M->numRoots() > MaxRoots)
+        M->discard(static_cast<size_t>(Idx));
+    } else {
+      M->discard(Rng.nextBelow(N));
+    }
+  }
+  while (M->numRoots() > 0)
+    M->discard(0);
+  return Res;
+}
+
+void runStress(RtConfig Cfg, unsigned NumMutators, uint64_t Iters,
+               bool StopTheWorld) {
+  GcRuntime Rt(Cfg);
+  std::vector<MutatorContext *> Ms;
+  for (unsigned I = 0; I < NumMutators; ++I)
+    Ms.push_back(Rt.registerMutator());
+
+  Rt.startCollector(StopTheWorld);
+  std::vector<std::thread> Threads;
+  std::vector<StressResult> Results(NumMutators);
+  for (unsigned I = 0; I < NumMutators; ++I)
+    Threads.emplace_back([&, I] {
+      Results[I] = mutatorWorkload(Rt, Ms[I], 1000 + I, Iters, 24);
+    });
+  for (auto &T : Threads)
+    T.join();
+  // Mutators must keep servicing handshakes until the collector stops.
+  // One service thread per mutator: a parked mutator (STW mode) blocks
+  // inside its handler, so they cannot share a thread.
+  std::atomic<bool> Done{false};
+  std::vector<std::thread> Service;
+  for (auto *M : Ms)
+    Service.emplace_back([&Done, M] {
+      while (!Done.load()) {
+        M->safepoint();
+        std::this_thread::yield();
+      }
+    });
+  Rt.stopCollector();
+  Done.store(true);
+  for (auto &T : Service)
+    T.join();
+
+  for (auto *M : Ms)
+    Rt.deregisterMutator(M);
+
+  uint64_t TotalOps = 0;
+  for (const auto &R : Results)
+    TotalOps += R.Ops;
+  EXPECT_EQ(TotalOps, Iters * NumMutators);
+  EXPECT_GE(Rt.stats().Cycles.load(), 1u);
+
+  // After the final cycles, everything unrooted must eventually be
+  // reclaimable: run two clean cycles and check the heap drains.
+  Rt.HandshakeServicer = [&Ms] {
+    for (auto *M : Ms)
+      M->safepoint();
+  };
+  Rt.collectOnce();
+  Rt.collectOnce();
+  EXPECT_EQ(Rt.heap().allocatedCount(), 0u);
+}
+
+} // namespace
+
+TEST(RuntimeStress, TwoMutatorsOnTheFly) {
+  RtConfig Cfg;
+  Cfg.HeapObjects = 2048;
+  Cfg.NumFields = 2;
+  runStress(Cfg, 2, 30'000, /*StopTheWorld=*/false);
+}
+
+TEST(RuntimeStress, FourMutatorsOnTheFly) {
+  RtConfig Cfg;
+  Cfg.HeapObjects = 4096;
+  Cfg.NumFields = 2;
+  runStress(Cfg, 4, 15'000, /*StopTheWorld=*/false);
+}
+
+TEST(RuntimeStress, SmallHeapHighPressure) {
+  // A tight heap forces constant reclamation; allocation failures are
+  // expected but the runtime must stay safe and keep recovering memory.
+  RtConfig Cfg;
+  Cfg.HeapObjects = 128;
+  Cfg.NumFields = 1;
+  runStress(Cfg, 2, 20'000, /*StopTheWorld=*/false);
+}
+
+TEST(RuntimeStress, StopTheWorldBaseline) {
+  RtConfig Cfg;
+  Cfg.HeapObjects = 2048;
+  Cfg.NumFields = 2;
+  runStress(Cfg, 2, 15'000, /*StopTheWorld=*/true);
+}
+
+TEST(RuntimeStress, SingleFieldListChurn) {
+  // List-building workload: long singly linked lists built and abandoned.
+  RtConfig Cfg;
+  Cfg.HeapObjects = 1024;
+  Cfg.NumFields = 1;
+  GcRuntime Rt(Cfg);
+  MutatorContext *M = Rt.registerMutator();
+  Rt.startCollector();
+  for (int List = 0; List < 200; ++List) {
+    int Head = M->alloc();
+    if (Head < 0) {
+      M->safepoint();
+      continue;
+    }
+    // Build: new node, link old head behind it, drop old head root.
+    for (int I = 0; I < 20; ++I) {
+      M->safepoint();
+      int Node = M->alloc();
+      if (Node < 0)
+        break;
+      // node.f0 = head; then the new node becomes the only root.
+      M->store(0, static_cast<size_t>(Node), 0);
+      M->discard(0);
+    }
+    // Abandon the whole list.
+    while (M->numRoots() > 0)
+      M->discard(0);
+  }
+  std::atomic<bool> Done{false};
+  std::thread Service([&] {
+    while (!Done.load()) {
+      M->safepoint();
+      std::this_thread::yield();
+    }
+  });
+  Rt.stopCollector();
+  Done.store(true);
+  Service.join();
+  Rt.deregisterMutator(M);
+  SUCCEED();
+}

@@ -1,0 +1,74 @@
+//===- tests/safety_random_test.cpp - Randomized safety sweeps ------------===//
+///
+/// Probabilistic coverage of instances too large to exhaust: long random
+/// walks over bigger heaps, more mutators, deeper buffers and both initial
+/// heap shapes, evaluating the full invariant suite at every step.
+/// Parameterized over (configuration × seed).
+
+#include "explore/Explorer.h"
+#include "invariants/Describe.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsogc;
+
+namespace {
+
+struct WalkCase {
+  const char *Name;
+  unsigned Mutators;
+  unsigned Refs;
+  unsigned Fields;
+  unsigned BufferBound;
+  ModelConfig::InitHeap Heap;
+  uint64_t Seed;
+};
+
+std::vector<WalkCase> cases() {
+  std::vector<WalkCase> Out;
+  unsigned Id = 0;
+  for (uint64_t Seed : {11u, 22u, 33u}) {
+    Out.push_back({"2mut_4refs", 2, 4, 2, 2, ModelConfig::InitHeap::Chain,
+                   Seed + Id++});
+    Out.push_back({"3mut_5refs", 3, 5, 1, 2, ModelConfig::InitHeap::SharedPair,
+                   Seed + Id++});
+    Out.push_back({"2mut_deepbuf", 2, 4, 1, 4, ModelConfig::InitHeap::Chain,
+                   Seed + Id++});
+    Out.push_back({"2mut_empty_heap", 2, 4, 2, 2, ModelConfig::InitHeap::Empty,
+                   Seed + Id++});
+  }
+  return Out;
+}
+
+class SafetyRandom : public ::testing::TestWithParam<WalkCase> {};
+
+} // namespace
+
+TEST_P(SafetyRandom, LongWalkHoldsInvariants) {
+  const WalkCase &W = GetParam();
+  ModelConfig Cfg;
+  Cfg.NumMutators = W.Mutators;
+  Cfg.NumRefs = W.Refs;
+  Cfg.NumFields = W.Fields;
+  Cfg.BufferBound = W.BufferBound;
+  Cfg.InitialHeap = W.Heap;
+  GcModel M(Cfg);
+  InvariantSuite Inv(M);
+
+  WalkOptions Opts;
+  Opts.Steps = 60'000;
+  Opts.Seed = W.Seed;
+  WalkResult Res = exploreRandomWalk(M, Inv, Opts);
+  ASSERT_FALSE(Res.Bug.has_value())
+      << Res.Bug->Name << ": " << Res.Bug->Detail << "\n"
+      << (Res.BadState ? describeState(M, *Res.BadState) : std::string());
+  EXPECT_EQ(Res.Deadlocks, 0u) << "the composed model must never wedge";
+  EXPECT_EQ(Res.StepsTaken, Opts.Steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Walks, SafetyRandom, ::testing::ValuesIn(cases()),
+    [](const ::testing::TestParamInfo<WalkCase> &I) {
+      return std::string(I.param.Name) + "_seed" +
+             std::to_string(I.param.Seed);
+    });

@@ -1,0 +1,174 @@
+//===- tests/scenario_test.cpp - §3.2's named interference scenarios ------===//
+///
+/// The paper recounts specific corner cases its proof uncovered. Each is
+/// reproduced here as a guided schedule; the interesting ones show that the
+/// algorithm tolerates the interference (the invariant gating is exactly
+/// right), not that it fails.
+
+#include "explore/Guided.h"
+#include "invariants/GcPredicates.h"
+#include "invariants/InvariantSuite.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsogc;
+
+namespace {
+
+Ref R(unsigned I) { return Ref(static_cast<uint16_t>(I)); }
+
+bool neutral(const std::string &L) {
+  if (L.rfind("p0:", 0) == 0)
+    return true;
+  if (L.find("sys-dequeue-write-buffer") != std::string::npos)
+    return true;
+  return L.find(":mut:hs-") != std::string::npos ||
+         L.find(":mut:root") != std::string::npos;
+}
+
+/// Neutral plus every step of one specific mutator (by pid prefix).
+GuidedDriver::LabelFilter neutralPlus(const std::string &Pid) {
+  return [Pid](const std::string &L) {
+    return neutral(L) || L.rfind(Pid, 0) == 0;
+  };
+}
+
+} // namespace
+
+/// §3.2 hp_InitMark: "a mutator m that has yet to pass this handshake can
+/// defeat the deletion barrier of a mutator m' which has passed the
+/// handshake by inserting white references into objects": m (phase view
+/// Idle) writes a white reference with no barrier; m' deletion-barrier
+/// reads the *old* field value and marks it; m's white insertion commits in
+/// between; m' overwrites it — the deleted reference was never marked. The
+/// point of the H4 round and the marked_deletions gate (≥ H5) is exactly
+/// that this is legal before H5 and harmless: the whole heap is still
+/// white-or-grey, nothing is black, so safety is unaffected.
+TEST(Scenario, InitMarkDeletionBarrierDefeat) {
+  ModelConfig Cfg;
+  Cfg.NumMutators = 2;
+  Cfg.NumRefs = 4;
+  Cfg.NumFields = 1;
+  Cfg.BufferBound = 2;
+  Cfg.InitialHeap = ModelConfig::InitHeap::SharedPair; // r0, r1 rooted
+  Cfg.MutatorAlloc = false;
+  GcModel M(Cfg);
+  InvariantSuite Inv(M);
+  GuidedDriver D(M);
+
+  // Bring m0 (pid 1) past H3 — barriers armed — while m1 (pid 2) has only
+  // completed H2 and still sees Idle.
+  ASSERT_TRUE(D.advance(neutralPlus("p1:mut:hs"), [&M](const GcSystemState &S) {
+    return M.mutator(S, 0).CompletedRound == HsRound::H3PhaseInit &&
+           M.mutator(S, 1).CompletedRound == HsRound::H2FlipFM;
+  }));
+  EXPECT_EQ(M.mutator(D.state(), 1).PhaseLocal, GcPhase::Idle);
+
+  // m1 starts a white insertion r0.f := r1 with NO barrier activity (its
+  // phase view is Idle) and leaves the write pending in its TSO buffer.
+  ASSERT_TRUE(D.take("p2:mut:choose-store", [](const GcSystemState &S) {
+    const MutatorLocal &Mu = asMutator(S[2].Local);
+    return Mu.TmpDst == R(1) && Mu.TmpSrc == R(0) && Mu.TmpFld == 0;
+  }));
+  // The deletion barrier reads the old value — null (SharedPair has no
+  // edges) — so mark(NULL) is skipped entirely.
+  ASSERT_TRUE(D.take("p2:mut:del-barrier-read"));
+  EXPECT_TRUE(asMutator(D.state()[2].Local).DeletedRef.isNull());
+  ASSERT_TRUE(D.take("p2:mut:ins-barrier-target"));
+  ASSERT_TRUE(D.take("p2:mut:ins:mark-load-flag"));
+  ASSERT_FALSE(D.take("p2:mut:ins:mark-cas-lock"));
+  ASSERT_TRUE(D.take("p2:mut:ins:mark-done"));
+  ASSERT_TRUE(D.take("p2:mut:store"));
+  ASSERT_EQ(M.sysState(D.state()).Mem.buffer(2).size(), 1u);
+
+  // m0 now runs its own store to r0.f: its deletion barrier reads the
+  // *committed* value (null — SharedPair has no edges), not m1's pending
+  // white insertion.
+  ASSERT_TRUE(D.take("p1:mut:choose-store", [](const GcSystemState &S) {
+    const MutatorLocal &Mu = asMutator(S[1].Local);
+    return Mu.TmpDst == R(0) && Mu.TmpSrc == R(0) && Mu.TmpFld == 0;
+  }));
+  ASSERT_TRUE(D.take("p1:mut:del-barrier-read"));
+  EXPECT_TRUE(M.mutator(D.state(), 0).DeletedRef.isNull())
+      << "m0's barrier read the committed value, oblivious to m1's buffer";
+
+  // m1's white insertion commits *between* m0's barrier and m0's store.
+  ASSERT_TRUE(D.take("sys-dequeue-write-buffer"));
+  EXPECT_EQ(M.sysState(D.state()).Mem.heap().field(R(0), 0), R(1));
+
+  // m0 completes: it overwrites r1's reference, which was never marked —
+  // the deletion barrier was defeated.
+  ASSERT_TRUE(D.take("p1:mut:ins-barrier-target"));
+  ASSERT_TRUE(D.take("p1:mut:ins:mark-load-flag"));
+  ASSERT_TRUE(D.take("p1:mut:ins:mark-cas-lock"));
+  ASSERT_TRUE(D.take("p1:mut:ins:mark-cas-read"));
+  ASSERT_TRUE(D.take("p1:mut:ins:mark-cas-store"));
+  ASSERT_TRUE(D.take("sys-dequeue-write-buffer"));
+  ASSERT_TRUE(D.take("p1:mut:ins:mark-cas-unlock"));
+  ASSERT_TRUE(D.take("p1:mut:ins:mark-publish"));
+  ASSERT_TRUE(D.take("p1:mut:ins:mark-done"));
+  ASSERT_TRUE(D.take("p1:mut:store"));
+  ASSERT_TRUE(D.take("sys-dequeue-write-buffer"));
+  EXPECT_EQ(M.sysState(D.state()).Mem.heap().field(R(0), 0), R(0));
+  // r1 is unmarked — and that is fine here: it is still rooted by both
+  // mutators and the cycle has not reached root marking. The invariant
+  // suite agrees (marked_deletions is gated on ≥ H5).
+  EXPECT_NE(M.sysState(D.state()).Mem.heap().markFlag(R(1)),
+            GcModel::collector(D.state()).FM);
+  auto V = Inv.check(D.state());
+  EXPECT_FALSE(V.has_value()) << V->Name << ": " << V->Detail;
+
+  // And the run remains safe to the end of the cycle: r1 is in the roots,
+  // so root marking saves it.
+  ASSERT_TRUE(D.advance(neutral, [](const GcSystemState &S) {
+    return GcModel::collector(S).CycleCount >= 1;
+  }));
+  EXPECT_TRUE(M.sysState(D.state()).Mem.heap().isValid(R(1)));
+}
+
+/// §2.2: "It is possible for a mutator to report no grey roots, before
+/// moving past the handshake and shading some objects" — mark-loop
+/// termination still works because another mutator (or the collector)
+/// holds the remaining grey. Driven flavor: after m0 reports an empty
+/// work-list in a get-work round, m0 sheds a grey; the collector's next
+/// round picks it up and the cycle still terminates with nothing lost.
+TEST(Scenario, LateGreyAfterEmptyReport) {
+  ModelConfig Cfg;
+  Cfg.NumMutators = 1;
+  Cfg.NumRefs = 3;
+  Cfg.NumFields = 1;
+  Cfg.BufferBound = 2;
+  Cfg.InitialHeap = ModelConfig::InitHeap::Chain;
+  GcModel M(Cfg);
+  InvariantSuite Inv(M);
+  GuidedDriver D(M);
+
+  // Run to the first get-work round with the mutator's W_m empty.
+  ASSERT_TRUE(D.advance(neutral, [&M](const GcSystemState &S) {
+    return M.sysState(S).CurRound == HsRound::H6GetWork &&
+           M.mutator(S, 0).CompletedRound == HsRound::H6GetWork &&
+           M.mutator(S, 0).WM.empty();
+  }));
+
+  // Now the mutator deletes the r0 -> r1 edge. If r1 is still white (the
+  // collector may not have scanned it yet) the barrier greys it *after*
+  // the empty report. Either way the invariants hold and the cycle
+  // completes with both objects retained.
+  ASSERT_TRUE(D.take("p1:mut:choose-store", [](const GcSystemState &S) {
+    const MutatorLocal &Mu = asMutator(S[1].Local);
+    return Mu.TmpDst == R(0) && Mu.TmpSrc == R(0);
+  }));
+  auto Ops = [](const std::string &L) {
+    return neutral(L) || L.find("p1:mut:") != std::string::npos;
+  };
+  ASSERT_TRUE(D.advance(Ops, [&M](const GcSystemState &S) {
+    return M.mutator(S, 0).TmpSrc.isNull();
+  }));
+  auto V = Inv.check(D.state());
+  EXPECT_FALSE(V.has_value()) << V->Name << ": " << V->Detail;
+  ASSERT_TRUE(D.advance(neutral, [](const GcSystemState &S) {
+    return GcModel::collector(S).CycleCount >= 1;
+  }));
+  EXPECT_TRUE(M.sysState(D.state()).Mem.heap().isValid(R(0)));
+  EXPECT_TRUE(M.sysState(D.state()).Mem.heap().isValid(R(1)));
+}

@@ -1,0 +1,140 @@
+//===- tests/stw_test.cpp - The stop-the-world baseline (E11) -------------===//
+
+#include "runtime/GcRuntime.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace tsogc::rt;
+
+namespace {
+
+/// Run one STW cycle with real mutator threads parked at safepoints.
+/// \p Mutate is executed by each mutator thread before the cycle.
+CycleStats stwCycleWith(GcRuntime &Rt, std::vector<MutatorContext *> &Ms,
+                        const std::function<void(MutatorContext *)> &Mutate) {
+  std::atomic<bool> Done{false};
+  std::vector<std::thread> Threads;
+  std::atomic<unsigned> Ready{0};
+  for (auto *M : Ms)
+    Threads.emplace_back([&, M] {
+      Mutate(M);
+      Ready.fetch_add(1);
+      while (!Done.load(std::memory_order_relaxed)) {
+        M->safepoint();
+        std::this_thread::yield();
+      }
+    });
+  while (Ready.load() < Ms.size())
+    std::this_thread::yield();
+  CycleStats CS = Rt.collectStw();
+  Done.store(true);
+  for (auto &T : Threads)
+    T.join();
+  return CS;
+}
+
+} // namespace
+
+TEST(StwCollector, RootedSurviveGarbageDies) {
+  RtConfig Cfg;
+  Cfg.HeapObjects = 512;
+  GcRuntime Rt(Cfg);
+  std::vector<MutatorContext *> Ms{Rt.registerMutator()};
+  CycleStats CS = stwCycleWith(Rt, Ms, [](MutatorContext *M) {
+    for (int I = 0; I < 10; ++I)
+      ASSERT_GE(M->alloc(), 0);
+    for (int I = 0; I < 20; ++I) {
+      int Idx = M->alloc();
+      ASSERT_GE(Idx, 0);
+      M->discard(static_cast<size_t>(Idx));
+    }
+  });
+  // STW collects *everything* unreachable in one cycle: no snapshot, no
+  // floating garbage.
+  EXPECT_EQ(CS.ObjectsFreed, 20u);
+  EXPECT_EQ(CS.ObjectsRetained, 10u);
+  EXPECT_EQ(Rt.heap().allocatedCount(), 10u);
+  // The parked mutator saw exactly the park handshake (plus the resume,
+  // folded into the same handler).
+  EXPECT_GE(Ms[0]->stats().HandshakesSeen, 1u);
+  while (Ms[0]->numRoots())
+    Ms[0]->discard(0);
+  Rt.deregisterMutator(Ms[0]);
+}
+
+TEST(StwCollector, TracesHeapChains) {
+  RtConfig Cfg;
+  Cfg.HeapObjects = 512;
+  Cfg.NumFields = 1;
+  GcRuntime Rt(Cfg);
+  std::vector<MutatorContext *> Ms{Rt.registerMutator()};
+  CycleStats CS = stwCycleWith(Rt, Ms, [](MutatorContext *M) {
+    // Chain of 8 with only the head rooted.
+    int Head = M->alloc();
+    ASSERT_GE(Head, 0);
+    size_t HeadIdx = static_cast<size_t>(Head);
+    for (int I = 0; I < 7; ++I) {
+      int N = M->alloc();
+      ASSERT_GE(N, 0);
+      M->store(HeadIdx, static_cast<size_t>(N), 0);
+      M->discard(HeadIdx);
+    }
+  });
+  EXPECT_EQ(CS.ObjectsFreed, 0u);
+  EXPECT_EQ(Rt.heap().allocatedCount(), 8u);
+  while (Ms[0]->numRoots())
+    Ms[0]->discard(0);
+  Rt.deregisterMutator(Ms[0]);
+}
+
+TEST(StwCollector, MultipleMutatorsAllParked) {
+  RtConfig Cfg;
+  Cfg.HeapObjects = 512;
+  GcRuntime Rt(Cfg);
+  std::vector<MutatorContext *> Ms;
+  for (int I = 0; I < 3; ++I)
+    Ms.push_back(Rt.registerMutator());
+  CycleStats CS = stwCycleWith(Rt, Ms, [](MutatorContext *M) {
+    ASSERT_GE(M->alloc(), 0);
+  });
+  EXPECT_EQ(CS.ObjectsRetained, 3u);
+  for (auto *M : Ms) {
+    EXPECT_GE(M->stats().MaxHandshakeNs, 1u)
+        << "park time must be recorded as a pause";
+    while (M->numRoots())
+      M->discard(0);
+    Rt.deregisterMutator(M);
+  }
+}
+
+TEST(StwCollector, AlternatingWithOnTheFlyCycles) {
+  // The two collectors share the mark-sense machinery; alternating them
+  // must preserve safety and reclaim everything.
+  RtConfig Cfg;
+  Cfg.HeapObjects = 512;
+  GcRuntime Rt(Cfg);
+  MutatorContext *M = Rt.registerMutator();
+  Rt.HandshakeServicer = [M] { M->safepoint(); };
+  int Keep = M->alloc();
+  ASSERT_GE(Keep, 0);
+  for (int I = 0; I < 50; ++I) {
+    int Idx = M->alloc();
+    ASSERT_GE(Idx, 0);
+    M->discard(static_cast<size_t>(Idx));
+  }
+  Rt.collectOnce(); // on-the-fly
+  // STW requires parked threads; emulate single-threaded by running it
+  // with no *other* threads: the servicer cannot park, so spawn a thread.
+  std::vector<MutatorContext *> Ms{M};
+  Rt.HandshakeServicer = nullptr;
+  CycleStats CS = stwCycleWith(Rt, Ms, [](MutatorContext *) {});
+  (void)CS;
+  Rt.HandshakeServicer = [M] { M->safepoint(); };
+  Rt.collectOnce();
+  EXPECT_EQ(Rt.heap().allocatedCount(), 1u);
+  EXPECT_EQ(M->load(0, 0), -1); // still valid
+  M->discard(0);
+  Rt.deregisterMutator(M);
+}

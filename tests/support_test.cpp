@@ -1,0 +1,146 @@
+//===- tests/support_test.cpp - Unit tests for the support library --------===//
+
+#include "support/HashCombine.h"
+#include "support/Random.h"
+#include "support/Stats.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace tsogc;
+
+TEST(HashCombine, MixChangesWithValue) {
+  EXPECT_NE(hashMix(0, 1), hashMix(0, 2));
+  EXPECT_NE(hashMix(1, 1), hashMix(2, 1));
+}
+
+TEST(HashCombine, BytesOrderSensitive) {
+  const char A[] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const char B[] = {9, 8, 7, 6, 5, 4, 3, 2, 1};
+  EXPECT_NE(hashBytes(A, sizeof(A)), hashBytes(B, sizeof(B)));
+}
+
+TEST(HashCombine, BytesLengthSensitive) {
+  const char A[] = {0, 0, 0, 0};
+  EXPECT_NE(hashBytes(A, 3), hashBytes(A, 4));
+}
+
+TEST(HashCombine, TailBytesMatter) {
+  // Nine bytes: the ninth lands in the tail word.
+  char A[9] = {};
+  char B[9] = {};
+  B[8] = 1;
+  EXPECT_NE(hashBytes(A, 9), hashBytes(B, 9));
+}
+
+TEST(Random, Deterministic) {
+  Xoshiro256 A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, SeedsDiffer) {
+  Xoshiro256 A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_LT(Same, 2);
+}
+
+TEST(Random, NextBelowInRange) {
+  Xoshiro256 R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(Random, NextBelowCoversAllResidues) {
+  Xoshiro256 R(7);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(R.nextBelow(5));
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(Random, DoubleInUnitInterval) {
+  Xoshiro256 R(3);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Random, BoolRoughlyFair) {
+  Xoshiro256 R(11);
+  int Heads = 0;
+  for (int I = 0; I < 10000; ++I)
+    Heads += R.nextBool() ? 1 : 0;
+  EXPECT_GT(Heads, 4500);
+  EXPECT_LT(Heads, 5500);
+}
+
+TEST(RunningStat, Basics) {
+  RunningStat S;
+  S.add(1.0);
+  S.add(2.0);
+  S.add(3.0);
+  EXPECT_EQ(S.count(), 3u);
+  EXPECT_DOUBLE_EQ(S.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(S.min(), 1.0);
+  EXPECT_DOUBLE_EQ(S.max(), 3.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 1.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.stddev(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat S;
+  S.add(5.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(S.min(), 5.0);
+  EXPECT_DOUBLE_EQ(S.max(), 5.0);
+}
+
+TEST(Histogram, CountsAndQuantiles) {
+  Histogram H(0.0, 10.0, 10);
+  for (int I = 0; I < 100; ++I)
+    H.add(static_cast<double>(I % 10) + 0.5);
+  EXPECT_EQ(H.total(), 100u);
+  for (unsigned B = 0; B < 10; ++B)
+    EXPECT_EQ(H.bucketCount(B), 10u);
+  EXPECT_NEAR(H.quantile(0.5), 5.0, 1.01);
+  EXPECT_NEAR(H.quantile(0.95), 10.0, 1.01);
+}
+
+TEST(Histogram, OverflowUnderflow) {
+  Histogram H(0.0, 1.0, 4);
+  H.add(-5.0);
+  H.add(5.0);
+  H.add(0.5);
+  EXPECT_EQ(H.total(), 3u);
+  std::string R = H.render();
+  EXPECT_NE(R.find("underflow=1"), std::string::npos);
+  EXPECT_NE(R.find("overflow=1"), std::string::npos);
+}
+
+TEST(StringUtils, Format) {
+  EXPECT_EQ(format("a%db", 7), "a7b");
+  EXPECT_EQ(format("%s-%s", "x", "y"), "x-y");
+  EXPECT_EQ(format("plain"), "plain");
+}
+
+TEST(StringUtils, Join) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}

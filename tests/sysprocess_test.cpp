@@ -1,0 +1,217 @@
+//===- tests/sysprocess_test.cpp - The system response function (Fig 9) ---===//
+///
+/// Direct unit tests of respondSys: enabling conditions (blocking on the
+/// bus lock, full buffers, undrained fences) and the effects of every
+/// request kind, without going through the composed system.
+
+#include "gcmodel/SysProcess.h"
+
+#include "gcmodel/MarkSeq.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsogc;
+
+namespace {
+
+Ref R(unsigned I) { return Ref(static_cast<uint16_t>(I)); }
+
+class SysProcessTest : public ::testing::Test {
+protected:
+  SysProcessTest() : S(cfg()) {}
+
+  static ModelConfig cfg() {
+    ModelConfig C;
+    C.NumMutators = 2;
+    C.NumRefs = 4;
+    C.NumFields = 1;
+    C.BufferBound = 2;
+    return C;
+  }
+
+  using Result = std::vector<std::pair<GcLocal, GcResponse>>;
+
+  Result respond(GcRequest Req) {
+    Result Out;
+    respondSys(cfg(), Req, S, Out);
+    return Out;
+  }
+
+  GcRequest req(ProcId From, ReqKind K) {
+    GcRequest Q;
+    Q.From = From;
+    Q.Kind = K;
+    return Q;
+  }
+
+  SysLocal S;
+};
+
+} // namespace
+
+TEST_F(SysProcessTest, ReadReturnsMemoryValue) {
+  S.Mem.memoryWrite(MemLoc::globalVar(GVarPhase), MemVal::fromByte(2));
+  GcRequest Q = req(1, ReqKind::Read);
+  Q.Loc = MemLoc::globalVar(GVarPhase);
+  auto Out = respond(Q);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].second.Val.asByte(), 2);
+}
+
+TEST_F(SysProcessTest, ReadBlockedByForeignLock) {
+  S.Mem.acquireLock(2);
+  GcRequest Q = req(1, ReqKind::Read);
+  Q.Loc = MemLoc::globalVar(GVarFM);
+  EXPECT_TRUE(respond(Q).empty());
+  // The lock owner itself is not blocked.
+  Q.From = 2;
+  EXPECT_EQ(respond(Q).size(), 1u);
+}
+
+TEST_F(SysProcessTest, WriteBuffersAndBlocksWhenFull) {
+  GcRequest Q = req(1, ReqKind::Write);
+  Q.Loc = MemLoc::globalVar(GVarFM);
+  Q.Val = MemVal::fromBool(true);
+  auto Out = respond(Q);
+  ASSERT_EQ(Out.size(), 1u);
+  const SysLocal &Next = asSys(Out[0].first);
+  EXPECT_EQ(Next.Mem.buffer(1).size(), 1u);
+  EXPECT_FALSE(Next.Mem.memoryRead(MemLoc::globalVar(GVarFM)).asBool());
+  // Fill the buffer (bound 2): third write is disabled.
+  S = Next;
+  S.Mem.write(1, Q.Loc, Q.Val);
+  EXPECT_TRUE(respond(Q).empty());
+}
+
+TEST_F(SysProcessTest, MfenceRequiresDrainedBuffer) {
+  EXPECT_EQ(respond(req(1, ReqKind::Mfence)).size(), 1u);
+  S.Mem.write(1, MemLoc::globalVar(GVarFM), MemVal::fromBool(true));
+  EXPECT_TRUE(respond(req(1, ReqKind::Mfence)).empty());
+  S.Mem.commitOldest(1);
+  EXPECT_EQ(respond(req(1, ReqKind::Mfence)).size(), 1u);
+}
+
+TEST_F(SysProcessTest, LockUnlockProtocol) {
+  auto Out = respond(req(1, ReqKind::Lock));
+  ASSERT_EQ(Out.size(), 1u);
+  S = asSys(Out[0].first);
+  EXPECT_TRUE(S.Mem.lockHeldBy(1));
+  // Second lock blocked; foreign unlock blocked.
+  EXPECT_TRUE(respond(req(2, ReqKind::Lock)).empty());
+  EXPECT_TRUE(respond(req(2, ReqKind::Unlock)).empty());
+  // Unlock with a pending write blocked until commit.
+  S.Mem.write(1, MemLoc::globalVar(GVarFM), MemVal::fromBool(true));
+  EXPECT_TRUE(respond(req(1, ReqKind::Unlock)).empty());
+  S.Mem.commitOldest(1);
+  auto Out2 = respond(req(1, ReqKind::Unlock));
+  ASSERT_EQ(Out2.size(), 1u);
+  EXPECT_EQ(asSys(Out2[0].first).Mem.lockOwner(), MemoryState::NoOwner);
+}
+
+TEST_F(SysProcessTest, AllocDeterministicPicksLowestSlot) {
+  GcRequest Q = req(1, ReqKind::Alloc);
+  Q.AllocFlag = true;
+  auto Out = respond(Q);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].second.Val.asRef(), R(0));
+  const Heap &H = asSys(Out[0].first).Mem.heap();
+  EXPECT_TRUE(H.isValid(R(0)));
+  EXPECT_TRUE(H.markFlag(R(0)));
+}
+
+TEST_F(SysProcessTest, AllocRespondsNullWhenFull) {
+  for (unsigned I = 0; I < 4; ++I)
+    S.Mem.heap().allocAt(R(I), false);
+  auto Out = respond(req(1, ReqKind::Alloc));
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_TRUE(Out[0].second.Val.asRef().isNull());
+}
+
+TEST_F(SysProcessTest, AllocNondetEnumeratesFreeSlots) {
+  ModelConfig C = cfg();
+  C.AllocNondet = true;
+  S.Mem.heap().allocAt(R(1), false);
+  std::vector<std::pair<GcLocal, GcResponse>> Out;
+  respondSys(C, req(1, ReqKind::Alloc), S, Out);
+  ASSERT_EQ(Out.size(), 3u); // slots 0, 2, 3
+}
+
+TEST_F(SysProcessTest, FreeRemovesObject) {
+  S.Mem.heap().allocAt(R(2), false);
+  GcRequest Q = req(0, ReqKind::Free);
+  Q.Loc = MemLoc::objFlag(R(2));
+  auto Out = respond(Q);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_FALSE(asSys(Out[0].first).Mem.heap().isValid(R(2)));
+}
+
+TEST_F(SysProcessTest, HeapSnapshotListsAllocated) {
+  S.Mem.heap().allocAt(R(1), false);
+  S.Mem.heap().allocAt(R(3), false);
+  auto Out = respond(req(0, ReqKind::HeapSnapshot));
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].second.Refs, (std::vector<Ref>{R(1), R(3)}));
+}
+
+TEST_F(SysProcessTest, HandshakeLifecycle) {
+  // Initiate for mutator 1.
+  GcRequest Init = req(0, ReqKind::HsInitiate);
+  Init.Mut = 1;
+  Init.Hs = HsType::GetRoots;
+  Init.Round = HsRound::H5GetRoots;
+  auto Out = respond(Init);
+  ASSERT_EQ(Out.size(), 1u);
+  S = asSys(Out[0].first);
+  EXPECT_TRUE(S.HsPending[1]);
+  EXPECT_EQ(S.CurRound, HsRound::H5GetRoots);
+
+  // Poll-all reports outstanding work.
+  auto Poll = respond(req(0, ReqKind::HsPollAll));
+  EXPECT_FALSE(Poll[0].second.Flag);
+
+  // The mutator's own poll sees its bit plus type and round.
+  GcRequest Get = req(2, ReqKind::HsGetType);
+  Get.Mut = 1;
+  auto GetOut = respond(Get);
+  EXPECT_TRUE(GetOut[0].second.Flag);
+  EXPECT_EQ(GetOut[0].second.Hs, HsType::GetRoots);
+  EXPECT_EQ(GetOut[0].second.Round, HsRound::H5GetRoots);
+
+  // Completion transfers the work-list and clears the bit.
+  GcRequest Done = req(2, ReqKind::HsComplete);
+  Done.Mut = 1;
+  Done.Refs = {R(0), R(2)};
+  auto DoneOut = respond(Done);
+  S = asSys(DoneOut[0].first);
+  EXPECT_FALSE(S.HsPending[1]);
+  EXPECT_EQ(S.SharedW, (std::set<Ref>{R(0), R(2)}));
+  EXPECT_TRUE(respond(req(0, ReqKind::HsPollAll))[0].second.Flag);
+
+  // TakeW drains the staging list.
+  auto Take = respond(req(0, ReqKind::TakeW));
+  EXPECT_EQ(Take[0].second.Refs, (std::vector<Ref>{R(0), R(2)}));
+  EXPECT_TRUE(asSys(Take[0].first).SharedW.empty());
+}
+
+TEST_F(SysProcessTest, CommitStepMatchesBufferOrder) {
+  // Through the composed program: the commit LocalOp offers one successor
+  // per process with pending writes.
+  GcProg Prog;
+  buildSysProgram(Prog, cfg());
+  S.Mem.write(0, MemLoc::globalVar(GVarFM), MemVal::fromBool(true));
+  S.Mem.write(2, MemLoc::globalVar(GVarFA), MemVal::fromBool(true));
+  // Find the commit command and run it.
+  std::vector<cimp::PendingStep<GcDomain>> Heads;
+  cimp::normalize(Prog, {Prog.entry()}, GcLocal(S), Heads);
+  bool FoundCommit = false;
+  for (const auto &H : Heads) {
+    const auto &Cmd = Prog.cmd(H.Head);
+    if (Cmd.Kind != cimp::CmdKind::LocalOp)
+      continue;
+    FoundCommit = true;
+    std::vector<GcLocal> Succs;
+    Cmd.Local(GcLocal(S), Succs);
+    EXPECT_EQ(Succs.size(), 2u); // procs 0 and 2 have pending writes
+  }
+  EXPECT_TRUE(FoundCommit);
+}

@@ -1,0 +1,108 @@
+//===- tests/torture_test.cpp - Fault-injection stress ---------------------===//
+///
+/// Runs the concurrent workloads with torture mode on: mutators yield the
+/// CPU at the algorithm's racy points (inside the barriers, around the
+/// marking CAS, after handshake view refreshes), maximally widening the
+/// windows the §3.2 invariants reason about. Epoch validation is armed:
+/// any ordering bug becomes an abort.
+
+#include "runtime/GcRuntime.h"
+#include "workload/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace tsogc;
+using namespace tsogc::rt;
+
+namespace {
+
+void tortureRun(RtConfig Cfg, unsigned NumMutators, const char *Kind,
+                uint64_t Steps) {
+  GcRuntime Rt(Cfg);
+  std::vector<MutatorContext *> Ms;
+  for (unsigned I = 0; I < NumMutators; ++I)
+    Ms.push_back(Rt.registerMutator());
+  Rt.startCollector();
+
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I < NumMutators; ++I)
+    Threads.emplace_back([&, I] {
+      auto W = wl::makeWorkload(Kind, *Ms[I], 500 + I);
+      for (uint64_t S = 0; S < Steps; ++S)
+        W->step();
+      W->teardown();
+    });
+  for (auto &T : Threads)
+    T.join();
+
+  std::atomic<bool> Done{false};
+  std::vector<std::thread> Service;
+  for (auto *M : Ms)
+    Service.emplace_back([&Done, M] {
+      while (!Done.load()) {
+        M->safepoint();
+        std::this_thread::yield();
+      }
+    });
+  Rt.stopCollector();
+  Done.store(true);
+  for (auto &T : Service)
+    T.join();
+
+  // Everything unrooted must drain after two clean cycles.
+  Rt.HandshakeServicer = [&Ms] {
+    for (auto *M : Ms)
+      M->safepoint();
+  };
+  Rt.collectOnce();
+  Rt.collectOnce();
+  EXPECT_EQ(Rt.heap().allocatedCount(), 0u);
+  EXPECT_GE(Rt.stats().Cycles.load(), 3u);
+  for (auto *M : Ms)
+    Rt.deregisterMutator(M);
+}
+
+RtConfig tortureCfg(uint32_t Level) {
+  RtConfig C;
+  C.HeapObjects = 1024;
+  C.NumFields = 2;
+  C.TortureLevel = Level;
+  return C;
+}
+
+} // namespace
+
+TEST(Torture, GraphWorkloadHighInjection) {
+  tortureRun(tortureCfg(2), 2, "graph", 8'000);
+}
+
+TEST(Torture, ListWorkloadModerateInjection) {
+  tortureRun(tortureCfg(8), 2, "list", 8'000);
+}
+
+TEST(Torture, TreeWorkloadWithPools) {
+  RtConfig Cfg = tortureCfg(4);
+  Cfg.LocalAllocPool = 8;
+  tortureRun(Cfg, 2, "tree", 800);
+}
+
+TEST(Torture, MergedHandshakeVariantUnderTorture) {
+  RtConfig Cfg = tortureCfg(4);
+  Cfg.MergedInitHandshakes = true;
+  tortureRun(Cfg, 2, "graph", 8'000);
+}
+
+TEST(Torture, InsertionElisionVariantUnderTorture) {
+  RtConfig Cfg = tortureCfg(4);
+  Cfg.InsertionBarrierElideAfterRoots = true;
+  tortureRun(Cfg, 2, "graph", 8'000);
+}
+
+TEST(Torture, ThreeMutatorsEverythingOn) {
+  RtConfig Cfg = tortureCfg(3);
+  Cfg.LocalAllocPool = 4;
+  Cfg.MergedInitHandshakes = true;
+  tortureRun(Cfg, 3, "graph", 5'000);
+}

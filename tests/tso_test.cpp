@@ -1,0 +1,151 @@
+//===- tests/tso_test.cpp - x86-TSO memory subsystem tests ----------------===//
+
+#include "tso/MemoryState.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsogc;
+
+namespace {
+
+Ref R(unsigned I) { return Ref(static_cast<uint16_t>(I)); }
+
+class TsoTest : public ::testing::Test {
+protected:
+  // 2 procs, 3 globals, 4 refs, 1 field, buffer bound 4.
+  MemoryState M{2, 3, 4, 1, 4};
+};
+
+} // namespace
+
+TEST_F(TsoTest, StoresAreBufferedNotVisible) {
+  M.write(0, MemLoc::globalVar(0), MemVal{42});
+  // Shared memory still has the old value…
+  EXPECT_EQ(M.memoryRead(MemLoc::globalVar(0)).Raw, 0);
+  // …and another thread reads the old value…
+  EXPECT_EQ(M.read(1, MemLoc::globalVar(0)).Raw, 0);
+  // …but the issuing thread sees its own store (store forwarding).
+  EXPECT_EQ(M.read(0, MemLoc::globalVar(0)).Raw, 42);
+}
+
+TEST_F(TsoTest, CommitMakesStoreVisible) {
+  M.write(0, MemLoc::globalVar(0), MemVal{42});
+  M.commitOldest(0);
+  EXPECT_EQ(M.read(1, MemLoc::globalVar(0)).Raw, 42);
+  EXPECT_TRUE(M.bufferEmpty(0));
+}
+
+TEST_F(TsoTest, BufferIsFifo) {
+  M.write(0, MemLoc::globalVar(0), MemVal{1});
+  M.write(0, MemLoc::globalVar(0), MemVal{2});
+  M.commitOldest(0);
+  EXPECT_EQ(M.memoryRead(MemLoc::globalVar(0)).Raw, 1);
+  M.commitOldest(0);
+  EXPECT_EQ(M.memoryRead(MemLoc::globalVar(0)).Raw, 2);
+}
+
+TEST_F(TsoTest, ForwardingReturnsMostRecentStore) {
+  M.write(0, MemLoc::globalVar(1), MemVal{1});
+  M.write(0, MemLoc::globalVar(1), MemVal{2});
+  EXPECT_EQ(M.read(0, MemLoc::globalVar(1)).Raw, 2);
+}
+
+TEST_F(TsoTest, ForwardingIsPerLocation) {
+  M.write(0, MemLoc::globalVar(0), MemVal{7});
+  EXPECT_EQ(M.read(0, MemLoc::globalVar(1)).Raw, 0);
+}
+
+TEST_F(TsoTest, BuffersArePerThread) {
+  M.write(0, MemLoc::globalVar(0), MemVal{1});
+  M.write(1, MemLoc::globalVar(0), MemVal{2});
+  EXPECT_EQ(M.read(0, MemLoc::globalVar(0)).Raw, 1);
+  EXPECT_EQ(M.read(1, MemLoc::globalVar(0)).Raw, 2);
+}
+
+TEST_F(TsoTest, BufferBoundEnforced) {
+  for (int I = 0; I < 4; ++I) {
+    EXPECT_FALSE(M.bufferFull(0));
+    M.write(0, MemLoc::globalVar(0), MemVal{1});
+  }
+  EXPECT_TRUE(M.bufferFull(0));
+}
+
+TEST_F(TsoTest, LockBlocksOthers) {
+  M.acquireLock(0);
+  EXPECT_TRUE(M.lockHeldBy(0));
+  EXPECT_FALSE(M.isBlocked(0));
+  EXPECT_TRUE(M.isBlocked(1));
+  M.releaseLock(0);
+  EXPECT_FALSE(M.isBlocked(1));
+}
+
+TEST_F(TsoTest, CanFenceOnlyWhenDrained) {
+  EXPECT_TRUE(M.canFence(0));
+  M.write(0, MemLoc::globalVar(0), MemVal{1});
+  EXPECT_FALSE(M.canFence(0));
+  M.commitOldest(0);
+  EXPECT_TRUE(M.canFence(0));
+}
+
+TEST_F(TsoTest, ObjectCellsAreMemory) {
+  M.heap().allocAt(R(0), false);
+  M.write(0, MemLoc::objFlag(R(0)), MemVal::fromBool(true));
+  // Unflushed: heap still shows unmarked; owner sees marked.
+  EXPECT_FALSE(M.heap().markFlag(R(0)));
+  EXPECT_TRUE(M.read(0, MemLoc::objFlag(R(0))).asBool());
+  M.commitOldest(0);
+  EXPECT_TRUE(M.heap().markFlag(R(0)));
+}
+
+TEST_F(TsoTest, FieldWritesThroughBuffer) {
+  M.heap().allocAt(R(0), false);
+  M.heap().allocAt(R(1), false);
+  M.write(1, MemLoc::objField(R(0), 0), MemVal::fromRef(R(1)));
+  EXPECT_TRUE(M.heap().field(R(0), 0).isNull());
+  M.commitOldest(1);
+  EXPECT_EQ(M.heap().field(R(0), 0), R(1));
+}
+
+TEST_F(TsoTest, DanglingAccessesCountedAndDropped) {
+  EXPECT_EQ(M.danglingAccesses(), 0u);
+  // Write to a freed object: dropped, counted.
+  M.write(0, MemLoc::objFlag(R(2)), MemVal::fromBool(true));
+  M.commitOldest(0);
+  EXPECT_EQ(M.danglingAccesses(), 1u);
+  // Read of a freed object yields null.
+  EXPECT_EQ(M.read(0, MemLoc::objField(R(2), 0)).asRef(), Ref::null());
+  EXPECT_EQ(M.danglingAccesses(), 2u);
+}
+
+TEST_F(TsoTest, PendingWritesToQuery) {
+  M.write(0, MemLoc::globalVar(2), MemVal{9});
+  M.write(1, MemLoc::globalVar(2), MemVal{8});
+  M.write(0, MemLoc::globalVar(1), MemVal{7});
+  auto Ws = M.pendingWritesTo(MemLoc::globalVar(2));
+  ASSERT_EQ(Ws.size(), 2u);
+}
+
+TEST_F(TsoTest, EncodeReflectsBuffers) {
+  std::string A, B;
+  M.encode(A);
+  M.write(0, MemLoc::globalVar(0), MemVal{1});
+  M.encode(B);
+  EXPECT_NE(A, B);
+}
+
+TEST_F(TsoTest, EqualityIgnoresDiagnostics) {
+  MemoryState A{1, 1, 1, 1, 1}, B{1, 1, 1, 1, 1};
+  // Trip the dangling counter on A only.
+  A.read(0, MemLoc::objFlag(R(0)));
+  EXPECT_EQ(A.danglingAccesses(), 1u);
+  EXPECT_TRUE(A == B);
+}
+
+TEST(TsoScMode, WritesCommitImmediately) {
+  MemoryState M{2, 1, 1, 1, /*BufferBound=*/0};
+  EXPECT_TRUE(M.scMode());
+  M.write(0, MemLoc::globalVar(0), MemVal{5});
+  EXPECT_EQ(M.read(1, MemLoc::globalVar(0)).Raw, 5);
+  EXPECT_TRUE(M.bufferEmpty(0));
+  EXPECT_FALSE(M.bufferFull(0));
+}

@@ -1,0 +1,127 @@
+//===- tests/workload_test.cpp - Workload library tests -------------------===//
+
+#include "workload/Workloads.h"
+
+#include "runtime/GcRuntime.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsogc;
+using namespace tsogc::rt;
+
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+protected:
+  WorkloadTest() {
+    RtConfig Cfg;
+    Cfg.HeapObjects = 2048;
+    Cfg.NumFields = 2;
+    Rt = std::make_unique<GcRuntime>(Cfg);
+    M = Rt->registerMutator();
+    Rt->HandshakeServicer = [this] { M->safepoint(); };
+  }
+  void TearDown() override {
+    while (M->numRoots())
+      M->discard(0);
+    Rt->deregisterMutator(M);
+  }
+  std::unique_ptr<GcRuntime> Rt;
+  MutatorContext *M = nullptr;
+};
+
+} // namespace
+
+TEST_F(WorkloadTest, ListChurnBuildsBoundedLists) {
+  wl::ListChurn W(*M, 1, /*ListLen=*/16, /*KeepLists=*/3);
+  for (int I = 0; I < 200; ++I)
+    W.step();
+  EXPECT_LE(M->numRoots(), 4u); // kept heads + current head
+  EXPECT_GT(Rt->heap().allocatedCount(), 3u);
+  W.teardown();
+  EXPECT_EQ(M->numRoots(), 0u);
+  Rt->collectOnce();
+  Rt->collectOnce();
+  EXPECT_EQ(Rt->heap().allocatedCount(), 0u);
+}
+
+TEST_F(WorkloadTest, ListChurnKeptListsWalkable) {
+  wl::ListChurn W(*M, 2, 8, 2);
+  for (int I = 0; I < 100; ++I)
+    W.step();
+  Rt->collectOnce();
+  // Walk a kept list through validated loads: every node live.
+  ASSERT_GT(M->numRoots(), 0u);
+  size_t Cur = 0;
+  unsigned Len = 1;
+  for (int Next; (Next = M->load(Cur, 0)) >= 0 && Len < 64; ++Len)
+    Cur = static_cast<size_t>(Next);
+  EXPECT_GE(Len, 8u);
+}
+
+TEST_F(WorkloadTest, TreeBuilderMakesCompleteTrees) {
+  wl::TreeBuilder W(*M, 3, /*Depth=*/3, /*KeepTrees=*/2);
+  ASSERT_TRUE(W.step());
+  // A complete depth-3 binary tree has 2^4 - 1 = 15 nodes.
+  EXPECT_EQ(Rt->heap().allocatedCount(), 15u);
+  EXPECT_EQ(M->numRoots(), 1u);
+  // Walk: root has two children, grandchildren exist.
+  int L = M->load(0, 0);
+  int R2 = M->load(0, 1);
+  ASSERT_GE(L, 0);
+  ASSERT_GE(R2, 0);
+  EXPECT_GE(M->load(static_cast<size_t>(L), 0), 0);
+  W.teardown();
+}
+
+TEST_F(WorkloadTest, TreeBuilderKeepsBoundedForest) {
+  wl::TreeBuilder W(*M, 4, 3, 2);
+  for (int I = 0; I < 20; ++I)
+    W.step();
+  EXPECT_LE(M->numRoots(), 2u);
+  Rt->collectOnce();
+  Rt->collectOnce();
+  // Only the kept forest remains: ≤ 2 × 15 nodes.
+  EXPECT_LE(Rt->heap().allocatedCount(), 30u);
+  EXPECT_GT(Rt->heap().allocatedCount(), 0u);
+}
+
+TEST_F(WorkloadTest, GraphMutatorMaintainsWorkingSet) {
+  wl::GraphMutator W(*M, 5, /*WorkingSet=*/12);
+  for (int I = 0; I < 500; ++I)
+    W.step();
+  EXPECT_GE(M->numRoots(), 11u);
+  EXPECT_LE(M->numRoots(), 14u);
+  EXPECT_GT(M->stats().Stores, 100u);
+  W.teardown();
+}
+
+TEST_F(WorkloadTest, WorkloadsSurviveConcurrentCollection) {
+  Rt->HandshakeServicer = nullptr;
+  Rt->startCollector();
+  for (const char *Kind : {"list", "tree", "graph"}) {
+    auto W = wl::makeWorkload(Kind, *M, 7);
+    for (int I = 0; I < 3000; ++I)
+      W->step(); // step() polls the safepoint; validation is armed
+    W->teardown();
+  }
+  std::atomic<bool> Done{false};
+  std::thread Service([&] {
+    while (!Done.load()) {
+      M->safepoint();
+      std::this_thread::yield();
+    }
+  });
+  Rt->stopCollector();
+  Done.store(true);
+  Service.join();
+  Rt->HandshakeServicer = [this] { M->safepoint(); };
+  SUCCEED();
+}
+
+TEST_F(WorkloadTest, FactoryByName) {
+  EXPECT_STREQ(wl::makeWorkload("list", *M, 1)->name(), "list-churn");
+  EXPECT_STREQ(wl::makeWorkload("tree", *M, 1)->name(), "tree-builder");
+  EXPECT_STREQ(wl::makeWorkload("graph", *M, 1)->name(), "graph-mutator");
+  EXPECT_STREQ(wl::makeWorkload("unknown", *M, 1)->name(), "list-churn");
+}
