@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cimp.dir/bench_cimp.cpp.o"
+  "CMakeFiles/bench_cimp.dir/bench_cimp.cpp.o.d"
+  "bench_cimp"
+  "bench_cimp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cimp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

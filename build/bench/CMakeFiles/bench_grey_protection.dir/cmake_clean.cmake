@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grey_protection.dir/bench_grey_protection.cpp.o"
+  "CMakeFiles/bench_grey_protection.dir/bench_grey_protection.cpp.o.d"
+  "bench_grey_protection"
+  "bench_grey_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grey_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mark.dir/bench_mark.cpp.o"
+  "CMakeFiles/bench_mark.dir/bench_mark.cpp.o.d"
+  "bench_mark"
+  "bench_mark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

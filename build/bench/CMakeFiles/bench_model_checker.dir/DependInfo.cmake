@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_model_checker.cpp" "bench/CMakeFiles/bench_model_checker.dir/bench_model_checker.cpp.o" "gcc" "bench/CMakeFiles/bench_model_checker.dir/bench_model_checker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/explore/CMakeFiles/tsogc_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/invariants/CMakeFiles/tsogc_invariants.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcmodel/CMakeFiles/tsogc_gcmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tso/CMakeFiles/tsogc_tso.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/tsogc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tsogc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counterexample_hunt.dir/counterexample_hunt.cpp.o"
+  "CMakeFiles/counterexample_hunt.dir/counterexample_hunt.cpp.o.d"
+  "counterexample_hunt"
+  "counterexample_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counterexample_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_tso.dir/litmus_tso.cpp.o"
+  "CMakeFiles/litmus_tso.dir/litmus_tso.cpp.o.d"
+  "litmus_tso"
+  "litmus_tso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_tso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onthefly_vs_stw.dir/onthefly_vs_stw.cpp.o"
+  "CMakeFiles/onthefly_vs_stw.dir/onthefly_vs_stw.cpp.o.d"
+  "onthefly_vs_stw"
+  "onthefly_vs_stw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onthefly_vs_stw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for onthefly_vs_stw.
+# This may be replaced when dependencies are built.

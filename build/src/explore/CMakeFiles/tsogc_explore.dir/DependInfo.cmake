@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explore/Explorer.cpp" "src/explore/CMakeFiles/tsogc_explore.dir/Explorer.cpp.o" "gcc" "src/explore/CMakeFiles/tsogc_explore.dir/Explorer.cpp.o.d"
+  "/root/repo/src/explore/Export.cpp" "src/explore/CMakeFiles/tsogc_explore.dir/Export.cpp.o" "gcc" "src/explore/CMakeFiles/tsogc_explore.dir/Export.cpp.o.d"
+  "/root/repo/src/explore/Guided.cpp" "src/explore/CMakeFiles/tsogc_explore.dir/Guided.cpp.o" "gcc" "src/explore/CMakeFiles/tsogc_explore.dir/Guided.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/invariants/CMakeFiles/tsogc_invariants.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcmodel/CMakeFiles/tsogc_gcmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tso/CMakeFiles/tsogc_tso.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/tsogc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tsogc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsogc_explore.dir/Explorer.cpp.o"
+  "CMakeFiles/tsogc_explore.dir/Explorer.cpp.o.d"
+  "CMakeFiles/tsogc_explore.dir/Export.cpp.o"
+  "CMakeFiles/tsogc_explore.dir/Export.cpp.o.d"
+  "CMakeFiles/tsogc_explore.dir/Guided.cpp.o"
+  "CMakeFiles/tsogc_explore.dir/Guided.cpp.o.d"
+  "libtsogc_explore.a"
+  "libtsogc_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsogc_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

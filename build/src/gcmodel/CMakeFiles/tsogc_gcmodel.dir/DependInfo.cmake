@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcmodel/Collector.cpp" "src/gcmodel/CMakeFiles/tsogc_gcmodel.dir/Collector.cpp.o" "gcc" "src/gcmodel/CMakeFiles/tsogc_gcmodel.dir/Collector.cpp.o.d"
+  "/root/repo/src/gcmodel/GcDomain.cpp" "src/gcmodel/CMakeFiles/tsogc_gcmodel.dir/GcDomain.cpp.o" "gcc" "src/gcmodel/CMakeFiles/tsogc_gcmodel.dir/GcDomain.cpp.o.d"
+  "/root/repo/src/gcmodel/GcModel.cpp" "src/gcmodel/CMakeFiles/tsogc_gcmodel.dir/GcModel.cpp.o" "gcc" "src/gcmodel/CMakeFiles/tsogc_gcmodel.dir/GcModel.cpp.o.d"
+  "/root/repo/src/gcmodel/MarkSeq.cpp" "src/gcmodel/CMakeFiles/tsogc_gcmodel.dir/MarkSeq.cpp.o" "gcc" "src/gcmodel/CMakeFiles/tsogc_gcmodel.dir/MarkSeq.cpp.o.d"
+  "/root/repo/src/gcmodel/Mutator.cpp" "src/gcmodel/CMakeFiles/tsogc_gcmodel.dir/Mutator.cpp.o" "gcc" "src/gcmodel/CMakeFiles/tsogc_gcmodel.dir/Mutator.cpp.o.d"
+  "/root/repo/src/gcmodel/SysProcess.cpp" "src/gcmodel/CMakeFiles/tsogc_gcmodel.dir/SysProcess.cpp.o" "gcc" "src/gcmodel/CMakeFiles/tsogc_gcmodel.dir/SysProcess.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tso/CMakeFiles/tsogc_tso.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/tsogc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tsogc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

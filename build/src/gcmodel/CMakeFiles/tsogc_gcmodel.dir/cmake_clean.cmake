@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsogc_gcmodel.dir/Collector.cpp.o"
+  "CMakeFiles/tsogc_gcmodel.dir/Collector.cpp.o.d"
+  "CMakeFiles/tsogc_gcmodel.dir/GcDomain.cpp.o"
+  "CMakeFiles/tsogc_gcmodel.dir/GcDomain.cpp.o.d"
+  "CMakeFiles/tsogc_gcmodel.dir/GcModel.cpp.o"
+  "CMakeFiles/tsogc_gcmodel.dir/GcModel.cpp.o.d"
+  "CMakeFiles/tsogc_gcmodel.dir/MarkSeq.cpp.o"
+  "CMakeFiles/tsogc_gcmodel.dir/MarkSeq.cpp.o.d"
+  "CMakeFiles/tsogc_gcmodel.dir/Mutator.cpp.o"
+  "CMakeFiles/tsogc_gcmodel.dir/Mutator.cpp.o.d"
+  "CMakeFiles/tsogc_gcmodel.dir/SysProcess.cpp.o"
+  "CMakeFiles/tsogc_gcmodel.dir/SysProcess.cpp.o.d"
+  "libtsogc_gcmodel.a"
+  "libtsogc_gcmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsogc_gcmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

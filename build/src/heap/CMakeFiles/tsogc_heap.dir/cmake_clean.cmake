@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsogc_heap.dir/Color.cpp.o"
+  "CMakeFiles/tsogc_heap.dir/Color.cpp.o.d"
+  "CMakeFiles/tsogc_heap.dir/Heap.cpp.o"
+  "CMakeFiles/tsogc_heap.dir/Heap.cpp.o.d"
+  "libtsogc_heap.a"
+  "libtsogc_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsogc_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/invariants/Describe.cpp" "src/invariants/CMakeFiles/tsogc_invariants.dir/Describe.cpp.o" "gcc" "src/invariants/CMakeFiles/tsogc_invariants.dir/Describe.cpp.o.d"
+  "/root/repo/src/invariants/GcPredicates.cpp" "src/invariants/CMakeFiles/tsogc_invariants.dir/GcPredicates.cpp.o" "gcc" "src/invariants/CMakeFiles/tsogc_invariants.dir/GcPredicates.cpp.o.d"
+  "/root/repo/src/invariants/InvariantSuite.cpp" "src/invariants/CMakeFiles/tsogc_invariants.dir/InvariantSuite.cpp.o" "gcc" "src/invariants/CMakeFiles/tsogc_invariants.dir/InvariantSuite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gcmodel/CMakeFiles/tsogc_gcmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tso/CMakeFiles/tsogc_tso.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/tsogc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tsogc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

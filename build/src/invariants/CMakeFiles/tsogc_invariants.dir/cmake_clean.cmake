@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsogc_invariants.dir/Describe.cpp.o"
+  "CMakeFiles/tsogc_invariants.dir/Describe.cpp.o.d"
+  "CMakeFiles/tsogc_invariants.dir/GcPredicates.cpp.o"
+  "CMakeFiles/tsogc_invariants.dir/GcPredicates.cpp.o.d"
+  "CMakeFiles/tsogc_invariants.dir/InvariantSuite.cpp.o"
+  "CMakeFiles/tsogc_invariants.dir/InvariantSuite.cpp.o.d"
+  "libtsogc_invariants.a"
+  "libtsogc_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsogc_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtsogc_invariants.a"
+)

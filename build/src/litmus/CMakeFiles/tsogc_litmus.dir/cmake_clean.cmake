@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsogc_litmus.dir/Litmus.cpp.o"
+  "CMakeFiles/tsogc_litmus.dir/Litmus.cpp.o.d"
+  "libtsogc_litmus.a"
+  "libtsogc_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsogc_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

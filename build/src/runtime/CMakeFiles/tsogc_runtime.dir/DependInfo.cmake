@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/GcRuntime.cpp" "src/runtime/CMakeFiles/tsogc_runtime.dir/GcRuntime.cpp.o" "gcc" "src/runtime/CMakeFiles/tsogc_runtime.dir/GcRuntime.cpp.o.d"
+  "/root/repo/src/runtime/MutatorContext.cpp" "src/runtime/CMakeFiles/tsogc_runtime.dir/MutatorContext.cpp.o" "gcc" "src/runtime/CMakeFiles/tsogc_runtime.dir/MutatorContext.cpp.o.d"
+  "/root/repo/src/runtime/RtCollector.cpp" "src/runtime/CMakeFiles/tsogc_runtime.dir/RtCollector.cpp.o" "gcc" "src/runtime/CMakeFiles/tsogc_runtime.dir/RtCollector.cpp.o.d"
+  "/root/repo/src/runtime/RtHeap.cpp" "src/runtime/CMakeFiles/tsogc_runtime.dir/RtHeap.cpp.o" "gcc" "src/runtime/CMakeFiles/tsogc_runtime.dir/RtHeap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tsogc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

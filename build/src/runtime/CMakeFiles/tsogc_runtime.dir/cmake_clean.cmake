@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsogc_runtime.dir/GcRuntime.cpp.o"
+  "CMakeFiles/tsogc_runtime.dir/GcRuntime.cpp.o.d"
+  "CMakeFiles/tsogc_runtime.dir/MutatorContext.cpp.o"
+  "CMakeFiles/tsogc_runtime.dir/MutatorContext.cpp.o.d"
+  "CMakeFiles/tsogc_runtime.dir/RtCollector.cpp.o"
+  "CMakeFiles/tsogc_runtime.dir/RtCollector.cpp.o.d"
+  "CMakeFiles/tsogc_runtime.dir/RtHeap.cpp.o"
+  "CMakeFiles/tsogc_runtime.dir/RtHeap.cpp.o.d"
+  "libtsogc_runtime.a"
+  "libtsogc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsogc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

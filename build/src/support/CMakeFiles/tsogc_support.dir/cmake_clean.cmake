@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsogc_support.dir/Assert.cpp.o"
+  "CMakeFiles/tsogc_support.dir/Assert.cpp.o.d"
+  "CMakeFiles/tsogc_support.dir/Random.cpp.o"
+  "CMakeFiles/tsogc_support.dir/Random.cpp.o.d"
+  "CMakeFiles/tsogc_support.dir/Stats.cpp.o"
+  "CMakeFiles/tsogc_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/tsogc_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/tsogc_support.dir/StringUtils.cpp.o.d"
+  "libtsogc_support.a"
+  "libtsogc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsogc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

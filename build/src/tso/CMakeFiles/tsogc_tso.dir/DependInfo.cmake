@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tso/MemLoc.cpp" "src/tso/CMakeFiles/tsogc_tso.dir/MemLoc.cpp.o" "gcc" "src/tso/CMakeFiles/tsogc_tso.dir/MemLoc.cpp.o.d"
+  "/root/repo/src/tso/MemoryState.cpp" "src/tso/CMakeFiles/tsogc_tso.dir/MemoryState.cpp.o" "gcc" "src/tso/CMakeFiles/tsogc_tso.dir/MemoryState.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/heap/CMakeFiles/tsogc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tsogc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

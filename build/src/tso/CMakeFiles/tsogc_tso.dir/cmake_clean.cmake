@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsogc_tso.dir/MemLoc.cpp.o"
+  "CMakeFiles/tsogc_tso.dir/MemLoc.cpp.o.d"
+  "CMakeFiles/tsogc_tso.dir/MemoryState.cpp.o"
+  "CMakeFiles/tsogc_tso.dir/MemoryState.cpp.o.d"
+  "libtsogc_tso.a"
+  "libtsogc_tso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsogc_tso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsogc_workload.dir/Workloads.cpp.o"
+  "CMakeFiles/tsogc_workload.dir/Workloads.cpp.o.d"
+  "libtsogc_workload.a"
+  "libtsogc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsogc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cimp_test.dir/cimp_test.cpp.o"
+  "CMakeFiles/cimp_test.dir/cimp_test.cpp.o.d"
+  "cimp_test"
+  "cimp_test.pdb"
+  "cimp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cimp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

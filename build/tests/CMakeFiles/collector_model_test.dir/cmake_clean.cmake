@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collector_model_test.dir/collector_model_test.cpp.o"
+  "CMakeFiles/collector_model_test.dir/collector_model_test.cpp.o.d"
+  "collector_model_test"
+  "collector_model_test.pdb"
+  "collector_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collector_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcmodel_test.dir/gcmodel_test.cpp.o"
+  "CMakeFiles/gcmodel_test.dir/gcmodel_test.cpp.o.d"
+  "gcmodel_test"
+  "gcmodel_test.pdb"
+  "gcmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

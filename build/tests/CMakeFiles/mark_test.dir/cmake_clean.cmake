@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mark_test.dir/mark_test.cpp.o"
+  "CMakeFiles/mark_test.dir/mark_test.cpp.o.d"
+  "mark_test"
+  "mark_test.pdb"
+  "mark_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mark_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutator_model_test.dir/mutator_model_test.cpp.o"
+  "CMakeFiles/mutator_model_test.dir/mutator_model_test.cpp.o.d"
+  "mutator_model_test"
+  "mutator_model_test.pdb"
+  "mutator_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutator_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refined_handshake_test.dir/refined_handshake_test.cpp.o"
+  "CMakeFiles/refined_handshake_test.dir/refined_handshake_test.cpp.o.d"
+  "refined_handshake_test"
+  "refined_handshake_test.pdb"
+  "refined_handshake_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refined_handshake_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_heap_test.dir/runtime_heap_test.cpp.o"
+  "CMakeFiles/runtime_heap_test.dir/runtime_heap_test.cpp.o.d"
+  "runtime_heap_test"
+  "runtime_heap_test.pdb"
+  "runtime_heap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

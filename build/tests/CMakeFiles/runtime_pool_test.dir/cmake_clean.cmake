@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_pool_test.dir/runtime_pool_test.cpp.o"
+  "CMakeFiles/runtime_pool_test.dir/runtime_pool_test.cpp.o.d"
+  "runtime_pool_test"
+  "runtime_pool_test.pdb"
+  "runtime_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safety_exhaustive_test.dir/safety_exhaustive_test.cpp.o"
+  "CMakeFiles/safety_exhaustive_test.dir/safety_exhaustive_test.cpp.o.d"
+  "safety_exhaustive_test"
+  "safety_exhaustive_test.pdb"
+  "safety_exhaustive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safety_exhaustive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safety_random_test.dir/safety_random_test.cpp.o"
+  "CMakeFiles/safety_random_test.dir/safety_random_test.cpp.o.d"
+  "safety_random_test"
+  "safety_random_test.pdb"
+  "safety_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safety_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

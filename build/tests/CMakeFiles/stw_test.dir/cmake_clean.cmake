@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stw_test.dir/stw_test.cpp.o"
+  "CMakeFiles/stw_test.dir/stw_test.cpp.o.d"
+  "stw_test"
+  "stw_test.pdb"
+  "stw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

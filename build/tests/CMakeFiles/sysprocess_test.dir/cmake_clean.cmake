@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysprocess_test.dir/sysprocess_test.cpp.o"
+  "CMakeFiles/sysprocess_test.dir/sysprocess_test.cpp.o.d"
+  "sysprocess_test"
+  "sysprocess_test.pdb"
+  "sysprocess_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysprocess_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tso_test.dir/tso_test.cpp.o"
+  "CMakeFiles/tso_test.dir/tso_test.cpp.o.d"
+  "tso_test"
+  "tso_test.pdb"
+  "tso_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
