@@ -9,7 +9,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "explore/Explorer.h"
+#include "explore/ParallelExplorer.h"
 
 #include <benchmark/benchmark.h>
 
@@ -69,6 +69,40 @@ static void BM_ExplorationThroughput(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * Opts.MaxStates);
 }
 BENCHMARK(BM_ExplorationThroughput)->Unit(benchmark::kMillisecond);
+
+/// Parallel exploration throughput on the same medium instance and state
+/// budget as BM_ExplorationThroughput: the worker-count sweep (1/2/4/8).
+/// states/sec is items_per_second; compare against the sequential
+/// BM_ExplorationThroughput to read off the speedup. Wall-clock time is
+/// what matters for a thread sweep, hence UseRealTime.
+static void BM_ParallelExplorationThroughput(benchmark::State &State) {
+  ModelConfig C;
+  C.NumMutators = 1;
+  C.NumRefs = 3;
+  C.NumFields = 1;
+  C.BufferBound = 2;
+  C.InitialHeap = ModelConfig::InitHeap::Chain;
+  GcModel M(C);
+  InvariantSuite Inv(M);
+  ParallelExploreOptions Opts;
+  Opts.MaxStates = 50'000;
+  Opts.Workers = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    ExploreResult Res = exploreParallel(M, Inv, Opts);
+    if (Res.Bug)
+      State.SkipWithError("unexpected violation");
+    benchmark::DoNotOptimize(Res);
+  }
+  State.counters["workers"] = static_cast<double>(Opts.Workers);
+  State.SetItemsProcessed(State.iterations() * Opts.MaxStates);
+}
+BENCHMARK(BM_ParallelExplorationThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 /// Successor enumeration + canonical encoding: the checker's inner loop.
 static void BM_SuccessorsAndEncode(benchmark::State &State) {

@@ -12,31 +12,38 @@
 ///                      [--dfs] [--headline-only] [--tso-handshakes]
 ///                      [--merged-handshakes] [--json FILE] [--dot FILE]
 ///                      [--compact]   (hash-compacted visited set)
+///                      [--seq]       (sequential explorer; --dfs implies it)
+///                      [--workers N] (parallel worker threads; 0 = all cores)
+///
+/// Defaults to the parallel explorer with one worker per core; the larger
+/// default instance (4 refs) is affordable because of it.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "explore/Explorer.h"
+#include "explore/ParallelExplorer.h"
 
 #include "explore/Export.h"
 #include "invariants/Describe.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <ctime>
 
 using namespace tsogc;
 
 int main(int Argc, char **Argv) {
   ModelConfig Cfg;
   Cfg.NumMutators = 1;
-  Cfg.NumRefs = 3;
+  Cfg.NumRefs = 4;
   Cfg.NumFields = 1;
   Cfg.BufferBound = 2;
 
   ExploreOptions Opts;
   Opts.MaxStates = 20'000'000;
   bool HeadlineOnly = false;
+  bool Sequential = false;
+  unsigned Workers = 0; // 0 = hardware concurrency
   const char *JsonPath = nullptr;
   const char *DotPath = nullptr;
 
@@ -46,6 +53,11 @@ int main(int Argc, char **Argv) {
       HeadlineOnly = true;
     } else if (!std::strcmp(Argv[I], "--dfs")) {
       Opts.Dfs = true;
+      Sequential = true; // DFS order is a sequential-explorer notion
+    } else if (!std::strcmp(Argv[I], "--seq")) {
+      Sequential = true;
+    } else if (!std::strcmp(Argv[I], "--workers") && I + 1 < Argc) {
+      Workers = static_cast<unsigned>(std::atoi(Argv[++I]));
     } else if (!std::strcmp(Argv[I], "--compact")) {
       Opts.CompactVisited = true;
     } else if (!std::strcmp(Argv[I], "--scout")) {
@@ -111,11 +123,24 @@ int main(int Argc, char **Argv) {
 
   GcModel M(Cfg);
   InvariantSuite Inv(M);
+  StateChecker Check =
+      HeadlineOnly ? headlineChecker(Inv) : fullSuiteChecker(Inv);
 
-  std::clock_t T0 = std::clock();
-  ExploreResult Res = exploreExhaustive(
-      M, HeadlineOnly ? headlineChecker(Inv) : fullSuiteChecker(Inv), Opts);
-  double Secs = static_cast<double>(std::clock() - T0) / CLOCKS_PER_SEC;
+  auto T0 = std::chrono::steady_clock::now();
+  ExploreResult Res;
+  if (Sequential) {
+    Res = exploreExhaustive(M, Check, Opts);
+  } else {
+    ParallelExploreOptions POpts;
+    POpts.MaxStates = Opts.MaxStates;
+    POpts.CompactVisited = Opts.CompactVisited;
+    POpts.TrackPaths = Opts.TrackPaths;
+    POpts.Workers = Workers;
+    Res = exploreParallel(M, Check, POpts);
+  }
+  double Secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - T0)
+                    .count();
 
   std::printf("states=%llu transitions=%llu maxDepth=%u time=%.1fs "
               "(%.0f states/s)\n",

@@ -70,6 +70,12 @@ public:
   }
 
   /// Enumerate all successors of \p S in deterministic order.
+  ///
+  /// Const-thread-safe: reads only the (immutable) program arenas and \p S,
+  /// with all normalization scratch in locals, so concurrent calls on the
+  /// same System from parallel explorer workers are safe. Domain callbacks
+  /// (LocalFn/ActFn/RespFn/RecvFn) must uphold this by not mutating
+  /// captured state — the GC domain's never do.
   void successors(const SystemState<D> &S,
                   std::vector<Successor<D>> &Out) const {
     // Normalized heads per process, computed once.

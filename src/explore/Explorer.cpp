@@ -5,6 +5,7 @@
 #include "support/Assert.h"
 #include "support/HashCombine.h"
 #include "support/Random.h"
+#include "support/StringUtils.h"
 
 #include <deque>
 #include <unordered_map>
@@ -32,9 +33,24 @@ StateChecker tsogc::headlineChecker(const InvariantSuite &Inv) {
       [&Inv](const GcSystemState &S) { return Inv.checkSafetyHeadline(S); };
 }
 
-ExploreResult tsogc::exploreExhaustive(const GcModel &M,
-                                       const StateChecker &Check,
-                                       const ExploreOptions &Opts) {
+std::string tsogc::exploreVisitKey(const std::string &Enc, bool Compact) {
+  if (!Compact)
+    return Enc;
+  uint64_t H1 = hashBytes(Enc.data(), Enc.size(), 0x6a09e667f3bcc908ULL);
+  uint64_t H2 = hashBytes(Enc.data(), Enc.size(), 0xbb67ae8584caa73bULL);
+  std::string Key(16, '\0');
+  for (int I = 0; I < 8; ++I) {
+    Key[I] = static_cast<char>(H1 >> (8 * I));
+    Key[8 + I] = static_cast<char>(H2 >> (8 * I));
+  }
+  return Key;
+}
+
+ExploreResult tsogc::detail::exhaustiveImpl(const InitFn &Init,
+                                            const SuccsFn &Successors,
+                                            const EncodeFn &Encode,
+                                            const StateChecker &Check,
+                                            const ExploreOptions &Opts) {
   ExploreResult Res;
 
   // Visited set: canonical encoding -> dense index. Node metadata and the
@@ -44,22 +60,12 @@ ExploreResult tsogc::exploreExhaustive(const GcModel &M,
   std::vector<VisitInfo> Info;
   std::deque<std::pair<GcSystemState, uint64_t>> Frontier;
 
-  auto VisitKey = [&Opts, &M](const GcSystemState &S) {
-    std::string Enc = M.encode(S);
-    if (!Opts.CompactVisited)
-      return Enc;
-    uint64_t H1 = hashBytes(Enc.data(), Enc.size(), 0x6a09e667f3bcc908ULL);
-    uint64_t H2 = hashBytes(Enc.data(), Enc.size(), 0xbb67ae8584caa73bULL);
-    std::string Key(16, '\0');
-    for (int I = 0; I < 8; ++I) {
-      Key[I] = static_cast<char>(H1 >> (8 * I));
-      Key[8 + I] = static_cast<char>(H2 >> (8 * I));
-    }
-    return Key;
+  auto VisitKey = [&Opts, &Encode](const GcSystemState &S) {
+    return exploreVisitKey(Encode(S), Opts.CompactVisited);
   };
 
-  GcSystemState Init = M.initial();
-  Visited.emplace(VisitKey(Init), 0);
+  GcSystemState InitState = Init();
+  Visited.emplace(VisitKey(InitState), 0);
   if (Opts.TrackPaths)
     Info.push_back(VisitInfo{0, "<init>", 0});
   std::vector<unsigned> DepthOnly; // used when paths are off
@@ -82,12 +88,17 @@ ExploreResult tsogc::exploreExhaustive(const GcModel &M,
     Res.Path.assign(Path.rbegin(), Path.rend());
   };
 
-  if (auto V = Check(Init)) {
-    Fail(std::move(V), Init, 0);
+  if (auto V = Check(InitState)) {
+    Fail(std::move(V), InitState, 0);
     return Res;
   }
-  Frontier.emplace_back(std::move(Init), 0);
+  Frontier.emplace_back(std::move(InitState), 0);
 
+  // Once the state budget is exhausted, the current state's remaining
+  // successors are still deduplicated and *checked* (a violation exactly one
+  // transition past the budget boundary must not be silently missed) — they
+  // are merely not counted or expanded further.
+  bool BudgetHit = false;
   std::vector<GcSuccessor> Succs;
   while (!Frontier.empty()) {
     auto [S, Idx] = Opts.Dfs ? std::move(Frontier.back())
@@ -103,7 +114,7 @@ ExploreResult tsogc::exploreExhaustive(const GcModel &M,
     }
 
     Succs.clear();
-    M.system().successors(S, Succs);
+    Successors(S, Succs);
     for (GcSuccessor &Succ : Succs) {
       ++Res.TransitionsExplored;
       std::string Key = VisitKey(Succ.State);
@@ -116,30 +127,46 @@ ExploreResult tsogc::exploreExhaustive(const GcModel &M,
         Info.push_back(VisitInfo{Idx, Succ.Label, Depth + 1});
       else
         DepthOnly.push_back(Depth + 1);
-      ++Res.StatesVisited;
+      if (!BudgetHit)
+        ++Res.StatesVisited;
       Res.MaxDepthSeen = std::max(Res.MaxDepthSeen, Depth + 1);
 
       if (auto V = Check(Succ.State)) {
         Fail(std::move(V), Succ.State, NewIdx);
         return Res;
       }
-      if (Opts.MaxStates && Res.StatesVisited >= Opts.MaxStates) {
+      if (!BudgetHit && Opts.MaxStates && Res.StatesVisited >= Opts.MaxStates) {
+        BudgetHit = true;
         Res.Truncated = true;
-        return Res;
       }
-      Frontier.emplace_back(std::move(Succ.State), NewIdx);
+      if (!BudgetHit)
+        Frontier.emplace_back(std::move(Succ.State), NewIdx);
     }
+    if (BudgetHit)
+      return Res;
   }
   return Res;
 }
 
-WalkResult tsogc::exploreRandomWalk(const GcModel &M,
-                                    const StateChecker &Check,
-                                    const WalkOptions &Opts) {
+ExploreResult tsogc::exploreExhaustive(const GcModel &M,
+                                       const StateChecker &Check,
+                                       const ExploreOptions &Opts) {
+  return detail::exhaustiveImpl(
+      [&M] { return M.initial(); },
+      [&M](const GcSystemState &S, std::vector<GcSuccessor> &Out) {
+        M.system().successors(S, Out);
+      },
+      [&M](const GcSystemState &S) { return M.encode(S); }, Check, Opts);
+}
+
+WalkResult tsogc::detail::randomWalkImpl(const InitFn &Init,
+                                         const SuccsFn &Successors,
+                                         const StateChecker &Check,
+                                         const WalkOptions &Opts) {
   WalkResult Res;
   Xoshiro256 Rng(Opts.Seed);
 
-  GcSystemState S = M.initial();
+  GcSystemState S = Init();
   if (auto V = Check(S)) {
     Res.Bug = std::move(V);
     Res.BadState = std::move(S);
@@ -150,12 +177,16 @@ WalkResult tsogc::exploreRandomWalk(const GcModel &M,
   std::vector<GcSuccessor> Succs;
   for (uint64_t Step = 0; Step < Opts.Steps; ++Step) {
     Succs.clear();
-    M.system().successors(S, Succs);
+    Successors(S, Succs);
     if (Succs.empty()) {
       // The GC model has no terminal states; restarting keeps long walks
-      // useful even for intentionally crippled configurations.
+      // useful even for intentionally crippled configurations. The tail is
+      // cleared so it never splices pre-restart labels onto a walk that now
+      // begins at the initial state again — a trace that would replay to
+      // nothing.
       ++Res.Deadlocks;
-      S = M.initial();
+      Tail.clear();
+      S = Init();
       continue;
     }
     GcSuccessor &Pick = Succs[Rng.nextBelow(Succs.size())];
@@ -174,14 +205,33 @@ WalkResult tsogc::exploreRandomWalk(const GcModel &M,
   return Res;
 }
 
-std::vector<GcSystemState>
-tsogc::replayChoices(const GcModel &M, const std::vector<uint32_t> &Choices) {
-  std::vector<GcSystemState> States;
-  States.push_back(M.initial());
-  for (uint32_t C : Choices) {
-    std::vector<GcSuccessor> Succs = M.system().successors(States.back());
-    TSOGC_CHECK(C < Succs.size(), "replay choice out of range");
-    States.push_back(std::move(Succs[C].State));
+WalkResult tsogc::exploreRandomWalk(const GcModel &M,
+                                    const StateChecker &Check,
+                                    const WalkOptions &Opts) {
+  return detail::randomWalkImpl(
+      [&M] { return M.initial(); },
+      [&M](const GcSystemState &S, std::vector<GcSuccessor> &Out) {
+        M.system().successors(S, Out);
+      },
+      Check, Opts);
+}
+
+ReplayResult tsogc::replayChoices(const GcModel &M,
+                                  const std::vector<uint32_t> &Choices) {
+  ReplayResult Res;
+  Res.States.push_back(M.initial());
+  std::vector<GcSuccessor> Succs;
+  for (size_t Step = 0; Step < Choices.size(); ++Step) {
+    Succs.clear();
+    M.system().successors(Res.States.back(), Succs);
+    uint32_t C = Choices[Step];
+    if (C >= Succs.size()) {
+      Res.Error = format("replay choice %u out of range at step %zu "
+                         "(state has %zu successors)",
+                         C, Step, Succs.size());
+      return Res;
+    }
+    Res.States.push_back(std::move(Succs[C].State));
   }
-  return States;
+  return Res;
 }

@@ -65,6 +65,11 @@ struct ExploreResult {
 /// violated property.
 using StateChecker = std::function<std::optional<Violation>(const GcSystemState &)>;
 
+/// The visited-set key for an encoded state: the encoding itself, or its
+/// 128-bit digest under hash compaction. Shared by the sequential and
+/// parallel explorers so their visited sets agree bit-for-bit.
+std::string exploreVisitKey(const std::string &Enc, bool Compact);
+
 /// The full §3.2 suite as a checker.
 StateChecker fullSuiteChecker(const InvariantSuite &Inv);
 
@@ -93,7 +98,9 @@ struct WalkResult {
   uint64_t StepsTaken = 0;
   std::optional<Violation> Bug;
   /// The last TraceTail transition labels before the violation (or walk
-  /// end).
+  /// end). Never spans a deadlock restart: the tail is cleared whenever the
+  /// walk restarts from M.initial(), so these labels always replay from the
+  /// initial state (provided the tail did not overflow TraceTail).
   std::vector<std::string> TailPath;
   std::optional<GcSystemState> BadState;
   /// Number of states with no successors encountered (the model should
@@ -111,11 +118,42 @@ inline WalkResult exploreRandomWalk(const GcModel &M,
   return exploreRandomWalk(M, fullSuiteChecker(Inv), Opts);
 }
 
+struct ReplayResult {
+  /// Every state visited by the replay, including the initial one. On
+  /// failure, holds the valid prefix (states up to the bad step).
+  std::vector<GcSystemState> States;
+  /// Set when a choice index was out of range: which step failed, the bad
+  /// index, and how many successors the state actually had.
+  std::optional<std::string> Error;
+
+  bool ok() const { return !Error; }
+};
+
 /// Deterministic replay: from the initial state, repeatedly take the
-/// successor with the given index. Aborts if an index is out of range.
-/// Returns every visited state including the initial one.
-std::vector<GcSystemState> replayChoices(const GcModel &M,
-                                         const std::vector<uint32_t> &Choices);
+/// successor with the given index. An out-of-range index yields a
+/// diagnosable ReplayResult::Error naming the step instead of aborting, so
+/// drivers can report bad traces gracefully.
+ReplayResult replayChoices(const GcModel &M,
+                           const std::vector<uint32_t> &Choices);
+
+namespace detail {
+
+/// The exploration cores are written against an abstract model — an
+/// initial-state thunk, a successor enumerator and a canonical encoder —
+/// so tests can drive them with synthetic systems (deliberate deadlocks,
+/// planted boundary violations) that the GC model itself never exhibits.
+using InitFn = std::function<GcSystemState()>;
+using SuccsFn =
+    std::function<void(const GcSystemState &, std::vector<GcSuccessor> &)>;
+using EncodeFn = std::function<std::string(const GcSystemState &)>;
+
+ExploreResult exhaustiveImpl(const InitFn &Init, const SuccsFn &Succs,
+                             const EncodeFn &Encode, const StateChecker &Check,
+                             const ExploreOptions &Opts);
+WalkResult randomWalkImpl(const InitFn &Init, const SuccsFn &Succs,
+                          const StateChecker &Check, const WalkOptions &Opts);
+
+} // namespace detail
 
 } // namespace tsogc
 

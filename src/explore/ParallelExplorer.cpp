@@ -1,0 +1,285 @@
+//===- explore/ParallelExplorer.cpp ---------------------------------------===//
+
+#include "explore/ParallelExplorer.h"
+
+#include "support/ShardedVisitedSet.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+using namespace tsogc;
+
+namespace {
+
+/// Per-state metadata in the sharded set's per-shard arenas: the incoming
+/// edge (parent node id + transition label) and the depth at first
+/// discovery. Path reconstruction walks Parent links shard-by-index after
+/// the workers have joined.
+struct NodeMeta {
+  uint64_t Parent = ShardedVisitedSet<int>::InvalidId;
+  uint32_t Depth = 0;
+  std::string Label; // empty when TrackPaths is off
+};
+
+using VisitedSet = ShardedVisitedSet<NodeMeta>;
+
+struct WorkItem {
+  GcSystemState State;
+  uint64_t Id = 0;
+  uint32_t Depth = 0;
+};
+
+using Batch = std::vector<WorkItem>;
+
+/// A mutex/condvar work-sharing queue with quiescence detection: a worker
+/// that finds the queue empty while no other worker is busy declares the
+/// search complete. Stop-requests (violation found, budget exhausted)
+/// clear pending work so the pool drains promptly.
+class WorkQueue {
+public:
+  void push(Batch B) {
+    if (B.empty())
+      return;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (Quit)
+        return;
+      Q.push_back(std::move(B));
+    }
+    Cv.notify_one();
+  }
+
+  /// Blocks until work is available or the search is over. Returns false
+  /// when the pool is done. The caller owes a call to taskDone() for every
+  /// successful pop.
+  bool pop(Batch &Out) {
+    std::unique_lock<std::mutex> Lock(Mu);
+    while (Q.empty() && Busy > 0 && !Quit)
+      Cv.wait(Lock);
+    if (Quit || Q.empty())
+      return quitLocked();
+    Out = std::move(Q.front());
+    Q.pop_front();
+    ++Busy;
+    return true;
+  }
+
+  void taskDone() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    --Busy;
+    if (Busy == 0 && Q.empty())
+      quitLocked();
+  }
+
+  void requestStop() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Quit = true;
+      Q.clear();
+    }
+    Cv.notify_all();
+  }
+
+private:
+  bool quitLocked() {
+    Quit = true;
+    Cv.notify_all();
+    return false;
+  }
+
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::deque<Batch> Q;
+  unsigned Busy = 0;
+  bool Quit = false;
+};
+
+/// Shared exploration context: the sharded visited set, the global state
+/// budget, and the first-violation-wins record.
+struct Shared {
+  const GcModel &M;
+  const StateChecker &Check;
+  const ParallelExploreOptions &Opts;
+  VisitedSet Visited;
+  WorkQueue Queue;
+
+  std::atomic<uint64_t> StatesVisited{0};
+  std::atomic<bool> Stop{false};
+  std::atomic<bool> Truncated{false};
+
+  std::mutex BugMu;
+  std::optional<Violation> Bug;
+  std::optional<GcSystemState> BadState;
+  uint64_t BadId = VisitedSet::InvalidId;
+
+  Shared(const GcModel &M, const StateChecker &Check,
+         const ParallelExploreOptions &Opts)
+      : M(M), Check(Check), Opts(Opts), Visited(Opts.Shards) {}
+
+  void recordViolation(Violation V, const GcSystemState &S, uint64_t Id) {
+    {
+      std::lock_guard<std::mutex> Lock(BugMu);
+      if (!Bug) {
+        Bug = std::move(V);
+        BadState = S;
+        BadId = Id;
+      }
+    }
+    Stop.store(true, std::memory_order_release);
+    Queue.requestStop();
+  }
+
+  /// Count one fresh state against the budget. Returns false when the state
+  /// is over budget: it was still deduplicated and will still be checked —
+  /// a violation one transition past the boundary must not be missed — but
+  /// is not counted or expanded.
+  bool countFresh() {
+    uint64_t C = StatesVisited.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (!Opts.MaxStates)
+      return true;
+    if (C < Opts.MaxStates)
+      return true;
+    Truncated.store(true, std::memory_order_relaxed);
+    Stop.store(true, std::memory_order_release);
+    Queue.requestStop();
+    if (C > Opts.MaxStates) {
+      StatesVisited.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+};
+
+/// Per-worker scratch: reusable successor buffer, outgoing batch, and
+/// locally accumulated counters merged after the join.
+struct Worker {
+  Shared &Sh;
+  std::vector<GcSuccessor> Succs;
+  Batch Out;
+  uint64_t Transitions = 0;
+  uint32_t MaxDepthSeen = 0;
+
+  explicit Worker(Shared &Sh) : Sh(Sh) {}
+
+  void flush() {
+    if (!Out.empty()) {
+      Batch B;
+      B.swap(Out);
+      Sh.Queue.push(std::move(B));
+    }
+  }
+
+  void expand(WorkItem &Item) {
+    const ParallelExploreOptions &Opts = Sh.Opts;
+    if (Opts.MaxDepth && Item.Depth >= Opts.MaxDepth) {
+      Sh.Truncated.store(true, std::memory_order_relaxed);
+      return;
+    }
+    Succs.clear();
+    Sh.M.system().successors(Item.State, Succs);
+    Transitions += Succs.size();
+    for (GcSuccessor &Succ : Succs) {
+      std::string Key = exploreVisitKey(Sh.M.encode(Succ.State),
+                                        Opts.CompactVisited);
+      NodeMeta Meta;
+      Meta.Parent = Item.Id;
+      Meta.Depth = Item.Depth + 1;
+      if (Opts.TrackPaths)
+        Meta.Label = Succ.Label;
+      auto [Id, Fresh] = Sh.Visited.insert(std::move(Key), std::move(Meta));
+      if (!Fresh)
+        continue;
+      MaxDepthSeen = std::max(MaxDepthSeen, Item.Depth + 1);
+      bool InBudget = Sh.countFresh();
+      if (auto V = Sh.Check(Succ.State)) {
+        Sh.recordViolation(std::move(*V), Succ.State, Id);
+        return;
+      }
+      if (InBudget && !Sh.Stop.load(std::memory_order_acquire)) {
+        Out.push_back(WorkItem{std::move(Succ.State), Id, Item.Depth + 1});
+        if (Out.size() >= Sh.Opts.Batch)
+          flush();
+      }
+    }
+  }
+
+  void run() {
+    Batch B;
+    while (Sh.Queue.pop(B)) {
+      for (WorkItem &Item : B) {
+        if (Sh.Stop.load(std::memory_order_acquire))
+          break;
+        expand(Item);
+      }
+      B.clear();
+      flush();
+      Sh.Queue.taskDone();
+    }
+  }
+};
+
+} // namespace
+
+ExploreResult tsogc::exploreParallel(const GcModel &M,
+                                     const StateChecker &Check,
+                                     const ParallelExploreOptions &Opts) {
+  unsigned Workers = Opts.Workers ? Opts.Workers
+                                  : std::max(1u, std::thread::hardware_concurrency());
+
+  Shared Sh(M, Check, Opts);
+  ExploreResult Res;
+
+  GcSystemState Init = M.initial();
+  NodeMeta InitMeta;
+  InitMeta.Label = "<init>";
+  auto [InitId, InitFresh] = Sh.Visited.insert(
+      exploreVisitKey(M.encode(Init), Opts.CompactVisited),
+      std::move(InitMeta));
+  (void)InitFresh;
+  Sh.StatesVisited.store(1, std::memory_order_relaxed);
+  Res.StatesVisited = 1;
+  if (auto V = Check(Init)) {
+    Res.Bug = std::move(V);
+    Res.BadState = std::move(Init);
+    return Res;
+  }
+
+  Batch First;
+  First.push_back(WorkItem{std::move(Init), InitId, 0});
+  Sh.Queue.push(std::move(First));
+
+  std::vector<Worker> Ctxs;
+  Ctxs.reserve(Workers);
+  for (unsigned I = 0; I < Workers; ++I)
+    Ctxs.emplace_back(Sh);
+  std::vector<std::thread> Threads;
+  Threads.reserve(Workers);
+  for (unsigned I = 0; I < Workers; ++I)
+    Threads.emplace_back([&Ctxs, I] { Ctxs[I].run(); });
+  for (std::thread &T : Threads)
+    T.join();
+
+  Res.StatesVisited = Sh.StatesVisited.load(std::memory_order_relaxed);
+  Res.Truncated = Sh.Truncated.load(std::memory_order_relaxed);
+  for (const Worker &W : Ctxs) {
+    Res.TransitionsExplored += W.Transitions;
+    Res.MaxDepthSeen = std::max(Res.MaxDepthSeen, W.MaxDepthSeen);
+  }
+  if (Sh.Bug) {
+    Res.Bug = std::move(Sh.Bug);
+    Res.BadState = std::move(Sh.BadState);
+    if (Opts.TrackPaths && Sh.BadId != VisitedSet::InvalidId) {
+      // Workers have joined: the arenas are quiescent; walk parent links.
+      std::vector<std::string> Path;
+      for (uint64_t I = Sh.BadId;
+           Sh.Visited.meta(I).Parent != VisitedSet::InvalidId;
+           I = Sh.Visited.meta(I).Parent)
+        Path.push_back(Sh.Visited.meta(I).Label);
+      Res.Path.assign(Path.rbegin(), Path.rend());
+    }
+  }
+  return Res;
+}

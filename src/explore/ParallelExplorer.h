@@ -1,0 +1,68 @@
+//===- explore/ParallelExplorer.h - Parallel exhaustive exploration -------===//
+///
+/// \file
+/// A work-sharing pool of worker threads expanding the frontier of the
+/// model's reachable state space concurrently, with the visited set sharded
+/// into lock-striped stripes keyed by the state-encoding hash. The
+/// executable counterpart of the paper's induction over _⇒_, scaled across
+/// cores: on a full exhaustion it visits exactly the states the sequential
+/// `exploreExhaustive` visits (the reachable set is order-independent), so
+/// the sequential explorer remains the oracle and the two are compared by a
+/// differential test.
+///
+/// Determinism contract (see docs/MODEL_CORRESPONDENCE.md):
+///   * StatesVisited / TransitionsExplored / verdict are deterministic on a
+///     full exhaustion;
+///   * a reported counterexample path is always a valid transition-label
+///     path from the initial state, but — unlike sequential BFS — not
+///     necessarily a shortest one, and which violation is reported first is
+///     racy across runs (first-violation-wins);
+///   * truncation at MaxStates is racy in *which* states form the explored
+///     prefix, though the count itself is capped deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_EXPLORE_PARALLELEXPLORER_H
+#define TSOGC_EXPLORE_PARALLELEXPLORER_H
+
+#include "explore/Explorer.h"
+
+namespace tsogc {
+
+struct ParallelExploreOptions {
+  /// Stop after counting this many distinct states (0 = unlimited). Unlike
+  /// the sequential explorer, the set of states forming the truncated
+  /// prefix is racy; the count itself is capped at MaxStates.
+  uint64_t MaxStates = 2'000'000;
+  /// Stop expanding beyond this depth (0 = unlimited).
+  unsigned MaxDepth = 0;
+  /// Hash compaction (SPIN-style): store a 128-bit digest per visited
+  /// state instead of the full canonical encoding. Same digest as the
+  /// sequential explorer (exploreVisitKey), so compacted runs agree too.
+  bool CompactVisited = false;
+  /// Record parent/label metadata for counterexample paths.
+  bool TrackPaths = true;
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  unsigned Workers = 0;
+  /// Lock stripes of the sharded visited set; more stripes, less contention.
+  unsigned Shards = 64;
+  /// States per work batch handed to a worker (amortizes queue locking).
+  unsigned Batch = 32;
+};
+
+/// Parallel exhaustive search over the reachable states of \p M, evaluating
+/// \p Check in every state. Requires the const-thread-safety of
+/// `GcModel::encode` / `cimp::System::successors` (documented on GcModel)
+/// and a \p Check safe to invoke concurrently (the InvariantSuite checkers
+/// are: they only read the suite and the state they are handed).
+ExploreResult exploreParallel(const GcModel &M, const StateChecker &Check,
+                              const ParallelExploreOptions &Opts = {});
+inline ExploreResult exploreParallel(const GcModel &M,
+                                     const InvariantSuite &Inv,
+                                     const ParallelExploreOptions &Opts = {}) {
+  return exploreParallel(M, fullSuiteChecker(Inv), Opts);
+}
+
+} // namespace tsogc
+
+#endif // TSOGC_EXPLORE_PARALLELEXPLORER_H

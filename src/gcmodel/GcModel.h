@@ -22,6 +22,13 @@ namespace tsogc {
 using GcSystemState = cimp::SystemState<GcDomain>;
 using GcSuccessor = cimp::Successor<GcDomain>;
 
+/// Thread-safety: once constructed, a GcModel is immutable. Its const
+/// interface — `initial()`, `encode()`, `system().successors()`, the typed
+/// views and label queries — only reads the command arenas and the state it
+/// is handed, with all scratch held in locals, so any number of explorer
+/// worker threads may call it concurrently on the same instance (the
+/// parallel explorer relies on this; `tests/parallel_explorer_test.cpp`
+/// race-checks it under -DTSOGC_SANITIZE=thread).
 class GcModel {
 public:
   explicit GcModel(ModelConfig Cfg);

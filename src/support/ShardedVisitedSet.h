@@ -1,0 +1,115 @@
+//===- support/ShardedVisitedSet.h - Lock-striped visited set ------------===//
+///
+/// \file
+/// A concurrent insert-only map from canonical state keys to dense node ids,
+/// sharded by key hash so parallel workers contend only when they land on
+/// the same stripe. Each shard pairs its key map with a metadata arena; a
+/// node id packs (shard, arena index), so per-node metadata — the explorer's
+/// parent/label records — lives next to the keys that own it and path
+/// reconstruction can walk shards by index without any global table.
+///
+/// Concurrency contract:
+///   * insert() is safe from any number of threads;
+///   * size(), meta() and forEachMeta() require quiescence (no concurrent
+///     insert) — the explorer only calls them after its workers have joined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_SUPPORT_SHARDEDVISITEDSET_H
+#define TSOGC_SUPPORT_SHARDEDVISITEDSET_H
+
+#include "support/Assert.h"
+#include "support/HashCombine.h"
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace tsogc {
+
+template <typename Meta> class ShardedVisitedSet {
+public:
+  /// Node ids pack the shard into the top bits and the arena index into the
+  /// low IndexBits; 2^40 states per shard is far beyond what fits in memory.
+  static constexpr unsigned IndexBits = 40;
+  static constexpr uint64_t InvalidId = ~0ull;
+
+  explicit ShardedVisitedSet(unsigned NumShards) {
+    TSOGC_CHECK(NumShards >= 1 && NumShards <= (1u << 14),
+                "shard count out of range");
+    Shards.reserve(NumShards);
+    for (unsigned I = 0; I < NumShards; ++I)
+      Shards.push_back(std::make_unique<Shard>());
+  }
+
+  unsigned numShards() const { return static_cast<unsigned>(Shards.size()); }
+
+  unsigned shardOf(const std::string &Key) const {
+    // Fresh seed so the stripe choice is independent of both the digest
+    // seeds used by hash compaction and unordered_map's own bucket hash.
+    return static_cast<uint64_t>(
+               hashBytes(Key.data(), Key.size(), 0x1f83d9abfb41bd6bULL)) %
+           Shards.size();
+  }
+
+  /// Insert \p Key if absent, constructing its metadata from \p M.
+  /// Returns {node id, inserted-now}. Thread-safe.
+  std::pair<uint64_t, bool> insert(std::string Key, Meta M) {
+    unsigned SI = shardOf(Key);
+    Shard &S = *Shards[SI];
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto [It, Fresh] = S.Map.emplace(std::move(Key),
+                                     static_cast<uint64_t>(S.Arena.size()));
+    if (Fresh)
+      S.Arena.push_back(std::move(M));
+    return {packId(SI, It->second), Fresh};
+  }
+
+  /// Metadata of a previously inserted node. Quiescent use only: a
+  /// concurrent insert into the same shard may reallocate the arena.
+  const Meta &meta(uint64_t Id) const {
+    const Shard &S = *Shards[Id >> IndexBits];
+    uint64_t Idx = Id & ((1ull << IndexBits) - 1);
+    TSOGC_CHECK(Idx < S.Arena.size(), "node id out of range");
+    return S.Arena[Idx];
+  }
+
+  /// Total nodes across all shards. Quiescent use only.
+  uint64_t size() const {
+    uint64_t N = 0;
+    for (const auto &S : Shards)
+      N += S->Arena.size();
+    return N;
+  }
+
+  /// Visit every node's metadata, shard by shard. Quiescent use only.
+  template <typename Fn> void forEachMeta(Fn F) const {
+    for (unsigned SI = 0; SI < Shards.size(); ++SI) {
+      const Shard &S = *Shards[SI];
+      for (uint64_t I = 0; I < S.Arena.size(); ++I)
+        F(packId(SI, I), S.Arena[I]);
+    }
+  }
+
+private:
+  static uint64_t packId(unsigned ShardIdx, uint64_t ArenaIdx) {
+    TSOGC_CHECK(ArenaIdx < (1ull << IndexBits), "arena index overflow");
+    return (static_cast<uint64_t>(ShardIdx) << IndexBits) | ArenaIdx;
+  }
+
+  /// Padded to a cache line so neighbouring shard locks do not false-share.
+  struct alignas(64) Shard {
+    std::mutex Mu;
+    std::unordered_map<std::string, uint64_t> Map;
+    std::vector<Meta> Arena;
+  };
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+};
+
+} // namespace tsogc
+
+#endif // TSOGC_SUPPORT_SHARDEDVISITEDSET_H

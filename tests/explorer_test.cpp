@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
 using namespace tsogc;
 
 namespace {
@@ -32,6 +35,32 @@ StateChecker cycleDone() {
       return Violation{"planted", "cycle completed"};
     return std::nullopt;
   };
+}
+
+/// Synthetic one-process states for driving the exploration cores directly:
+/// the state's identity is a number carried in the control stack. Used to
+/// exercise behaviours the GC model never exhibits (deadlocks, violations
+/// exactly at the state budget boundary).
+GcSystemState synthState(uint32_t N) {
+  cimp::ProcState<GcDomain> PS;
+  PS.Stack = {N};
+  PS.Local = CollectorLocal{};
+  return {PS};
+}
+
+uint32_t synthId(const GcSystemState &S) {
+  return S[0].Stack.empty() ? ~0u : S[0].Stack[0];
+}
+
+GcSuccessor synthSucc(uint32_t From, uint32_t To) {
+  GcSuccessor Succ;
+  Succ.Label = "s" + std::to_string(From) + "->" + std::to_string(To);
+  Succ.State = synthState(To);
+  return Succ;
+}
+
+std::string synthEncode(const GcSystemState &S) {
+  return std::to_string(synthId(S));
 }
 
 } // namespace
@@ -122,6 +151,70 @@ TEST(Explorer, CompactVisitedMatchesExact) {
   EXPECT_EQ(Exact.TransitionsExplored, Hashed.TransitionsExplored);
 }
 
+TEST(Explorer, OptionMatrixAgreesOnStateCount) {
+  // All 8 combinations of Dfs × TrackPaths × CompactVisited must visit the
+  // identical state set, and Truncated must be set exactly when a limit
+  // actually bit.
+  GcModel M(tinyCfg());
+  ExploreResult Base = exploreExhaustive(M, neverFails());
+  ASSERT_TRUE(Base.exhaustedCleanly());
+  for (bool Dfs : {false, true})
+    for (bool Track : {false, true})
+      for (bool Compact : {false, true}) {
+        ExploreOptions O;
+        O.Dfs = Dfs;
+        O.TrackPaths = Track;
+        O.CompactVisited = Compact;
+        std::string Tag = std::string("dfs=") + (Dfs ? "1" : "0") +
+                          " track=" + (Track ? "1" : "0") +
+                          " compact=" + (Compact ? "1" : "0");
+        ExploreResult R = exploreExhaustive(M, neverFails(), O);
+        EXPECT_EQ(R.StatesVisited, Base.StatesVisited) << Tag;
+        EXPECT_EQ(R.TransitionsExplored, Base.TransitionsExplored) << Tag;
+        EXPECT_FALSE(R.Truncated) << Tag; // no limit configured
+
+        ExploreOptions Tight = O;
+        Tight.MaxStates = Base.StatesVisited / 2;
+        EXPECT_TRUE(exploreExhaustive(M, neverFails(), Tight).Truncated)
+            << Tag;
+
+        ExploreOptions Loose = O;
+        Loose.MaxStates = Base.StatesVisited + 1000;
+        EXPECT_FALSE(exploreExhaustive(M, neverFails(), Loose).Truncated)
+            << Tag;
+      }
+}
+
+TEST(Explorer, ViolationAtStateBudgetBoundaryIsStillReported) {
+  // Regression: exploreExhaustive used to return the moment MaxStates was
+  // reached, discarding already-generated sibling successors unchecked — a
+  // violation one transition past the budget boundary was silently missed.
+  // Synthetic space: 0 -> {1, 2}, where 2 violates. MaxStates=2 is
+  // exhausted by {0, 1}; the final sibling 2 must still be checked.
+  auto Init = [] { return synthState(0); };
+  auto Succs = [](const GcSystemState &S, std::vector<GcSuccessor> &Out) {
+    if (synthId(S) == 0) {
+      Out.push_back(synthSucc(0, 1));
+      Out.push_back(synthSucc(0, 2));
+    }
+  };
+  StateChecker BadTwo = [](const GcSystemState &S) -> std::optional<Violation> {
+    if (synthId(S) == 2)
+      return Violation{"boundary", "one past the budget"};
+    return std::nullopt;
+  };
+  ExploreOptions Opts;
+  Opts.MaxStates = 2;
+  ExploreResult Res =
+      detail::exhaustiveImpl(Init, Succs, synthEncode, BadTwo, Opts);
+  ASSERT_TRUE(Res.Bug.has_value());
+  EXPECT_EQ(Res.Bug->Name, "boundary");
+  EXPECT_TRUE(Res.Truncated);
+  EXPECT_EQ(Res.StatesVisited, Opts.MaxStates);
+  ASSERT_EQ(Res.Path.size(), 1u);
+  EXPECT_EQ(Res.Path[0], "s0->2");
+}
+
 TEST(Explorer, RandomWalkDeterministicPerSeed) {
   GcModel M(tinyCfg());
   WalkOptions Opts;
@@ -143,6 +236,37 @@ TEST(Explorer, RandomWalkFindsPlantedViolation) {
   WalkResult Res = exploreRandomWalk(M, cycleDone(), Opts);
   ASSERT_TRUE(Res.Bug.has_value());
   EXPECT_FALSE(Res.TailPath.empty());
+}
+
+TEST(Explorer, RandomWalkTailClearedOnDeadlockRestart) {
+  // Regression: the walk used to carry its trace tail across deadlock
+  // restarts, so TailPath could splice labels from before the restart onto
+  // labels after it — a trace that replays to nothing from the initial
+  // state. Synthetic chain 0 -> 1 -> 2 -> (deadlock); the checker trips on
+  // the second visit to state 1, i.e. right after the restart.
+  auto Init = [] { return synthState(0); };
+  auto Succs = [](const GcSystemState &S, std::vector<GcSuccessor> &Out) {
+    uint32_t N = synthId(S);
+    if (N < 2)
+      Out.push_back(synthSucc(N, N + 1));
+    // state 2: no successors — deadlock.
+  };
+  auto SeenOne = std::make_shared<int>(0);
+  StateChecker SecondVisitToOne =
+      [SeenOne](const GcSystemState &S) -> std::optional<Violation> {
+    if (synthId(S) == 1 && ++*SeenOne >= 2)
+      return Violation{"post-restart", "second visit to state 1"};
+    return std::nullopt;
+  };
+  WalkOptions Opts;
+  Opts.Steps = 100;
+  WalkResult Res = detail::randomWalkImpl(Init, Succs, SecondVisitToOne, Opts);
+  ASSERT_TRUE(Res.Bug.has_value());
+  EXPECT_EQ(Res.Deadlocks, 1u);
+  // Only the post-restart label survives; the buggy behaviour reported
+  // {"s0->1", "s1->2", "s0->1"}.
+  ASSERT_EQ(Res.TailPath.size(), 1u);
+  EXPECT_EQ(Res.TailPath[0], "s0->1");
 }
 
 TEST(Explorer, GuidedTakeRespectsPredicates) {

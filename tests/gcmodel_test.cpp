@@ -120,12 +120,26 @@ TEST(GcModelState, ReplayIsDeterministic) {
     Choices.push_back(Pick);
     S = Succs[Pick].State;
   }
-  auto A = replayChoices(M, Choices);
-  auto B = replayChoices(M, Choices);
-  ASSERT_EQ(A.size(), 13u);
-  for (size_t I = 0; I < A.size(); ++I)
-    EXPECT_EQ(M.encode(A[I]), M.encode(B[I]));
-  EXPECT_EQ(M.encode(A.back()), M.encode(S));
+  ReplayResult A = replayChoices(M, Choices);
+  ReplayResult B = replayChoices(M, Choices);
+  ASSERT_TRUE(A.ok());
+  ASSERT_TRUE(B.ok());
+  ASSERT_EQ(A.States.size(), 13u);
+  for (size_t I = 0; I < A.States.size(); ++I)
+    EXPECT_EQ(M.encode(A.States[I]), M.encode(B.States[I]));
+  EXPECT_EQ(M.encode(A.States.back()), M.encode(S));
+}
+
+TEST(GcModelState, ReplayReportsOutOfRangeChoice) {
+  // A bad trace must come back as a diagnosable error naming the failing
+  // step, not an abort, and the valid prefix must be preserved.
+  GcModel M(cfg());
+  std::vector<uint32_t> Choices{0, 9999};
+  ReplayResult R = replayChoices(M, Choices);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error->find("step 1"), std::string::npos);
+  EXPECT_NE(R.Error->find("9999"), std::string::npos);
+  EXPECT_EQ(R.States.size(), 2u); // initial state + the one valid step
 }
 
 TEST(GcModelState, NoDeadlockNearInitialState) {

@@ -1,0 +1,230 @@
+//===- tests/parallel_explorer_test.cpp - Parallel vs sequential ----------===//
+///
+/// The sequential explorer is the oracle: on every seed configuration the
+/// parallel explorer must agree with it on StatesVisited, Transitions and
+/// the bug/no-bug verdict (the reachable set is order-independent, so a
+/// full exhaustion is deterministic regardless of worker count). Violation
+/// paths are valid-but-not-necessarily-shortest; validity is checked by
+/// replaying the labels against the model.
+///
+//===----------------------------------------------------------------------===//
+
+#include "explore/ParallelExplorer.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsogc;
+
+namespace {
+
+struct Seed {
+  const char *Name;
+  ModelConfig Cfg;
+};
+
+/// Small, fully-exhaustible seed configurations: every mutator-op subset
+/// that keeps the space below ~100k states, over both initial heaps.
+std::vector<Seed> seeds() {
+  std::vector<Seed> Out;
+  {
+    // Handshakes only — the canonical tiny instance.
+    ModelConfig C;
+    C.NumMutators = 1;
+    C.NumRefs = 2;
+    C.NumFields = 1;
+    C.BufferBound = 1;
+    C.InitialHeap = ModelConfig::InitHeap::SingleRoot;
+    C.MutatorLoad = C.MutatorStore = C.MutatorAlloc = C.MutatorDiscard = false;
+    Out.push_back({"handshakes-only", C});
+  }
+  {
+    // Stores over a chain: deletion-barrier traffic, TSO buffer activity.
+    ModelConfig C;
+    C.NumMutators = 1;
+    C.NumRefs = 2;
+    C.NumFields = 1;
+    C.BufferBound = 1;
+    C.InitialHeap = ModelConfig::InitHeap::Chain;
+    C.MutatorLoad = C.MutatorAlloc = C.MutatorDiscard = false;
+    Out.push_back({"stores-only-chain", C});
+  }
+  {
+    // Two mutators, handshakes only: ragged handshake interleavings.
+    ModelConfig C;
+    C.NumMutators = 2;
+    C.NumRefs = 2;
+    C.NumFields = 1;
+    C.BufferBound = 1;
+    C.InitialHeap = ModelConfig::InitHeap::SingleRoot;
+    C.MutatorLoad = C.MutatorStore = C.MutatorAlloc = C.MutatorDiscard = false;
+    Out.push_back({"2mut-handshakes", C});
+  }
+  {
+    // Deeper buffer: more pending-store interleavings.
+    ModelConfig C;
+    C.NumMutators = 1;
+    C.NumRefs = 2;
+    C.NumFields = 1;
+    C.BufferBound = 2;
+    C.InitialHeap = ModelConfig::InitHeap::Chain;
+    C.MutatorLoad = C.MutatorAlloc = C.MutatorDiscard = false;
+    Out.push_back({"stores-buf2", C});
+  }
+  return Out;
+}
+
+StateChecker neverFails() {
+  return [](const GcSystemState &) { return std::optional<Violation>(); };
+}
+
+StateChecker cycleDone() {
+  return [](const GcSystemState &S) -> std::optional<Violation> {
+    if (GcModel::collector(S).CycleCount >= 1)
+      return Violation{"planted", "cycle completed"};
+    return std::nullopt;
+  };
+}
+
+/// A label path is valid iff, following successors whose labels match it
+/// step by step (a label can be shared by several nondeterministic
+/// siblings, so a set of candidate states is tracked), at least one final
+/// candidate exists — and for a violation path, violates the checker.
+bool pathReplays(const GcModel &M, const std::vector<std::string> &Path,
+                 const StateChecker &Violates) {
+  std::vector<GcSystemState> Cands{M.initial()};
+  for (const std::string &Label : Path) {
+    std::vector<GcSystemState> Next;
+    for (const GcSystemState &S : Cands)
+      for (GcSuccessor &Succ : M.system().successors(S))
+        if (Succ.Label == Label)
+          Next.push_back(std::move(Succ.State));
+    if (Next.empty())
+      return false;
+    Cands = std::move(Next);
+  }
+  for (const GcSystemState &S : Cands)
+    if (Violates(S))
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(ParallelExplorer, DifferentialAgreesOnEverySeedConfiguration) {
+  for (const Seed &Sd : seeds()) {
+    GcModel M(Sd.Cfg);
+    InvariantSuite Inv(M);
+    ExploreResult Seq = exploreExhaustive(M, Inv);
+    ASSERT_TRUE(Seq.exhaustedCleanly()) << Sd.Name;
+
+    for (unsigned Workers : {1u, 4u}) {
+      ParallelExploreOptions PO;
+      PO.Workers = Workers;
+      ExploreResult Par = exploreParallel(M, Inv, PO);
+      EXPECT_TRUE(Par.exhaustedCleanly()) << Sd.Name << " w=" << Workers;
+      EXPECT_EQ(Par.StatesVisited, Seq.StatesVisited)
+          << Sd.Name << " w=" << Workers;
+      EXPECT_EQ(Par.TransitionsExplored, Seq.TransitionsExplored)
+          << Sd.Name << " w=" << Workers;
+      // Discovery depth is racy (a state may first be reached via a
+      // non-minimal path), but can never undercut the BFS-minimal depth
+      // of the deepest state.
+      EXPECT_GE(Par.MaxDepthSeen, Seq.MaxDepthSeen)
+          << Sd.Name << " w=" << Workers;
+    }
+  }
+}
+
+TEST(ParallelExplorer, DifferentialAgreesOnVerdictWithPlantedViolation) {
+  for (const Seed &Sd : seeds()) {
+    GcModel M(Sd.Cfg);
+    ExploreResult Seq = exploreExhaustive(M, cycleDone());
+    ParallelExploreOptions PO;
+    PO.Workers = 4;
+    ExploreResult Par = exploreParallel(M, cycleDone(), PO);
+    ASSERT_EQ(Seq.Bug.has_value(), Par.Bug.has_value()) << Sd.Name;
+    if (Par.Bug) {
+      EXPECT_EQ(Par.Bug->Name, Seq.Bug->Name) << Sd.Name;
+      ASSERT_TRUE(Par.BadState.has_value()) << Sd.Name;
+      EXPECT_GE(GcModel::collector(*Par.BadState).CycleCount, 1u) << Sd.Name;
+    }
+  }
+}
+
+TEST(ParallelExplorer, ViolationPathIsValid) {
+  ModelConfig C;
+  C.NumMutators = 1;
+  C.NumRefs = 2;
+  C.NumFields = 1;
+  C.BufferBound = 1;
+  C.InitialHeap = ModelConfig::InitHeap::SingleRoot;
+  C.MutatorLoad = C.MutatorStore = C.MutatorAlloc = C.MutatorDiscard = false;
+  GcModel M(C);
+
+  ParallelExploreOptions PO;
+  PO.Workers = 4;
+  ExploreResult Res = exploreParallel(M, cycleDone(), PO);
+  ASSERT_TRUE(Res.Bug.has_value());
+  ASSERT_FALSE(Res.Path.empty());
+  // Valid, not necessarily shortest: the labels must replay from the
+  // initial state to a state the checker rejects.
+  EXPECT_TRUE(pathReplays(M, Res.Path, cycleDone()));
+  // And never shorter than the BFS-minimal counterexample.
+  ExploreResult Seq = exploreExhaustive(M, cycleDone());
+  EXPECT_GE(Res.Path.size(), Seq.Path.size());
+}
+
+TEST(ParallelExplorer, ViolationInInitialState) {
+  ModelConfig C;
+  C.NumMutators = 1;
+  C.NumRefs = 2;
+  C.NumFields = 1;
+  C.BufferBound = 1;
+  C.MutatorLoad = C.MutatorStore = C.MutatorAlloc = C.MutatorDiscard = false;
+  GcModel M(C);
+  StateChecker Always = [](const GcSystemState &) {
+    return std::optional<Violation>(Violation{"always", ""});
+  };
+  ExploreResult Res = exploreParallel(M, Always, ParallelExploreOptions{});
+  ASSERT_TRUE(Res.Bug.has_value());
+  EXPECT_TRUE(Res.Path.empty());
+  EXPECT_EQ(Res.StatesVisited, 1u);
+}
+
+TEST(ParallelExplorer, StateBudgetTruncates) {
+  ModelConfig C;
+  C.NumMutators = 1;
+  C.NumRefs = 2;
+  C.NumFields = 1;
+  C.BufferBound = 1;
+  C.MutatorLoad = C.MutatorStore = C.MutatorAlloc = C.MutatorDiscard = false;
+  GcModel M(C);
+  ParallelExploreOptions PO;
+  PO.Workers = 4;
+  PO.MaxStates = 50;
+  ExploreResult Res = exploreParallel(M, neverFails(), PO);
+  EXPECT_TRUE(Res.Truncated);
+  // The truncated prefix is racy; the count cap is not.
+  EXPECT_LE(Res.StatesVisited, 50u);
+  EXPECT_GE(Res.StatesVisited, 1u);
+}
+
+TEST(ParallelExplorer, CompactVisitedAgreesWithExact) {
+  ModelConfig C;
+  C.NumMutators = 1;
+  C.NumRefs = 2;
+  C.NumFields = 1;
+  C.BufferBound = 1;
+  C.InitialHeap = ModelConfig::InitHeap::SingleRoot;
+  C.MutatorLoad = C.MutatorStore = C.MutatorAlloc = C.MutatorDiscard = false;
+  GcModel M(C);
+  ParallelExploreOptions Exact;
+  Exact.Workers = 4;
+  ParallelExploreOptions Compact = Exact;
+  Compact.CompactVisited = true;
+  Compact.TrackPaths = false; // scouting mode
+  ExploreResult A = exploreParallel(M, neverFails(), Exact);
+  ExploreResult B = exploreParallel(M, neverFails(), Compact);
+  EXPECT_EQ(A.StatesVisited, B.StatesVisited);
+  EXPECT_EQ(A.TransitionsExplored, B.TransitionsExplored);
+}
