@@ -1,0 +1,75 @@
+//===- bench/BenchReport.h - Shared bench metrics export -------------------===//
+///
+/// \file
+/// Every bench binary reports through one channel: a Reporter mirrors each
+/// per-run counter into both the google-benchmark console table and a
+/// process-wide observe::MetricsRegistry, which an atexit hook serializes
+/// as schema-versioned JSON (observe::BenchSchema) to $TSOGC_BENCH_JSON.
+/// run_benches.sh sets the env var per binary and validates the result;
+/// without the env var the hook is inert, so ad-hoc runs behave as before.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_BENCH_BENCHREPORT_H
+#define TSOGC_BENCH_BENCHREPORT_H
+
+#include "observe/Export.h"
+#include "observe/Metrics.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace tsogc::bench {
+
+/// The binary-wide registry flushed at exit.
+inline observe::MetricsRegistry &registry() {
+  static observe::MetricsRegistry Reg;
+  return Reg;
+}
+
+/// Idempotently install the exit hook. registry() is touched first so its
+/// destructor is sequenced after the hook runs.
+inline bool installExporter() {
+  static const bool Installed = [] {
+    registry();
+    std::atexit([] {
+      const char *Path = std::getenv("TSOGC_BENCH_JSON");
+      if (!Path || !*Path)
+        return;
+      const char *Name = std::getenv("TSOGC_BENCH_NAME");
+      std::string Json = observe::metricsToJson(
+          registry(), Name && *Name ? Name : "bench");
+      if (!observe::writeTextFile(Path, Json))
+        std::fprintf(stderr, "BenchReport: cannot write %s\n", Path);
+    });
+    return true;
+  }();
+  return Installed;
+}
+
+/// Per-benchmark-run reporting handle. \p Run names this run in the export
+/// (include the range argument when the benchmark is parameterized, e.g.
+/// "cycle_vs_live_set/4096"); the console counter keeps its short name.
+class Reporter {
+public:
+  Reporter(benchmark::State &State, std::string Run)
+      : State(State), Run(std::move(Run)) {
+    installExporter();
+  }
+
+  void counter(const std::string &Name, double V) {
+    State.counters[Name] = V;
+    registry().gauge(Run + "." + Name, V);
+  }
+
+private:
+  benchmark::State &State;
+  std::string Run;
+};
+
+} // namespace tsogc::bench
+
+#endif // TSOGC_BENCH_BENCHREPORT_H

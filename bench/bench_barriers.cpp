@@ -9,10 +9,12 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
 #include "runtime/GcRuntime.h"
 
 #include <benchmark/benchmark.h>
 
+using namespace tsogc;
 using namespace tsogc::rt;
 
 namespace {
@@ -66,50 +68,50 @@ struct Fixture {
   size_t A = 0, B = 0;
 };
 
-void storeLoop(benchmark::State &State, Fixture &F) {
+void storeLoop(benchmark::State &State, Fixture &F, const char *Name) {
   uint32_t Fld = 0;
   for (auto _ : State) {
     F.M->store(F.B, F.A, Fld);
     Fld ^= 1;
   }
   State.SetItemsProcessed(State.iterations());
-  State.counters["barrier_cas"] =
-      static_cast<double>(F.M->stats().BarrierCas);
+  bench::Reporter(State, std::string("store/") + Name)
+      .counter("barrier_cas", static_cast<double>(F.M->stats().BarrierCas));
 }
 
 } // namespace
 
 static void BM_StoreBothBarriersIdle(benchmark::State &State) {
   Fixture F(true, true);
-  storeLoop(State, F); // collector idle: barriers dormant
+  storeLoop(State, F, "both_idle"); // collector idle: barriers dormant
 }
 BENCHMARK(BM_StoreBothBarriersIdle);
 
 static void BM_StoreBothBarriersActiveMarked(benchmark::State &State) {
   Fixture F(true, true);
   F.enterMarkPhaseMarked(); // active, but targets already marked: fast path
-  storeLoop(State, F);
+  storeLoop(State, F, "both_active_marked");
 }
 BENCHMARK(BM_StoreBothBarriersActiveMarked);
 
 static void BM_StoreDeletionOnlyActive(benchmark::State &State) {
   Fixture F(true, false);
   F.enterMarkPhaseMarked();
-  storeLoop(State, F);
+  storeLoop(State, F, "deletion_only");
 }
 BENCHMARK(BM_StoreDeletionOnlyActive);
 
 static void BM_StoreInsertionOnlyActive(benchmark::State &State) {
   Fixture F(false, true);
   F.enterMarkPhaseMarked();
-  storeLoop(State, F);
+  storeLoop(State, F, "insertion_only");
 }
 BENCHMARK(BM_StoreInsertionOnlyActive);
 
 static void BM_StoreNoBarriers(benchmark::State &State) {
   Fixture F(false, false);
   F.enterMarkPhaseMarked();
-  storeLoop(State, F);
+  storeLoop(State, F, "none");
 }
 BENCHMARK(BM_StoreNoBarriers);
 

@@ -6,6 +6,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
 #include "cimp/System.h"
 
 #include <benchmark/benchmark.h>
@@ -129,7 +130,8 @@ static void BM_SuccessorsVsProcessCount(benchmark::State &State) {
     Sys.successors(S, Succs);
     benchmark::DoNotOptimize(Succs);
   }
-  State.counters["succs"] = static_cast<double>(Succs.size());
+  bench::Reporter(State, "successors_vs_processes/" + std::to_string(N))
+      .counter("succs", static_cast<double>(Succs.size()));
   State.SetItemsProcessed(State.iterations());
 }
 BENCHMARK(BM_SuccessorsVsProcessCount)->RangeMultiplier(2)->Range(1, 16);

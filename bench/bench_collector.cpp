@@ -12,6 +12,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
 #include "runtime/GcRuntime.h"
 #include "support/Random.h"
 
@@ -64,7 +65,8 @@ static void BM_CycleVsLiveSet(benchmark::State &State) {
     CycleStats CS = Rt.collectOnce();
     benchmark::DoNotOptimize(CS);
   }
-  State.counters["live"] = static_cast<double>(Rt.heap().allocatedCount());
+  bench::Reporter R(State, "cycle_vs_live_set/" + std::to_string(Live));
+  R.counter("live", static_cast<double>(Rt.heap().allocatedCount()));
   while (M->numRoots())
     M->discard(0);
   Rt.deregisterMutator(M);
@@ -98,8 +100,9 @@ static void BM_CycleVsGarbage(benchmark::State &State) {
     CycleStats CS = Rt.collectOnce();
     Freed += CS.ObjectsFreed;
   }
-  State.counters["freed_per_cycle"] =
-      static_cast<double>(Freed) / static_cast<double>(State.iterations());
+  bench::Reporter R(State, "cycle_vs_garbage/" + std::to_string(Garbage));
+  R.counter("freed_per_cycle", static_cast<double>(Freed) /
+                                   static_cast<double>(State.iterations()));
   while (M->numRoots())
     M->discard(0);
   Rt.deregisterMutator(M);
@@ -155,16 +158,24 @@ static void pauseComparison(benchmark::State &State, bool StopTheWorld) {
   // Keep servicing handshakes until workers exit (none pending now).
   for (auto &T : Workers)
     T.join();
-  uint64_t MaxPause = 0, TotalHs = 0;
+  // The pause a mutator sees is the handshake handler under on-the-fly
+  // collection and the whole park under STW; maxPauseNs() covers both
+  // (MaxHandshakeNs alone under-reported STW once park waits moved to
+  // their own stat).
+  uint64_t MaxPause = 0, TotalHs = 0, TotalParks = 0;
   for (auto *M : Ms) {
-    MaxPause = std::max(MaxPause, M->stats().MaxHandshakeNs);
+    MaxPause = std::max(MaxPause, M->stats().maxPauseNs());
     TotalHs += M->stats().HandshakesSeen;
+    TotalParks += M->stats().Parks;
   }
   for (auto *M : Ms)
     Rt.deregisterMutator(M);
-  State.counters["max_pause_ns"] = static_cast<double>(MaxPause);
-  State.counters["handshakes"] = static_cast<double>(TotalHs);
-  State.counters["freed"] = static_cast<double>(Rt.stats().TotalFreed.load());
+  bench::Reporter R(State,
+                    StopTheWorld ? "pause_stw" : "pause_on_the_fly");
+  R.counter("max_pause_ns", static_cast<double>(MaxPause));
+  R.counter("handshakes", static_cast<double>(TotalHs));
+  R.counter("parks", static_cast<double>(TotalParks));
+  R.counter("freed", static_cast<double>(Rt.stats().TotalFreed.load()));
   State.SetItemsProcessed(Cycles);
 }
 
@@ -214,9 +225,10 @@ static void BM_FloatingGarbageTwoCycles(benchmark::State &State) {
     if (Rt.heap().allocatedCount() != 0)
       State.SkipWithError("garbage survived two cycles");
   }
-  State.counters["floated_per_round"] =
-      static_cast<double>(FloatedTotal) /
-      std::max<double>(1.0, static_cast<double>(State.iterations()));
+  bench::Reporter R(State, "floating_garbage_two_cycles");
+  R.counter("floated_per_round",
+            static_cast<double>(FloatedTotal) /
+                std::max<double>(1.0, static_cast<double>(State.iterations())));
   Rt.deregisterMutator(M);
   State.SetItemsProcessed(Cycles);
 }

@@ -8,6 +8,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
 #include "explore/Explorer.h"
 #include "heap/Color.h"
 #include "support/Random.h"
@@ -45,7 +46,8 @@ static void BM_GreyProtectionChainSearch(benchmark::State &State) {
   ColorView CV(H, true, {R(0)});
   for (auto _ : State)
     benchmark::DoNotOptimize(CV.isGreyProtected(R(N)));
-  State.counters["chain"] = static_cast<double>(N);
+  bench::Reporter(State, "grey_protection_chain/" + std::to_string(N))
+      .counter("chain", static_cast<double>(N));
   State.SetItemsProcessed(State.iterations());
 }
 BENCHMARK(BM_GreyProtectionChainSearch)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
@@ -90,7 +92,8 @@ static void BM_StrongTricolorEval(benchmark::State &State) {
     }
     benchmark::DoNotOptimize(Ok);
   }
-  State.counters["objects"] = static_cast<double>(N);
+  bench::Reporter(State, "strong_tricolor_eval/" + std::to_string(N))
+      .counter("objects", static_cast<double>(N));
   State.SetItemsProcessed(State.iterations() * N);
 }
 BENCHMARK(BM_StrongTricolorEval)->Arg(256)->Arg(4096);
@@ -109,7 +112,8 @@ static void BM_ReachabilityClosure(benchmark::State &State) {
   std::vector<Ref> Roots{R(0)};
   for (auto _ : State)
     benchmark::DoNotOptimize(H.reachableFrom(Roots));
-  State.counters["objects"] = static_cast<double>(N);
+  bench::Reporter(State, "reachability_closure/" + std::to_string(N))
+      .counter("objects", static_cast<double>(N));
   State.SetItemsProcessed(State.iterations());
 }
 BENCHMARK(BM_ReachabilityClosure)->Arg(64)->Arg(1024)->Arg(16384);
@@ -137,6 +141,7 @@ static void BM_Figure1ViolationHunt(benchmark::State &State) {
       State.SkipWithError("expected a Figure 1 violation");
     PathLen = Res.Path.size();
   }
-  State.counters["trace_len"] = static_cast<double>(PathLen);
+  bench::Reporter(State, "figure1_violation_hunt")
+      .counter("trace_len", static_cast<double>(PathLen));
 }
 BENCHMARK(BM_Figure1ViolationHunt)->Unit(benchmark::kMillisecond);

@@ -7,6 +7,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
 #include "runtime/GcRuntime.h"
 #include "runtime/RtCollector.h"
 
@@ -14,6 +15,7 @@
 
 #include <thread>
 
+using namespace tsogc;
 using namespace tsogc::rt;
 
 namespace {
@@ -56,7 +58,9 @@ static void BM_NoopHandshakeRound(benchmark::State &State) {
   RtCollector C(Rt);
   for (auto _ : State)
     Rt.collectOnce();
-  State.counters["mutators"] = static_cast<double>(State.range(0));
+  bench::Reporter(State,
+                  "noop_handshake_round/" + std::to_string(State.range(0)))
+      .counter("mutators", static_cast<double>(State.range(0)));
   State.SetItemsProcessed(State.iterations());
 }
 BENCHMARK(BM_NoopHandshakeRound)
@@ -127,7 +131,8 @@ static void BM_GetRootsHandler(benchmark::State &State) {
   while (M->numRoots())
     M->discard(0);
   Rt.deregisterMutator(M);
-  State.counters["roots"] = static_cast<double>(NumRoots);
+  bench::Reporter(State, "get_roots_handler/" + std::to_string(NumRoots))
+      .counter("roots", static_cast<double>(NumRoots));
   State.SetItemsProcessed(State.iterations() * NumRoots);
 }
 BENCHMARK(BM_GetRootsHandler)->Arg(16)->Arg(256)->Arg(4096);

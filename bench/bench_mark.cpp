@@ -9,12 +9,14 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
 #include "runtime/RtHeap.h"
 
 #include <benchmark/benchmark.h>
 
 #include <thread>
 
+using namespace tsogc;
 using namespace tsogc::rt;
 
 namespace {
@@ -35,7 +37,8 @@ static void BM_MarkFastPathAlreadyMarked(benchmark::State &State) {
   uint64_t Cas = 0;
   for (auto _ : State)
     benchmark::DoNotOptimize(H.mark(R, true, true, &Cas));
-  State.counters["cas"] = static_cast<double>(Cas);
+  bench::Reporter(State, "mark_fast_path")
+      .counter("cas", static_cast<double>(Cas));
   State.SetItemsProcessed(State.iterations());
 }
 BENCHMARK(BM_MarkFastPathAlreadyMarked);
@@ -47,7 +50,8 @@ static void BM_MarkIdleCollector(benchmark::State &State) {
   uint64_t Cas = 0;
   for (auto _ : State)
     benchmark::DoNotOptimize(H.mark(R, true, /*BarriersActive=*/false, &Cas));
-  State.counters["cas"] = static_cast<double>(Cas);
+  bench::Reporter(State, "mark_idle_collector")
+      .counter("cas", static_cast<double>(Cas));
   State.SetItemsProcessed(State.iterations());
 }
 BENCHMARK(BM_MarkIdleCollector);
@@ -71,8 +75,9 @@ static void BM_MarkCasPath(benchmark::State &State) {
     }
     benchmark::DoNotOptimize(H.mark(Objs[I++], Fm, true, &Cas));
   }
-  State.counters["cas_rate"] =
-      static_cast<double>(Cas) / static_cast<double>(State.iterations());
+  bench::Reporter(State, "mark_cas_path")
+      .counter("cas_rate", static_cast<double>(Cas) /
+                               static_cast<double>(State.iterations()));
   State.SetItemsProcessed(State.iterations());
 }
 BENCHMARK(BM_MarkCasPath);
@@ -106,8 +111,9 @@ static void BM_MarkContended(benchmark::State &State) {
     CasTotal = CasSum.load();
     Fm = !Fm; // reset marks for the next iteration
   }
-  State.counters["wins"] = static_cast<double>(Wins);
-  State.counters["cas"] = static_cast<double>(CasTotal);
+  bench::Reporter R(State, "mark_contended/" + std::to_string(Threads));
+  R.counter("wins", static_cast<double>(Wins));
+  R.counter("cas", static_cast<double>(CasTotal));
   State.SetItemsProcessed(State.iterations() * Batch * Threads);
 }
 BENCHMARK(BM_MarkContended)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);

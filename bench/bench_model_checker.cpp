@@ -9,6 +9,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
+#include "explore/Export.h"
 #include "explore/ParallelExplorer.h"
 
 #include <benchmark/benchmark.h>
@@ -35,15 +37,19 @@ ModelConfig tinyVerified() {
 static void BM_ExhaustTinyInstance(benchmark::State &State) {
   GcModel M(tinyVerified());
   InvariantSuite Inv(M);
-  uint64_t States = 0;
+  ExploreResult Last;
   for (auto _ : State) {
-    ExploreResult Res = exploreExhaustive(M, Inv);
-    if (!Res.exhaustedCleanly())
+    Last = exploreExhaustive(M, Inv);
+    if (!Last.exhaustedCleanly())
       State.SkipWithError("tiny instance must exhaust cleanly");
-    States = Res.StatesVisited;
   }
-  State.counters["states"] = static_cast<double>(States);
-  State.SetItemsProcessed(State.iterations() * States);
+  bench::Reporter(State, "exhaust_tiny_instance")
+      .counter("states", static_cast<double>(Last.StatesVisited));
+  // Full exploration statistics land in the export alongside the run's
+  // gauges (explore.states, explore.transitions, explore.max_depth, …).
+  exportMetrics(Last, 0.0, bench::registry(),
+                "exhaust_tiny_instance.explore.");
+  State.SetItemsProcessed(State.iterations() * Last.StatesVisited);
 }
 BENCHMARK(BM_ExhaustTinyInstance)->Unit(benchmark::kMillisecond);
 
@@ -93,7 +99,9 @@ static void BM_ParallelExplorationThroughput(benchmark::State &State) {
       State.SkipWithError("unexpected violation");
     benchmark::DoNotOptimize(Res);
   }
-  State.counters["workers"] = static_cast<double>(Opts.Workers);
+  bench::Reporter(State,
+                  "parallel_exploration/" + std::to_string(Opts.Workers))
+      .counter("workers", static_cast<double>(Opts.Workers));
   State.SetItemsProcessed(State.iterations() * Opts.MaxStates);
 }
 BENCHMARK(BM_ParallelExplorationThroughput)
@@ -123,7 +131,8 @@ static void BM_SuccessorsAndEncode(benchmark::State &State) {
       Bytes += M.encode(Succ.State).size();
     benchmark::DoNotOptimize(Bytes);
   }
-  State.counters["succs"] = static_cast<double>(Succs.size());
+  bench::Reporter(State, "successors_and_encode")
+      .counter("succs", static_cast<double>(Succs.size()));
   State.SetItemsProcessed(State.iterations());
 }
 BENCHMARK(BM_SuccessorsAndEncode);
@@ -168,7 +177,8 @@ static void BM_DeletionAblationCounterexample(benchmark::State &State) {
       State.SkipWithError("ablation must produce a counterexample");
     StatesToBug = Res.StatesVisited;
   }
-  State.counters["states_to_bug"] = static_cast<double>(StatesToBug);
+  bench::Reporter(State, "deletion_ablation_counterexample")
+      .counter("states_to_bug", static_cast<double>(StatesToBug));
 }
 BENCHMARK(BM_DeletionAblationCounterexample)->Unit(benchmark::kMillisecond);
 

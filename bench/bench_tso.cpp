@@ -9,6 +9,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
 #include "litmus/Litmus.h"
 #include "tso/MemoryState.h"
 
@@ -71,8 +72,9 @@ static void litmusBench(benchmark::State &State, const LitmusTest &T,
     Outcomes = Os.size();
     benchmark::DoNotOptimize(Os);
   }
-  State.counters["outcomes"] = static_cast<double>(Outcomes);
-  State.counters["states"] = static_cast<double>(Stats.States);
+  bench::Reporter R(State, "litmus/" + T.Name + "/" + std::to_string(Bound));
+  R.counter("outcomes", static_cast<double>(Outcomes));
+  R.counter("states", static_cast<double>(Stats.States));
 }
 
 static void BM_LitmusSB_TSO(benchmark::State &State) {

@@ -10,12 +10,14 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
 #include "runtime/GcRuntime.h"
 
 #include <benchmark/benchmark.h>
 
 #include <thread>
 
+using namespace tsogc;
 using namespace tsogc::rt;
 
 /// Idle-cycle latency: dominated by the handshake rounds, so the merged
@@ -34,8 +36,10 @@ static void cycleLatency(benchmark::State &State, bool Merged) {
     ++Cycles;
   }
   Rt.deregisterMutator(M);
-  State.counters["rounds_per_cycle"] =
-      static_cast<double>(Rounds) / static_cast<double>(Cycles);
+  bench::Reporter(State,
+                  Merged ? "cycle_merged_handshakes" : "cycle_baseline")
+      .counter("rounds_per_cycle",
+               static_cast<double>(Rounds) / static_cast<double>(Cycles));
   State.SetItemsProcessed(Cycles);
 }
 
@@ -88,7 +92,9 @@ static void postSnapshotStore(benchmark::State &State, bool Elide) {
     M->store(Targets[I], static_cast<size_t>(Src), 0);
     I = (I + 1) & 1023;
   }
-  State.counters["barrier_cas"] = static_cast<double>(M->stats().BarrierCas);
+  bench::Reporter(State, Elide ? "post_snapshot_store_elided"
+                               : "post_snapshot_store_barrier")
+      .counter("barrier_cas", static_cast<double>(M->stats().BarrierCas));
   while (M->numRoots())
     M->discard(0);
   Rt.deregisterMutator(M);

@@ -6,6 +6,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
 #include "runtime/GcRuntime.h"
 #include "workload/Workloads.h"
 
@@ -64,9 +65,13 @@ void workloadBench(benchmark::State &State, const char *Kind, GcMode Mode) {
     Done.store(true);
     Service.join();
   }
-  State.counters["alloc_failures"] = static_cast<double>(Failures);
-  State.counters["cycles"] =
-      static_cast<double>(Rt.stats().Cycles.load());
+  bench::Reporter R(State,
+                    std::string("workload/") + Kind + "/" +
+                        (Mode == GcMode::Off
+                             ? "off"
+                             : Mode == GcMode::OnTheFly ? "otf" : "stw"));
+  R.counter("alloc_failures", static_cast<double>(Failures));
+  R.counter("cycles", static_cast<double>(Rt.stats().Cycles.load()));
   Rt.deregisterMutator(M);
   State.SetItemsProcessed(State.iterations());
 }

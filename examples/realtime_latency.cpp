@@ -9,10 +9,16 @@
 /// the on-the-fly tail stays flat (a step is never blocked behind a whole
 /// collection), the stop-the-world tail absorbs full mark+sweep pauses.
 ///
-/// Run: realtime_latency [list|tree|graph] [seconds]
+/// Run: realtime_latency [list|tree|graph] [seconds] [--trace FILE]
+///
+/// With --trace, the on-the-fly configuration runs with event tracing on
+/// and writes a Chrome trace_event JSON (open in chrome://tracing or
+/// https://ui.perfetto.dev) showing every cycle, phase transition,
+/// handshake and sweep batch on a per-thread timeline.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "observe/Export.h"
 #include "runtime/GcRuntime.h"
 #include "support/Stats.h"
 #include "workload/Workloads.h"
@@ -20,6 +26,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 
 using namespace tsogc;
@@ -38,11 +45,12 @@ struct LatencyResult {
                            ///< scheduling noise.
 };
 
-LatencyResult run(const std::string &Kind, bool StopTheWorld,
-                  double Seconds) {
+LatencyResult run(const std::string &Kind, bool StopTheWorld, double Seconds,
+                  const char *TracePath = nullptr) {
   RtConfig Cfg;
   Cfg.HeapObjects = 1u << 15;
   Cfg.NumFields = 2;
+  Cfg.Trace = TracePath != nullptr;
   GcRuntime Rt(Cfg);
   MutatorContext *M = Rt.registerMutator();
   auto W = wl::makeWorkload(Kind, *M, 42);
@@ -77,8 +85,21 @@ LatencyResult run(const std::string &Kind, bool StopTheWorld,
   Res.P50 = Res.Hist.quantile(0.50);
   Res.P99 = Res.Hist.quantile(0.99);
   Res.P999 = Res.Hist.quantile(0.999);
-  Res.MaxGcPauseUs = static_cast<double>(M->stats().MaxHandshakeNs) / 1000.0;
+  // Handshake handlers and (under STW) whole parks are the pauses the
+  // collector imposes; maxPauseNs covers both.
+  Res.MaxGcPauseUs = static_cast<double>(M->stats().maxPauseNs()) / 1000.0;
   Rt.deregisterMutator(M);
+  if (TracePath) {
+    // Collector stopped, mutator deregistered: the rings are quiescent.
+    std::string Json = observe::traceToChromeJson(*Rt.traceSink());
+    if (observe::writeTextFile(TracePath, Json))
+      std::printf("wrote %llu trace events to %s\n",
+                  static_cast<unsigned long long>(
+                      Rt.traceSink()->totalRecorded()),
+                  TracePath);
+    else
+      std::fprintf(stderr, "cannot write trace to %s\n", TracePath);
+  }
   return Res;
 }
 
@@ -95,13 +116,21 @@ void report(const char *Name, const LatencyResult &R) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string Kind = Argc > 1 ? Argv[1] : "list";
-  double Seconds = Argc > 2 ? std::atof(Argv[2]) : 2.0;
+  const char *TracePath = nullptr;
+  std::vector<const char *> Pos;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--trace") == 0 && I + 1 < Argc)
+      TracePath = Argv[++I];
+    else
+      Pos.push_back(Argv[I]);
+  }
+  std::string Kind = Pos.size() > 0 ? Pos[0] : "list";
+  double Seconds = Pos.size() > 1 ? std::atof(Pos[1]) : 2.0;
 
   std::printf("workload '%s', %.1fs per configuration; step latency as the "
               "application sees it\n\n", Kind.c_str(), Seconds);
 
-  LatencyResult Otf = run(Kind, /*StopTheWorld=*/false, Seconds);
+  LatencyResult Otf = run(Kind, /*StopTheWorld=*/false, Seconds, TracePath);
   report("on-the-fly", Otf);
   LatencyResult Stw = run(Kind, /*StopTheWorld=*/true, Seconds);
   report("stop-world", Stw);

@@ -1,7 +1,75 @@
 #!/bin/sh
-# Regenerate bench_output.txt: every benchmark binary, default settings.
-for b in build/bench/bench_*; do
-  echo "===== $b ====="
-  "$b"
+# Run every benchmark binary and export schema-versioned metrics.
+#
+#   run_benches.sh [--smoke] [BUILD_DIR]
+#
+# For each BUILD_DIR/bench/bench_X: the google-benchmark console table goes
+# to stdout, and the binary's metrics registry (bench/BenchReport.h) is
+# exported to BENCH_X.json in the current directory — one JSON document per
+# binary, schema "tsogc-bench-v1" (docs/OBSERVABILITY.md).
+#
+# --smoke shrinks the per-benchmark measuring time to the minimum; the
+# point is exercising every binary and validating every export, not stable
+# timings.
+#
+# Exit status is non-zero if any binary fails, or any export is missing,
+# empty, or not carrying the schema tag.
+
+set -u
+
+SMOKE=0
+BUILD=build
+for arg in "$@"; do
+  case "$arg" in
+  --smoke) SMOKE=1 ;;
+  -h | --help)
+    sed -n '2,17p' "$0" | sed 's/^# \{0,1\}//'
+    exit 0
+    ;;
+  *) BUILD="$arg" ;;
+  esac
+done
+
+BENCH_DIR="$BUILD/bench"
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "run_benches.sh: no $BENCH_DIR — build first (cmake --build $BUILD)" >&2
+  exit 2
+fi
+
+EXTRA_ARGS=""
+if [ "$SMOKE" = 1 ]; then
+  EXTRA_ARGS="--benchmark_min_time=0.01"
+fi
+
+STATUS=0
+RAN=0
+for b in "$BENCH_DIR"/bench_*; do
+  [ -x "$b" ] || continue
+  name=$(basename "$b")
+  out="BENCH_${name#bench_}.json"
+  RAN=$((RAN + 1))
+  echo "===== $name ====="
+  rm -f "$out"
+  if ! TSOGC_BENCH_JSON="$out" TSOGC_BENCH_NAME="$name" "$b" $EXTRA_ARGS; then
+    echo "run_benches.sh: $name exited non-zero" >&2
+    STATUS=1
+    echo
+    continue
+  fi
+  if [ ! -s "$out" ]; then
+    echo "run_benches.sh: $name wrote no $out" >&2
+    STATUS=1
+  elif ! grep -q '"schema":"tsogc-bench-v1"' "$out"; then
+    echo "run_benches.sh: $out is malformed (schema tag missing)" >&2
+    STATUS=1
+  else
+    echo "exported $out"
+  fi
   echo
 done
+
+if [ "$RAN" = 0 ]; then
+  echo "run_benches.sh: no bench binaries found under $BENCH_DIR" >&2
+  exit 2
+fi
+exit $STATUS

@@ -167,3 +167,20 @@ std::string tsogc::exploreResultToJson(const GcModel &M,
   Out += "}";
   return Out;
 }
+
+void tsogc::exportMetrics(const ExploreResult &Res, double ElapsedSec,
+                          observe::MetricsRegistry &Reg,
+                          const std::string &Prefix) {
+  Reg.counter(Prefix + "states", Res.StatesVisited);
+  Reg.counter(Prefix + "transitions", Res.TransitionsExplored);
+  Reg.counter(Prefix + "max_depth", Res.MaxDepthSeen);
+  Reg.counter(Prefix + "truncated", Res.Truncated ? 1 : 0);
+  Reg.counter(Prefix + "violation", Res.Bug ? 1 : 0);
+  Reg.counter(Prefix + "path_len",
+              static_cast<uint64_t>(Res.Path.size()));
+  if (ElapsedSec > 0.0) {
+    Reg.gauge(Prefix + "elapsed_sec", ElapsedSec);
+    Reg.gauge(Prefix + "states_per_sec",
+              static_cast<double>(Res.StatesVisited) / ElapsedSec);
+  }
+}

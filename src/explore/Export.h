@@ -13,6 +13,7 @@
 
 #include "explore/Explorer.h"
 #include "invariants/GcPredicates.h"
+#include "observe/Metrics.h"
 
 #include <string>
 
@@ -31,6 +32,14 @@ std::string stateToJson(const GcModel &M, const GcSystemState &S);
 /// JSON rendering of an exploration result: statistics, the violation (if
 /// any), the transition-label path, and the bad state.
 std::string exploreResultToJson(const GcModel &M, const ExploreResult &Res);
+
+/// Register an exploration's statistics into \p Reg under
+/// "<Prefix>states", "<Prefix>transitions", ... plus the derived
+/// "<Prefix>states_per_sec" gauge when \p ElapsedSec is positive. Feeds
+/// the shared bench/export schema (observe/Export.h).
+void exportMetrics(const ExploreResult &Res, double ElapsedSec,
+                   observe::MetricsRegistry &Reg,
+                   const std::string &Prefix = "explore.");
 
 } // namespace tsogc
 

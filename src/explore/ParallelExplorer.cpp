@@ -157,6 +157,7 @@ struct Shared {
 /// locally accumulated counters merged after the join.
 struct Worker {
   Shared &Sh;
+  observe::TraceBuffer *Trace = nullptr;
   std::vector<GcSuccessor> Succs;
   Batch Out;
   uint64_t Transitions = 0;
@@ -214,6 +215,10 @@ struct Worker {
           break;
         expand(Item);
       }
+      observe::trace(Trace, observe::EventKind::FrontierProgress,
+                     static_cast<uint32_t>(
+                         Sh.StatesVisited.load(std::memory_order_relaxed)),
+                     static_cast<uint32_t>(B.size()));
       B.clear();
       flush();
       Sh.Queue.taskDone();
@@ -253,8 +258,11 @@ ExploreResult tsogc::exploreParallel(const GcModel &M,
 
   std::vector<Worker> Ctxs;
   Ctxs.reserve(Workers);
-  for (unsigned I = 0; I < Workers; ++I)
+  for (unsigned I = 0; I < Workers; ++I) {
     Ctxs.emplace_back(Sh);
+    if (Opts.Trace)
+      Ctxs.back().Trace = Opts.Trace->createBuffer(static_cast<uint16_t>(I));
+  }
   std::vector<std::thread> Threads;
   Threads.reserve(Workers);
   for (unsigned I = 0; I < Workers; ++I)

@@ -26,6 +26,7 @@
 #define TSOGC_EXPLORE_PARALLELEXPLORER_H
 
 #include "explore/Explorer.h"
+#include "observe/Trace.h"
 
 namespace tsogc {
 
@@ -48,6 +49,10 @@ struct ParallelExploreOptions {
   unsigned Shards = 64;
   /// States per work batch handed to a worker (amortizes queue locking).
   unsigned Batch = 32;
+  /// Optional event sink: each worker records a FrontierProgress event per
+  /// batch (A = global states visited, B = batch size) into its own ring.
+  /// Null disables tracing entirely.
+  observe::TraceSink *Trace = nullptr;
 };
 
 /// Parallel exhaustive search over the reachable states of \p M, evaluating

@@ -1,0 +1,345 @@
+//===- observe/Export.cpp --------------------------------------------------===//
+
+#include "observe/Export.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+
+using namespace tsogc;
+using namespace tsogc::observe;
+
+namespace {
+
+std::string jsonEscape(const std::string &In) {
+  std::string Out;
+  Out.reserve(In.size() + 2);
+  for (char C : In) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += format("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string numJson(double V) {
+  // %.17g round-trips doubles but prints NaN/Inf, which JSON forbids.
+  if (V != V || V > 1.7e308 || V < -1.7e308)
+    return "null";
+  return format("%.17g", V);
+}
+
+std::string histJson(const HistogramData &H) {
+  std::vector<std::string> Buckets;
+  Buckets.reserve(H.Buckets.size());
+  for (uint64_t B : H.Buckets)
+    Buckets.push_back(format("%llu", static_cast<unsigned long long>(B)));
+  return format("{\"lo\":%s,\"hi\":%s,\"buckets\":[%s],\"underflow\":%llu,"
+                "\"overflow\":%llu,\"count\":%llu,\"sum\":%s,\"min\":%s,"
+                "\"max\":%s}",
+                numJson(H.Lo).c_str(), numJson(H.Hi).c_str(),
+                join(Buckets, ",").c_str(),
+                static_cast<unsigned long long>(H.Underflow),
+                static_cast<unsigned long long>(H.Overflow),
+                static_cast<unsigned long long>(H.Count),
+                numJson(H.Sum).c_str(), numJson(H.Min).c_str(),
+                numJson(H.Max).c_str());
+}
+
+} // namespace
+
+std::string tsogc::observe::metricsToJson(const MetricsRegistry &Registry,
+                                          const std::string &Name) {
+  std::string Out = format("{\"schema\":\"%s\",\"name\":\"%s\",\"metrics\":{",
+                           BenchSchema, jsonEscape(Name).c_str());
+  bool First = true;
+  for (const Metric &M : Registry.snapshot()) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += format("\"%s\":{\"kind\":\"%s\",", jsonEscape(M.Name).c_str(),
+                  metricKindName(M.Kind));
+    switch (M.Kind) {
+    case MetricKind::Counter:
+      Out += format("\"value\":%llu}",
+                    static_cast<unsigned long long>(M.Counter));
+      break;
+    case MetricKind::Gauge:
+      Out += format("\"value\":%s}", numJson(M.Gauge).c_str());
+      break;
+    case MetricKind::Histogram:
+      Out += format("\"value\":%s}", histJson(M.Hist).c_str());
+      break;
+    }
+  }
+  Out += "}}";
+  return Out;
+}
+
+std::string tsogc::observe::traceToChromeJson(const TraceSink &Sink) {
+  // Merge-and-sort all buffers so the output is stable and viewers that
+  // care about event order (B/E nesting) are happy.
+  std::vector<TraceEvent> Events;
+  for (const TraceBuffer *B : Sink.buffers()) {
+    std::vector<TraceEvent> S = B->snapshot();
+    Events.insert(Events.end(), S.begin(), S.end());
+  }
+  std::stable_sort(Events.begin(), Events.end(),
+                   [](const TraceEvent &X, const TraceEvent &Y) {
+                     return X.TimeNs < Y.TimeNs;
+                   });
+  uint64_t Base = Events.empty() ? 0 : Events.front().TimeNs;
+
+  std::string Out = "{\"traceEvents\":[";
+  bool First = true;
+  for (const TraceEvent &E : Events) {
+    const char *Ph = "i";
+    const char *Name = eventKindName(E.Kind);
+    switch (E.Kind) {
+    case EventKind::CycleBegin:
+      Ph = "B";
+      Name = "cycle";
+      break;
+    case EventKind::CycleEnd:
+      Ph = "E";
+      Name = "cycle";
+      break;
+    case EventKind::MarkBegin:
+      Ph = "B";
+      Name = "mark";
+      break;
+    case EventKind::MarkEnd:
+      Ph = "E";
+      Name = "mark";
+      break;
+    case EventKind::ParkBegin:
+      Ph = "B";
+      Name = "park";
+      break;
+    case EventKind::ParkEnd:
+      Ph = "E";
+      Name = "park";
+      break;
+    default:
+      break;
+    }
+    if (!First)
+      Out += ",";
+    First = false;
+    double TsUs = static_cast<double>(E.TimeNs - Base) / 1000.0;
+    Out += format("{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":0,"
+                  "\"tid\":%u",
+                  Name, Ph, TsUs, E.Tid);
+    if (std::string(Ph) == "i")
+      Out += ",\"s\":\"t\"";
+    Out += format(",\"args\":{\"a\":%u,\"b\":%u,\"arg\":%u}}", E.A, E.B,
+                  E.Arg);
+  }
+  Out += format("],\"displayTimeUnit\":\"ns\",\"otherData\":{\"schema\":"
+                "\"%s\",\"dropped\":%llu}}",
+                TraceSchema,
+                static_cast<unsigned long long>(Sink.totalDropped()));
+  return Out;
+}
+
+//===-- Minimal structural JSON parser ------------------------------------===//
+
+namespace {
+
+struct JsonParser {
+  const char *P;
+  const char *End;
+  unsigned Depth = 0;
+  static constexpr unsigned MaxDepth = 256;
+
+  void ws() {
+    while (P < End && (*P == ' ' || *P == '\t' || *P == '\n' || *P == '\r'))
+      ++P;
+  }
+
+  bool lit(const char *S) {
+    size_t N = std::char_traits<char>::length(S);
+    if (static_cast<size_t>(End - P) < N ||
+        std::char_traits<char>::compare(P, S, N) != 0)
+      return false;
+    P += N;
+    return true;
+  }
+
+  bool string() {
+    if (P >= End || *P != '"')
+      return false;
+    ++P;
+    while (P < End) {
+      unsigned char C = static_cast<unsigned char>(*P);
+      if (C == '"') {
+        ++P;
+        return true;
+      }
+      if (C == '\\') {
+        ++P;
+        if (P >= End)
+          return false;
+        char E = *P;
+        if (E == 'u') {
+          for (int I = 0; I < 4; ++I) {
+            ++P;
+            if (P >= End || !std::isxdigit(static_cast<unsigned char>(*P)))
+              return false;
+          }
+        } else if (!std::strchr("\"\\/bfnrt", E)) {
+          return false;
+        }
+        ++P;
+      } else if (C < 0x20) {
+        return false;
+      } else {
+        ++P;
+      }
+    }
+    return false;
+  }
+
+  bool number() {
+    const char *Start = P;
+    if (P < End && *P == '-')
+      ++P;
+    if (P >= End || !std::isdigit(static_cast<unsigned char>(*P)))
+      return false;
+    while (P < End && std::isdigit(static_cast<unsigned char>(*P)))
+      ++P;
+    if (P < End && *P == '.') {
+      ++P;
+      if (P >= End || !std::isdigit(static_cast<unsigned char>(*P)))
+        return false;
+      while (P < End && std::isdigit(static_cast<unsigned char>(*P)))
+        ++P;
+    }
+    if (P < End && (*P == 'e' || *P == 'E')) {
+      ++P;
+      if (P < End && (*P == '+' || *P == '-'))
+        ++P;
+      if (P >= End || !std::isdigit(static_cast<unsigned char>(*P)))
+        return false;
+      while (P < End && std::isdigit(static_cast<unsigned char>(*P)))
+        ++P;
+    }
+    return P > Start;
+  }
+
+  bool value() {
+    if (++Depth > MaxDepth)
+      return false;
+    ws();
+    bool Ok = false;
+    if (P >= End) {
+      Ok = false;
+    } else if (*P == '{') {
+      Ok = object();
+    } else if (*P == '[') {
+      Ok = array();
+    } else if (*P == '"') {
+      Ok = string();
+    } else if (lit("true") || lit("false") || lit("null")) {
+      Ok = true;
+    } else {
+      Ok = number();
+    }
+    --Depth;
+    return Ok;
+  }
+
+  bool object() {
+    ++P; // '{'
+    ws();
+    if (P < End && *P == '}') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      ws();
+      if (!string())
+        return false;
+      ws();
+      if (P >= End || *P != ':')
+        return false;
+      ++P;
+      if (!value())
+        return false;
+      ws();
+      if (P < End && *P == ',') {
+        ++P;
+        continue;
+      }
+      if (P < End && *P == '}') {
+        ++P;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++P; // '['
+    ws();
+    if (P < End && *P == ']') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      if (!value())
+        return false;
+      ws();
+      if (P < End && *P == ',') {
+        ++P;
+        continue;
+      }
+      if (P < End && *P == ']') {
+        ++P;
+        return true;
+      }
+      return false;
+    }
+  }
+};
+
+} // namespace
+
+bool tsogc::observe::validateJson(const std::string &Text) {
+  JsonParser J{Text.data(), Text.data() + Text.size()};
+  if (!J.value())
+    return false;
+  J.ws();
+  return J.P == J.End;
+}
+
+bool tsogc::observe::writeTextFile(const std::string &Path,
+                                   const std::string &Content) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << Content << "\n";
+  return static_cast<bool>(Out);
+}

@@ -1,0 +1,50 @@
+//===- observe/Export.h - JSON export of metrics and traces ---------------===//
+///
+/// \file
+/// Machine-readable output for the observability layer:
+///
+///   * metricsToJson — the stable, schema-versioned document run_benches.sh
+///     writes to BENCH_*.json (schema "tsogc-bench-v1");
+///   * traceToChromeJson — a Chrome trace_event file (load in
+///     chrome://tracing or Perfetto) rendering collector phases and
+///     handshakes as duration slices and everything else as instants;
+///   * validateJson — a minimal structural JSON parser used by tests and
+///     tooling to reject malformed output without external dependencies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_OBSERVE_EXPORT_H
+#define TSOGC_OBSERVE_EXPORT_H
+
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
+
+#include <string>
+
+namespace tsogc::observe {
+
+/// Schema tag embedded in every metrics export; bump on breaking change.
+inline constexpr const char *BenchSchema = "tsogc-bench-v1";
+
+/// Schema tag for the raw (non-Chrome) trace export.
+inline constexpr const char *TraceSchema = "tsogc-trace-v1";
+
+/// Render the registry as one JSON document:
+/// {"schema":"tsogc-bench-v1","name":<Name>,"metrics":{...}}.
+std::string metricsToJson(const MetricsRegistry &Registry,
+                          const std::string &Name);
+
+/// Render every buffer in the sink in Chrome trace_event format. Call at
+/// quiescence only (see TraceBuffer::snapshot).
+std::string traceToChromeJson(const TraceSink &Sink);
+
+/// Structural validation: true iff \p Text is one complete JSON value.
+/// Accepts the full JSON grammar; no semantic interpretation.
+bool validateJson(const std::string &Text);
+
+/// Write \p Content to \p Path (truncating). Returns false on I/O error.
+bool writeTextFile(const std::string &Path, const std::string &Content);
+
+} // namespace tsogc::observe
+
+#endif // TSOGC_OBSERVE_EXPORT_H

@@ -1,0 +1,102 @@
+//===- observe/Metrics.cpp -------------------------------------------------===//
+
+#include "observe/Metrics.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+
+using namespace tsogc::observe;
+
+const char *tsogc::observe::metricKindName(MetricKind K) {
+  switch (K) {
+  case MetricKind::Counter:
+    return "counter";
+  case MetricKind::Gauge:
+    return "gauge";
+  case MetricKind::Histogram:
+    return "histogram";
+  }
+  return "unknown";
+}
+
+Metric &MetricsRegistry::upsert(const std::string &Name, MetricKind Kind) {
+  auto It = IndexOf.find(Name);
+  if (It != IndexOf.end()) {
+    Metric &M = Metrics[It->second];
+    TSOGC_CHECK(M.Kind == Kind, "metric re-registered with a different kind");
+    return M;
+  }
+  IndexOf.emplace(Name, Metrics.size());
+  Metrics.emplace_back();
+  Metrics.back().Name = Name;
+  Metrics.back().Kind = Kind;
+  return Metrics.back();
+}
+
+void MetricsRegistry::counter(const std::string &Name, uint64_t Value) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  upsert(Name, MetricKind::Counter).Counter = Value;
+}
+
+void MetricsRegistry::addCounter(const std::string &Name, uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  upsert(Name, MetricKind::Counter).Counter += Delta;
+}
+
+void MetricsRegistry::gauge(const std::string &Name, double Value) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  upsert(Name, MetricKind::Gauge).Gauge = Value;
+}
+
+void MetricsRegistry::observeSample(const std::string &Name, double Value,
+                                    double Lo, double Hi,
+                                    unsigned NumBuckets) {
+  TSOGC_CHECK(Hi > Lo && NumBuckets > 0, "bad histogram bounds");
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Metric &M = upsert(Name, MetricKind::Histogram);
+  HistogramData &H = M.Hist;
+  if (H.Buckets.empty()) {
+    H.Lo = Lo;
+    H.Hi = Hi;
+    H.Buckets.assign(NumBuckets, 0);
+  }
+  if (Value < H.Lo) {
+    ++H.Underflow;
+  } else if (Value >= H.Hi) {
+    ++H.Overflow;
+  } else {
+    auto I = static_cast<size_t>((Value - H.Lo) / (H.Hi - H.Lo) *
+                                 static_cast<double>(H.Buckets.size()));
+    ++H.Buckets[std::min(I, H.Buckets.size() - 1)];
+  }
+  if (H.Count == 0) {
+    H.Min = H.Max = Value;
+  } else {
+    H.Min = std::min(H.Min, Value);
+    H.Max = std::max(H.Max, Value);
+  }
+  ++H.Count;
+  H.Sum += Value;
+}
+
+std::vector<Metric> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Metrics;
+}
+
+bool MetricsRegistry::empty() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Metrics.empty();
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Metrics.size();
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Metrics.clear();
+  IndexOf.clear();
+}

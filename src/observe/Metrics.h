@@ -1,0 +1,83 @@
+//===- observe/Metrics.h - Named counters, gauges and histograms ----------===//
+///
+/// \file
+/// A registry of named metrics that the runtime's stat structs (RtStats,
+/// CycleStats, MutStats) and the explorer's ExploreResult register into,
+/// replacing the per-bench ad-hoc counter plumbing. Insertion order is
+/// preserved so exports are stable and diffable; access is mutex-guarded
+/// (registration happens at reporting time, not on hot paths — hot paths
+/// use the plain stat structs and the trace ring).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_OBSERVE_METRICS_H
+#define TSOGC_OBSERVE_METRICS_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tsogc::observe {
+
+enum class MetricKind : uint8_t { Counter, Gauge, Histogram };
+
+const char *metricKindName(MetricKind K);
+
+/// Fixed-bucket histogram payload (mirrors support/Histogram, flattened
+/// for export).
+struct HistogramData {
+  double Lo = 0.0;
+  double Hi = 0.0;
+  std::vector<uint64_t> Buckets;
+  uint64_t Underflow = 0;
+  uint64_t Overflow = 0;
+  uint64_t Count = 0;
+  double Sum = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+struct Metric {
+  std::string Name;
+  MetricKind Kind = MetricKind::Counter;
+  uint64_t Counter = 0;
+  double Gauge = 0.0;
+  HistogramData Hist;
+};
+
+class MetricsRegistry {
+public:
+  /// Set a monotonic counter to an absolute value.
+  void counter(const std::string &Name, uint64_t Value);
+
+  /// Accumulate into a counter.
+  void addCounter(const std::string &Name, uint64_t Delta);
+
+  /// Set a point-in-time gauge.
+  void gauge(const std::string &Name, double Value);
+
+  /// Add one sample to a histogram over [Lo, Hi) with \p NumBuckets
+  /// equal-width buckets (bounds are fixed by the first call per name).
+  void observeSample(const std::string &Name, double Value, double Lo,
+                     double Hi, unsigned NumBuckets);
+
+  /// Copy out every metric in registration order.
+  std::vector<Metric> snapshot() const;
+
+  bool empty() const;
+  size_t size() const;
+  void clear();
+
+private:
+  Metric &upsert(const std::string &Name, MetricKind Kind);
+
+  mutable std::mutex Mutex;
+  std::vector<Metric> Metrics;
+  std::unordered_map<std::string, size_t> IndexOf;
+};
+
+} // namespace tsogc::observe
+
+#endif // TSOGC_OBSERVE_METRICS_H

@@ -1,0 +1,101 @@
+//===- observe/Trace.cpp ---------------------------------------------------===//
+
+#include "observe/Trace.h"
+
+#include <chrono>
+
+using namespace tsogc::observe;
+
+const char *tsogc::observe::eventKindName(EventKind K) {
+  switch (K) {
+  case EventKind::CycleBegin:
+    return "cycle_begin";
+  case EventKind::CycleEnd:
+    return "cycle_end";
+  case EventKind::PhaseTransition:
+    return "phase_transition";
+  case EventKind::HandshakeRequest:
+    return "handshake_request";
+  case EventKind::HandshakeAck:
+    return "handshake_ack";
+  case EventKind::BarrierMark:
+    return "barrier_mark";
+  case EventKind::Alloc:
+    return "alloc";
+  case EventKind::Free:
+    return "free";
+  case EventKind::SweepBatch:
+    return "sweep_batch";
+  case EventKind::MarkBegin:
+    return "mark_begin";
+  case EventKind::MarkEnd:
+    return "mark_end";
+  case EventKind::ParkBegin:
+    return "park_begin";
+  case EventKind::ParkEnd:
+    return "park_end";
+  case EventKind::FrontierProgress:
+    return "frontier_progress";
+  }
+  return "unknown";
+}
+
+uint64_t tsogc::observe::traceNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+size_t roundUpPow2(size_t N) {
+  size_t P = 64;
+  while (P < N)
+    P <<= 1;
+  return P;
+}
+
+} // namespace
+
+TraceBuffer::TraceBuffer(uint16_t Tid, size_t CapacityPow2)
+    : Ring(roundUpPow2(CapacityPow2)), Mask(Ring.size() - 1), Tid(Tid) {}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  uint64_t H = Head.load(std::memory_order_acquire);
+  uint64_t N = H < Ring.size() ? H : Ring.size();
+  std::vector<TraceEvent> Out;
+  Out.reserve(N);
+  for (uint64_t I = H - N; I < H; ++I)
+    Out.push_back(Ring[I & Mask]);
+  return Out;
+}
+
+TraceBuffer *TraceSink::createBuffer(uint16_t Tid) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Buffers.push_back(std::make_unique<TraceBuffer>(Tid, Capacity));
+  return Buffers.back().get();
+}
+
+std::vector<const TraceBuffer *> TraceSink::buffers() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<const TraceBuffer *> Out;
+  Out.reserve(Buffers.size());
+  for (const auto &B : Buffers)
+    Out.push_back(B.get());
+  return Out;
+}
+
+uint64_t TraceSink::totalRecorded() const {
+  uint64_t Sum = 0;
+  for (const TraceBuffer *B : buffers())
+    Sum += B->recorded();
+  return Sum;
+}
+
+uint64_t TraceSink::totalDropped() const {
+  uint64_t Sum = 0;
+  for (const TraceBuffer *B : buffers())
+    Sum += B->dropped();
+  return Sum;
+}

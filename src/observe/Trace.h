@@ -1,0 +1,155 @@
+//===- observe/Trace.h - Low-overhead GC event tracing --------------------===//
+///
+/// \file
+/// Typed event tracing shared by the real runtime and the model explorer:
+/// each traced thread owns a single-producer lock-free ring buffer of
+/// fixed-size TraceEvent records stamped with steady-clock nanoseconds.
+/// Recording is one relaxed index load, one struct store, and one release
+/// index store — cheap enough to sit inside the write barriers.
+///
+/// When tracing is disabled (RtConfig::Trace off) no buffers exist and every
+/// hook point reduces to a single null-pointer test via trace(); defining
+/// TSOGC_DISABLE_TRACE removes even that branch at compile time.
+///
+/// Buffers are rings: when a producer outruns the capacity the oldest
+/// events are overwritten (dropped() reports how many). Readers must only
+/// snapshot at quiescence — after the traced threads have stopped or
+/// between collection cycles — which is when exports happen.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_OBSERVE_TRACE_H
+#define TSOGC_OBSERVE_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace tsogc::observe {
+
+/// What happened. Payload fields A/B and Arg are event-specific; see
+/// docs/OBSERVABILITY.md for the full schema.
+enum class EventKind : uint8_t {
+  CycleBegin,        ///< Collector: cycle started. A = cycle ordinal.
+  CycleEnd,          ///< Collector: cycle finished. A = objects freed.
+  PhaseTransition,   ///< Collector: shared phase store. Arg = new RtPhase.
+  HandshakeRequest,  ///< A = sequence, B = slots addressed, Arg = RtHsType.
+  HandshakeAck,      ///< A = sequence, Arg = RtHsType. Mutator side: this
+                     ///< thread acknowledged; collector side: round done.
+  BarrierMark,       ///< Mutator write barrier won a mark. A = ref.
+  Alloc,             ///< A = ref, Arg = allocation mark flag.
+  Free,              ///< Sweep freed an object. A = ref.
+  SweepBatch,        ///< A = objects freed in batch, B = objects scanned.
+  MarkBegin,         ///< Collector: marking loop entered.
+  MarkEnd,           ///< Collector: marking loop terminated. A = marked.
+  ParkBegin,         ///< Mutator parked (STW baseline). A = sequence.
+  ParkEnd,           ///< Mutator released. A = resuming sequence.
+  FrontierProgress,  ///< Explorer worker: A = states visited (truncated to
+                     ///< 32 bits), B = current batch size.
+};
+
+/// Human-readable name for an event kind (stable; part of the export
+/// schema).
+const char *eventKindName(EventKind K);
+
+/// One traced event: 24 bytes, POD.
+struct TraceEvent {
+  uint64_t TimeNs = 0; ///< steady_clock nanoseconds since epoch.
+  uint32_t A = 0;      ///< Primary payload (ref / seq / count).
+  uint32_t B = 0;      ///< Secondary payload.
+  uint16_t Tid = 0;    ///< Logical thread: mutator index, CollectorTid, …
+  EventKind Kind = EventKind::CycleBegin;
+  uint8_t Arg = 0;     ///< Small payload (phase / handshake type / flag).
+};
+
+/// Logical thread id of the collector in trace output (mutator slots use
+/// their registry index; explorer workers their worker index).
+inline constexpr uint16_t CollectorTid = 0xffff;
+
+/// Steady-clock nanoseconds (the single clock all events share).
+uint64_t traceNowNs();
+
+/// Single-producer ring buffer of TraceEvents. One writer thread calls
+/// record(); readers snapshot at quiescence.
+class TraceBuffer {
+public:
+  /// \p CapacityPow2 is rounded up to a power of two (min 64).
+  TraceBuffer(uint16_t Tid, size_t CapacityPow2);
+
+  uint16_t tid() const { return Tid; }
+
+  /// Append one event (producer thread only).
+  void record(EventKind K, uint32_t A = 0, uint32_t B = 0, uint8_t Arg = 0) {
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    TraceEvent &E = Ring[H & Mask];
+    E.TimeNs = traceNowNs();
+    E.A = A;
+    E.B = B;
+    E.Tid = Tid;
+    E.Kind = K;
+    E.Arg = Arg;
+    Head.store(H + 1, std::memory_order_release);
+  }
+
+  /// Total events ever recorded (monotonic).
+  uint64_t recorded() const { return Head.load(std::memory_order_acquire); }
+
+  /// Events lost to ring wraparound.
+  uint64_t dropped() const {
+    uint64_t H = recorded();
+    return H > Ring.size() ? H - Ring.size() : 0;
+  }
+
+  /// Retained events, oldest first. Only meaningful at quiescence (no
+  /// concurrent record()); a racing producer can tear the oldest slots.
+  std::vector<TraceEvent> snapshot() const;
+
+private:
+  std::vector<TraceEvent> Ring;
+  uint64_t Mask;
+  uint16_t Tid;
+  std::atomic<uint64_t> Head{0};
+};
+
+/// The hook-point primitive: a no-op when the thread has no buffer (tracing
+/// disabled), a ring append otherwise.
+#ifdef TSOGC_DISABLE_TRACE
+inline void trace(TraceBuffer *, EventKind, uint32_t = 0, uint32_t = 0,
+                  uint8_t = 0) {}
+#else
+inline void trace(TraceBuffer *Buf, EventKind K, uint32_t A = 0,
+                  uint32_t B = 0, uint8_t Arg = 0) {
+  if (Buf)
+    Buf->record(K, A, B, Arg);
+}
+#endif
+
+/// Owns the per-thread buffers of one traced subsystem (a runtime instance
+/// or an explorer run). Buffer creation is mutex-guarded; recording is not.
+class TraceSink {
+public:
+  explicit TraceSink(size_t BufferCapacity = 1u << 14)
+      : Capacity(BufferCapacity) {}
+
+  /// Create (and own) a buffer for logical thread \p Tid.
+  TraceBuffer *createBuffer(uint16_t Tid);
+
+  /// All buffers created so far (stable pointers; buffers are never
+  /// destroyed before the sink).
+  std::vector<const TraceBuffer *> buffers() const;
+
+  /// Sum of events recorded / dropped across buffers.
+  uint64_t totalRecorded() const;
+  uint64_t totalDropped() const;
+
+private:
+  mutable std::mutex Mutex;
+  size_t Capacity;
+  std::vector<std::unique_ptr<TraceBuffer>> Buffers;
+};
+
+} // namespace tsogc::observe
+
+#endif // TSOGC_OBSERVE_TRACE_H

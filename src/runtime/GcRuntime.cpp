@@ -8,29 +8,53 @@
 
 using namespace tsogc::rt;
 
-GcRuntime::GcRuntime(const RtConfig &Cfg) : Heap(Cfg) {}
+GcRuntime::GcRuntime(const RtConfig &Cfg) : Heap(Cfg) {
+  if (Cfg.Trace) {
+    Trace = std::make_unique<observe::TraceSink>(Cfg.TraceBufferEvents);
+    CollectorTraceBuf = Trace->createBuffer(observe::CollectorTid);
+  }
+}
 
 GcRuntime::~GcRuntime() { stopCollector(); }
 
 MutatorContext *GcRuntime::registerMutator() {
   std::lock_guard<std::mutex> Lock(RegistryMutex);
-  auto Slot = std::make_unique<MutatorSlot>();
-  unsigned Index = static_cast<unsigned>(Slots.size());
-  Slot->Ctx = std::make_unique<MutatorContext>(*this, Index);
+  // Reuse the lowest deregistered slot so thread churn does not grow the
+  // registry (and handshake rounds stay proportional to live mutators).
+  MutatorSlot *Slot = nullptr;
+  unsigned Index = 0;
+  for (unsigned I = 0; I < Slots.size(); ++I)
+    if (!Slots[I]->Active.load(std::memory_order_acquire)) {
+      Slot = Slots[I].get();
+      Index = I;
+      break;
+    }
+  if (!Slot) {
+    Index = static_cast<unsigned>(Slots.size());
+    Slots.push_back(std::make_unique<MutatorSlot>());
+    Slot = Slots.back().get();
+    if (Trace)
+      Slot->TraceBuf = Trace->createBuffer(static_cast<uint16_t>(Index));
+  }
+  // Bump the generation before going active: a collector round initiated
+  // against the previous occupant sees the mismatch and skips the slot.
+  Slot->Generation.fetch_add(1, std::memory_order_release);
+  Slot->Ctx = std::make_unique<MutatorContext>(*this, Index, Slot->TraceBuf);
   Slot->Active.store(true, std::memory_order_release);
-  Slots.push_back(std::move(Slot));
-  return Slots.back()->Ctx.get();
+  return Slot->Ctx.get();
 }
 
 void GcRuntime::deregisterMutator(MutatorContext *M) {
   TSOGC_CHECK(M->numRoots() == 0,
               "mutators must drop their roots before deregistering");
   // Service any in-flight handshake, then leave. If a request lands in the
-  // gap, the collector observes Active == false and skips this mutator.
+  // gap, the collector observes the generation bump (or Active == false)
+  // and skips this mutator.
   M->safepoint();
   M->releaseAllocPool();
   std::lock_guard<std::mutex> Lock(RegistryMutex);
   Slots[M->index()]->Active.store(false, std::memory_order_release);
+  Slots[M->index()]->Generation.fetch_add(1, std::memory_order_release);
 }
 
 std::vector<GcRuntime::MutatorSlot *> GcRuntime::activeSlots() {

@@ -14,6 +14,7 @@
 #ifndef TSOGC_RUNTIME_GCRUNTIME_H
 #define TSOGC_RUNTIME_GCRUNTIME_H
 
+#include "observe/Trace.h"
 #include "runtime/MutatorContext.h"
 #include "runtime/RtHeap.h"
 #include "runtime/RtStats.h"
@@ -56,8 +57,18 @@ public:
   /// Register the calling thread as a mutator. Mutators must call
   /// safepoint() regularly once the collector is running, and must
   /// deregister (with an empty root set) before destruction of the runtime.
+  /// Registration reuses the slot (and index) of a previously deregistered
+  /// mutator when one exists, so thread churn does not grow the registry;
+  /// the returned context stays valid until the slot is reused.
   MutatorContext *registerMutator();
   void deregisterMutator(MutatorContext *M);
+
+  /// The event-trace sink (null unless RtConfig::Trace is on). Export via
+  /// observe::traceToChromeJson at quiescence.
+  observe::TraceSink *traceSink() { return Trace.get(); }
+
+  /// The collector thread's trace buffer (null when tracing is off).
+  observe::TraceBuffer *collectorTrace() { return CollectorTraceBuf; }
 
   /// Run one on-the-fly collection cycle on the calling thread.
   CycleStats collectOnce();
@@ -125,12 +136,25 @@ public:
     std::unique_ptr<MutatorContext> Ctx;
     HsChannel Channel;
     std::atomic<bool> Active{false};
+    /// Occupancy generation: bumped on every register and deregister of
+    /// this slot. The collector snapshots it when initiating a handshake
+    /// round and re-validates it while awaiting the acknowledgement, so a
+    /// slot freed (and possibly re-registered) mid-round can never satisfy
+    /// the round with a stale Acked value.
+    std::atomic<uint32_t> Generation{0};
+    /// Per-slot trace ring (non-owning; the sink owns it). Null when
+    /// tracing is off. Reused along with the slot.
+    observe::TraceBuffer *TraceBuf = nullptr;
   };
 
   /// Snapshot of slots for handshake rounds (stable storage; slots are
   /// never destroyed until runtime teardown).
   std::vector<MutatorSlot *> activeSlots();
 
+  /// Unsynchronized registry index — call only while no other thread can
+  /// register (the vector's backing array moves on growth). Runtime-internal
+  /// paths cache the channel pointer at registration instead; this accessor
+  /// is for tests and benches driving the protocol with a quiescent registry.
   HsChannel &channelOf(unsigned Index) { return Slots[Index]->Channel; }
 
 private:
@@ -138,6 +162,10 @@ private:
 
   RtHeap Heap;
   RtStats Stats;
+
+  /// Created in the constructor iff RtConfig::Trace; buffers hang off it.
+  std::unique_ptr<observe::TraceSink> Trace;
+  observe::TraceBuffer *CollectorTraceBuf = nullptr;
 
   std::mutex RegistryMutex;
   std::vector<std::unique_ptr<MutatorSlot>> Slots;

@@ -22,13 +22,21 @@ uint64_t nowNs() {
 
 } // namespace
 
-MutatorContext::MutatorContext(GcRuntime &Rt, unsigned Index)
-    : Rt(Rt), Heap(Rt.heap()), Index(Index) {
+MutatorContext::MutatorContext(GcRuntime &Rt, unsigned Index,
+                               observe::TraceBuffer *Trace)
+    : Rt(Rt), Heap(Rt.heap()), Index(Index), Trace(Trace) {
   TortureRng = 0x9e3779b97f4a7c15ULL * (Index + 1);
   // A mutator registered while the collector is mid-cycle would join with
   // stale views; registration is specified to happen while the collector is
   // idle, so syncing with the current shared values is exact.
   refreshView();
+  // Cache the channel address now, under the registry lock: the slot is
+  // stable, the registry vector is not (concurrent registration moves it).
+  Chan = &Rt.channelOf(Index);
+  // A reused slot's channel may still hold the previous occupant's last
+  // request; it was addressed to the old generation (the collector skips
+  // this slot for it), so start from it instead of replaying it.
+  LastHandledRequest = Chan->Request.load(std::memory_order_acquire);
 }
 
 void MutatorContext::maybeYield() {
@@ -105,7 +113,7 @@ int MutatorContext::alloc() {
   RtRef R;
   const uint32_t PoolSize = Heap.config().LocalAllocPool;
   if (PoolSize == 0) {
-    R = Heap.alloc(FaLocal);
+    R = Heap.alloc(FaLocal, Trace);
   } else {
     // §4 extension: fine-grained allocation from a thread-local pool; the
     // free-list lock is taken once per PoolSize allocations.
@@ -114,7 +122,7 @@ int MutatorContext::alloc() {
     if (AllocPool.empty()) {
       R = RtNull;
     } else {
-      R = Heap.allocFromReserved(AllocPool.back(), FaLocal);
+      R = Heap.allocFromReserved(AllocPool.back(), FaLocal, Trace);
       AllocPool.pop_back();
     }
   }
@@ -144,6 +152,7 @@ void MutatorContext::barrierMark(RtRef R) {
   const bool Active = PhaseLocal != RtPhase::Idle;
   if (Heap.mark(R, FmLocal, Active, &Stats.BarrierCas)) {
     ++Stats.BarrierMarks;
+    observe::trace(Trace, observe::EventKind::BarrierMark, R);
     // Winner publishes the grey on the private work-list (Fig 5 line 13).
     Heap.setWorkNext(R, WorkHead);
     WorkHead = R;
@@ -181,7 +190,7 @@ void MutatorContext::transferWorklist() {
 }
 
 void MutatorContext::safepoint() {
-  HsChannel &Ch = Rt.channelOf(Index);
+  HsChannel &Ch = *Chan;
   uint32_t Req = Ch.Request.load(std::memory_order_acquire);
   if (Req == LastHandledRequest)
     return;
@@ -189,7 +198,7 @@ void MutatorContext::safepoint() {
 }
 
 void MutatorContext::handleHandshake(uint32_t Req) {
-  HsChannel &Ch = Rt.channelOf(Index);
+  HsChannel &Ch = *Chan;
   uint64_t T0 = nowNs();
   ++Stats.HandshakesSeen;
 
@@ -198,6 +207,8 @@ void MutatorContext::handleHandshake(uint32_t Req) {
   std::atomic_thread_fence(std::memory_order_seq_cst);
 
   RtHsType Type = HsChannel::typeOf(Req);
+  observe::trace(Trace, observe::EventKind::HandshakeRequest,
+                 HsChannel::seqOf(Req), 0, static_cast<uint8_t>(Type));
   refreshView();
   maybeYield(); // torture: after the view refresh, before the work
 
@@ -221,13 +232,29 @@ void MutatorContext::handleHandshake(uint32_t Req) {
     LastHandledRequest = Req;
     std::atomic_thread_fence(std::memory_order_seq_cst);
     Ch.Acked.store(HsChannel::seqOf(Req), std::memory_order_release);
-    uint32_t Next;
-    while ((Next = Ch.Request.load(std::memory_order_acquire)) == Req)
-      std::this_thread::yield();
-    handleHandshake(Next);
+    observe::trace(Trace, observe::EventKind::HandshakeAck,
+                   HsChannel::seqOf(Req), 0, static_cast<uint8_t>(Type));
+    // The handler's own work ends at the park acknowledgement; only that
+    // span counts as handshake time. The blocked wait is accounted once,
+    // under ParkNs — the recursive handler for the resume request times
+    // itself like any other handshake (previously the park wait and the
+    // resume handler were double-counted into HandshakeNs).
     uint64_t Dt = nowNs() - T0;
     Stats.HandshakeNs += Dt;
     Stats.MaxHandshakeNs = std::max(Stats.MaxHandshakeNs, Dt);
+    observe::trace(Trace, observe::EventKind::ParkBegin,
+                   HsChannel::seqOf(Req));
+    uint64_t P0 = nowNs();
+    uint32_t Next;
+    while ((Next = Ch.Request.load(std::memory_order_acquire)) == Req)
+      std::this_thread::yield();
+    uint64_t ParkDt = nowNs() - P0;
+    ++Stats.Parks;
+    Stats.ParkNs += ParkDt;
+    Stats.MaxParkNs = std::max(Stats.MaxParkNs, ParkDt);
+    observe::trace(Trace, observe::EventKind::ParkEnd,
+                   HsChannel::seqOf(Next));
+    handleHandshake(Next);
     return;
   }
   }
@@ -236,6 +263,8 @@ void MutatorContext::handleHandshake(uint32_t Req) {
   LastHandledRequest = Req;
   std::atomic_thread_fence(std::memory_order_seq_cst);
   Ch.Acked.store(HsChannel::seqOf(Req), std::memory_order_release);
+  observe::trace(Trace, observe::EventKind::HandshakeAck,
+                 HsChannel::seqOf(Req), 0, static_cast<uint8_t>(Type));
 
   uint64_t Dt = nowNs() - T0;
   Stats.HandshakeNs += Dt;

@@ -16,6 +16,7 @@
 #ifndef TSOGC_RUNTIME_MUTATORCONTEXT_H
 #define TSOGC_RUNTIME_MUTATORCONTEXT_H
 
+#include "observe/Trace.h"
 #include "runtime/RtHeap.h"
 #include "runtime/RtStats.h"
 
@@ -25,6 +26,7 @@
 namespace tsogc::rt {
 
 class GcRuntime;
+struct HsChannel;
 
 /// A rooted reference plus the epoch observed when it was acquired.
 struct RootHandle {
@@ -35,7 +37,9 @@ struct RootHandle {
 class MutatorContext {
 public:
   /// Created via GcRuntime::registerMutator(); use from one thread only.
-  MutatorContext(GcRuntime &Rt, unsigned Index);
+  /// \p Trace is this thread's event ring (null when tracing is off).
+  MutatorContext(GcRuntime &Rt, unsigned Index,
+                 observe::TraceBuffer *Trace = nullptr);
 
   unsigned index() const { return Index; }
   const MutStats &stats() const { return Stats; }
@@ -105,6 +109,16 @@ private:
   GcRuntime &Rt;
   RtHeap &Heap;
   unsigned Index;
+
+  /// Per-thread event ring (null ⇒ tracing off; every hook is then a
+  /// single null test).
+  observe::TraceBuffer *Trace = nullptr;
+
+  /// This mutator's handshake channel, cached at registration. The slot
+  /// object is stable for the runtime's lifetime, but the registry vector
+  /// holding it is not: another thread registering can reallocate it, so
+  /// safepoints must never index the registry (GcRuntime::channelOf).
+  HsChannel *Chan = nullptr;
 
   // Local copies of the collector control state (refreshed at handshakes).
   bool FmLocal = false;

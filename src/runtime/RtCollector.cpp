@@ -23,16 +23,40 @@ void RtCollector::handshakeRound(RtHsType Type) {
   uint32_t Seq = Rt.HsSeq.fetch_add(1, std::memory_order_relaxed) + 1;
   uint32_t Req = HsChannel::encode(Seq, Type);
 
+  // Snapshot each slot's occupancy generation before addressing it. A slot
+  // deregistered mid-round — and possibly re-registered by a new thread —
+  // changes generation; its channel state then belongs to a mutator this
+  // round never addressed, so nothing read from it may satisfy the wait.
+  GenSnapshot.resize(Slots.size());
+  for (size_t I = 0; I < Slots.size(); ++I)
+    GenSnapshot[I] = Slots[I]->Generation.load(std::memory_order_acquire);
+
   // Store fence when the collector initiates a round (§2.4): every control
   // variable write is globally visible before any mutator sees its bit.
   std::atomic_thread_fence(std::memory_order_seq_cst);
   for (auto *S : Slots)
     S->Channel.Request.store(Req, std::memory_order_release);
+  observe::trace(Trace, observe::EventKind::HandshakeRequest, Seq,
+                 static_cast<uint32_t>(Slots.size()),
+                 static_cast<uint8_t>(Type));
 
-  for (auto *S : Slots) {
-    while (S->Channel.Acked.load(std::memory_order_acquire) != Seq) {
-      if (!S->Active.load(std::memory_order_acquire))
-        break; // Deregistered mid-round; it has no roots (checked).
+  for (size_t I = 0; I < Slots.size(); ++I) {
+    auto *S = Slots[I];
+    for (;;) {
+      // Fast path: Acked == Seq can only mean THIS round's request was
+      // acknowledged (HsSeq is globally monotonic, so any stale ack is
+      // strictly below Seq) — even if the acker then deregistered.
+      if (S->Channel.Acked.load(std::memory_order_acquire) == Seq)
+        break;
+      // Not acked yet: validate occupancy before waiting on. Once the
+      // generation moved (or the slot went inactive) the occupant we
+      // addressed is gone — it had no roots (checked at deregistration) —
+      // and waiting on its successor would hang the round forever (the
+      // successor starts from the current request and never acknowledges
+      // it).
+      if (S->Generation.load(std::memory_order_acquire) != GenSnapshot[I] ||
+          !S->Active.load(std::memory_order_acquire))
+        break;
       if (Rt.HandshakeServicer)
         Rt.HandshakeServicer();
       else
@@ -43,16 +67,35 @@ void RtCollector::handshakeRound(RtHsType Type) {
   std::atomic_thread_fence(std::memory_order_seq_cst);
 }
 
-bool RtCollector::takeSharedWork() {
+bool RtCollector::takeSharedWork(CycleStats &CS) {
   RtRef Chain = Heap.takeShared();
   if (Chain == RtNull)
     return false;
-  // Append our current list behind the incoming chain.
-  RtRef Tail = Chain;
-  while (Heap.workNext(Tail) != RtNull)
-    Tail = Heap.workNext(Tail);
-  Heap.setWorkNext(Tail, WorkHead);
-  WorkHead = Chain;
+  ++CS.SharedChainsTaken;
+  if (WorkHead == RtNull) {
+    // The cycle's steady state: the collector polls for shared work only
+    // after draining its own list. Adopt the chain whole — its tail is
+    // unknown (untracked), and never needed unless another splice lands
+    // before the next drain.
+    WorkHead = Chain;
+    WorkTail = RtNull;
+  } else if (WorkTail != RtNull) {
+    // Our tail is tracked: append the incoming chain behind it in O(1).
+    // (Marking order is irrelevant; every chained object gets scanned.)
+    Heap.setWorkNext(WorkTail, Chain);
+    WorkTail = RtNull; // The combined tail is the chain's, unknown.
+  } else {
+    // Both tails unknown — only reachable if a caller splices twice
+    // without draining. Walk the *incoming* chain once; the counter keeps
+    // this path honest (tests pin it at zero for the collector cycle).
+    RtRef Tail = Chain;
+    while (Heap.workNext(Tail) != RtNull) {
+      Tail = Heap.workNext(Tail);
+      ++CS.SpliceWalkSteps;
+    }
+    Heap.setWorkNext(Tail, WorkHead);
+    WorkHead = Chain;
+  }
   return true;
 }
 
@@ -60,6 +103,8 @@ void RtCollector::drainWorklist(CycleStats &CS) {
   while (WorkHead != RtNull) {
     RtRef Src = WorkHead;
     WorkHead = Heap.workNext(Src);
+    if (WorkHead == RtNull)
+      WorkTail = RtNull; // Empty again: tail tracking restarts.
     Heap.setWorkNext(Src, RtNull);
     ++CS.ObjectsMarked;
     // Scan the grey source: mark every child, collecting new greys
@@ -68,27 +113,54 @@ void RtCollector::drainWorklist(CycleStats &CS) {
       RtRef Child = Heap.field(Src, F);
       if (Child == RtNull)
         continue;
-      if (Heap.mark(Child, Fm, /*BarriersActive=*/true, &CS.CollectorCas)) {
-        Heap.setWorkNext(Child, WorkHead);
-        WorkHead = Child;
-      }
+      if (Heap.mark(Child, Fm, /*BarriersActive=*/true, &CS.CollectorCas))
+        pushWork(Child);
     }
     // Dropping Src from the list blackens it: marked and not grey.
   }
 }
 
 void RtCollector::sweep(CycleStats &CS) {
-  for (RtRef R = 0; R < Heap.capacity(); ++R) {
+  const RtRef Cap = Heap.capacity();
+  if (!Trace) {
+    // Untraced hot path: the sweep visits every slab slot, so even one
+    // extra compare per ref is measurable on sweep-dominated cycles.
+    for (RtRef R = 0; R < Cap; ++R) {
+      uint32_t H = Heap.header(R);
+      if (!hdr::allocated(H))
+        continue;
+      if (hdr::mark(H) != Fm) {
+        // ref ∈ White ∧ reachable_snapshot_inv ⇒ ref ∉ reachable
+        // (Fig 2 lines 41-44).
+        Heap.free(R);
+        ++CS.ObjectsFreed;
+      } else {
+        ++CS.ObjectsRetained;
+      }
+    }
+    return;
+  }
+  // Traced sweep: one SweepBatch event per slab chunk keeps the ring
+  // shallow while still showing sweep progress on a timeline.
+  constexpr RtRef BatchRefs = 4096;
+  uint32_t BatchFreed = 0, BatchRetained = 0;
+  for (RtRef R = 0; R < Cap; ++R) {
     uint32_t H = Heap.header(R);
-    if (!hdr::allocated(H))
-      continue;
-    if (hdr::mark(H) != Fm) {
-      // ref ∈ White ∧ reachable_snapshot_inv ⇒ ref ∉ reachable
-      // (Fig 2 lines 41-44).
-      Heap.free(R);
-      ++CS.ObjectsFreed;
-    } else {
-      ++CS.ObjectsRetained;
+    if (hdr::allocated(H)) {
+      if (hdr::mark(H) != Fm) {
+        Heap.free(R, Trace);
+        ++CS.ObjectsFreed;
+        ++BatchFreed;
+      } else {
+        ++CS.ObjectsRetained;
+        ++BatchRetained;
+      }
+    }
+    if ((R + 1) % BatchRefs == 0 || R + 1 == Cap) {
+      if (BatchFreed || BatchRetained)
+        observe::trace(Trace, observe::EventKind::SweepBatch, BatchFreed,
+                       BatchRetained);
+      BatchFreed = BatchRetained = 0;
     }
   }
 }
@@ -97,6 +169,7 @@ CycleStats RtCollector::runCycle() {
   CycleStats CS;
   uint64_t T0 = nowNs();
   Fm = Rt.FM.load(std::memory_order_relaxed) != 0;
+  observe::trace(Trace, observe::EventKind::CycleBegin, 0, 0, Fm ? 1 : 0);
 
   // Lines 3-4: everyone sees Idle; heap uniformly black.
   handshakeRound(RtHsType::Noop);
@@ -116,6 +189,8 @@ CycleStats RtCollector::runCycle() {
   // round acknowledges both the flip and the barrier installation.
   Rt.Phase.store(static_cast<uint32_t>(RtPhase::Init),
                  std::memory_order_relaxed);
+  observe::trace(Trace, observe::EventKind::PhaseTransition,
+                 static_cast<uint32_t>(RtPhase::Init));
   handshakeRound(RtHsType::Noop);
   ++CS.HandshakeRounds;
 
@@ -123,6 +198,8 @@ CycleStats RtCollector::runCycle() {
   // variant the get-roots round itself acknowledges these writes.
   Rt.Phase.store(static_cast<uint32_t>(RtPhase::Mark),
                  std::memory_order_relaxed);
+  observe::trace(Trace, observe::EventKind::PhaseTransition,
+                 static_cast<uint32_t>(RtPhase::Mark));
   Rt.FA.store(Fm ? 1 : 0, std::memory_order_relaxed);
   if (!Merged) {
     handshakeRound(RtHsType::Noop);
@@ -131,9 +208,10 @@ CycleStats RtCollector::runCycle() {
 
   // Lines 15-20: gather the mutators' marked roots.
   uint64_t TM = nowNs();
+  observe::trace(Trace, observe::EventKind::MarkBegin);
   handshakeRound(RtHsType::GetRoots);
   ++CS.HandshakeRounds;
-  takeSharedWork();
+  takeSharedWork(CS);
 
   // Lines 24-34: the marking loop with get-work termination rounds.
   for (;;) {
@@ -141,14 +219,17 @@ CycleStats RtCollector::runCycle() {
     handshakeRound(RtHsType::GetWork);
     ++CS.HandshakeRounds;
     ++CS.TerminationRounds;
-    if (!takeSharedWork())
+    if (!takeSharedWork(CS))
       break; // A full round reported no work: no greys remain anywhere.
   }
   CS.MarkNs = nowNs() - TM;
+  observe::trace(Trace, observe::EventKind::MarkEnd, CS.ObjectsMarked);
 
   // Lines 37-45: sweep.
   Rt.Phase.store(static_cast<uint32_t>(RtPhase::Sweep),
                  std::memory_order_relaxed);
+  observe::trace(Trace, observe::EventKind::PhaseTransition,
+                 static_cast<uint32_t>(RtPhase::Sweep));
   uint64_t TS = nowNs();
   sweep(CS);
   CS.SweepNs = nowNs() - TS;
@@ -156,7 +237,11 @@ CycleStats RtCollector::runCycle() {
   // Line 46.
   Rt.Phase.store(static_cast<uint32_t>(RtPhase::Idle),
                  std::memory_order_relaxed);
+  observe::trace(Trace, observe::EventKind::PhaseTransition,
+                 static_cast<uint32_t>(RtPhase::Idle));
   CS.CycleNs = nowNs() - T0;
+  observe::trace(Trace, observe::EventKind::CycleEnd, CS.ObjectsFreed,
+                 CS.ObjectsRetained);
   return CS;
 }
 
@@ -209,6 +294,7 @@ CycleStats RtCollector::runStwCycle() {
   CycleStats CS;
   uint64_t T0 = nowNs();
   Fm = Rt.FM.load(std::memory_order_relaxed) != 0;
+  observe::trace(Trace, observe::EventKind::CycleBegin, 0, 0, Fm ? 1 : 0);
 
   // Stop the world: every mutator parks inside its handshake handler.
   parkAllMutators();
@@ -221,16 +307,16 @@ CycleStats RtCollector::runStwCycle() {
   Rt.FA.store(Fm ? 1 : 0, std::memory_order_relaxed);
 
   uint64_t TM = nowNs();
+  observe::trace(Trace, observe::EventKind::MarkBegin);
   for (auto *S : Rt.activeSlots()) {
     MutatorContext &M = *S->Ctx;
     for (const RootHandle &H : M.Roots)
-      if (Heap.mark(H.Ref, Fm, /*BarriersActive=*/true, &CS.CollectorCas)) {
-        Heap.setWorkNext(H.Ref, WorkHead);
-        WorkHead = H.Ref;
-      }
+      if (Heap.mark(H.Ref, Fm, /*BarriersActive=*/true, &CS.CollectorCas))
+        pushWork(H.Ref);
   }
   drainWorklist(CS);
   CS.MarkNs = nowNs() - TM;
+  observe::trace(Trace, observe::EventKind::MarkEnd, CS.ObjectsMarked);
 
   uint64_t TS = nowNs();
   sweep(CS);
@@ -239,5 +325,7 @@ CycleStats RtCollector::runStwCycle() {
   resumeAllMutators();
   ++CS.HandshakeRounds;
   CS.CycleNs = nowNs() - T0;
+  observe::trace(Trace, observe::EventKind::CycleEnd, CS.ObjectsFreed,
+                 CS.ObjectsRetained);
   return CS;
 }

@@ -17,7 +17,8 @@ namespace tsogc::rt {
 
 class RtCollector {
 public:
-  explicit RtCollector(GcRuntime &Rt) : Rt(Rt), Heap(Rt.heap()) {}
+  explicit RtCollector(GcRuntime &Rt)
+      : Rt(Rt), Heap(Rt.heap()), Trace(Rt.collectorTrace()) {}
 
   /// Run one on-the-fly collection cycle on the calling thread.
   CycleStats runCycle();
@@ -37,8 +38,19 @@ private:
   /// Drain the collector's work-list, scanning fields through mark.
   void drainWorklist(CycleStats &CS);
 
-  /// Take the shared list into the collector's private chain.
-  bool takeSharedWork();
+  /// Take the shared list into the collector's private chain. O(1) in the
+  /// cycle's steady state (the collector polls with an empty list);
+  /// accounts every splice in CS.SharedChainsTaken and any fallback chain
+  /// walk in CS.SpliceWalkSteps.
+  bool takeSharedWork(CycleStats &CS);
+
+  /// Push one grey onto the front of the private list, keeping WorkTail.
+  void pushWork(RtRef R) {
+    if (WorkHead == RtNull)
+      WorkTail = R;
+    Heap.setWorkNext(R, WorkHead);
+    WorkHead = R;
+  }
 
   /// Sweep the slab: free every allocated object whose mark differs from
   /// the current sense.
@@ -51,12 +63,24 @@ private:
   GcRuntime &Rt;
   RtHeap &Heap;
 
+  /// The collector thread's event ring (null when tracing is off).
+  observe::TraceBuffer *Trace = nullptr;
+
   // Collector-private authoritative control copies (it is the only writer
   // of the shared variables).
   bool Fm = false;
 
-  // Collector work-list: intrusive chain.
+  // Collector work-list: intrusive chain. WorkTail is the chain's last
+  // element while the list was built purely by single pushes; it is RtNull
+  // when the list is empty OR when the tail is unknown (the list absorbed a
+  // shared chain whose tail was never walked). Draining to empty restores
+  // tracking, so the takeSharedWork fast path stays O(1) across a cycle.
   RtRef WorkHead = RtNull;
+  RtRef WorkTail = RtNull;
+
+  // Per-round slot-generation snapshot (see handshakeRound). A member so
+  // the ~6 rounds per cycle share one allocation instead of mallocing each.
+  std::vector<uint32_t> GenSnapshot;
 
   uint32_t HsSeq = 0;
 };

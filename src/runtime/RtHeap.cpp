@@ -23,7 +23,7 @@ RtHeap::RtHeap(const RtConfig &C)
     FreeList.push_back(I - 1);
 }
 
-RtRef RtHeap::alloc(bool MarkFlag) {
+RtRef RtHeap::alloc(bool MarkFlag, observe::TraceBuffer *Trace) {
   RtRef R;
   {
     std::lock_guard<std::mutex> Lock(FreeMutex);
@@ -32,7 +32,7 @@ RtRef RtHeap::alloc(bool MarkFlag) {
     R = FreeList.back();
     FreeList.pop_back();
   }
-  return allocFromReserved(R, MarkFlag);
+  return allocFromReserved(R, MarkFlag, Trace);
 }
 
 unsigned RtHeap::reserveBatch(std::vector<RtRef> &Out, unsigned N) {
@@ -55,7 +55,8 @@ void RtHeap::unreserve(const std::vector<RtRef> &Slots) {
   }
 }
 
-RtRef RtHeap::allocFromReserved(RtRef R, bool MarkFlag) {
+RtRef RtHeap::allocFromReserved(RtRef R, bool MarkFlag,
+                                observe::TraceBuffer *Trace) {
   // Initialize fields before publishing the allocated bit. On TSO the
   // publication order suffices (§4: no MFENCE needed at allocation because
   // the reference can only escape after the initializing stores commit).
@@ -67,16 +68,18 @@ RtRef RtHeap::allocFromReserved(RtRef R, bool MarkFlag) {
   Headers[R].store(hdr::withMark(H, MarkFlag) | hdr::AllocBit,
                    std::memory_order_release);
   AllocCount.fetch_add(1, std::memory_order_relaxed);
+  observe::trace(Trace, observe::EventKind::Alloc, R, 0, MarkFlag ? 1 : 0);
   return R;
 }
 
-void RtHeap::free(RtRef R) {
+void RtHeap::free(RtRef R, observe::TraceBuffer *Trace) {
   uint32_t H = Headers[R].load(std::memory_order_relaxed);
   TSOGC_CHECK(hdr::allocated(H), "double free");
   // Clear allocated, bump epoch; stale root handles now fail validation.
   uint32_t NewH = (H & hdr::MarkBit) | ((hdr::epoch(H) + 1) << hdr::EpochShift);
   Headers[R].store(NewH, std::memory_order_release);
   AllocCount.fetch_sub(1, std::memory_order_relaxed);
+  observe::trace(Trace, observe::EventKind::Free, R);
   std::lock_guard<std::mutex> Lock(FreeMutex);
   FreeList.push_back(R);
 }

@@ -12,6 +12,7 @@
 #ifndef TSOGC_RUNTIME_RTHEAP_H
 #define TSOGC_RUNTIME_RTHEAP_H
 
+#include "observe/Trace.h"
 #include "runtime/RtTypes.h"
 #include "support/Assert.h"
 
@@ -35,8 +36,9 @@ public:
 
   /// Pop a free object and initialize it: allocated, mark = \p MarkFlag,
   /// fields null. Returns RtNull when the slab is exhausted.
-  /// Thread-safe (the model's atomic allocation, §3.1).
-  RtRef alloc(bool MarkFlag);
+  /// Thread-safe (the model's atomic allocation, §3.1). \p Trace, when
+  /// non-null, receives an Alloc event attributed to the calling thread.
+  RtRef alloc(bool MarkFlag, observe::TraceBuffer *Trace = nullptr);
 
   /// Reserve up to \p N free slots for a thread-local allocation pool (the
   /// §4 extension). Reserved slots are invisible to other allocators and,
@@ -51,11 +53,13 @@ public:
   /// slot is owned by the calling thread, and on TSO the reference can
   /// only escape after the initializing stores, so no fence is needed
   /// (§4 "Representations").
-  RtRef allocFromReserved(RtRef R, bool MarkFlag);
+  RtRef allocFromReserved(RtRef R, bool MarkFlag,
+                          observe::TraceBuffer *Trace = nullptr);
 
   /// Sweep-side free: clears allocated, bumps the epoch, returns the slot
-  /// to the free list. Collector only.
-  void free(RtRef R);
+  /// to the free list. Collector only. \p Trace, when non-null, receives a
+  /// Free event attributed to the calling (collector) thread.
+  void free(RtRef R, observe::TraceBuffer *Trace = nullptr);
 
   /// Raw header access.
   uint32_t header(RtRef R) const {

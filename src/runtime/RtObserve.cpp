@@ -1,0 +1,57 @@
+//===- runtime/RtObserve.cpp -----------------------------------------------===//
+
+#include "runtime/RtObserve.h"
+
+using namespace tsogc;
+using namespace tsogc::rt;
+
+void tsogc::rt::exportMetrics(const RtStats &S, observe::MetricsRegistry &Reg,
+                              const std::string &Prefix) {
+  Reg.counter(Prefix + "cycles", S.Cycles.load(std::memory_order_relaxed));
+  Reg.counter(Prefix + "freed_total",
+              S.TotalFreed.load(std::memory_order_relaxed));
+  Reg.counter(Prefix + "marked_by_collector_total",
+              S.TotalMarkedByCollector.load(std::memory_order_relaxed));
+  Reg.counter(Prefix + "barrier_marks_total",
+              S.TotalBarrierMarks.load(std::memory_order_relaxed));
+  Reg.counter(Prefix + "termination_rounds_total",
+              S.TotalTerminationRounds.load(std::memory_order_relaxed));
+  Reg.counter(Prefix + "cycle_ns_total",
+              S.TotalCycleNs.load(std::memory_order_relaxed));
+  Reg.counter(Prefix + "max_cycle_ns",
+              S.MaxCycleNs.load(std::memory_order_relaxed));
+}
+
+void tsogc::rt::exportMetrics(const CycleStats &C,
+                              observe::MetricsRegistry &Reg,
+                              const std::string &Prefix) {
+  Reg.counter(Prefix + "cycle_ns", C.CycleNs);
+  Reg.counter(Prefix + "mark_ns", C.MarkNs);
+  Reg.counter(Prefix + "sweep_ns", C.SweepNs);
+  Reg.counter(Prefix + "handshake_rounds", C.HandshakeRounds);
+  Reg.counter(Prefix + "termination_rounds", C.TerminationRounds);
+  Reg.counter(Prefix + "objects_marked", C.ObjectsMarked);
+  Reg.counter(Prefix + "objects_freed", C.ObjectsFreed);
+  Reg.counter(Prefix + "objects_retained", C.ObjectsRetained);
+  Reg.counter(Prefix + "collector_cas", C.CollectorCas);
+  Reg.counter(Prefix + "shared_chains_taken", C.SharedChainsTaken);
+  Reg.counter(Prefix + "splice_walk_steps", C.SpliceWalkSteps);
+}
+
+void tsogc::rt::exportMetrics(const MutStats &M, observe::MetricsRegistry &Reg,
+                              const std::string &Prefix) {
+  Reg.counter(Prefix + "loads", M.Loads);
+  Reg.counter(Prefix + "stores", M.Stores);
+  Reg.counter(Prefix + "allocs", M.Allocs);
+  Reg.counter(Prefix + "alloc_failures", M.AllocFailures);
+  Reg.counter(Prefix + "barrier_marks", M.BarrierMarks);
+  Reg.counter(Prefix + "barrier_cas", M.BarrierCas);
+  Reg.counter(Prefix + "handshakes_seen", M.HandshakesSeen);
+  Reg.counter(Prefix + "roots_marked", M.RootsMarked);
+  Reg.counter(Prefix + "handshake_ns", M.HandshakeNs);
+  Reg.counter(Prefix + "max_handshake_ns", M.MaxHandshakeNs);
+  Reg.counter(Prefix + "parks", M.Parks);
+  Reg.counter(Prefix + "park_ns", M.ParkNs);
+  Reg.counter(Prefix + "max_park_ns", M.MaxParkNs);
+  Reg.counter(Prefix + "max_pause_ns", M.maxPauseNs());
+}

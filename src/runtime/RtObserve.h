@@ -1,0 +1,37 @@
+//===- runtime/RtObserve.h - Runtime stats → metrics registry -------------===//
+///
+/// \file
+/// Bridges the runtime's plain stat structs (RtStats, CycleStats, MutStats)
+/// into an observe::MetricsRegistry under stable dotted names, so every
+/// bench and example exports the same schema (observe/Export.h) instead of
+/// hand-rolled counter plumbing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_RUNTIME_RTOBSERVE_H
+#define TSOGC_RUNTIME_RTOBSERVE_H
+
+#include "observe/Metrics.h"
+#include "runtime/RtStats.h"
+
+#include <string>
+
+namespace tsogc::rt {
+
+/// Register the aggregate collector stats as counters/gauges named
+/// "<Prefix>cycles", "<Prefix>freed_total", ... (Prefix typically "gc.").
+void exportMetrics(const RtStats &S, observe::MetricsRegistry &Reg,
+                   const std::string &Prefix = "gc.");
+
+/// Register one cycle's record ("<Prefix>cycle_ns", "<Prefix>marked", ...).
+void exportMetrics(const CycleStats &C, observe::MetricsRegistry &Reg,
+                   const std::string &Prefix = "cycle.");
+
+/// Register one mutator's counters ("<Prefix>allocs", "<Prefix>park_ns",
+/// ...). Includes the derived max_pause_ns (see MutStats::maxPauseNs).
+void exportMetrics(const MutStats &M, observe::MetricsRegistry &Reg,
+                   const std::string &Prefix = "mut.");
+
+} // namespace tsogc::rt
+
+#endif // TSOGC_RUNTIME_RTOBSERVE_H

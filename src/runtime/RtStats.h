@@ -11,6 +11,7 @@
 #ifndef TSOGC_RUNTIME_RTSTATS_H
 #define TSOGC_RUNTIME_RTSTATS_H
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 
@@ -27,9 +28,22 @@ struct MutStats {
   uint64_t HandshakesSeen = 0;
   uint64_t RootsMarked = 0;
   /// Nanoseconds spent inside handshake handlers (the mutator's only
-  /// collector-induced pauses — experiment E11).
+  /// collector-induced pauses under on-the-fly collection — experiment
+  /// E11). Park waits are *not* included; they live in ParkNs.
   uint64_t HandshakeNs = 0;
   uint64_t MaxHandshakeNs = 0;
+  /// Stop-the-world parks: how often this mutator was parked and how long
+  /// it spent blocked between the park acknowledgement and the release
+  /// request. Counted exactly once per park (the resume handshake's own
+  /// handling time goes to HandshakeNs like any other handler).
+  uint64_t Parks = 0;
+  uint64_t ParkNs = 0;
+  uint64_t MaxParkNs = 0;
+
+  /// The worst collector-imposed pause from this mutator's seat: a
+  /// handshake handler under on-the-fly collection, a whole park under the
+  /// STW baseline.
+  uint64_t maxPauseNs() const { return std::max(MaxHandshakeNs, MaxParkNs); }
 };
 
 /// Collector-side per-cycle record.
@@ -43,6 +57,13 @@ struct CycleStats {
   uint64_t ObjectsFreed = 0;
   uint64_t ObjectsRetained = 0;   ///< Marked objects surviving the sweep.
   uint64_t CollectorCas = 0;
+  /// Work transfer: non-empty chains taken off the shared list, and link
+  /// hops spent locating a splice point. The collector splices through its
+  /// tracked WorkTail, so SpliceWalkSteps must stay 0 — the counter pins
+  /// the O(1) contract (the old implementation walked the whole incoming
+  /// chain here, O(n²) per cycle).
+  uint64_t SharedChainsTaken = 0;
+  uint64_t SpliceWalkSteps = 0;
 };
 
 /// Aggregate, shared between threads.

@@ -89,6 +89,17 @@ struct RtConfig {
   /// (every allocation takes the global free-list lock); N > 0 refills a
   /// thread-local pool of N slots per lock acquisition.
   uint32_t LocalAllocPool = 0;
+
+  /// Event tracing (observe/Trace.h): when on, the runtime records typed
+  /// events — handshake request/ack, phase transitions, barrier marks,
+  /// alloc/free, sweep batches — into per-thread ring buffers exportable as
+  /// Chrome trace_event JSON. When off (the default) no buffers exist and
+  /// every hook point is a single null-pointer test.
+  bool Trace = false;
+
+  /// Per-thread trace ring capacity in events (rounded up to a power of
+  /// two). Older events are overwritten when a ring wraps.
+  uint32_t TraceBufferEvents = 1u << 14;
 };
 
 } // namespace tsogc::rt

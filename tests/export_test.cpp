@@ -1,6 +1,7 @@
 //===- tests/export_test.cpp - DOT/JSON export tests ----------------------===//
 
 #include "explore/Export.h"
+#include "observe/Export.h"
 #include "explore/Guided.h"
 
 #include <gtest/gtest.h>
@@ -96,4 +97,30 @@ TEST(Export, ViolationResultJsonCarriesTrace) {
   EXPECT_NE(J.find("\"badState\":{"), std::string::npos);
   EXPECT_EQ(std::count(J.begin(), J.end(), '{'),
             std::count(J.begin(), J.end(), '}'));
+}
+
+TEST(Export, ExploreMetricsRegisterAndSerialize) {
+  GcModel M(cfg());
+  InvariantSuite Inv(M);
+  ExploreOptions Opts;
+  Opts.MaxStates = 500;
+  ExploreResult Res = exploreExhaustive(M, Inv, Opts);
+  observe::MetricsRegistry Reg;
+  exportMetrics(Res, /*ElapsedSec=*/2.0, Reg);
+  auto Snap = Reg.snapshot();
+  auto Find = [&Snap](const std::string &Name) {
+    for (const observe::Metric &Mt : Snap)
+      if (Mt.Name == Name)
+        return &Mt;
+    return static_cast<const observe::Metric *>(nullptr);
+  };
+  ASSERT_NE(Find("explore.states"), nullptr);
+  EXPECT_EQ(Find("explore.states")->Counter, Res.StatesVisited);
+  ASSERT_NE(Find("explore.truncated"), nullptr);
+  EXPECT_EQ(Find("explore.truncated")->Counter, 1u);
+  ASSERT_NE(Find("explore.states_per_sec"), nullptr);
+  EXPECT_DOUBLE_EQ(Find("explore.states_per_sec")->Gauge,
+                   static_cast<double>(Res.StatesVisited) / 2.0);
+  std::string J = observe::metricsToJson(Reg, "explore_run");
+  EXPECT_TRUE(observe::validateJson(J)) << J;
 }

@@ -1,0 +1,349 @@
+//===- tests/observe_test.cpp - Observability layer -----------------------===//
+///
+/// The trace ring, the metrics registry, the JSON exporters, and the
+/// end-to-end contract: with RtConfig::Trace on, one collection cycle
+/// produces a parseable trace containing every phase transition and every
+/// handshake round.
+
+#include "observe/Export.h"
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
+#include "runtime/GcRuntime.h"
+#include "runtime/RtObserve.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+using namespace tsogc;
+using namespace tsogc::observe;
+
+//===----------------------------------------------------------------------===//
+// TraceBuffer ring semantics
+//===----------------------------------------------------------------------===//
+
+TEST(TraceBuffer, RecordsInOrder) {
+  TraceBuffer Buf(7, 64);
+  EXPECT_EQ(Buf.tid(), 7u);
+  Buf.record(EventKind::CycleBegin, 1);
+  Buf.record(EventKind::MarkBegin, 2);
+  Buf.record(EventKind::CycleEnd, 3);
+  EXPECT_EQ(Buf.recorded(), 3u);
+  EXPECT_EQ(Buf.dropped(), 0u);
+  auto Events = Buf.snapshot();
+  ASSERT_EQ(Events.size(), 3u);
+  EXPECT_EQ(Events[0].Kind, EventKind::CycleBegin);
+  EXPECT_EQ(Events[1].Kind, EventKind::MarkBegin);
+  EXPECT_EQ(Events[2].Kind, EventKind::CycleEnd);
+  EXPECT_EQ(Events[0].A, 1u);
+  EXPECT_EQ(Events[2].A, 3u);
+  EXPECT_EQ(Events[0].Tid, 7u);
+  // The shared steady clock is monotonic across events.
+  EXPECT_LE(Events[0].TimeNs, Events[1].TimeNs);
+  EXPECT_LE(Events[1].TimeNs, Events[2].TimeNs);
+}
+
+TEST(TraceBuffer, PayloadFieldsRoundTrip) {
+  TraceBuffer Buf(3, 64);
+  Buf.record(EventKind::HandshakeRequest, 0x12345678u, 0x9abcdef0u, 5);
+  auto Events = Buf.snapshot();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].A, 0x12345678u);
+  EXPECT_EQ(Events[0].B, 0x9abcdef0u);
+  EXPECT_EQ(Events[0].Arg, 5u);
+}
+
+TEST(TraceBuffer, WraparoundKeepsNewestAndCountsDropped) {
+  TraceBuffer Buf(1, 64); // capacity rounds to exactly 64
+  for (uint32_t I = 0; I < 100; ++I)
+    Buf.record(EventKind::Alloc, I);
+  EXPECT_EQ(Buf.recorded(), 100u);
+  EXPECT_EQ(Buf.dropped(), 36u);
+  auto Events = Buf.snapshot();
+  ASSERT_EQ(Events.size(), 64u);
+  // Oldest-first: the surviving window is [36, 100).
+  EXPECT_EQ(Events.front().A, 36u);
+  EXPECT_EQ(Events.back().A, 99u);
+  for (size_t I = 1; I < Events.size(); ++I)
+    EXPECT_EQ(Events[I].A, Events[I - 1].A + 1);
+}
+
+TEST(TraceBuffer, TinyCapacityRoundsUpToMinimum) {
+  TraceBuffer Buf(0, 1);
+  for (uint32_t I = 0; I < 64; ++I)
+    Buf.record(EventKind::Free, I);
+  EXPECT_EQ(Buf.dropped(), 0u) << "minimum capacity is 64";
+  EXPECT_EQ(Buf.snapshot().size(), 64u);
+}
+
+TEST(TraceBuffer, NullBufferTraceIsNoop) {
+  trace(nullptr, EventKind::BarrierMark, 1, 2, 3); // must not crash
+  TraceBuffer Buf(0, 64);
+  trace(&Buf, EventKind::BarrierMark, 1);
+  EXPECT_EQ(Buf.recorded(), 1u);
+}
+
+TEST(TraceSink, OwnsBuffersAndAggregates) {
+  TraceSink Sink(64);
+  TraceBuffer *A = Sink.createBuffer(0);
+  TraceBuffer *B = Sink.createBuffer(CollectorTid);
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  A->record(EventKind::Alloc, 1);
+  A->record(EventKind::Alloc, 2);
+  B->record(EventKind::CycleBegin, 0);
+  EXPECT_EQ(Sink.buffers().size(), 2u);
+  EXPECT_EQ(Sink.totalRecorded(), 3u);
+  EXPECT_EQ(Sink.totalDropped(), 0u);
+}
+
+TEST(TraceSink, EventKindNamesAreStable) {
+  // Names are part of the export schema; spot-check the contract.
+  EXPECT_STREQ(eventKindName(EventKind::CycleBegin), "cycle_begin");
+  EXPECT_STREQ(eventKindName(EventKind::HandshakeAck), "handshake_ack");
+  EXPECT_STREQ(eventKindName(EventKind::FrontierProgress),
+               "frontier_progress");
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsRegistry, CountersGaugesAndOrder) {
+  MetricsRegistry Reg;
+  EXPECT_TRUE(Reg.empty());
+  Reg.counter("b.count", 10);
+  Reg.gauge("a.rate", 2.5);
+  Reg.addCounter("b.count", 5);
+  auto Snap = Reg.snapshot();
+  ASSERT_EQ(Snap.size(), 2u);
+  // Insertion order, not lexicographic.
+  EXPECT_EQ(Snap[0].Name, "b.count");
+  EXPECT_EQ(Snap[0].Kind, MetricKind::Counter);
+  EXPECT_EQ(Snap[0].Counter, 15u);
+  EXPECT_EQ(Snap[1].Name, "a.rate");
+  EXPECT_EQ(Snap[1].Kind, MetricKind::Gauge);
+  EXPECT_DOUBLE_EQ(Snap[1].Gauge, 2.5);
+  Reg.clear();
+  EXPECT_TRUE(Reg.empty());
+}
+
+TEST(MetricsRegistry, HistogramAccumulates) {
+  MetricsRegistry Reg;
+  Reg.observeSample("lat", 1.0, 0.0, 10.0, 10);
+  Reg.observeSample("lat", 9.5, 0.0, 10.0, 10);
+  Reg.observeSample("lat", 42.0, 0.0, 10.0, 10); // overflow
+  auto Snap = Reg.snapshot();
+  ASSERT_EQ(Snap.size(), 1u);
+  EXPECT_EQ(Snap[0].Kind, MetricKind::Histogram);
+  EXPECT_EQ(Snap[0].Hist.Count, 3u);
+  EXPECT_EQ(Snap[0].Hist.Overflow, 1u);
+  EXPECT_DOUBLE_EQ(Snap[0].Hist.Max, 42.0);
+  EXPECT_EQ(Snap[0].Hist.Buckets.size(), 10u);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON export and validation
+//===----------------------------------------------------------------------===//
+
+TEST(JsonExport, ValidateJsonAcceptsAndRejects) {
+  EXPECT_TRUE(validateJson("{}"));
+  EXPECT_TRUE(validateJson("[1, 2.5, -3e4, \"s\", true, false, null]"));
+  EXPECT_TRUE(validateJson("{\"a\": {\"b\": [\"\\\"quoted\\\"\"]}}"));
+  EXPECT_FALSE(validateJson(""));
+  EXPECT_FALSE(validateJson("{"));
+  EXPECT_FALSE(validateJson("{\"a\": 1,}"));
+  EXPECT_FALSE(validateJson("{} trailing"));
+  EXPECT_FALSE(validateJson("{\"a\" 1}"));
+}
+
+TEST(JsonExport, MetricsDocumentIsValidAndSchemaVersioned) {
+  MetricsRegistry Reg;
+  Reg.counter("gc.cycles", 3);
+  Reg.gauge("mut.rate", 1.25);
+  Reg.observeSample("lat", 2.0, 0.0, 4.0, 4);
+  std::string Json = metricsToJson(Reg, "unit_test");
+  EXPECT_TRUE(validateJson(Json)) << Json;
+  EXPECT_NE(Json.find(BenchSchema), std::string::npos);
+  EXPECT_NE(Json.find("\"unit_test\""), std::string::npos);
+  EXPECT_NE(Json.find("gc.cycles"), std::string::npos);
+  EXPECT_NE(Json.find("mut.rate"), std::string::npos);
+}
+
+TEST(JsonExport, ChromeTraceDocumentIsValid) {
+  TraceSink Sink(64);
+  TraceBuffer *C = Sink.createBuffer(CollectorTid);
+  C->record(EventKind::CycleBegin, 0);
+  C->record(EventKind::PhaseTransition, 0, 0, 1);
+  C->record(EventKind::MarkBegin);
+  C->record(EventKind::MarkEnd, 5);
+  C->record(EventKind::CycleEnd, 2);
+  TraceBuffer *M = Sink.createBuffer(0);
+  M->record(EventKind::HandshakeAck, 1, 0, 2);
+  M->record(EventKind::BarrierMark, 17);
+  std::string Json = traceToChromeJson(Sink);
+  EXPECT_TRUE(validateJson(Json)) << Json;
+  EXPECT_NE(Json.find("traceEvents"), std::string::npos);
+  EXPECT_NE(Json.find(TraceSchema), std::string::npos);
+}
+
+TEST(JsonExport, RuntimeStatsExportUnderStableNames) {
+  rt::RtStats S;
+  S.Cycles.store(2);
+  S.TotalFreed.store(7);
+  rt::CycleStats C;
+  C.HandshakeRounds = 6;
+  C.SharedChainsTaken = 1;
+  rt::MutStats Mu;
+  Mu.Allocs = 9;
+  Mu.Parks = 1;
+  Mu.ParkNs = 1000;
+  Mu.MaxParkNs = 1000;
+  MetricsRegistry Reg;
+  rt::exportMetrics(S, Reg);
+  rt::exportMetrics(C, Reg);
+  rt::exportMetrics(Mu, Reg);
+  auto Snap = Reg.snapshot();
+  auto Has = [&Snap](const std::string &Name, uint64_t Want) {
+    auto It = std::find_if(Snap.begin(), Snap.end(),
+                           [&](const Metric &M) { return M.Name == Name; });
+    ASSERT_NE(It, Snap.end()) << "missing metric " << Name;
+    EXPECT_EQ(It->Counter, Want) << Name;
+  };
+  Has("gc.cycles", 2);
+  Has("gc.freed_total", 7);
+  Has("cycle.handshake_rounds", 6);
+  Has("cycle.shared_chains_taken", 1);
+  Has("cycle.splice_walk_steps", 0);
+  Has("mut.allocs", 9);
+  Has("mut.parks", 1);
+  Has("mut.max_pause_ns", 1000);
+  std::string Json = metricsToJson(Reg, "stats");
+  EXPECT_TRUE(validateJson(Json));
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: a traced collection cycle
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+uint64_t countKind(const std::vector<TraceEvent> &Events, EventKind K) {
+  return static_cast<uint64_t>(
+      std::count_if(Events.begin(), Events.end(),
+                    [K](const TraceEvent &E) { return E.Kind == K; }));
+}
+
+} // namespace
+
+TEST(RuntimeTrace, DisabledByDefault) {
+  rt::RtConfig Cfg;
+  Cfg.HeapObjects = 64;
+  rt::GcRuntime Rt(Cfg);
+  EXPECT_EQ(Rt.traceSink(), nullptr);
+  EXPECT_EQ(Rt.collectorTrace(), nullptr);
+  rt::MutatorContext *M = Rt.registerMutator();
+  Rt.HandshakeServicer = [M] { M->safepoint(); };
+  int R = M->alloc();
+  ASSERT_GE(R, 0);
+  Rt.collectOnce(); // hooks must all be no-ops
+  M->discard(0);
+  Rt.deregisterMutator(M);
+}
+
+TEST(RuntimeTrace, FullCycleProducesCompleteTrace) {
+  rt::RtConfig Cfg;
+  Cfg.HeapObjects = 64;
+  Cfg.NumFields = 2;
+  Cfg.Trace = true;
+  Cfg.TraceBufferEvents = 1u << 12; // ample: nothing may drop
+  rt::GcRuntime Rt(Cfg);
+  ASSERT_NE(Rt.traceSink(), nullptr);
+  ASSERT_NE(Rt.collectorTrace(), nullptr);
+  rt::MutatorContext *M = Rt.registerMutator();
+  Rt.HandshakeServicer = [M] { M->safepoint(); };
+
+  int A = M->alloc();
+  int B = M->alloc();
+  ASSERT_GE(A, 0);
+  ASSERT_GE(B, 0);
+  M->discard(static_cast<size_t>(B)); // garbage after this cycle pair
+  rt::CycleStats C1 = Rt.collectOnce();
+  rt::CycleStats C2 = Rt.collectOnce();
+  ASSERT_EQ(C1.ObjectsFreed + C2.ObjectsFreed, 1u);
+
+  EXPECT_EQ(Rt.traceSink()->totalDropped(), 0u);
+
+  // Collector timeline: every phase transition and every handshake round
+  // of both cycles is present.
+  auto Col = Rt.collectorTrace()->snapshot();
+  EXPECT_EQ(countKind(Col, EventKind::CycleBegin), 2u);
+  EXPECT_EQ(countKind(Col, EventKind::CycleEnd), 2u);
+  EXPECT_EQ(countKind(Col, EventKind::PhaseTransition), 8u)
+      << "4 phase stores per cycle (Init, Mark, Sweep, Idle)";
+  EXPECT_EQ(countKind(Col, EventKind::HandshakeRequest),
+            C1.HandshakeRounds + C2.HandshakeRounds);
+  EXPECT_EQ(countKind(Col, EventKind::MarkBegin), 2u);
+  EXPECT_EQ(countKind(Col, EventKind::MarkEnd), 2u);
+  EXPECT_GE(countKind(Col, EventKind::SweepBatch), 1u);
+  for (const TraceEvent &E : Col)
+    EXPECT_EQ(E.Tid, CollectorTid);
+
+  // Mutator timeline: one ack per round (it was registered throughout),
+  // and its allocations were traced.
+  std::vector<TraceEvent> Mut;
+  for (const TraceBuffer *Buf : Rt.traceSink()->buffers())
+    if (Buf->tid() != CollectorTid)
+      for (const TraceEvent &E : Buf->snapshot())
+        Mut.push_back(E);
+  EXPECT_EQ(countKind(Mut, EventKind::HandshakeAck),
+            C1.HandshakeRounds + C2.HandshakeRounds);
+  EXPECT_EQ(countKind(Mut, EventKind::Alloc), 2u);
+
+  // The sweep's Free events name the freed object count.
+  EXPECT_EQ(countKind(Col, EventKind::Free),
+            C1.ObjectsFreed + C2.ObjectsFreed);
+
+  // And the whole sink renders as one valid Chrome trace document.
+  std::string Json = traceToChromeJson(*Rt.traceSink());
+  EXPECT_TRUE(validateJson(Json));
+  EXPECT_NE(Json.find("phase_transition"), std::string::npos);
+
+  M->discard(0);
+  Rt.deregisterMutator(M);
+}
+
+TEST(RuntimeTrace, StwCycleTracesParks) {
+  rt::RtConfig Cfg;
+  Cfg.HeapObjects = 64;
+  Cfg.Trace = true;
+  rt::GcRuntime Rt(Cfg);
+  rt::MutatorContext *M = Rt.registerMutator();
+  int A = M->alloc();
+  ASSERT_GE(A, 0);
+  // STW parks block inside the handler, so the mutator needs its own
+  // servicing thread (the HandshakeServicer hook cannot be used).
+  std::atomic<bool> Done{false};
+  std::thread Service([&] {
+    while (!Done.load()) {
+      M->safepoint();
+      std::this_thread::yield();
+    }
+  });
+  rt::CycleStats CS = Rt.collectStw();
+  Done.store(true);
+  Service.join();
+  EXPECT_EQ(CS.ObjectsRetained, 1u);
+  std::vector<TraceEvent> Mut;
+  for (const TraceBuffer *Buf : Rt.traceSink()->buffers())
+    if (Buf->tid() != CollectorTid)
+      for (const TraceEvent &E : Buf->snapshot())
+        Mut.push_back(E);
+  EXPECT_EQ(countKind(Mut, EventKind::ParkBegin), 1u);
+  EXPECT_EQ(countKind(Mut, EventKind::ParkEnd), 1u);
+  EXPECT_EQ(M->stats().Parks, 1u);
+  M->discard(0);
+  Rt.deregisterMutator(M);
+}

@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 using namespace tsogc::rt;
 
 namespace {
@@ -222,4 +225,124 @@ TEST(RtCollectorEdge, DeregisteredMutatorsDoNotBlockCycles) {
   // No active mutators: a cycle completes trivially.
   CycleStats CS = Rt.collectOnce();
   EXPECT_EQ(CS.ObjectsFreed, 0u);
+}
+
+// Regression: a park wait used to be charged to HandshakeNs as well as the
+// park itself (double counting), which inflated the on-the-fly pause metric
+// with stop-the-world park times. The park must land in ParkNs exactly once
+// and never in HandshakeNs.
+TEST(RtCollectorEdge, ParkWaitCountedOnceInParkNs) {
+  RtConfig Cfg;
+  Cfg.HeapObjects = 64;
+  GcRuntime Rt(Cfg);
+  MutatorContext *M = Rt.registerMutator();
+  HsChannel &Ch = Rt.channelOf(M->index());
+
+  // Act as the collector by hand: park the mutator, hold it for a known
+  // interval, release it.
+  const uint32_t ParkSeq = 1, ResumeSeq = 2;
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  Ch.Request.store(HsChannel::encode(ParkSeq, RtHsType::Park),
+                   std::memory_order_release);
+  std::thread T([M] { M->safepoint(); }); // blocks inside the park handler
+  while (Ch.Acked.load(std::memory_order_acquire) != ParkSeq)
+    std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  Ch.Request.store(HsChannel::encode(ResumeSeq, RtHsType::Noop),
+                   std::memory_order_release);
+  T.join();
+
+  const MutStats &S = M->stats();
+  EXPECT_EQ(S.Parks, 1u);
+  EXPECT_GE(S.ParkNs, 20'000'000u) << "the ~30ms park must be in ParkNs";
+  EXPECT_EQ(S.MaxParkNs, S.ParkNs);
+  // Two handler activations (park ack + resume), each microseconds: the
+  // park wait itself must not leak into the handshake pause metric.
+  EXPECT_LT(S.HandshakeNs, 20'000'000u);
+  EXPECT_LT(S.MaxHandshakeNs, 20'000'000u);
+  EXPECT_EQ(S.maxPauseNs(), S.MaxParkNs);
+  Rt.deregisterMutator(M);
+}
+
+// Regression: taking the shared work-list used to walk the collector's
+// entire private list to find its tail — O(n²) over a cycle. The tracked
+// tail makes every splice O(1); SpliceWalkSteps pins that contract.
+TEST(RtCollectorEdge, SharedWorkSpliceIsConstantTime) {
+  RtConfig Cfg;
+  Cfg.HeapObjects = 256;
+  Cfg.NumFields = 2;
+  GcRuntime Rt(Cfg);
+  std::vector<MutatorContext *> Ms;
+  for (int I = 0; I < 3; ++I)
+    Ms.push_back(Rt.registerMutator());
+  Rt.HandshakeServicer = [&Ms] {
+    for (auto *M : Ms)
+      M->safepoint();
+  };
+  // Each mutator roots the head of a 10-object list (built by prepending),
+  // so get-roots publishes three multi-object grey chains for the
+  // collector to splice while marking.
+  for (auto *M : Ms) {
+    int Head = M->alloc();
+    ASSERT_GE(Head, 0);
+    for (int I = 0; I < 9; ++I) {
+      int Node = M->alloc();
+      ASSERT_GE(Node, 1);
+      // node.f0 = head; the new node becomes the only root.
+      M->store(0, static_cast<size_t>(Node), 0);
+      M->discard(0);
+    }
+    ASSERT_EQ(M->numRoots(), 1u);
+  }
+  CycleStats CS = Rt.collectOnce();
+  EXPECT_EQ(CS.ObjectsRetained, 30u);
+  EXPECT_EQ(CS.ObjectsFreed, 0u);
+  EXPECT_GE(CS.SharedChainsTaken, 1u);
+  EXPECT_EQ(CS.SpliceWalkSteps, 0u)
+      << "splice must use the tracked tail, not a list walk";
+  for (auto *M : Ms) {
+    while (M->numRoots() > 0)
+      M->discard(0);
+    Rt.deregisterMutator(M);
+  }
+}
+
+// Regression: a slot deregistered and re-registered while a handshake
+// round was in flight used to stall the round forever — the new occupant
+// starts from the current request and never acknowledges the in-flight
+// sequence. The collector now snapshots the slot generation and stops
+// waiting once it changes.
+TEST(RtCollectorEdge, ReRegisteredSlotDoesNotStallHandshakeRound) {
+  RtConfig Cfg;
+  Cfg.HeapObjects = 64;
+  GcRuntime Rt(Cfg);
+  MutatorContext *M1 = Rt.registerMutator();
+  MutatorContext *M2 = Rt.registerMutator();
+  const unsigned ChurnedIndex = M2->index();
+  MutatorContext *M3 = nullptr;
+  bool Churned = false;
+  Rt.HandshakeServicer = [&] {
+    M1->safepoint();
+    if (!Churned) {
+      // Mid-round churn: M2 leaves and a new mutator takes its slot. M2
+      // never acknowledged the in-flight request, and M3 never will.
+      Churned = true;
+      Rt.deregisterMutator(M2);
+      M3 = Rt.registerMutator();
+    }
+    if (M3)
+      M3->safepoint();
+  };
+  int A = M1->alloc();
+  ASSERT_GE(A, 0);
+  // Before the generation check this spun forever inside the first round.
+  CycleStats CS = Rt.collectOnce();
+  EXPECT_GE(CS.HandshakeRounds, 6u);
+  EXPECT_EQ(CS.ObjectsRetained, 1u);
+  ASSERT_NE(M3, nullptr);
+  EXPECT_EQ(M3->index(), ChurnedIndex) << "slot (and index) must be reused";
+  M1->discard(0);
+  Rt.deregisterMutator(M1);
+  Rt.deregisterMutator(M3);
 }

@@ -145,6 +145,77 @@ TEST(RuntimeStress, StopTheWorldBaseline) {
   runStress(Cfg, 2, 15'000, /*StopTheWorld=*/true);
 }
 
+TEST(RuntimeStress, MutatorChurnDuringCycles) {
+  // Threads register, mutate and deregister continuously while the
+  // collector runs back-to-back cycles: every handshake round races slot
+  // reuse. Regression cover for the stale-acknowledgement stall (a
+  // re-registered slot must never be awaited under the old occupant's
+  // sequence) — before the generation check this test hung.
+  RtConfig Cfg;
+  Cfg.HeapObjects = 1024;
+  Cfg.NumFields = 2;
+  GcRuntime Rt(Cfg);
+  MutatorContext *Anchor = Rt.registerMutator();
+  Rt.startCollector();
+
+  std::atomic<bool> Done{false};
+  std::thread AnchorThread([&] {
+    // Keeps the heap busy so cycles do real marking during the churn.
+    Xoshiro256 Rng(7);
+    while (!Done.load()) {
+      Anchor->safepoint();
+      if (Anchor->numRoots() < 8) {
+        Anchor->alloc();
+      } else {
+        Anchor->discard(Rng.nextBelow(Anchor->numRoots()));
+      }
+    }
+    while (Anchor->numRoots() > 0)
+      Anchor->discard(0);
+  });
+
+  constexpr unsigned NumChurners = 2;
+  std::vector<std::thread> Churners;
+  for (unsigned C = 0; C < NumChurners; ++C)
+    Churners.emplace_back([&Rt, C] {
+      for (int Round = 0; Round < 150; ++Round) {
+        MutatorContext *M = Rt.registerMutator();
+        // Slot reuse: with 1 anchor + NumChurners concurrent mutators the
+        // registry must never grow past that watermark.
+        EXPECT_LT(M->index(), 1 + NumChurners);
+        for (int I = 0; I < 40; ++I) {
+          M->safepoint();
+          int R = M->alloc();
+          if (R >= 0 && M->numRoots() > 4)
+            M->discard(0);
+          (void)C;
+        }
+        while (M->numRoots() > 0)
+          M->discard(0);
+        Rt.deregisterMutator(M);
+      }
+    });
+  for (auto &T : Churners)
+    T.join();
+
+  // Collector still alive and making progress after all the churn.
+  uint64_t CyclesBefore = Rt.stats().Cycles.load();
+  while (Rt.stats().Cycles.load() < CyclesBefore + 2)
+    std::this_thread::yield();
+
+  // The anchor thread keeps servicing safepoints through the shutdown
+  // handshakes; Done is only set once the collector has fully stopped.
+  Rt.stopCollector();
+  Done.store(true);
+  AnchorThread.join();
+  Rt.deregisterMutator(Anchor);
+
+  // Everything was unrooted on the way out: two clean cycles drain it.
+  Rt.collectOnce();
+  Rt.collectOnce();
+  EXPECT_EQ(Rt.heap().allocatedCount(), 0u);
+}
+
 TEST(RuntimeStress, SingleFieldListChurn) {
   // List-building workload: long singly linked lists built and abandoned.
   RtConfig Cfg;
