@@ -1,0 +1,110 @@
+//===- bench/bench_mark_throughput.cpp - Parallel mark scaling ------------===//
+///
+/// Mark/sweep throughput of RtConfig::MarkWorkers ∈ {1, 2, 4, 8}: a fixed
+/// pointer-dense graph (many chains, so the work-stealing stripes always
+/// have chains to expose) is collected repeatedly, and the cycle's marking
+/// rate is reported as mark_objects_per_sec, alongside the steal-protocol
+/// counters and the mutator's worst observed pause.
+///
+/// Scaling caveat: on a single-core host the workers time-slice one CPU,
+/// so objects/s stays flat (or dips slightly, paying the dispatch and
+/// termination-barrier overhead); the speedup criterion is a multi-core
+/// measurement. The per-worker counters still prove the work actually
+/// distributes. See EXPERIMENTS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchReport.h"
+#include "runtime/GcRuntime.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+using namespace tsogc;
+using namespace tsogc::rt;
+
+namespace {
+
+constexpr uint32_t NumChains = 512;
+constexpr uint32_t ChainLen = 256;
+
+RtConfig cfg(uint32_t Workers) {
+  RtConfig C;
+  C.HeapObjects = NumChains * ChainLen + 1024;
+  C.NumFields = 2;
+  C.MarkWorkers = Workers;
+  C.Validate = false; // measure the collector, not the checker
+  return C;
+}
+
+/// Build NumChains f0-linked chains of ChainLen nodes, heads rooted.
+void buildGraph(MutatorContext *M) {
+  for (uint32_t C = 0; C < NumChains; ++C) {
+    const int Head = M->alloc();
+    for (uint32_t I = 1; I < ChainLen; ++I) {
+      int Node = M->alloc();
+      // node.f0 = head, then swap-with-back discard leaves the new node at
+      // the old head's root index.
+      M->store(static_cast<size_t>(Head), static_cast<size_t>(Node), 0);
+      M->discard(static_cast<size_t>(Head));
+    }
+  }
+}
+
+} // namespace
+
+static void BM_MarkThroughput(benchmark::State &State) {
+  const uint32_t Workers = static_cast<uint32_t>(State.range(0));
+  GcRuntime Rt(cfg(Workers));
+  MutatorContext *M = Rt.registerMutator();
+  Rt.HandshakeServicer = [M] { M->safepoint(); };
+  buildGraph(M);
+
+  const uint64_t LiveObjects = NumChains * ChainLen;
+  uint64_t MarkNsTotal = 0, Marked = 0, Stolen = 0, StealFails = 0,
+           Published = 0, Rounds = 0;
+  for (auto _ : State) {
+    CycleStats CS = Rt.collectOnce();
+    MarkNsTotal += CS.MarkNs;
+    Marked += CS.ObjectsMarked;
+    Stolen += CS.ChainsStolen;
+    StealFails += CS.StealFails;
+    Published += CS.ChainsPublished;
+    Rounds += CS.TerminationRounds;
+    benchmark::DoNotOptimize(CS.ObjectsRetained);
+  }
+
+  bench::Reporter R(State, "mark_throughput/" + std::to_string(Workers));
+  const double Iters = static_cast<double>(State.iterations());
+  R.counter("mark_objects_per_sec",
+            MarkNsTotal ? static_cast<double>(Marked) * 1e9 /
+                              static_cast<double>(MarkNsTotal)
+                        : 0.0);
+  R.counter("mark_workers", static_cast<double>(Workers));
+  R.counter("live_objects", static_cast<double>(LiveObjects));
+  R.counter("mark_ns_per_cycle",
+            static_cast<double>(MarkNsTotal) / Iters);
+  R.counter("chains_stolen_per_cycle", static_cast<double>(Stolen) / Iters);
+  R.counter("steal_fails_per_cycle",
+            static_cast<double>(StealFails) / Iters);
+  R.counter("chains_published_per_cycle",
+            static_cast<double>(Published) / Iters);
+  R.counter("termination_rounds_per_cycle",
+            static_cast<double>(Rounds) / Iters);
+  // The worst collector-induced mutator pause: the handshake protocol is
+  // identical for every MarkWorkers value, so this must stay flat.
+  R.counter("mutator_max_pause_ns",
+            static_cast<double>(M->stats().maxPauseNs()));
+  State.SetItemsProcessed(static_cast<int64_t>(Marked));
+
+  while (M->numRoots())
+    M->discard(0);
+  Rt.deregisterMutator(M);
+}
+BENCHMARK(BM_MarkThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);

@@ -72,4 +72,13 @@ if [ "$RAN" = 0 ]; then
   echo "run_benches.sh: no bench binaries found under $BENCH_DIR" >&2
   exit 2
 fi
+
+# Required exports: suites CI depends on must actually have been produced
+# (a bench binary silently dropped from the build would otherwise pass).
+for required in BENCH_mark_throughput.json; do
+  if [ ! -s "$required" ]; then
+    echo "run_benches.sh: required export $required was not produced" >&2
+    STATUS=1
+  fi
+done
 exit $STATUS

@@ -142,6 +142,14 @@ std::string tsogc::observe::traceToChromeJson(const TraceSink &Sink) {
       Ph = "E";
       Name = "park";
       break;
+    case EventKind::MarkWorkerBegin:
+      Ph = "B";
+      Name = "mark_worker";
+      break;
+    case EventKind::MarkWorkerEnd:
+      Ph = "E";
+      Name = "mark_worker";
+      break;
     default:
       break;
     }

@@ -36,6 +36,10 @@ const char *tsogc::observe::eventKindName(EventKind K) {
     return "park_end";
   case EventKind::FrontierProgress:
     return "frontier_progress";
+  case EventKind::MarkWorkerBegin:
+    return "mark_worker_begin";
+  case EventKind::MarkWorkerEnd:
+    return "mark_worker_end";
   }
   return "unknown";
 }

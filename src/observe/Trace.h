@@ -48,6 +48,10 @@ enum class EventKind : uint8_t {
   ParkEnd,           ///< Mutator released. A = resuming sequence.
   FrontierProgress,  ///< Explorer worker: A = states visited (truncated to
                      ///< 32 bits), B = current batch size.
+  MarkWorkerBegin,   ///< Mark worker entered a drain round. A = worker id,
+                     ///< B = round ordinal within the cycle.
+  MarkWorkerEnd,     ///< Mark worker went idle for the round. A = worker
+                     ///< id, B = objects scanned so far this cycle.
 };
 
 /// Human-readable name for an event kind (stable; part of the export
@@ -67,6 +71,11 @@ struct TraceEvent {
 /// Logical thread id of the collector in trace output (mutator slots use
 /// their registry index; explorer workers their worker index).
 inline constexpr uint16_t CollectorTid = 0xffff;
+
+/// Logical thread ids of the collector's mark workers: worker W records
+/// under MarkWorkerTidBase + W (worker 0 is the collector thread itself
+/// and shares CollectorTid).
+inline constexpr uint16_t MarkWorkerTidBase = 0xff00;
 
 /// Steady-clock nanoseconds (the single clock all events share).
 uint64_t traceNowNs();

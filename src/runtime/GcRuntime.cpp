@@ -51,6 +51,11 @@ void GcRuntime::deregisterMutator(MutatorContext *M) {
   // gap, the collector observes the generation bump (or Active == false)
   // and skips this mutator.
   M->safepoint();
+  // The deletion barrier may have greyed objects since the last get-work
+  // handshake; once the slot goes inactive no round will ever collect
+  // them, and abandoning the chain loses the greys — the collector then
+  // sweeps objects the barrier proved reachable. Publish them now.
+  M->transferWorklist();
   M->releaseAllocPool();
   std::lock_guard<std::mutex> Lock(RegistryMutex);
   Slots[M->index()]->Active.store(false, std::memory_order_release);
@@ -87,8 +92,14 @@ void GcRuntime::startCollector(const CollectorPolicy &Policy) {
               "occupancy trigger must be a fraction");
   CollectorRunning.store(true);
   CollectorThread = std::thread([this, Policy] {
-    const auto Threshold = static_cast<uint32_t>(
+    // A positive trigger must stay a trigger: on tiny heaps the product
+    // truncates to 0, which the loop below reads as "collect
+    // continuously" — clamp to one object so the collector idles until
+    // something is actually allocated.
+    auto Threshold = static_cast<uint32_t>(
         Policy.OccupancyTrigger * static_cast<double>(Heap.capacity()));
+    if (Policy.OccupancyTrigger > 0.0 && Threshold == 0)
+      Threshold = 1;
     while (CollectorRunning.load(std::memory_order_relaxed)) {
       if (Threshold != 0 && Heap.allocatedCount() < Threshold) {
         std::this_thread::sleep_for(
@@ -108,6 +119,20 @@ void GcRuntime::stopCollector() {
     return;
   CollectorRunning.store(false);
   CollectorThread.join();
+}
+
+tsogc::observe::TraceBuffer *GcRuntime::markWorkerTrace(unsigned W) {
+  if (!Trace)
+    return nullptr;
+  if (W == 0)
+    return CollectorTraceBuf;
+  if (MarkWorkerTraceBufs.size() < W)
+    MarkWorkerTraceBufs.resize(W, nullptr);
+  observe::TraceBuffer *&B = MarkWorkerTraceBufs[W - 1];
+  if (!B)
+    B = Trace->createBuffer(
+        static_cast<uint16_t>(observe::MarkWorkerTidBase + W));
+  return B;
 }
 
 GcRuntime::HeapAudit GcRuntime::auditHeap() {

@@ -70,6 +70,12 @@ public:
   /// The collector thread's trace buffer (null when tracing is off).
   observe::TraceBuffer *collectorTrace() { return CollectorTraceBuf; }
 
+  /// Mark worker W's trace buffer (created lazily; null when tracing is
+  /// off). Worker 0 is the collector thread and shares its buffer; helpers
+  /// get rings stamped observe::MarkWorkerTidBase + W. Collector-thread
+  /// only (cycles never overlap, so the cache needs no lock).
+  observe::TraceBuffer *markWorkerTrace(unsigned W);
+
   /// Run one on-the-fly collection cycle on the calling thread.
   CycleStats collectOnce();
 
@@ -166,6 +172,9 @@ private:
   /// Created in the constructor iff RtConfig::Trace; buffers hang off it.
   std::unique_ptr<observe::TraceSink> Trace;
   observe::TraceBuffer *CollectorTraceBuf = nullptr;
+  /// Lazily-created helper mark-worker buffers, index W-1 (collector
+  /// thread only; see markWorkerTrace).
+  std::vector<observe::TraceBuffer *> MarkWorkerTraceBufs;
 
   std::mutex RegistryMutex;
   std::vector<std::unique_ptr<MutatorSlot>> Slots;

@@ -1,0 +1,225 @@
+//===- runtime/MarkerPool.cpp ----------------------------------------------===//
+
+#include "runtime/MarkerPool.h"
+
+using namespace tsogc::rt;
+
+MarkerPool::MarkerPool(GcRuntime &Rt, unsigned Workers, bool Fm)
+    : Rt(Rt), Heap(Rt.heap()), Workers(Workers), Fm(Fm), States(Workers) {
+  TSOGC_CHECK(Workers >= 1, "pool needs at least the calling thread");
+  TSOGC_CHECK(Workers <= Heap.sharedStripes(),
+              "worker count exceeds shared-work stripes (MarkWorkers "
+              "mismatch between config and pool)");
+  // Resolve trace buffers on the calling thread: TraceSink::createBuffer
+  // takes a lock, and helper W always reuses the same tid-stamped ring
+  // across cycles.
+  for (unsigned W = 0; W < Workers; ++W)
+    States[W].Trace = Rt.markWorkerTrace(W);
+  Threads.reserve(Workers - 1);
+  for (unsigned W = 1; W < Workers; ++W)
+    Threads.emplace_back([this, W] { workerMain(W); });
+}
+
+MarkerPool::~MarkerPool() { finish(); }
+
+void MarkerPool::dispatch(Cmd C) {
+  DoneCount.store(0, std::memory_order_relaxed);
+  NumIdle.store(0, std::memory_order_relaxed);
+  RoundDone.store(false, std::memory_order_relaxed);
+  CmdWord.store(static_cast<uint32_t>(C), std::memory_order_relaxed);
+  // The bump publishes everything above; helpers acquire it.
+  Epoch.fetch_add(1, std::memory_order_seq_cst);
+}
+
+void MarkerPool::awaitHelpers() {
+  while (DoneCount.load(std::memory_order_acquire) != Workers - 1)
+    std::this_thread::yield();
+}
+
+void MarkerPool::workerMain(unsigned W) {
+  uint32_t SeenEpoch = 0;
+  for (;;) {
+    // Dispatches are strictly sequential (the collector awaits DoneCount
+    // between them), so the epoch only ever advances by one.
+    while (Epoch.load(std::memory_order_acquire) == SeenEpoch)
+      std::this_thread::yield();
+    ++SeenEpoch;
+    Cmd C = static_cast<Cmd>(CmdWord.load(std::memory_order_relaxed));
+    if (C == Cmd::Exit) {
+      DoneCount.fetch_add(1, std::memory_order_release);
+      return;
+    }
+    if (C == Cmd::Drain)
+      drainLoop(W);
+    else
+      sweepShard(W);
+    DoneCount.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void MarkerPool::drainRound() {
+  ++Round;
+  dispatch(Cmd::Drain);
+  drainLoop(0);
+  awaitHelpers();
+}
+
+void MarkerPool::sweepParallel() {
+  dispatch(Cmd::Sweep);
+  sweepShard(0);
+  awaitHelpers();
+}
+
+void MarkerPool::finish() {
+  if (Finished)
+    return;
+  Finished = true;
+  if (!Threads.empty()) {
+    dispatch(Cmd::Exit);
+    awaitHelpers();
+  }
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void MarkerPool::scan(unsigned W, RtRef Src) {
+  WorkerState &S = States[W];
+  ++S.Stats.Marked;
+  const uint32_t NumFields = Heap.config().NumFields;
+  for (uint32_t F = 0; F < NumFields; ++F) {
+    RtRef Child = Heap.field(Src, F);
+    if (Child == RtNull)
+      continue;
+    // The same Figure 5 mark as everywhere else: the CAS admits exactly
+    // one winner, so two workers racing on Child cannot both push it.
+    if (Heap.mark(Child, Fm, /*BarriersActive=*/true, &S.Stats.Cas))
+      S.Priv.push_back(Child);
+  }
+  maybePublish(W);
+}
+
+void MarkerPool::maybePublish(unsigned W) {
+  WorkerState &S = States[W];
+  if (S.Priv.size() < PublishThreshold || Heap.hasShared(W))
+    return;
+  RtRef Head = RtNull, Tail = RtNull;
+  for (size_t I = 0; I < PublishChunk; ++I) {
+    RtRef R = S.Priv.back();
+    S.Priv.pop_back();
+    Heap.setWorkNext(R, Head);
+    if (Head == RtNull)
+      Tail = R;
+    Head = R;
+  }
+  Heap.spliceShared(Head, Tail, W);
+  ++S.Stats.ChainsPublished;
+}
+
+bool MarkerPool::takeFromStripes(unsigned W) {
+  WorkerState &S = States[W];
+  const unsigned N = Heap.sharedStripes();
+  for (unsigned I = 0; I < N; ++I) {
+    const unsigned Stripe = (W + I) % N;
+    RtRef Chain = Heap.takeShared(Stripe);
+    if (Chain == RtNull)
+      continue;
+    if (Stripe == W % N)
+      ++S.Stats.ChainsTaken;
+    else
+      ++S.Stats.ChainsStolen;
+    // Unlink the whole chain into the private stack; the links must be
+    // cleared before scanning (a scanned object's link is dead storage).
+    while (Chain != RtNull) {
+      RtRef Next = Heap.workNext(Chain);
+      Heap.setWorkNext(Chain, RtNull);
+      S.Priv.push_back(Chain);
+      Chain = Next;
+    }
+    return true;
+  }
+  ++S.Stats.StealFails;
+  return false;
+}
+
+void MarkerPool::drainLoop(unsigned W) {
+  WorkerState &S = States[W];
+  observe::trace(S.Trace, observe::EventKind::MarkWorkerBegin, W, Round);
+  for (;;) {
+    while (!S.Priv.empty()) {
+      RtRef Src = S.Priv.back();
+      S.Priv.pop_back();
+      scan(W, Src);
+    }
+    if (takeFromStripes(W))
+      continue;
+    // Out of work: join the idle set and wait for either more stripes to
+    // fill or the round to be declared over. Worker 0 doubles as the
+    // detector. The decision races benignly with a concurrent splice (a
+    // worker may leave the idle set and empty a stripe between the two
+    // reads below): every worker still drains its private stack before
+    // exiting, and anything left on a stripe is caught by the caller's
+    // post-handshake anySharedWork() check, which starts another round.
+    NumIdle.fetch_add(1, std::memory_order_seq_cst);
+    bool Exit = false;
+    for (;;) {
+      if (RoundDone.load(std::memory_order_acquire)) {
+        Exit = true;
+        break;
+      }
+      if (W == 0 && NumIdle.load(std::memory_order_seq_cst) == Workers &&
+          !Heap.anySharedWork()) {
+        RoundDone.store(true, std::memory_order_release);
+        Exit = true;
+        break;
+      }
+      if (Heap.anySharedWork()) {
+        NumIdle.fetch_sub(1, std::memory_order_seq_cst);
+        break; // back to stealing
+      }
+      std::this_thread::yield();
+    }
+    if (Exit)
+      break;
+  }
+  observe::trace(S.Trace, observe::EventKind::MarkWorkerEnd, W,
+                 static_cast<uint32_t>(S.Stats.Marked));
+}
+
+void MarkerPool::sweepShard(unsigned W) {
+  WorkerState &S = States[W];
+  const uint64_t Cap = Heap.capacity();
+  const RtRef Lo = static_cast<RtRef>(Cap * W / Workers);
+  const RtRef Hi = static_cast<RtRef>(Cap * (W + 1) / Workers);
+  std::vector<RtRef> Freed;
+  for (RtRef R = Lo; R < Hi; ++R) {
+    uint32_t H = Heap.header(R);
+    if (!hdr::allocated(H))
+      continue;
+    if (hdr::mark(H) != Fm) {
+      Heap.freeNoRecycle(R, S.Trace);
+      Freed.push_back(R);
+      ++S.Stats.ObjectsFreed;
+    } else {
+      ++S.Stats.ObjectsRetained;
+    }
+  }
+  if (!Freed.empty())
+    Heap.returnFreeSlots(Freed);
+}
+
+void MarkerPool::mergeInto(CycleStats &CS) const {
+  CS.MarkWorkersUsed = Workers;
+  CS.Workers.clear();
+  CS.Workers.reserve(Workers);
+  for (const WorkerState &S : States) {
+    CS.Workers.push_back(S.Stats);
+    CS.ObjectsMarked += S.Stats.Marked;
+    CS.CollectorCas += S.Stats.Cas;
+    CS.SharedChainsTaken += S.Stats.ChainsTaken + S.Stats.ChainsStolen;
+    CS.ChainsStolen += S.Stats.ChainsStolen;
+    CS.StealFails += S.Stats.StealFails;
+    CS.ChainsPublished += S.Stats.ChainsPublished;
+    CS.ObjectsFreed += S.Stats.ObjectsFreed;
+    CS.ObjectsRetained += S.Stats.ObjectsRetained;
+  }
+}

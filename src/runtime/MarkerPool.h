@@ -1,0 +1,103 @@
+//===- runtime/MarkerPool.h - Parallel mark/sweep worker pool -------------===//
+///
+/// \file
+/// A pool of RtConfig::MarkWorkers workers serving one collection cycle.
+/// Worker 0 is the calling (collector) thread; the constructor spawns the
+/// other Workers-1 as helper threads that park between rounds.
+///
+/// Marking: each worker drains a private grey stack, scanning fields
+/// through the same CAS-on-contention RtHeap::mark the serial collector
+/// uses — the CAS admits exactly one winner per object, which is what makes
+/// concurrent marking sound without further coordination. Workers publish
+/// overflow chains onto their own shared-work stripe and steal whole chains
+/// from other stripes when dry. A drain round ends when every worker is
+/// idle and all stripes are empty; the detection is conservative (a chain
+/// spliced concurrently with the decision may survive the round), which is
+/// safe because the caller re-checks anySharedWork() after the get-work
+/// handshake — the exact termination structure of the serial Figure 2 loop,
+/// with drainRound() standing in for drainWorklist().
+///
+/// Sweeping: disjoint contiguous slab shards, lock-free header clears
+/// (freeNoRecycle) batched into one free-list push per shard.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_RUNTIME_MARKERPOOL_H
+#define TSOGC_RUNTIME_MARKERPOOL_H
+
+#include "runtime/GcRuntime.h"
+
+#include <thread>
+
+namespace tsogc::rt {
+
+class MarkerPool {
+public:
+  /// \p Fm is the cycle's mark sense (already flipped by the caller).
+  MarkerPool(GcRuntime &Rt, unsigned Workers, bool Fm);
+  ~MarkerPool(); // joins the helpers if finish() was not called
+
+  MarkerPool(const MarkerPool &) = delete;
+  MarkerPool &operator=(const MarkerPool &) = delete;
+
+  /// One drain round: all workers mark until global quiescence (every
+  /// worker idle, every stripe observed empty). Runs on the caller.
+  void drainRound();
+
+  /// Sweep the slab in Workers disjoint shards. Runs on the caller.
+  void sweepParallel();
+
+  /// Retire the helper threads (idempotent; also run by the destructor).
+  void finish();
+
+  /// Fold the per-worker counters into \p CS (totals + Workers vector).
+  void mergeInto(CycleStats &CS) const;
+
+private:
+  enum class Cmd : uint32_t { Drain, Sweep, Exit };
+
+  /// Publish policy: with at least PublishThreshold private greys and an
+  /// empty own stripe, expose a chain of PublishChunk for stealing.
+  static constexpr size_t PublishThreshold = 32;
+  static constexpr size_t PublishChunk = 16;
+
+  struct alignas(64) WorkerState {
+    std::vector<RtRef> Priv;              ///< Private grey stack.
+    MarkWorkerStats Stats;
+    observe::TraceBuffer *Trace = nullptr;
+  };
+
+  void workerMain(unsigned W);
+  void drainLoop(unsigned W);
+  void sweepShard(unsigned W);
+  void scan(unsigned W, RtRef Src);
+  void maybePublish(unsigned W);
+  bool takeFromStripes(unsigned W);
+  void dispatch(Cmd C);
+  void awaitHelpers();
+
+  GcRuntime &Rt;
+  RtHeap &Heap;
+  const unsigned Workers;
+  const bool Fm;
+
+  std::vector<WorkerState> States;
+  std::vector<std::thread> Threads;
+
+  /// Round dispatch: helpers spin (yielding) on Epoch; each bump publishes
+  /// CmdWord and the reset barrier state below, and releases one round.
+  std::atomic<uint32_t> Epoch{0};
+  std::atomic<uint32_t> CmdWord{0};
+  /// Helpers done with the current dispatch (collector awaits Workers-1).
+  std::atomic<uint32_t> DoneCount{0};
+  /// Termination barrier for drain rounds: workers out of work.
+  std::atomic<uint32_t> NumIdle{0};
+  std::atomic<bool> RoundDone{false};
+
+  uint32_t Round = 0; ///< Drain-round ordinal (trace events).
+  bool Finished = false;
+};
+
+} // namespace tsogc::rt
+
+#endif // TSOGC_RUNTIME_MARKERPOOL_H

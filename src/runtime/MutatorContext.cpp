@@ -116,11 +116,21 @@ int MutatorContext::alloc() {
     R = Heap.alloc(FaLocal, Trace);
   } else {
     // §4 extension: fine-grained allocation from a thread-local pool; the
-    // free-list lock is taken once per PoolSize allocations.
-    if (AllocPool.empty())
-      Heap.reserveBatch(AllocPool, PoolSize);
+    // free-list lock is taken once per refill batch. Near exhaustion the
+    // batch is capped to a quarter of the remaining free slots: reserving
+    // the whole tail would strand it in this thread's pool and fail every
+    // peer's allocation while free memory sits idle.
     if (AllocPool.empty()) {
-      R = RtNull;
+      const size_t Free = Heap.freeListSize();
+      const unsigned Want = static_cast<unsigned>(std::min<size_t>(
+          PoolSize, std::max<size_t>(1, Free / 4)));
+      Heap.reserveBatch(AllocPool, Want);
+    }
+    if (AllocPool.empty()) {
+      // The global list can refill between the reserve attempt and now
+      // (a peer released its pool, a sweep shard returned slots); fall
+      // back to a direct allocation rather than reporting exhaustion.
+      R = Heap.alloc(FaLocal, Trace);
     } else {
       R = Heap.allocFromReserved(AllocPool.back(), FaLocal, Trace);
       AllocPool.pop_back();
@@ -139,6 +149,14 @@ void MutatorContext::releaseAllocPool() {
     return;
   Heap.unreserve(AllocPool);
   AllocPool.clear();
+}
+
+int MutatorContext::adoptRoot(RtRef R) {
+  if (R == RtNull)
+    return -1;
+  Roots.push_back(RootHandle{R, Heap.epoch(R)});
+  checkHandle(Roots.back(), "adopt");
+  return static_cast<int>(Roots.size() - 1);
 }
 
 void MutatorContext::discard(size_t RootIdx) {
@@ -185,7 +203,9 @@ void MutatorContext::markOwnRoots() {
 void MutatorContext::transferWorklist() {
   if (WorkHead == RtNull)
     return;
-  Heap.spliceShared(WorkHead, WorkTail);
+  // The slot index spreads concurrent transfers across the shared-work
+  // stripes (one stripe with MarkWorkers == 1: the original single list).
+  Heap.spliceShared(WorkHead, WorkTail, Index);
   WorkHead = WorkTail = RtNull;
 }
 

@@ -63,6 +63,12 @@ public:
   /// roots := roots \ {roots[Idx]} (swap-with-back removal).
   void discard(size_t RootIdx);
 
+  /// roots := roots ∪ {R}: adopt a reference received out of band (a
+  /// global, a message) as a root. Like load, adoption carries no barrier;
+  /// the handle takes the object's current epoch. Returns the root index,
+  /// or -1 for RtNull.
+  int adoptRoot(RtRef R);
+
   /// GC-safe point: poll for and service a pending handshake. Call this at
   /// "backward branches and call returns" — i.e. regularly, and never
   /// in the middle of a load/store/alloc (the API guarantees that).
@@ -83,6 +89,7 @@ public:
 private:
   friend class RtCollector;
   friend class StwCollector;
+  friend class GcRuntime; // deregistration publishes the worklist
 
   /// Validate a root handle before any access through it.
   void checkHandle(const RootHandle &H, const char *What) const;

@@ -2,6 +2,8 @@
 
 #include "runtime/RtCollector.h"
 
+#include "runtime/MarkerPool.h"
+
 #include <chrono>
 #include <thread>
 
@@ -68,7 +70,17 @@ void RtCollector::handshakeRound(RtHsType Type) {
 }
 
 bool RtCollector::takeSharedWork(CycleStats &CS) {
-  RtRef Chain = Heap.takeShared();
+  // The serial collector owns all stripes (the parallel path never gets
+  // here); with the default MarkWorkers == 1 there is exactly one and
+  // this loop is the original single take.
+  bool Got = false;
+  for (unsigned S = 0; S < Heap.sharedStripes(); ++S)
+    if (absorbChain(Heap.takeShared(S), CS))
+      Got = true;
+  return Got;
+}
+
+bool RtCollector::absorbChain(RtRef Chain, CycleStats &CS) {
   if (Chain == RtNull)
     return false;
   ++CS.SharedChainsTaken;
@@ -211,28 +223,60 @@ CycleStats RtCollector::runCycle() {
   observe::trace(Trace, observe::EventKind::MarkBegin);
   handshakeRound(RtHsType::GetRoots);
   ++CS.HandshakeRounds;
-  takeSharedWork(CS);
 
-  // Lines 24-34: the marking loop with get-work termination rounds.
-  for (;;) {
-    drainWorklist(CS);
-    handshakeRound(RtHsType::GetWork);
-    ++CS.HandshakeRounds;
-    ++CS.TerminationRounds;
-    if (!takeSharedWork(CS))
-      break; // A full round reported no work: no greys remain anywhere.
+  const unsigned Workers = Heap.config().MarkWorkers;
+  if (Workers > 1) {
+    // Parallel marking: a drain round (all workers to quiescence over the
+    // work-stealing stripes) replaces drainWorklist, and the stripes are
+    // consumed by the workers directly, so the termination structure of
+    // lines 24-34 is unchanged — drain, get-work handshake, check for
+    // transferred work, repeat until a full round surfaces none.
+    MarkerPool Pool(Rt, Workers, Fm);
+    for (;;) {
+      Pool.drainRound();
+      handshakeRound(RtHsType::GetWork);
+      ++CS.HandshakeRounds;
+      ++CS.TerminationRounds;
+      if (!Heap.anySharedWork())
+        break; // A full round reported no work: no greys remain anywhere.
+    }
+    CS.MarkNs = nowNs() - TM;
+    observe::trace(Trace, observe::EventKind::MarkEnd, CS.ObjectsMarked);
+
+    // Lines 37-45: sweep, sharded over disjoint slab ranges.
+    Rt.Phase.store(static_cast<uint32_t>(RtPhase::Sweep),
+                   std::memory_order_relaxed);
+    observe::trace(Trace, observe::EventKind::PhaseTransition,
+                   static_cast<uint32_t>(RtPhase::Sweep));
+    uint64_t TS = nowNs();
+    Pool.sweepParallel();
+    CS.SweepNs = nowNs() - TS;
+    Pool.finish();
+    Pool.mergeInto(CS);
+  } else {
+    takeSharedWork(CS);
+
+    // Lines 24-34: the marking loop with get-work termination rounds.
+    for (;;) {
+      drainWorklist(CS);
+      handshakeRound(RtHsType::GetWork);
+      ++CS.HandshakeRounds;
+      ++CS.TerminationRounds;
+      if (!takeSharedWork(CS))
+        break; // A full round reported no work: no greys remain anywhere.
+    }
+    CS.MarkNs = nowNs() - TM;
+    observe::trace(Trace, observe::EventKind::MarkEnd, CS.ObjectsMarked);
+
+    // Lines 37-45: sweep.
+    Rt.Phase.store(static_cast<uint32_t>(RtPhase::Sweep),
+                   std::memory_order_relaxed);
+    observe::trace(Trace, observe::EventKind::PhaseTransition,
+                   static_cast<uint32_t>(RtPhase::Sweep));
+    uint64_t TS = nowNs();
+    sweep(CS);
+    CS.SweepNs = nowNs() - TS;
   }
-  CS.MarkNs = nowNs() - TM;
-  observe::trace(Trace, observe::EventKind::MarkEnd, CS.ObjectsMarked);
-
-  // Lines 37-45: sweep.
-  Rt.Phase.store(static_cast<uint32_t>(RtPhase::Sweep),
-                 std::memory_order_relaxed);
-  observe::trace(Trace, observe::EventKind::PhaseTransition,
-                 static_cast<uint32_t>(RtPhase::Sweep));
-  uint64_t TS = nowNs();
-  sweep(CS);
-  CS.SweepNs = nowNs() - TS;
 
   // Line 46.
   Rt.Phase.store(static_cast<uint32_t>(RtPhase::Idle),
@@ -299,6 +343,20 @@ CycleStats RtCollector::runStwCycle() {
   // Stop the world: every mutator parks inside its handshake handler.
   parkAllMutators();
   ++CS.HandshakeRounds;
+
+  // Discard any stale transfer chains (a mutator deregistering between
+  // cycles publishes its residual greys; on-the-fly cycles consume them,
+  // but STW marking restarts from roots). The entries are already marked,
+  // so dropping the chain loses nothing — but leaving the links intact
+  // across this cycle's sweep would dangle them into freed slots.
+  for (unsigned S = 0; S < Heap.sharedStripes(); ++S) {
+    RtRef Stale = Heap.takeShared(S);
+    while (Stale != RtNull) {
+      RtRef Next = Heap.workNext(Stale);
+      Heap.setWorkNext(Stale, RtNull);
+      Stale = Next;
+    }
+  }
 
   // With the world stopped the collector owns everything: flip the sense,
   // mark from all roots, sweep.

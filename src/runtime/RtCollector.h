@@ -38,11 +38,15 @@ private:
   /// Drain the collector's work-list, scanning fields through mark.
   void drainWorklist(CycleStats &CS);
 
-  /// Take the shared list into the collector's private chain. O(1) in the
-  /// cycle's steady state (the collector polls with an empty list);
-  /// accounts every splice in CS.SharedChainsTaken and any fallback chain
-  /// walk in CS.SpliceWalkSteps.
+  /// Take every shared-work stripe into the collector's private chain.
+  /// O(1) per stripe in the cycle's steady state (the collector polls with
+  /// an empty list); accounts every splice in CS.SharedChainsTaken and any
+  /// fallback chain walk in CS.SpliceWalkSteps.
   bool takeSharedWork(CycleStats &CS);
+
+  /// Absorb one taken chain into the private list (the splice cases behind
+  /// takeSharedWork). Returns false for an empty chain.
+  bool absorbChain(RtRef Chain, CycleStats &CS);
 
   /// Push one grey onto the front of the private list, keeping WorkTail.
   void pushWork(RtRef R) {

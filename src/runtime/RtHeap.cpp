@@ -2,12 +2,15 @@
 
 #include "runtime/RtHeap.h"
 
+#include <algorithm>
+
 using namespace tsogc::rt;
 
 RtHeap::RtHeap(const RtConfig &C)
     : Cfg(C), Headers(C.HeapObjects),
       Fields(static_cast<size_t>(C.HeapObjects) * C.NumFields),
-      WorkNext(C.HeapObjects) {
+      WorkNext(C.HeapObjects),
+      SharedWork(std::max(1u, C.MarkWorkers)) {
   TSOGC_CHECK(C.HeapObjects > 0 && C.HeapObjects < RtNull,
               "bad heap capacity");
   TSOGC_CHECK(C.NumFields > 0, "objects need at least one field");
@@ -17,6 +20,8 @@ RtHeap::RtHeap(const RtConfig &C)
     F.store(RtNull, std::memory_order_relaxed);
   for (auto &N : WorkNext)
     N.store(RtNull, std::memory_order_relaxed);
+  for (auto &Cell : SharedWork)
+    Cell.store(RtNull, std::memory_order_relaxed);
   FreeList.reserve(C.HeapObjects);
   // LIFO free list; lowest indices allocated first.
   for (uint32_t I = C.HeapObjects; I > 0; --I)
@@ -73,6 +78,12 @@ RtRef RtHeap::allocFromReserved(RtRef R, bool MarkFlag,
 }
 
 void RtHeap::free(RtRef R, observe::TraceBuffer *Trace) {
+  freeNoRecycle(R, Trace);
+  std::lock_guard<std::mutex> Lock(FreeMutex);
+  FreeList.push_back(R);
+}
+
+void RtHeap::freeNoRecycle(RtRef R, observe::TraceBuffer *Trace) {
   uint32_t H = Headers[R].load(std::memory_order_relaxed);
   TSOGC_CHECK(hdr::allocated(H), "double free");
   // Clear allocated, bump epoch; stale root handles now fail validation.
@@ -80,8 +91,20 @@ void RtHeap::free(RtRef R, observe::TraceBuffer *Trace) {
   Headers[R].store(NewH, std::memory_order_release);
   AllocCount.fetch_sub(1, std::memory_order_relaxed);
   observe::trace(Trace, observe::EventKind::Free, R);
+}
+
+void RtHeap::returnFreeSlots(const std::vector<RtRef> &Slots) {
   std::lock_guard<std::mutex> Lock(FreeMutex);
-  FreeList.push_back(R);
+  for (RtRef R : Slots) {
+    TSOGC_CHECK(!hdr::allocated(Headers[R].load(std::memory_order_relaxed)),
+                "recycling an allocated slot");
+    FreeList.push_back(R);
+  }
+}
+
+size_t RtHeap::freeListSize() {
+  std::lock_guard<std::mutex> Lock(FreeMutex);
+  return FreeList.size();
 }
 
 bool RtHeap::mark(RtRef R, bool FmLocal, bool BarriersActive,
@@ -114,14 +137,14 @@ bool RtHeap::mark(RtRef R, bool FmLocal, bool BarriersActive,
   }
 }
 
-void RtHeap::spliceShared(RtRef Head, RtRef Tail) {
+void RtHeap::spliceShared(RtRef Head, RtRef Tail, unsigned Hint) {
   TSOGC_CHECK(Head != RtNull && Tail != RtNull, "splicing an empty chain");
-  RtRef Old = SharedWork.load(std::memory_order_relaxed);
+  std::atomic<RtRef> &Cell = SharedWork[Hint % SharedWork.size()];
+  RtRef Old = Cell.load(std::memory_order_relaxed);
   for (;;) {
     WorkNext[Tail].store(Old, std::memory_order_relaxed);
-    if (SharedWork.compare_exchange_weak(Old, Head,
-                                         std::memory_order_acq_rel,
-                                         std::memory_order_relaxed))
+    if (Cell.compare_exchange_weak(Old, Head, std::memory_order_acq_rel,
+                                   std::memory_order_relaxed))
       return;
   }
 }

@@ -61,6 +61,19 @@ public:
   /// Free event attributed to the calling (collector) thread.
   void free(RtRef R, observe::TraceBuffer *Trace = nullptr);
 
+  /// The parallel sweep's two-step free: freeNoRecycle does everything
+  /// free() does except the free-list push (header cleared, epoch bumped,
+  /// count decremented) so sweep shards run lock-free; the caller batches
+  /// the slots and hands them to returnFreeSlots — one lock per shard
+  /// instead of one per object.
+  void freeNoRecycle(RtRef R, observe::TraceBuffer *Trace = nullptr);
+  void returnFreeSlots(const std::vector<RtRef> &Slots);
+
+  /// Free slots currently on the global list (excludes reserved pool
+  /// slots). Takes the free-list lock; callers use it for refill policy,
+  /// not on per-allocation fast paths.
+  size_t freeListSize();
+
   /// Raw header access.
   uint32_t header(RtRef R) const {
     return Headers[R].load(std::memory_order_relaxed);
@@ -101,13 +114,37 @@ public:
     WorkNext[R].store(V, std::memory_order_relaxed);
   }
 
-  /// Lock-free transfer target: splice a whole private chain onto the
-  /// shared list head (the atomic W := W ∪ W_m of Figure 2 line 20).
-  void spliceShared(RtRef Head, RtRef Tail);
+  /// Lock-free transfer target, generalized to MarkWorkers stripes: splice
+  /// a whole private chain onto stripe Hint % stripes (the atomic
+  /// W := W ∪ W_m of Figure 2 line 20). Mutators pass their slot index so
+  /// concurrent transfers spread across stripes; mark worker W publishes
+  /// overflow chains to stripe W, which is where its peers steal from.
+  /// With MarkWorkers == 1 there is exactly one stripe and the behavior is
+  /// the original single shared list.
+  void spliceShared(RtRef Head, RtRef Tail, unsigned Hint = 0);
 
-  /// Collector side: atomically take the entire shared list.
-  RtRef takeShared() {
-    return SharedWork.exchange(RtNull, std::memory_order_acq_rel);
+  /// Consumer side: atomically take the entire chain of one stripe.
+  RtRef takeShared(unsigned Stripe = 0) {
+    return SharedWork[Stripe % SharedWork.size()].exchange(
+        RtNull, std::memory_order_acq_rel);
+  }
+
+  /// Peek one stripe / all stripes for pending transfer chains. The peek
+  /// only steers control flow (steal targets, termination re-checks); any
+  /// actual consumption goes through takeShared's acquire exchange.
+  bool hasShared(unsigned Stripe) const {
+    return SharedWork[Stripe % SharedWork.size()].load(
+               std::memory_order_acquire) != RtNull;
+  }
+  bool anySharedWork() const {
+    for (const auto &Cell : SharedWork)
+      if (Cell.load(std::memory_order_acquire) != RtNull)
+        return true;
+    return false;
+  }
+
+  unsigned sharedStripes() const {
+    return static_cast<unsigned>(SharedWork.size());
   }
 
 private:
@@ -121,7 +158,8 @@ private:
   std::vector<std::atomic<uint32_t>> Headers;
   std::vector<std::atomic<RtRef>> Fields;
   std::vector<std::atomic<RtRef>> WorkNext;
-  std::atomic<RtRef> SharedWork{RtNull};
+  /// One transfer-list head per mark-worker stripe (size ≥ 1).
+  std::vector<std::atomic<RtRef>> SharedWork;
 
   // Allocation is the model's single atomic action; a mutex keeps it
   // simple — the same coarseness the paper grants itself (§3.1, "the

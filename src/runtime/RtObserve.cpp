@@ -20,6 +20,8 @@ void tsogc::rt::exportMetrics(const RtStats &S, observe::MetricsRegistry &Reg,
               S.TotalCycleNs.load(std::memory_order_relaxed));
   Reg.counter(Prefix + "max_cycle_ns",
               S.MaxCycleNs.load(std::memory_order_relaxed));
+  Reg.counter(Prefix + "chains_stolen_total",
+              S.TotalChainsStolen.load(std::memory_order_relaxed));
 }
 
 void tsogc::rt::exportMetrics(const CycleStats &C,
@@ -36,6 +38,22 @@ void tsogc::rt::exportMetrics(const CycleStats &C,
   Reg.counter(Prefix + "collector_cas", C.CollectorCas);
   Reg.counter(Prefix + "shared_chains_taken", C.SharedChainsTaken);
   Reg.counter(Prefix + "splice_walk_steps", C.SpliceWalkSteps);
+  Reg.counter(Prefix + "mark_workers", C.MarkWorkersUsed);
+  Reg.counter(Prefix + "chains_stolen", C.ChainsStolen);
+  Reg.counter(Prefix + "steal_fails", C.StealFails);
+  Reg.counter(Prefix + "chains_published", C.ChainsPublished);
+  for (size_t W = 0; W < C.Workers.size(); ++W) {
+    const MarkWorkerStats &S = C.Workers[W];
+    const std::string P = Prefix + "worker." + std::to_string(W) + ".";
+    Reg.counter(P + "marked", S.Marked);
+    Reg.counter(P + "cas", S.Cas);
+    Reg.counter(P + "chains_taken", S.ChainsTaken);
+    Reg.counter(P + "chains_stolen", S.ChainsStolen);
+    Reg.counter(P + "steal_fails", S.StealFails);
+    Reg.counter(P + "chains_published", S.ChainsPublished);
+    Reg.counter(P + "objects_freed", S.ObjectsFreed);
+    Reg.counter(P + "objects_retained", S.ObjectsRetained);
+  }
 }
 
 void tsogc::rt::exportMetrics(const MutStats &M, observe::MetricsRegistry &Reg,

@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 namespace tsogc::rt {
 
@@ -46,6 +47,20 @@ struct MutStats {
   uint64_t maxPauseNs() const { return std::max(MaxHandshakeNs, MaxParkNs); }
 };
 
+/// One mark worker's contribution to a parallel cycle (worker 0 is the
+/// collector thread itself). Owned by one worker during the cycle; read
+/// and merged only after the workers have joined.
+struct MarkWorkerStats {
+  uint64_t Marked = 0;          ///< Greys this worker scanned.
+  uint64_t Cas = 0;             ///< Mark CAS slow paths taken.
+  uint64_t ChainsTaken = 0;     ///< Chains taken from the worker's own stripe.
+  uint64_t ChainsStolen = 0;    ///< Chains stolen from another stripe.
+  uint64_t StealFails = 0;      ///< Full stripe scans that found nothing.
+  uint64_t ChainsPublished = 0; ///< Overflow chains published for stealing.
+  uint64_t ObjectsFreed = 0;    ///< Freed in this worker's sweep shard.
+  uint64_t ObjectsRetained = 0; ///< Retained in this worker's sweep shard.
+};
+
 /// Collector-side per-cycle record.
 struct CycleStats {
   uint64_t CycleNs = 0;
@@ -64,6 +79,15 @@ struct CycleStats {
   /// chain here, O(n²) per cycle).
   uint64_t SharedChainsTaken = 0;
   uint64_t SpliceWalkSteps = 0;
+  /// Mark/sweep parallelism actually used this cycle (1 = the verified
+  /// single-GC-thread path; the per-worker vector is then empty).
+  uint64_t MarkWorkersUsed = 1;
+  uint64_t ChainsStolen = 0;    ///< Steals across stripes (sum of workers).
+  uint64_t StealFails = 0;      ///< Empty full-stripe scans (sum of workers).
+  uint64_t ChainsPublished = 0; ///< Overflow chains published (sum).
+  /// Per-worker breakdown for parallel cycles (size == MarkWorkersUsed
+  /// when > 1). Worker 0 is the collector thread.
+  std::vector<MarkWorkerStats> Workers;
 };
 
 /// Aggregate, shared between threads.
@@ -75,6 +99,7 @@ struct RtStats {
   std::atomic<uint64_t> TotalTerminationRounds{0};
   std::atomic<uint64_t> TotalCycleNs{0};
   std::atomic<uint64_t> MaxCycleNs{0};
+  std::atomic<uint64_t> TotalChainsStolen{0};
 
   void recordCycle(const CycleStats &C) {
     Cycles.fetch_add(1, std::memory_order_relaxed);
@@ -83,6 +108,7 @@ struct RtStats {
                                      std::memory_order_relaxed);
     TotalTerminationRounds.fetch_add(C.TerminationRounds,
                                      std::memory_order_relaxed);
+    TotalChainsStolen.fetch_add(C.ChainsStolen, std::memory_order_relaxed);
     TotalCycleNs.fetch_add(C.CycleNs, std::memory_order_relaxed);
     uint64_t Prev = MaxCycleNs.load(std::memory_order_relaxed);
     while (C.CycleNs > Prev &&

@@ -87,8 +87,19 @@ struct RtConfig {
   /// gather pools of unallocated references from which to perform
   /// fine-grained allocation without synchronizing. 0 disables the pool
   /// (every allocation takes the global free-list lock); N > 0 refills a
-  /// thread-local pool of N slots per lock acquisition.
+  /// thread-local pool of N slots per lock acquisition. Refills are capped
+  /// to a fraction of the remaining free slots so near-exhaustion pools
+  /// cannot strand the whole free list in one thread's reserve.
   uint32_t LocalAllocPool = 0;
+
+  /// Collector-side mark/sweep parallelism. 1 (the default) keeps the
+  /// verified single-GC-thread cycle byte-for-byte. N > 1 marks with a
+  /// pool of N workers (the calling collector thread plus N-1 helpers)
+  /// over work-stealing grey worklists, and sweeps disjoint slab shards in
+  /// parallel. The handshake protocol — and therefore the mutator-visible
+  /// pause profile — is identical in both modes; only the cycle's internal
+  /// throughput changes. Also sizes the heap's shared-work stripes.
+  uint32_t MarkWorkers = 1;
 
   /// Event tracing (observe/Trace.h): when on, the runtime records typed
   /// events — handshake request/ack, phase transitions, barrier marks,

@@ -1,0 +1,345 @@
+//===- tests/parallel_mark_stress_test.cpp - Parallel mark/sweep ----------===//
+///
+/// Covers RtConfig::MarkWorkers > 1: the work-stealing mark worker pool,
+/// the idle-count termination detector, and the sharded sweep
+/// (runtime/MarkerPool.h). Deterministic equivalence against the serial
+/// collector, multi-threaded stress under epoch validation, and the
+/// torture-mode differential against the stop-the-world baseline.
+///
+/// These are the parallel-mark TSan targets: build with
+/// -DTSOGC_SANITIZE=thread and run this binary (see the top-level
+/// CMakeLists sanitizer preset).
+
+#include "runtime/GcRuntime.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace tsogc::rt;
+
+namespace {
+
+RtConfig parCfg(uint32_t Workers) {
+  RtConfig C;
+  C.HeapObjects = 2048;
+  C.NumFields = 2;
+  C.MarkWorkers = Workers;
+  return C;
+}
+
+/// Build one f0-linked chain of \p Len nodes on \p M by prepending; on
+/// return the chain head is the mutator's highest root.
+void buildChain(MutatorContext *M, unsigned Len) {
+  int Head = M->alloc();
+  ASSERT_GE(Head, 0);
+  for (unsigned I = 1; I < Len; ++I) {
+    int Node = M->alloc();
+    ASSERT_GE(Node, 0);
+    // node.f0 = head; the node replaces the head as the chain's root.
+    M->store(static_cast<size_t>(Head), static_cast<size_t>(Node), 0);
+    M->discard(static_cast<size_t>(Head));
+  }
+}
+
+/// Audit the heap from a helper thread while this thread services the
+/// park handshakes for \p Ms.
+GcRuntime::HeapAudit auditServed(GcRuntime &Rt,
+                                 const std::vector<MutatorContext *> &Ms) {
+  Rt.HandshakeServicer = nullptr;
+  GcRuntime::HeapAudit Audit;
+  std::atomic<bool> Done{false};
+  // Parked mutators block inside their handler, so each needs its own
+  // servicing thread.
+  std::vector<std::thread> Svc;
+  std::thread Auditor([&] {
+    Audit = Rt.auditHeap();
+    Done.store(true);
+  });
+  for (MutatorContext *M : Ms)
+    Svc.emplace_back([&Done, M] {
+      while (!Done.load()) {
+        M->safepoint();
+        std::this_thread::yield();
+      }
+    });
+  Auditor.join();
+  for (std::thread &T : Svc)
+    T.join();
+  return Audit;
+}
+
+struct WorkloadResult {
+  CycleStats First;  ///< Cycle over 8 live chains + 128 fresh garbage.
+  CycleStats Second; ///< Follow-up cycle (reclaims any floating garbage).
+  uint32_t Live = 0; ///< Allocated objects after both cycles.
+};
+
+/// The equivalence workload: 8 rooted chains of 32 nodes plus 128 dropped
+/// singletons, collected twice. Marking work, frees and retention are
+/// fully determined by the graph, so every MarkWorkers setting must
+/// produce identical counts.
+WorkloadResult runEquivalenceWorkload(uint32_t Workers) {
+  WorkloadResult R;
+  GcRuntime Rt(parCfg(Workers));
+  MutatorContext *M = Rt.registerMutator();
+  Rt.HandshakeServicer = [M] { M->safepoint(); };
+  for (int C = 0; C < 8; ++C)
+    buildChain(M, 32);
+  for (int I = 0; I < 128; ++I) {
+    int G = M->alloc();
+    EXPECT_GE(G, 0);
+    M->discard(static_cast<size_t>(G));
+  }
+  R.First = Rt.collectOnce();
+  R.Second = Rt.collectOnce();
+  R.Live = Rt.heap().allocatedCount();
+  GcRuntime::HeapAudit Audit = auditServed(Rt, {M});
+  EXPECT_TRUE(Audit.clean());
+  EXPECT_EQ(Audit.Reachable, 8u * 32u);
+  while (M->numRoots())
+    M->discard(0);
+  Rt.deregisterMutator(M);
+  return R;
+}
+
+} // namespace
+
+TEST(ParallelMark, MatchesSerialCollectorOnFixedGraph) {
+  WorkloadResult Serial = runEquivalenceWorkload(1);
+  ASSERT_EQ(Serial.Live, 8u * 32u);
+  ASSERT_EQ(Serial.First.ObjectsFreed + Serial.Second.ObjectsFreed, 128u);
+  for (uint32_t Workers : {2u, 4u}) {
+    WorkloadResult Par = runEquivalenceWorkload(Workers);
+    EXPECT_EQ(Par.Live, Serial.Live) << Workers << " workers";
+    EXPECT_EQ(Par.First.ObjectsMarked, Serial.First.ObjectsMarked);
+    EXPECT_EQ(Par.First.ObjectsFreed, Serial.First.ObjectsFreed);
+    EXPECT_EQ(Par.First.ObjectsRetained, Serial.First.ObjectsRetained);
+    EXPECT_EQ(Par.Second.ObjectsFreed, Serial.Second.ObjectsFreed);
+    EXPECT_EQ(Par.Second.ObjectsRetained, Serial.Second.ObjectsRetained);
+  }
+}
+
+TEST(ParallelMark, PerWorkerCountersSumToCycleTotals) {
+  WorkloadResult R = runEquivalenceWorkload(4);
+  const CycleStats &CS = R.First;
+  EXPECT_EQ(CS.MarkWorkersUsed, 4u);
+  ASSERT_EQ(CS.Workers.size(), 4u);
+  uint64_t Marked = 0, Cas = 0, Taken = 0, Stolen = 0, Fails = 0,
+           Published = 0, Freed = 0, Retained = 0;
+  for (const MarkWorkerStats &W : CS.Workers) {
+    Marked += W.Marked;
+    Cas += W.Cas;
+    Taken += W.ChainsTaken + W.ChainsStolen;
+    Stolen += W.ChainsStolen;
+    Fails += W.StealFails;
+    Published += W.ChainsPublished;
+    Freed += W.ObjectsFreed;
+    Retained += W.ObjectsRetained;
+  }
+  EXPECT_EQ(Marked, CS.ObjectsMarked);
+  EXPECT_EQ(Cas, CS.CollectorCas);
+  EXPECT_EQ(Taken, CS.SharedChainsTaken);
+  EXPECT_EQ(Stolen, CS.ChainsStolen);
+  EXPECT_EQ(Fails, CS.StealFails);
+  EXPECT_EQ(Published, CS.ChainsPublished);
+  EXPECT_EQ(Freed, CS.ObjectsFreed);
+  EXPECT_EQ(Retained, CS.ObjectsRetained);
+  // Aggregate stats absorbed the per-cycle steal counters.
+  EXPECT_EQ(CS.SpliceWalkSteps, 0u);
+}
+
+TEST(ParallelMark, SerialCycleLeavesPerWorkerVectorEmpty) {
+  WorkloadResult R = runEquivalenceWorkload(1);
+  EXPECT_EQ(R.First.MarkWorkersUsed, 1u);
+  EXPECT_TRUE(R.First.Workers.empty());
+  EXPECT_EQ(R.First.ChainsStolen, 0u);
+  EXPECT_EQ(R.First.ChainsPublished, 0u);
+}
+
+namespace {
+
+/// Randomized multi-mutator stress against a continuously running
+/// parallel collector. Epoch validation (RtConfig::Validate, on by
+/// default) aborts the process on any unsafe free, so surviving the run
+/// is the assertion.
+void stressRun(uint32_t Workers, uint32_t TortureLevel) {
+  RtConfig C = parCfg(Workers);
+  C.HeapObjects = 4096;
+  C.LocalAllocPool = 16;
+  C.TortureLevel = TortureLevel;
+  GcRuntime Rt(C);
+  constexpr int NumMuts = 3;
+  std::vector<MutatorContext *> Ms;
+  for (int I = 0; I < NumMuts; ++I)
+    Ms.push_back(Rt.registerMutator());
+  Rt.startCollector();
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < NumMuts; ++T)
+    Ts.emplace_back([&, T] {
+      MutatorContext *M = Ms[T];
+      uint64_t Rng = 0x9e3779b97f4a7c15ULL * (T + 1);
+      for (int I = 0; I < 20'000; ++I) {
+        M->safepoint();
+        Rng ^= Rng >> 12;
+        Rng ^= Rng << 25;
+        Rng ^= Rng >> 27;
+        const size_t N = M->numRoots();
+        const unsigned Op = (Rng >> 33) % 8;
+        if (Op < 3 || N < 2) {
+          M->alloc(); // may fail near exhaustion; validation still holds
+        } else if (Op < 6) {
+          M->store((Rng >> 20) % N, (Rng >> 40) % N,
+                   static_cast<uint32_t>(Rng >> 10) % C.NumFields);
+        } else {
+          int L = M->load((Rng >> 20) % N,
+                          static_cast<uint32_t>(Rng >> 10) % C.NumFields);
+          if (L >= 0 && M->numRoots() > 8)
+            M->discard(static_cast<size_t>(L));
+        }
+        while (M->numRoots() > 32)
+          M->discard((Rng >> 16) % M->numRoots());
+      }
+      while (M->numRoots())
+        M->discard(0);
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  std::atomic<bool> Done{false};
+  std::thread Service([&] {
+    while (!Done.load()) {
+      for (MutatorContext *M : Ms)
+        M->safepoint();
+      std::this_thread::yield();
+    }
+  });
+  Rt.stopCollector();
+  Done.store(true);
+  Service.join();
+  // Every root is gone: two quiescent cycles reclaim the entire heap.
+  Rt.HandshakeServicer = [&Ms] {
+    for (MutatorContext *M : Ms)
+      M->safepoint();
+  };
+  Rt.collectOnce();
+  Rt.collectOnce();
+  EXPECT_EQ(Rt.heap().allocatedCount(), 0u);
+  GcRuntime::HeapAudit Audit = auditServed(Rt, Ms);
+  EXPECT_TRUE(Audit.clean());
+  EXPECT_EQ(Audit.Unreachable, 0u);
+  for (MutatorContext *M : Ms)
+    Rt.deregisterMutator(M);
+}
+
+} // namespace
+
+TEST(ParallelMarkStress, TwoWorkersConcurrentMutators) {
+  stressRun(2, /*TortureLevel=*/0);
+}
+
+TEST(ParallelMarkStress, FourWorkersConcurrentMutators) {
+  stressRun(4, /*TortureLevel=*/0);
+}
+
+// The torture-mode differential (mutators yield at every racy point, so
+// stores keep straddling get-work acknowledgements mid-cycle): after the
+// on-the-fly collector reaches a fixpoint, the stop-the-world baseline
+// must find nothing further to free, and the whole-heap audit must be
+// clean — the two collectors agree on reachability.
+TEST(ParallelMarkStress, TortureStoresStraddlingGetWorkAcks) {
+  RtConfig C = parCfg(4);
+  C.HeapObjects = 1024;
+  C.TortureLevel = 3;
+  GcRuntime Rt(C);
+  MutatorContext *M0 = Rt.registerMutator();
+  MutatorContext *M1 = Rt.registerMutator();
+  // A shared hub both mutators hammer: every store overwrites a hub field,
+  // so the deletion barrier continuously greys the displaced values while
+  // handshakes land between the stores.
+  int Hub = M0->alloc();
+  ASSERT_EQ(Hub, 0);
+  ASSERT_EQ(M1->adoptRoot(M0->rootRef(0)), 0);
+  Rt.startCollector();
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < 2; ++T)
+    Ts.emplace_back([&, T] {
+      MutatorContext *M = T == 0 ? M0 : M1;
+      uint64_t Rng = 0x2545f4914f6cdd1dULL * (T + 1);
+      for (int I = 0; I < 15'000; ++I) {
+        M->safepoint();
+        Rng ^= Rng >> 12;
+        Rng ^= Rng << 25;
+        Rng ^= Rng >> 27;
+        int N = M->alloc();
+        if (N >= 0) {
+          // hub.f = node (greys the old occupant), then drop our root:
+          // the node stays reachable only through the hub, until the
+          // other mutator's next store displaces it.
+          M->store(static_cast<size_t>(N), 0,
+                   static_cast<uint32_t>(Rng >> 7) % C.NumFields);
+          M->discard(static_cast<size_t>(N));
+        }
+        int L = M->load(0, static_cast<uint32_t>(Rng >> 9) % C.NumFields);
+        if (L >= 0)
+          M->discard(static_cast<size_t>(L)); // validated hub chase
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  std::atomic<bool> Done{false};
+  std::thread Service([&] {
+    while (!Done.load()) {
+      M0->safepoint();
+      M1->safepoint();
+      std::this_thread::yield();
+    }
+  });
+  Rt.stopCollector();
+  Done.store(true);
+  Service.join();
+
+  // Reach the on-the-fly fixpoint (hub + its current children live). Two
+  // cycles reclaim the garbage plus any floating retention from residual
+  // barrier greys; the third must find nothing.
+  Rt.HandshakeServicer = [&] {
+    M0->safepoint();
+    M1->safepoint();
+  };
+  Rt.collectOnce();
+  Rt.collectOnce();
+  CycleStats Settled = Rt.collectOnce();
+  EXPECT_EQ(Settled.ObjectsFreed, 0u) << "fixpoint not reached";
+  const uint32_t Live = Rt.heap().allocatedCount();
+  EXPECT_LE(Live, 1u + C.NumFields);
+
+  // Differential: the STW baseline agrees — it frees nothing more and
+  // retains exactly the on-the-fly live set.
+  Rt.HandshakeServicer = nullptr;
+  std::atomic<bool> SvcDone{false};
+  std::vector<std::thread> Svc;
+  for (MutatorContext *M : {M0, M1})
+    Svc.emplace_back([&SvcDone, M] {
+      while (!SvcDone.load()) {
+        M->safepoint();
+        std::this_thread::yield();
+      }
+    });
+  CycleStats Stw = Rt.collectStw();
+  GcRuntime::HeapAudit Audit = Rt.auditHeap();
+  SvcDone.store(true);
+  for (std::thread &T : Svc)
+    T.join();
+  EXPECT_EQ(Stw.ObjectsFreed, 0u);
+  EXPECT_EQ(Stw.ObjectsRetained, Live);
+  EXPECT_TRUE(Audit.clean());
+  EXPECT_EQ(Audit.Unreachable, 0u);
+  EXPECT_EQ(Audit.Reachable, Live);
+
+  while (M1->numRoots())
+    M1->discard(0);
+  Rt.deregisterMutator(M1);
+  while (M0->numRoots())
+    M0->discard(0);
+  Rt.deregisterMutator(M0);
+}

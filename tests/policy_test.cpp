@@ -53,6 +53,52 @@ TEST(CollectorPolicy, NoCyclesBelowTrigger) {
   Rt.deregisterMutator(M);
 }
 
+// Regression: on a tiny heap a small positive trigger truncated to a
+// threshold of zero, which the collector loop reads as "collect
+// continuously" — the exact opposite of the requested policy. A positive
+// trigger is now clamped to at least one object.
+TEST(CollectorPolicy, TinyHeapPositiveTriggerStillIdles) {
+  RtConfig C = cfg();
+  C.HeapObjects = 10;
+  GcRuntime Rt(C);
+  MutatorContext *M = Rt.registerMutator();
+  GcRuntime::CollectorPolicy P;
+  P.OccupancyTrigger = 0.05; // 0.5 objects: truncates to 0 pre-fix
+  P.IdlePollUs = 10;
+  Rt.startCollector(P);
+  // Empty heap, positive trigger: the collector must idle. Pre-fix it
+  // started a cycle immediately (a zero threshold reads as continuous
+  // mode) and sat mid-cycle blocked on the cycle's first unserviced
+  // handshake — completed-cycle count alone cannot see that, but the
+  // handshake sequence counter can: an idle collector initiates no rounds.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(Rt.stats().Cycles.load(), 0u)
+      << "a positive trigger must never mean collect-continuously";
+  EXPECT_EQ(Rt.HsSeq.load(), 0u)
+      << "collector initiated a handshake below the clamped trigger";
+  // One allocation reaches the clamped one-object threshold.
+  int Idx = M->alloc();
+  ASSERT_GE(Idx, 0);
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (Rt.stats().Cycles.load() == 0 &&
+         std::chrono::steady_clock::now() < Deadline)
+    M->safepoint();
+  EXPECT_GE(Rt.stats().Cycles.load(), 1u) << "clamped trigger never fired";
+  std::atomic<bool> Done{false};
+  std::thread Service([&] {
+    while (!Done.load()) {
+      M->safepoint();
+      std::this_thread::yield();
+    }
+  });
+  Rt.stopCollector();
+  Done.store(true);
+  Service.join();
+  while (M->numRoots())
+    M->discard(0);
+  Rt.deregisterMutator(M);
+}
+
 TEST(CollectorPolicy, TriggersUnderPressure) {
   GcRuntime Rt(cfg());
   MutatorContext *M = Rt.registerMutator();

@@ -308,6 +308,87 @@ TEST(RtCollectorEdge, SharedWorkSpliceIsConstantTime) {
   }
 }
 
+// Regression: a mutator whose deletion barrier greyed objects and which
+// then deregistered mid-Mark used to abandon its private work-list. The
+// greyed object itself survives (greying marks it), but it is never
+// scanned, so everything reachable only through it is swept while still
+// reachable — a lost grey, and a dangling field. Deregistration must
+// publish the residual work-list before the slot goes inactive.
+TEST(RtCollectorEdge, DeregisterMidMarkPublishesResidualGreys) {
+  RtConfig Cfg;
+  Cfg.HeapObjects = 64;
+  Cfg.NumFields = 2;
+  GcRuntime Rt(Cfg);
+  MutatorContext *M1 = Rt.registerMutator();
+  MutatorContext *M2 = Rt.registerMutator();
+
+  // Build X -> A -> B on M2, then hand the whole structure to M1 via X.
+  int Xi = M2->alloc();
+  int Ai = M2->alloc();
+  int Bi = M2->alloc();
+  ASSERT_GE(Xi, 0);
+  ASSERT_GE(Ai, 0);
+  ASSERT_GE(Bi, 0);
+  M2->store(static_cast<size_t>(Ai), static_cast<size_t>(Xi), 0); // X.f0 = A
+  M2->store(static_cast<size_t>(Bi), static_cast<size_t>(Ai), 0); // A.f0 = B
+  const RtRef Xref = M2->rootRef(static_cast<size_t>(Xi));
+  const RtRef Aref = M2->rootRef(static_cast<size_t>(Ai));
+  const RtRef Bref = M2->rootRef(static_cast<size_t>(Bi));
+  while (M2->numRoots() > 0)
+    M2->discard(0);
+  ASSERT_GE(M1->adoptRoot(Xref), 0); // M1 now holds the only root.
+
+  // With the default (non-merged) config the get-roots round is the 5th
+  // handshake each mutator sees. Right after M2 acknowledges it — roots
+  // already collected, marking under way — M2 overwrites X.f0, whose
+  // deletion barrier greys A onto M2's *private* work-list, and leaves.
+  // M1 keeps A reachable (it loaded it out of band before the overwrite).
+  bool Deed = false;
+  Rt.HandshakeServicer = [&] {
+    M1->safepoint();
+    if (!Deed)
+      M2->safepoint();
+    if (!Deed && M2->stats().HandshakesSeen == 5) {
+      Deed = true;
+      int X2 = M2->adoptRoot(Xref);
+      ASSERT_GE(X2, 0);
+      M2->store(static_cast<size_t>(X2), static_cast<size_t>(X2),
+                0); // X.f0 = X; barrier greys A
+      M2->discard(static_cast<size_t>(X2));
+      Rt.deregisterMutator(M2);
+      ASSERT_GE(M1->adoptRoot(Aref), 0);
+    }
+  };
+  Rt.collectOnce();
+  ASSERT_TRUE(Deed);
+
+  // A was greyed (hence marked, hence retained) but, pre-fix, never
+  // scanned: B was swept while reachable through A.f0.
+  EXPECT_TRUE(Rt.heap().isAllocated(Bref))
+      << "lost grey: deregistering mutator's work-list was dropped";
+  EXPECT_EQ(Rt.heap().allocatedCount(), 3u);
+
+  // Independent whole-heap verification (parks M1 from a helper thread
+  // while this thread services the park).
+  Rt.HandshakeServicer = nullptr;
+  GcRuntime::HeapAudit Audit;
+  std::atomic<bool> Done{false};
+  std::thread Auditor([&] {
+    Audit = Rt.auditHeap();
+    Done.store(true);
+  });
+  while (!Done.load())
+    M1->safepoint();
+  Auditor.join();
+  EXPECT_EQ(Audit.DanglingFields, 0u);
+  EXPECT_EQ(Audit.DanglingRoots, 0u);
+  EXPECT_EQ(Audit.Reachable, 3u);
+
+  while (M1->numRoots() > 0)
+    M1->discard(0);
+  Rt.deregisterMutator(M1);
+}
+
 // Regression: a slot deregistered and re-registered while a handshake
 // round was in flight used to stall the round forever — the new occupant
 // starts from the current request and never acknowledges the in-flight

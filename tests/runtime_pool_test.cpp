@@ -90,6 +90,39 @@ TEST(AllocPool, PooledObjectsSurviveCollection) {
   Rt.deregisterMutator(M);
 }
 
+// Regression: near exhaustion, one thread's pool refill used to reserve
+// up to the free list's whole tail, failing peers' allocations while free
+// slots sat idle in a pool that never used them. Refills are now capped
+// to a quarter of the remaining free slots (and allocation falls back to
+// the global list when the pool cannot be refilled at all).
+TEST(AllocPool, NearFullHeapDoesNotStrandFreeSlotsInPools) {
+  RtConfig C = poolCfg(16);
+  C.HeapObjects = 32;
+  GcRuntime Rt(C);
+  MutatorContext *M1 = Rt.registerMutator();
+  MutatorContext *M2 = Rt.registerMutator();
+  // M2 allocates once — refilling its pool — then goes idle, stranding the
+  // unused reserve. Pre-fix the refill grabbed min(PoolSize, free) = 16 of
+  // the 32 slots for a single allocation.
+  ASSERT_GE(M2->alloc(), 0);
+  // M1 must still reach the bulk of the heap through its own capped
+  // refills: at most a quarter of the free list is at risk per refill, so
+  // well over 20 of the remaining 31 slots stay allocatable (pre-fix M1
+  // topped out at 16).
+  int Ok = 0;
+  for (int I = 0; I < 31; ++I)
+    if (M1->alloc() >= 0)
+      ++Ok;
+  EXPECT_GE(Ok, 20);
+  EXPECT_EQ(Rt.heap().allocatedCount(), static_cast<uint32_t>(Ok) + 1u);
+  while (M1->numRoots())
+    M1->discard(0);
+  while (M2->numRoots())
+    M2->discard(0);
+  Rt.deregisterMutator(M1);
+  Rt.deregisterMutator(M2);
+}
+
 TEST(AllocPool, ConcurrentPooledAllocators) {
   RtConfig C = poolCfg(16);
   C.HeapObjects = 4096;
