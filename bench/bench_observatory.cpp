@@ -1,0 +1,123 @@
+//===- bench/bench_observatory.cpp - Observatory cost on real cycles ------===//
+///
+/// \file
+/// What live invariant checking costs: cycle time with the observatory off
+/// vs on (every handshake boundary parks the world, copies the heap into
+/// an immutable snapshot and evaluates the §3.2 suite), and the snapshot
+/// window itself as a function of heap occupancy. The export carries the
+/// observatory's own counters (invariant.checked / snapshots /
+/// snapshot_ns_total / ...) and the trace ring accounting
+/// (trace.recorded_total / dropped_total) so BENCH_observatory.json is a
+/// self-describing record of a fully-instrumented run — run_benches.sh
+/// warns if trace.dropped_total ever goes non-zero.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchReport.h"
+#include "runtime/GcRuntime.h"
+#include "runtime/InvariantObservatory.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace tsogc;
+using namespace tsogc::rt;
+
+namespace {
+
+/// Rooted chains totalling \p LiveObjects objects (the snapshot capture
+/// copies headers and fields for the whole slab; the §3.2 checks walk the
+/// live graph).
+void populate(MutatorContext *M, unsigned LiveObjects) {
+  unsigned Spine = 0;
+  for (unsigned I = 0; I < LiveObjects; ++I) {
+    int Idx = M->alloc();
+    if (Idx < 0)
+      break;
+    if (++Spine % 16 != 0 && M->numRoots() >= 2) {
+      M->store(M->numRoots() - 2, static_cast<size_t>(Idx), 0);
+      M->discard(M->numRoots() - 2);
+    }
+  }
+}
+
+} // namespace
+
+/// Cycle cost with the observatory off (0) and on (1), same live set. The
+/// on/off ratio is the headline overhead number for docs/EXPERIMENTS.md.
+static void BM_CycleWithObservatory(benchmark::State &State) {
+  const bool On = State.range(0) != 0;
+  RtConfig Cfg;
+  Cfg.HeapObjects = 1u << 13;
+  Cfg.NumFields = 2;
+  Cfg.Observatory = On;
+  Cfg.Trace = On; // snapshot begin/end slices land in the ring
+  GcRuntime Rt(Cfg);
+  MutatorContext *M = Rt.registerMutator();
+  Rt.HandshakeServicer = [M] { M->safepoint(); };
+  populate(M, 4096);
+
+  for (auto _ : State) {
+    CycleStats CS = Rt.collectOnce();
+    benchmark::DoNotOptimize(CS);
+  }
+
+  bench::Reporter R(State,
+                    std::string("cycle_with_observatory/") + (On ? "1" : "0"));
+  const uint64_t Cycles = Rt.stats().Cycles.load();
+  R.counter("cycles", static_cast<double>(Cycles));
+  if (On) {
+    InvariantObservatory *Obs = Rt.observatory();
+    const uint64_t Snaps = Obs->snapshotCount();
+    R.counter("snapshots_per_cycle",
+              Cycles ? static_cast<double>(Snaps) / Cycles : 0.0);
+    R.counter("snapshot_us_avg",
+              Snaps ? static_cast<double>(Obs->snapshotNsTotal()) / Snaps /
+                          1000.0
+                    : 0.0);
+    R.counter("snapshot_us_max",
+              static_cast<double>(Obs->maxSnapshotNs()) / 1000.0);
+    R.counter("violations", static_cast<double>(Obs->violationCount()));
+    // The observatory's own counters and the ring accounting go into the
+    // export verbatim (invariant.*, trace.*).
+    Obs->exportMetrics(bench::registry());
+    observe::exportTraceMetrics(*Rt.traceSink(), bench::registry());
+  }
+  while (M->numRoots())
+    M->discard(0);
+  Rt.deregisterMutator(M);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_CycleWithObservatory)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+/// The snapshot window alone vs heap occupancy: an audit parks, captures,
+/// lifts and checks — the same path every boundary snapshot takes.
+static void BM_SnapshotWindowVsLiveSet(benchmark::State &State) {
+  const unsigned Live = static_cast<unsigned>(State.range(0));
+  RtConfig Cfg;
+  Cfg.HeapObjects = 1u << 15;
+  Cfg.NumFields = 2;
+  GcRuntime Rt(Cfg);
+  MutatorContext *M = Rt.registerMutator();
+  Rt.HandshakeServicer = [M] { M->safepoint(); };
+  populate(M, Live);
+
+  for (auto _ : State) {
+    GcRuntime::HeapAudit A = Rt.auditHeap();
+    benchmark::DoNotOptimize(A);
+  }
+  bench::Reporter R(State,
+                    "snapshot_window_vs_live_set/" + std::to_string(Live));
+  R.counter("live", static_cast<double>(Rt.heap().allocatedCount()));
+  while (M->numRoots())
+    M->discard(0);
+  Rt.deregisterMutator(M);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_SnapshotWindowVsLiveSet)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Unit(benchmark::kMicrosecond);

@@ -12,8 +12,14 @@
 # point is exercising every binary and validating every export, not stable
 # timings.
 #
-# Exit status is non-zero if any binary fails, or any export is missing,
-# empty, or not carrying the schema tag.
+# Each binary runs under a timeout ($TSOGC_BENCH_TIMEOUT seconds, default
+# 300) so one hung bench cannot stall the whole sweep; the failure message
+# names the offending binary. A warning is printed when an export reports
+# dropped trace events (trace.dropped_total > 0): the ring was too small
+# for the run and the Chrome timeline has holes.
+#
+# Exit status is non-zero if any binary fails, times out, or any export is
+# missing, empty, or not carrying the schema tag.
 
 set -u
 
@@ -41,8 +47,19 @@ if [ "$SMOKE" = 1 ]; then
   EXTRA_ARGS="--benchmark_min_time=0.01"
 fi
 
+# Per-bench wall-clock budget. `timeout` is coreutils; degrade gracefully
+# where it is missing rather than refusing to run.
+BENCH_TIMEOUT="${TSOGC_BENCH_TIMEOUT:-300}"
+if command -v timeout >/dev/null 2>&1; then
+  RUN_UNDER="timeout $BENCH_TIMEOUT"
+else
+  RUN_UNDER=""
+  echo "run_benches.sh: no 'timeout' binary; running without a per-bench limit" >&2
+fi
+
 STATUS=0
 RAN=0
+FAILED=""
 for b in "$BENCH_DIR"/bench_*; do
   [ -x "$b" ] || continue
   name=$(basename "$b")
@@ -50,20 +67,35 @@ for b in "$BENCH_DIR"/bench_*; do
   RAN=$((RAN + 1))
   echo "===== $name ====="
   rm -f "$out"
-  if ! TSOGC_BENCH_JSON="$out" TSOGC_BENCH_NAME="$name" "$b" $EXTRA_ARGS; then
-    echo "run_benches.sh: $name exited non-zero" >&2
+  TSOGC_BENCH_JSON="$out" TSOGC_BENCH_NAME="$name" $RUN_UNDER "$b" $EXTRA_ARGS
+  rc=$?
+  if [ "$rc" -ne 0 ]; then
+    if [ "$rc" -eq 124 ]; then
+      echo "run_benches.sh: $name timed out after ${BENCH_TIMEOUT}s" >&2
+    else
+      echo "run_benches.sh: $name exited non-zero ($rc)" >&2
+    fi
     STATUS=1
+    FAILED="$FAILED $name"
     echo
     continue
   fi
   if [ ! -s "$out" ]; then
     echo "run_benches.sh: $name wrote no $out" >&2
     STATUS=1
+    FAILED="$FAILED $name"
   elif ! grep -q '"schema":"tsogc-bench-v1"' "$out"; then
-    echo "run_benches.sh: $out is malformed (schema tag missing)" >&2
+    echo "run_benches.sh: $out from $name is malformed (schema tag missing)" >&2
     STATUS=1
+    FAILED="$FAILED $name"
   else
     echo "exported $out"
+    # Dropped trace events mean the ring wrapped mid-run: the export's
+    # timeline is incomplete. Loud, but not fatal.
+    dropped=$(sed -n 's/.*"trace\.dropped_total":{[^}]*"value":\([0-9]*\).*/\1/p' "$out")
+    if [ -n "$dropped" ] && [ "$dropped" -gt 0 ]; then
+      echo "run_benches.sh: warning: $name dropped $dropped trace events (raise RtConfig::TraceBufferEvents)" >&2
+    fi
   fi
   echo
 done
@@ -72,10 +104,13 @@ if [ "$RAN" = 0 ]; then
   echo "run_benches.sh: no bench binaries found under $BENCH_DIR" >&2
   exit 2
 fi
+if [ -n "$FAILED" ]; then
+  echo "run_benches.sh: failing benches:$FAILED" >&2
+fi
 
 # Required exports: suites CI depends on must actually have been produced
 # (a bench binary silently dropped from the build would otherwise pass).
-for required in BENCH_mark_throughput.json; do
+for required in BENCH_mark_throughput.json BENCH_observatory.json; do
   if [ ! -s "$required" ]; then
     echo "run_benches.sh: required export $required was not produced" >&2
     STATUS=1

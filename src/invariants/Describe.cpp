@@ -6,6 +6,20 @@
 
 using namespace tsogc;
 
+static std::string refName32(uint32_t R) {
+  if (R == observe::RtSnapNull)
+    return "null";
+  return format("r%u", R);
+}
+
+static std::string refList32(const std::vector<uint32_t> &Refs) {
+  std::vector<std::string> Parts;
+  Parts.reserve(Refs.size());
+  for (uint32_t R : Refs)
+    Parts.push_back(refName32(R));
+  return "{" + join(Parts, ",") + "}";
+}
+
 static std::string refName(Ref R) {
   if (R.isNull())
     return "null";
@@ -74,5 +88,63 @@ std::string tsogc::describeState(const GcModel &M, const GcSystemState &S) {
                     W.Val.toString().c_str());
     Out += '\n';
   }
+  return Out;
+}
+
+std::string tsogc::describeSnapshot(const observe::RtSnapshot &Snap,
+                                    uint32_t FocusRef, unsigned MaxObjects) {
+  static const char *PhaseNames[] = {"Idle", "Init", "Mark", "Sweep"};
+  const char *Phase =
+      Snap.Phase < 4 ? PhaseNames[Snap.Phase] : "?";
+
+  std::string Out;
+  Out += format("snapshot @ %s: cycle=%llu phase=%s fM=%d fA=%d%s\n",
+                observe::rtHsBoundaryName(Snap.Boundary),
+                static_cast<unsigned long long>(Snap.Cycle), Phase,
+                Snap.FM ? 1 : 0, Snap.FA ? 1 : 0,
+                Snap.InsertionElide ? " elide-insertion" : "");
+
+  for (const observe::RtSnapshotMutator &Mu : Snap.Mutators)
+    Out += format("mut%u: roots=%s Wm=%s\n", Mu.Index,
+                  refList32(Mu.Roots).c_str(),
+                  refList32(Mu.Worklist).c_str());
+  Out += format("gc W=%s\n", refList32(Snap.CollectorWorklist).c_str());
+  for (unsigned I = 0; I < Snap.SharedStripes.size(); ++I)
+    if (!Snap.SharedStripes[I].empty())
+      Out += format("shared W[%u]=%s\n", I,
+                    refList32(Snap.SharedStripes[I]).c_str());
+
+  // Render up to MaxObjects allocated objects; always include the focus ref
+  // and every object referencing it, so the offending neighborhood survives
+  // the cap.
+  auto MentionsFocus = [&](uint32_t R) {
+    if (FocusRef == observe::RtSnapNull)
+      return false;
+    if (R == FocusRef)
+      return true;
+    for (uint32_t F = 0; F < Snap.NumFields; ++F)
+      if (Snap.fieldAt(R, F) == FocusRef)
+        return true;
+    return false;
+  };
+  Out += "heap:";
+  unsigned Shown = 0, Skipped = 0;
+  for (uint32_t R = 0; R < Snap.Capacity; ++R) {
+    if (!Snap.Allocated[R])
+      continue;
+    if (Shown >= MaxObjects && !MentionsFocus(R)) {
+      ++Skipped;
+      continue;
+    }
+    ++Shown;
+    Out += format(" r%u[%d](", R, Snap.Marks[R] ? 1 : 0);
+    std::vector<std::string> Fs;
+    for (uint32_t F = 0; F < Snap.NumFields; ++F)
+      Fs.push_back(refName32(Snap.fieldAt(R, F)));
+    Out += join(Fs, ",") + ")";
+  }
+  if (Skipped)
+    Out += format(" ... (%u more)", Skipped);
+  Out += '\n';
   return Out;
 }

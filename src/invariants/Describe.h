@@ -10,6 +10,7 @@
 #define TSOGC_INVARIANTS_DESCRIBE_H
 
 #include "gcmodel/GcModel.h"
+#include "observe/Snapshot.h"
 
 #include <string>
 
@@ -19,6 +20,16 @@ namespace tsogc {
 /// per-mutator roots/work-list/views, heap contents, store buffers, lock,
 /// and handshake registers.
 std::string describeState(const GcModel &M, const GcSystemState &S);
+
+/// The runtime counterpart, used by the invariant observatory's violation
+/// dumps: collector control line, per-mutator roots and private worklists,
+/// collector worklist and shared stripes, then the heap. Heap rendering is
+/// capped at \p MaxObjects (the runtime slab holds thousands); \p FocusRef,
+/// when not RtSnapNull, is always rendered along with every object whose
+/// fields reference it, cap or no cap.
+std::string describeSnapshot(const observe::RtSnapshot &Snap,
+                             uint32_t FocusRef = observe::RtSnapNull,
+                             unsigned MaxObjects = 64);
 
 } // namespace tsogc
 

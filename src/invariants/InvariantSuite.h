@@ -16,17 +16,12 @@
 #define TSOGC_INVARIANTS_INVARIANTSUITE_H
 
 #include "invariants/GcPredicates.h"
+#include "invariants/Violation.h"
 
 #include <optional>
 #include <string>
 
 namespace tsogc {
-
-/// A failed invariant: which one and why.
-struct Violation {
-  std::string Name;
-  std::string Detail;
-};
 
 class InvariantSuite {
 public:

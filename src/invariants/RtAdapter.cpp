@@ -1,0 +1,363 @@
+//===- invariants/RtAdapter.cpp --------------------------------------------===//
+
+#include "invariants/RtAdapter.h"
+
+#include "support/Assert.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace tsogc;
+using namespace tsogc::observe;
+
+namespace {
+
+std::optional<Violation> fail(const char *Name, std::string Detail) {
+  return Violation{Name, std::move(Detail)};
+}
+
+/// Runtime refs live in the same fixed universe as the snapshot's slab
+/// (every alloc() result is a slab index); anything else is corruption the
+/// lift refuses to paper over.
+Ref liftRef(uint32_t V, uint32_t Capacity) {
+  if (V == RtSnapNull)
+    return Ref::null();
+  TSOGC_CHECK(V < Capacity, "snapshot reference outside the slab universe");
+  return Ref(static_cast<uint16_t>(V));
+}
+
+bool isMarked(const RtAbstractState &A, Ref R) {
+  return A.H.isValid(R) && A.H.markFlag(R) == A.FM;
+}
+
+/// The grey-protected set, computed once: a ref is protected iff it is grey
+/// or white and reachable from some grey via a chain of white objects
+/// (Figure 1). One forward BFS from the greys replaces the model's per-ref
+/// isGreyProtected search — snapshots quantify over the whole heap, so the
+/// closure pays for itself immediately.
+std::vector<uint8_t> greyProtectedSet(const RtAbstractState &A) {
+  std::vector<uint8_t> Prot(A.H.numRefs(), 0);
+  std::vector<Ref> Work;
+  for (Ref G : A.Greys) {
+    if (G.isNull() || Prot[G.index()])
+      continue;
+    Prot[G.index()] = 1;
+    if (A.H.isValid(G))
+      Work.push_back(G);
+  }
+  while (!Work.empty()) {
+    Ref R = Work.back();
+    Work.pop_back();
+    for (Ref F : A.H.object(R).Fields) {
+      if (F.isNull() || !A.H.isValid(F) || Prot[F.index()])
+        continue;
+      if (A.H.markFlag(F) == A.FM)
+        continue; // Chains extend through white objects only.
+      Prot[F.index()] = 1;
+      Work.push_back(F);
+    }
+  }
+  return Prot;
+}
+
+} // namespace
+
+RtAbstractState tsogc::liftSnapshot(const RtSnapshot &Snap) {
+  TSOGC_CHECK(Snap.Capacity > 0 && Snap.Capacity <= 0xFFFE,
+              "snapshot capacity exceeds the model Ref universe");
+  RtAbstractState A;
+  A.H = Heap(Snap.Capacity, Snap.NumFields);
+  A.FM = Snap.FM;
+  A.FA = Snap.FA;
+  A.Phase = Snap.Phase;
+  A.Boundary = Snap.Boundary;
+  A.Cycle = Snap.Cycle;
+  A.InsertionElide = Snap.InsertionElide;
+
+  for (uint32_t R = 0; R < Snap.Capacity; ++R) {
+    if (!Snap.Allocated[R])
+      continue;
+    Ref MR(static_cast<uint16_t>(R));
+    A.H.allocAt(MR, Snap.Marks[R] != 0);
+    for (uint32_t F = 0; F < Snap.NumFields; ++F)
+      A.H.setField(MR, F, liftRef(Snap.fieldAt(R, F), Snap.Capacity));
+  }
+
+  auto LiftList = [&](const std::vector<uint32_t> &In, std::string Name) {
+    std::vector<Ref> Out;
+    Out.reserve(In.size());
+    for (uint32_t V : In)
+      Out.push_back(liftRef(V, Snap.Capacity));
+    A.Greys.insert(A.Greys.end(), Out.begin(), Out.end());
+    A.Worklists.push_back(std::move(Out));
+    A.WorklistNames.push_back(std::move(Name));
+  };
+
+  for (const RtSnapshotMutator &Mu : Snap.Mutators) {
+    for (uint32_t V : Mu.Roots)
+      A.Roots.push_back(liftRef(V, Snap.Capacity));
+    LiftList(Mu.Worklist, format("W_m%u", Mu.Index));
+  }
+  LiftList(Snap.CollectorWorklist, "gc W");
+  for (unsigned I = 0; I < Snap.SharedStripes.size(); ++I)
+    LiftList(Snap.SharedStripes[I], format("shared W[%u]", I));
+  return A;
+}
+
+std::optional<Violation> tsogc::rtCheckValidRefs(const RtAbstractState &A) {
+  const Heap &H = A.H;
+  for (Ref R : A.Roots)
+    if (!R.isNull() && !H.isValid(R))
+      return fail("safety-headline",
+                  format("mutator root r%u has no object", R.index()));
+  for (Ref B : H.allocatedRefs())
+    for (Ref F : H.object(B).Fields)
+      if (!F.isNull() && !H.isValid(F))
+        return fail("valid-refs",
+                    format("field of r%u references freed r%u", B.index(),
+                           F.index()));
+  for (unsigned L = 0; L < A.Worklists.size(); ++L)
+    for (Ref R : A.Worklists[L])
+      if (!H.isValid(R))
+        return fail("valid-refs",
+                    format("%s entry r%u has no object",
+                           A.WorklistNames[L].c_str(), R.index()));
+  return std::nullopt;
+}
+
+std::optional<Violation> tsogc::rtCheckValidW(const RtAbstractState &A,
+                                              bool RequireMarked) {
+  if (RequireMarked)
+    for (unsigned L = 0; L < A.Worklists.size(); ++L)
+      for (Ref R : A.Worklists[L])
+        if (!isMarked(A, R))
+          return fail("valid-W",
+                      format("%s entry r%u is not marked",
+                             A.WorklistNames[L].c_str(), R.index()));
+
+  // Pairwise disjoint: the intrusive WorkNext chain gives every object at
+  // most one successor, and the mark CAS admits one publisher — a duplicate
+  // means a splice or steal tore a chain.
+  std::vector<int> Owner(A.H.numRefs(), -1);
+  for (unsigned L = 0; L < A.Worklists.size(); ++L)
+    for (Ref R : A.Worklists[L]) {
+      if (R.isNull())
+        continue;
+      if (Owner[R.index()] >= 0)
+        return fail("valid-W",
+                    format("r%u appears on both %s and %s", R.index(),
+                           A.WorklistNames[Owner[R.index()]].c_str(),
+                           A.WorklistNames[L].c_str()));
+      Owner[R.index()] = static_cast<int>(L);
+    }
+  return std::nullopt;
+}
+
+std::optional<Violation>
+tsogc::rtCheckStrongTricolor(const RtAbstractState &A) {
+  ColorView CV(A.H, A.FM, A.Greys);
+  for (Ref B : A.H.allocatedRefs()) {
+    if (!CV.isBlack(B))
+      continue;
+    for (Ref F : A.H.object(B).Fields)
+      if (!F.isNull() && CV.isWhite(F) && !CV.isGrey(F))
+        return fail("strong-tricolor",
+                    format("black r%u points to white r%u", B.index(),
+                           F.index()));
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> tsogc::rtCheckWeakTricolor(const RtAbstractState &A) {
+  ColorView CV(A.H, A.FM, A.Greys);
+  std::vector<uint8_t> Prot = greyProtectedSet(A);
+  for (Ref B : A.H.allocatedRefs()) {
+    if (!CV.isBlack(B))
+      continue;
+    for (Ref F : A.H.object(B).Fields) {
+      if (F.isNull() || !CV.isWhite(F) || CV.isGrey(F))
+        continue;
+      if (!Prot[F.index()])
+        return fail("weak-tricolor",
+                    format("white r%u (referenced by black r%u) is not "
+                           "grey-protected",
+                           F.index(), B.index()));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> tsogc::rtCheckNoMarked(const RtAbstractState &A) {
+  for (Ref R : A.H.allocatedRefs())
+    if (A.H.markFlag(R) == A.FM)
+      return fail("no-black-window",
+                  format("marked r%u exists during H2", R.index()));
+  for (Ref G : A.Greys)
+    if (!G.isNull())
+      return fail("no-black-window",
+                  format("grey r%u exists during H2", G.index()));
+  return std::nullopt;
+}
+
+std::optional<Violation> tsogc::rtCheckNoBlack(const RtAbstractState &A) {
+  ColorView CV(A.H, A.FM, A.Greys);
+  for (Ref R : A.H.allocatedRefs())
+    if (CV.isBlack(R))
+      return fail("no-black-window",
+                  format("black r%u exists during H3 (hp_InitMark)",
+                         R.index()));
+  return std::nullopt;
+}
+
+std::optional<Violation>
+tsogc::rtCheckReachableSnapshot(const RtAbstractState &A) {
+  std::vector<uint8_t> Prot = greyProtectedSet(A);
+  for (Ref R : A.H.reachableFrom(A.Roots)) {
+    if (!A.H.isValid(R))
+      return fail("reachable-snapshot",
+                  format("a mutator reaches dangling r%u", R.index()));
+    if (A.H.markFlag(R) != A.FM && !Prot[R.index()])
+      return fail("reachable-snapshot",
+                  format("a mutator reaches white unprotected r%u",
+                         R.index()));
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> tsogc::rtCheckSweepNoGrey(const RtAbstractState &A) {
+  for (unsigned L = 0; L < A.Worklists.size(); ++L)
+    if (!A.Worklists[L].empty())
+      return fail("sweep-no-grey",
+                  format("%s holds r%u during sweep",
+                         A.WorklistNames[L].c_str(),
+                         A.Worklists[L].front().index()));
+  return std::nullopt;
+}
+
+std::optional<Violation>
+tsogc::rtCheckFreePrecondition(const RtAbstractState &A) {
+  // Everything white at SweepBegin is about to be freed; none of it may be
+  // reachable (the at-p-ℓ assertion of Fig 2 line 42, hoisted to the start
+  // of the sweep — the sweep takes no further locks and frees exactly the
+  // white set, so checking all of it here is the same statement).
+  for (Ref R : A.H.reachableFrom(A.Roots)) {
+    if (!A.H.isValid(R))
+      continue; // valid-refs reports dangling separately.
+    if (A.H.markFlag(R) != A.FM)
+      return fail("free-precondition",
+                  format("sweep is about to free reachable white r%u",
+                         R.index()));
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> tsogc::rtCheckIdleUniform(const RtAbstractState &A) {
+  for (Ref R : A.H.allocatedRefs())
+    if (A.H.markFlag(R) != A.FA)
+      return fail("idle-uniform",
+                  format("r%u breaks heap uniformity during Idle",
+                         R.index()));
+  for (Ref G : A.Greys)
+    if (!G.isNull())
+      return fail("idle-uniform",
+                  format("grey r%u exists during Idle", G.index()));
+  return std::nullopt;
+}
+
+std::optional<Violation> tsogc::checkSnapshot(const RtAbstractState &A) {
+  using B = RtHsBoundary;
+  // The marked-entries half of valid-W holds from the moment worklists can
+  // first be non-empty in a cycle (H3 onwards; the H1/H2/CycleEnd windows
+  // require *empty* lists via their own checks). Audit/Stw snapshots can
+  // land in any phase, so gate on the phase instead.
+  bool RequireMarked = false;
+  switch (A.Boundary) {
+  case B::H3PhaseInit:
+  case B::H4PhaseMark:
+  case B::H5GetRoots:
+  case B::H6GetWork:
+  case B::SweepBegin:
+    RequireMarked = true;
+    break;
+  case B::Audit:
+  case B::Stw:
+    RequireMarked = A.Phase == 1 || A.Phase == 2; // Init or Mark.
+    break;
+  default:
+    break;
+  }
+
+  if (auto V = rtCheckValidRefs(A))
+    return V;
+  if (auto V = rtCheckValidW(A, RequireMarked))
+    return V;
+
+  switch (A.Boundary) {
+  case B::H1Idle:
+  case B::CycleEnd:
+    return rtCheckIdleUniform(A);
+  case B::H2FlipFM:
+    return rtCheckNoMarked(A);
+  case B::H3PhaseInit:
+    return rtCheckNoBlack(A);
+  case B::H4PhaseMark:
+    return A.InsertionElide ? rtCheckWeakTricolor(A)
+                            : rtCheckStrongTricolor(A);
+  case B::H5GetRoots:
+  case B::H6GetWork:
+    if (auto V = A.InsertionElide ? rtCheckWeakTricolor(A)
+                                  : rtCheckStrongTricolor(A))
+      return V;
+    return rtCheckReachableSnapshot(A);
+  case B::SweepBegin:
+    if (auto V = rtCheckSweepNoGrey(A))
+      return V;
+    return rtCheckFreePrecondition(A);
+  case B::Audit:
+  case B::Stw:
+    return std::nullopt; // Structural checks only: any phase is possible.
+  }
+  return std::nullopt;
+}
+
+RtAuditCounts tsogc::rtAudit(const RtAbstractState &A) {
+  RtAuditCounts C;
+  const Heap &H = A.H;
+  std::vector<uint8_t> Seen(H.numRefs(), 0);
+  std::vector<Ref> Stack;
+  auto Visit = [&](Ref R, bool IsRoot) {
+    if (R.isNull())
+      return;
+    if (!H.isValid(R)) {
+      (IsRoot ? C.DanglingRoots : C.DanglingFields) += 1;
+      return;
+    }
+    if (!Seen[R.index()]) {
+      Seen[R.index()] = 1;
+      Stack.push_back(R);
+    }
+  };
+  for (Ref R : A.Roots)
+    Visit(R, /*IsRoot=*/true);
+  while (!Stack.empty()) {
+    Ref R = Stack.back();
+    Stack.pop_back();
+    ++C.Reachable;
+    for (Ref F : H.object(R).Fields)
+      Visit(F, /*IsRoot=*/false);
+  }
+  for (Ref R : H.allocatedRefs())
+    if (!Seen[R.index()])
+      ++C.Unreachable;
+
+  const bool CheckMarked = A.Phase == 1 || A.Phase == 2; // Init or Mark.
+  for (const std::vector<Ref> &L : A.Worklists)
+    for (Ref R : L) {
+      ++C.WorklistEntries;
+      if (!H.isValid(R))
+        ++C.DanglingWorklist;
+      else if (CheckMarked && H.markFlag(R) != A.FM)
+        ++C.UnmarkedWorklist;
+    }
+  return C;
+}

@@ -1,0 +1,136 @@
+//===- invariants/RtAdapter.h - §3.2 invariants over runtime snapshots ----===//
+///
+/// \file
+/// The bridge that lets one invariant suite police both worlds: it lifts an
+/// observe::RtSnapshot (a quiescent copy of the real collector's heap,
+/// control variables, roots and worklists) into the same abstract domain the
+/// model checker explores — a heap/Heap.h partial map plus a ColorView — and
+/// re-evaluates the §3.2 suite over it.
+///
+/// Which checks apply depends on where the snapshot was taken. The model
+/// gates assertions on the handshake ghost round; here the snapshot's
+/// RtHsBoundary plays that role. The TSO-buffer components of the model
+/// invariants (marked_insertions / marked_deletions over pending writes)
+/// have no snapshot counterpart by construction: parked mutators sit between
+/// Figure 6 operations and their acknowledgement fences drained the store
+/// buffers, so those clauses reduce to the committed-heap checks below
+/// (strong-tricolor / reachable-snapshot). Violation names are shared with
+/// the model suite verbatim so a hardware detection can be matched against
+/// the explorer's prediction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_INVARIANTS_RTADAPTER_H
+#define TSOGC_INVARIANTS_RTADAPTER_H
+
+#include "heap/Color.h"
+#include "invariants/Violation.h"
+#include "observe/Snapshot.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tsogc {
+
+/// A runtime snapshot lifted into the model's abstract domain. Worklists
+/// keeps per-list identity (for disjointness and diagnostics); Greys is
+/// their union, which is exactly the model's grey set — the runtime has no
+/// honorary-grey window at a boundary because nobody is mid-CAS while the
+/// world is quiescent.
+struct RtAbstractState {
+  Heap H;
+  bool FM = false;
+  bool FA = false;
+  uint8_t Phase = 0; ///< Numeric RtPhase: 0 Idle, 1 Init, 2 Mark, 3 Sweep.
+  observe::RtHsBoundary Boundary = observe::RtHsBoundary::Audit;
+  uint64_t Cycle = 0;
+  bool InsertionElide = false;
+
+  /// Union of all mutator shadow-stack roots (the roots of the headline
+  /// safety property).
+  std::vector<Ref> Roots;
+
+  std::vector<std::vector<Ref>> Worklists;
+  std::vector<std::string> WorklistNames;
+  std::vector<Ref> Greys;
+
+  RtAbstractState() : H(1, 1) {}
+};
+
+/// Translate a snapshot. Requires Snap.Capacity <= 0xFFFE (the model Ref
+/// universe is uint16_t-indexed); the default runtime heap fits.
+RtAbstractState liftSnapshot(const observe::RtSnapshot &Snap);
+
+/// Evaluate the boundary-gated suite; first failure wins. Every boundary
+/// checks valid-refs and valid-W; the rest follows the model's gating:
+///
+///   H1Idle / CycleEnd   idle-uniform (heap uniformly fA-colored, no greys)
+///   H2FlipFM            no marked objects, no greys      (hp_IdleInit)
+///   H3PhaseInit         no black objects                 (hp_InitMark)
+///   H4..H6              strong-tricolor (weak under insertion elision)
+///   H5 / H6             reachable-snapshot
+///   SweepBegin          sweep-no-grey, free-precondition
+///   Audit / Stw         structural checks only (any phase is possible)
+std::optional<Violation> checkSnapshot(const RtAbstractState &A);
+
+//===-- Individual checks (public for unit tests and ablation reports) ----===//
+
+/// Mutator roots are backed by objects ("safety-headline"); so are all heap
+/// fields and worklist entries ("valid-refs").
+std::optional<Violation> rtCheckValidRefs(const RtAbstractState &A);
+
+/// Worklists are pairwise disjoint; when \p RequireMarked, every entry is
+/// marked with the current sense (it was published by a completed CAS).
+std::optional<Violation> rtCheckValidW(const RtAbstractState &A,
+                                       bool RequireMarked);
+
+/// No heap edge from a black object to a white one.
+std::optional<Violation> rtCheckStrongTricolor(const RtAbstractState &A);
+
+/// Every white object referenced by a black one is grey-protected.
+std::optional<Violation> rtCheckWeakTricolor(const RtAbstractState &A);
+
+/// H2 window: the flip turned the heap white — nothing marked, nothing grey.
+std::optional<Violation> rtCheckNoMarked(const RtAbstractState &A);
+
+/// H3 window: marked implies grey (no blacks before fA flips).
+std::optional<Violation> rtCheckNoBlack(const RtAbstractState &A);
+
+/// Everything reachable from the (already marked) roots is black or
+/// grey-protected — the snapshot property that makes black mutators safe.
+std::optional<Violation> rtCheckReachableSnapshot(const RtAbstractState &A);
+
+/// Mark termination: no greys anywhere once the sweep begins.
+std::optional<Violation> rtCheckSweepNoGrey(const RtAbstractState &A);
+
+/// Nothing the sweep is about to free (white at SweepBegin) is reachable.
+std::optional<Violation> rtCheckFreePrecondition(const RtAbstractState &A);
+
+/// Idle heap is uniformly colored fA with no greys.
+std::optional<Violation> rtCheckIdleUniform(const RtAbstractState &A);
+
+//===-- Audit counts ------------------------------------------------------===//
+
+/// Structural audit over a lifted snapshot; GcRuntime::auditHeap reports
+/// these so the audit and the observatory share one translation and cannot
+/// drift. Dangling* count per-edge (a root and a field referencing the same
+/// dead object both count); Reachable counts objects once.
+struct RtAuditCounts {
+  uint64_t Reachable = 0;
+  uint64_t Unreachable = 0;
+  uint64_t DanglingRoots = 0;
+  uint64_t DanglingFields = 0;
+  uint64_t WorklistEntries = 0;
+  uint64_t DanglingWorklist = 0;
+  /// Entries not marked with the current sense; only counted while the
+  /// snapshot phase is Init or Mark (outside a cycle stale-sense residue
+  /// is legal only on an empty list, which contributes nothing).
+  uint64_t UnmarkedWorklist = 0;
+};
+
+RtAuditCounts rtAudit(const RtAbstractState &A);
+
+} // namespace tsogc
+
+#endif // TSOGC_INVARIANTS_RTADAPTER_H

@@ -1,0 +1,30 @@
+//===- invariants/Violation.h - A failed invariant ------------------------===//
+///
+/// \file
+/// The one value every checker in this directory returns on failure: which
+/// invariant broke and a human-readable account of how. Split out of
+/// InvariantSuite.h so checkers that do not need the full model state
+/// (notably the runtime-snapshot adapters in RtAdapter.h) can report the
+/// same way without depending on gcmodel/.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_INVARIANTS_VIOLATION_H
+#define TSOGC_INVARIANTS_VIOLATION_H
+
+#include <string>
+
+namespace tsogc {
+
+/// A failed invariant: which one and why. Names are stable identifiers
+/// shared between the model suite and the runtime adapters ("valid-refs",
+/// "strong-tricolor", "valid-W", "reachable-snapshot", ...), so an ablation
+/// caught on hardware can be matched against the explorer's prediction.
+struct Violation {
+  std::string Name;
+  std::string Detail;
+};
+
+} // namespace tsogc
+
+#endif // TSOGC_INVARIANTS_VIOLATION_H

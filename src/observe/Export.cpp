@@ -150,6 +150,14 @@ std::string tsogc::observe::traceToChromeJson(const TraceSink &Sink) {
       Ph = "E";
       Name = "mark_worker";
       break;
+    case EventKind::SnapshotBegin:
+      Ph = "B";
+      Name = "snapshot";
+      break;
+    case EventKind::SnapshotEnd:
+      Ph = "E";
+      Name = "snapshot";
+      break;
     default:
       break;
     }
@@ -170,6 +178,15 @@ std::string tsogc::observe::traceToChromeJson(const TraceSink &Sink) {
                 TraceSchema,
                 static_cast<unsigned long long>(Sink.totalDropped()));
   return Out;
+}
+
+void tsogc::observe::exportTraceMetrics(const TraceSink &Sink,
+                                        MetricsRegistry &Reg,
+                                        const std::string &Prefix) {
+  Reg.counter(Prefix + "recorded_total", Sink.totalRecorded());
+  Reg.counter(Prefix + "dropped_total", Sink.totalDropped());
+  Reg.counter(Prefix + "buffers",
+              static_cast<uint64_t>(Sink.buffers().size()));
 }
 
 //===-- Minimal structural JSON parser ------------------------------------===//

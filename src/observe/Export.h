@@ -38,6 +38,13 @@ std::string metricsToJson(const MetricsRegistry &Registry,
 /// quiescence only (see TraceBuffer::snapshot).
 std::string traceToChromeJson(const TraceSink &Sink);
 
+/// Register the sink's own health counters into \p Reg:
+/// "<Prefix>recorded_total", "<Prefix>dropped_total" (ring-wraparound loss;
+/// non-zero means exported traces are evidence with holes — run_benches.sh
+/// warns on it) and "<Prefix>buffers". Call at quiescence like any export.
+void exportTraceMetrics(const TraceSink &Sink, MetricsRegistry &Reg,
+                        const std::string &Prefix = "trace.");
+
 /// Structural validation: true iff \p Text is one complete JSON value.
 /// Accepts the full JSON grammar; no semantic interpretation.
 bool validateJson(const std::string &Text);

@@ -1,0 +1,136 @@
+//===- observe/Snapshot.h - Immutable runtime heap/phase snapshots --------===//
+///
+/// \file
+/// The data contract between the live collector and the §3.2 invariant
+/// suite: an RtSnapshot is a plain-data copy of everything the abstract
+/// model quantifies over — heap headers and fields, the collector control
+/// variables (fM, fA, phase), every root set, and every grey worklist
+/// (collector chain, per-mutator private chains, shared transfer stripes).
+///
+/// Snapshots are taken only while the world is quiescent: during an existing
+/// park, inside a brief stop-the-mutators window at a handshake boundary, or
+/// with the single-threaded HandshakeServicer hook in force. Mutators park
+/// inside their safepoint handlers, never in the middle of a Figure 6
+/// operation, and the park acknowledgement fences drain their TSO store
+/// buffers — so by the time the copy runs, the buffered-store components of
+/// the model invariants (marked_insertions / marked_deletions over pending
+/// writes) have degenerated to their committed-heap forms. That is what lets
+/// invariants/RtAdapter.h evaluate the suite over this struct alone.
+///
+/// This header deliberately depends on nothing but the standard library: it
+/// is consumed both by src/runtime/ (the producer) and src/invariants/ (the
+/// checker), and must not drag either one's dependencies into the other.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_OBSERVE_SNAPSHOT_H
+#define TSOGC_OBSERVE_SNAPSHOT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace tsogc::observe {
+
+/// Where in the cycle a snapshot was taken. The H1..H6 values mirror the
+/// model's HsRound ghost (gcmodel/GcTypes.h): boundary HK means "the round-K
+/// handshake just completed, every mutator acknowledged it". SweepBegin and
+/// CycleEnd are the two configurable cycle points outside the handshake
+/// ladder; Audit and Stw tag captures made for GcRuntime::auditHeap and
+/// inside a stop-the-world cycle's existing park.
+enum class RtHsBoundary : uint8_t {
+  H1Idle = 0,  ///< After the first no-op round (phase Idle, pre-flip).
+  H2FlipFM,    ///< After the round acknowledging the fM flip.
+  H3PhaseInit, ///< After the round acknowledging phase := Init.
+  H4PhaseMark, ///< After the round acknowledging phase := Mark and fA.
+  H5GetRoots,  ///< After the get-roots round: all roots marked.
+  H6GetWork,   ///< After a get-work termination round.
+  SweepBegin,  ///< Marking terminated; the sweep has not freed anything yet.
+  CycleEnd,    ///< After the sweep, phase back to Idle.
+  Audit,       ///< GcRuntime::auditHeap capture (any phase).
+  Stw,         ///< Inside a stop-the-world cycle's park window.
+};
+
+/// Stable display name ("h5-get-roots", "sweep-begin", ...).
+inline const char *rtHsBoundaryName(RtHsBoundary B) {
+  switch (B) {
+  case RtHsBoundary::H1Idle:
+    return "h1-idle";
+  case RtHsBoundary::H2FlipFM:
+    return "h2-flip-fm";
+  case RtHsBoundary::H3PhaseInit:
+    return "h3-phase-init";
+  case RtHsBoundary::H4PhaseMark:
+    return "h4-phase-mark";
+  case RtHsBoundary::H5GetRoots:
+    return "h5-get-roots";
+  case RtHsBoundary::H6GetWork:
+    return "h6-get-work";
+  case RtHsBoundary::SweepBegin:
+    return "sweep-begin";
+  case RtHsBoundary::CycleEnd:
+    return "cycle-end";
+  case RtHsBoundary::Audit:
+    return "audit";
+  case RtHsBoundary::Stw:
+    return "stw";
+  }
+  return "unknown";
+}
+
+/// Null reference encoding inside a snapshot (matches the runtime's RtNull).
+inline constexpr uint32_t RtSnapNull = ~0u;
+
+/// One mutator's contribution: its shadow-stack roots (epochs dropped — the
+/// abstraction has no epochs) and its private grey worklist, head first.
+struct RtSnapshotMutator {
+  uint32_t Index = 0;
+  std::vector<uint32_t> Roots;
+  std::vector<uint32_t> Worklist;
+};
+
+/// The immutable capture. Heap state is dense (indexed by slab ref) so the
+/// copy is two memcpy-shaped loops; worklists are materialized by walking
+/// the intrusive WorkNext chains, which is safe precisely because the world
+/// is quiescent.
+struct RtSnapshot {
+  RtHsBoundary Boundary = RtHsBoundary::Audit;
+  uint64_t Cycle = 0;  ///< Completed-cycle count at capture time.
+  uint64_t TimeNs = 0; ///< steady-clock capture timestamp.
+
+  // Collector control variables (the three shared variables of Figure 2),
+  // read on the collector thread — the only writer.
+  bool FM = false;
+  bool FA = false;
+  uint8_t Phase = 0; ///< Numeric RtPhase: 0 Idle, 1 Init, 2 Mark, 3 Sweep.
+
+  /// The §4 insertion-barrier elision is configured: the strong tricolor
+  /// invariant is deliberately given up for the weak one (Figure 1).
+  bool InsertionElide = false;
+
+  uint32_t Capacity = 0;
+  uint32_t NumFields = 0;
+
+  /// Dense heap copy, all sized by Capacity (Fields by Capacity*NumFields).
+  std::vector<uint8_t> Allocated; ///< 0/1 per slab slot.
+  std::vector<uint8_t> Marks;     ///< Raw mark bit per slot.
+  std::vector<uint32_t> Fields;   ///< RtSnapNull for null fields.
+
+  std::vector<RtSnapshotMutator> Mutators;
+  std::vector<uint32_t> CollectorWorklist;
+  std::vector<std::vector<uint32_t>> SharedStripes;
+
+  /// Cost of the copy-out itself (the full stop window, including the
+  /// park/resume rounds around it, is accounted by the caller).
+  uint64_t CaptureNs = 0;
+
+  uint32_t fieldAt(uint32_t R, uint32_t F) const {
+    return Fields[R * NumFields + F];
+  }
+  bool allocatedAt(uint32_t R) const {
+    return R < Capacity && Allocated[R] != 0;
+  }
+};
+
+} // namespace tsogc::observe
+
+#endif // TSOGC_OBSERVE_SNAPSHOT_H

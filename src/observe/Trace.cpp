@@ -40,6 +40,12 @@ const char *tsogc::observe::eventKindName(EventKind K) {
     return "mark_worker_begin";
   case EventKind::MarkWorkerEnd:
     return "mark_worker_end";
+  case EventKind::SnapshotBegin:
+    return "snapshot_begin";
+  case EventKind::SnapshotEnd:
+    return "snapshot_end";
+  case EventKind::InvariantViolation:
+    return "invariant_violation";
   }
   return "unknown";
 }

@@ -52,6 +52,14 @@ enum class EventKind : uint8_t {
                      ///< B = round ordinal within the cycle.
   MarkWorkerEnd,     ///< Mark worker went idle for the round. A = worker
                      ///< id, B = objects scanned so far this cycle.
+  SnapshotBegin,     ///< Observatory: stop window opening. A = snapshot
+                     ///< ordinal, Arg = RtHsBoundary.
+  SnapshotEnd,       ///< Observatory: checks done, world resumed. A = new
+                     ///< violations, B = window ns (saturated), Arg =
+                     ///< RtHsBoundary.
+  InvariantViolation, ///< Observatory: a §3.2 check failed. A = violation
+                      ///< ordinal, B = offending ref (or ~0), Arg =
+                      ///< RtHsBoundary.
 };
 
 /// Human-readable name for an event kind (stable; part of the export

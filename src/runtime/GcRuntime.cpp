@@ -2,6 +2,7 @@
 
 #include "runtime/GcRuntime.h"
 
+#include "runtime/InvariantObservatory.h"
 #include "runtime/RtCollector.h"
 
 #include <chrono>
@@ -13,6 +14,8 @@ GcRuntime::GcRuntime(const RtConfig &Cfg) : Heap(Cfg) {
     Trace = std::make_unique<observe::TraceSink>(Cfg.TraceBufferEvents);
     CollectorTraceBuf = Trace->createBuffer(observe::CollectorTid);
   }
+  if (Cfg.Observatory)
+    Observatory = std::make_unique<InvariantObservatory>(*this);
 }
 
 GcRuntime::~GcRuntime() { stopCollector(); }
@@ -138,6 +141,70 @@ tsogc::observe::TraceBuffer *GcRuntime::markWorkerTrace(unsigned W) {
 GcRuntime::HeapAudit GcRuntime::auditHeap() {
   RtCollector C(*this);
   return C.audit();
+}
+
+tsogc::observe::RtSnapshot
+GcRuntime::captureSnapshot(observe::RtHsBoundary Boundary,
+                           RtRef CollectorWorkHead) {
+  namespace ob = tsogc::observe;
+  const auto T0 = std::chrono::steady_clock::now();
+  ob::RtSnapshot S;
+  S.Boundary = Boundary;
+  S.Cycle = Stats.Cycles.load(std::memory_order_relaxed);
+  S.TimeNs = ob::traceNowNs();
+  S.FM = FM.load(std::memory_order_relaxed) != 0;
+  S.FA = FA.load(std::memory_order_relaxed) != 0;
+  S.Phase = static_cast<uint8_t>(Phase.load(std::memory_order_relaxed));
+  S.InsertionElide = config().InsertionBarrierElideAfterRoots;
+  S.Capacity = Heap.capacity();
+  S.NumFields = config().NumFields;
+
+  // Dense heap copy. The world is quiescent: every mutator is blocked in a
+  // park handler (its ack fence drained its store buffer and the
+  // collector's acquire of the ack ordered those writes before this read)
+  // or being serviced from this very thread.
+  S.Allocated.resize(S.Capacity);
+  S.Marks.resize(S.Capacity);
+  S.Fields.assign(static_cast<size_t>(S.Capacity) * S.NumFields,
+                  ob::RtSnapNull);
+  for (RtRef R = 0; R < S.Capacity; ++R) {
+    const uint32_t H = Heap.header(R);
+    if (!hdr::allocated(H))
+      continue;
+    S.Allocated[R] = 1;
+    S.Marks[R] = hdr::mark(H) ? 1 : 0;
+    for (uint32_t F = 0; F < S.NumFields; ++F)
+      S.Fields[static_cast<size_t>(R) * S.NumFields + F] = Heap.field(R, F);
+  }
+
+  // Worklists are intrusive chains; walking them is stable at quiescence.
+  auto WalkChain = [this](RtRef Head, std::vector<uint32_t> &Out) {
+    for (RtRef R = Head; R != RtNull; R = Heap.workNext(R))
+      Out.push_back(R);
+  };
+
+  for (auto *Slot : activeSlots()) {
+    MutatorContext &M = *Slot->Ctx;
+    ob::RtSnapshotMutator Mu;
+    Mu.Index = M.index();
+    Mu.Roots.reserve(M.Roots.size());
+    for (const RootHandle &H : M.Roots)
+      Mu.Roots.push_back(H.Ref);
+    WalkChain(M.WorkHead, Mu.Worklist);
+    S.Mutators.push_back(std::move(Mu));
+  }
+
+  WalkChain(CollectorWorkHead, S.CollectorWorklist);
+
+  S.SharedStripes.resize(Heap.sharedStripes());
+  for (unsigned I = 0; I < Heap.sharedStripes(); ++I)
+    WalkChain(Heap.sharedHead(I), S.SharedStripes[I]);
+
+  S.CaptureNs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count());
+  return S;
 }
 
 std::vector<CycleStats> GcRuntime::cycleLog() {

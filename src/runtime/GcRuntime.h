@@ -14,6 +14,7 @@
 #ifndef TSOGC_RUNTIME_GCRUNTIME_H
 #define TSOGC_RUNTIME_GCRUNTIME_H
 
+#include "observe/Snapshot.h"
 #include "observe/Trace.h"
 #include "runtime/MutatorContext.h"
 #include "runtime/RtHeap.h"
@@ -26,6 +27,8 @@
 #include <vector>
 
 namespace tsogc::rt {
+
+class InvariantObservatory;
 
 /// One mutator's handshake mailbox. Request encodes (sequence << 3 | type);
 /// Acked holds the last acknowledged sequence number.
@@ -113,16 +116,44 @@ public:
     uint32_t DanglingRoots = 0;  ///< Roots whose object is gone (GC bug).
     uint32_t DanglingFields = 0; ///< Reachable fields pointing at freed
                                  ///< slots (GC bug).
-    bool clean() const { return DanglingRoots == 0 && DanglingFields == 0; }
+    /// Worklist/color agreement (the structural half of the model's
+    /// valid_W_inv): entries across every grey worklist — private mutator
+    /// chains, the collector chain, the shared transfer stripes.
+    uint32_t WorklistEntries = 0;
+    uint32_t DanglingWorklist = 0; ///< Entries naming freed slots (GC bug).
+    /// Entries not marked with the current sense while the phase is Init
+    /// or Mark (a grey must have won its mark CAS before publication).
+    uint32_t UnmarkedWorklist = 0;
+    bool clean() const {
+      return DanglingRoots == 0 && DanglingFields == 0 &&
+             DanglingWorklist == 0 && UnmarkedWorklist == 0;
+    }
   };
 
   /// Stop the world and audit the heap: every reference reachable from any
   /// mutator root must name an allocated object — the runtime analogue of
   /// the model's valid_refs_inv, independent of the per-access epoch
-  /// checks. Requires mutator threads at safepoints (they are parked for
-  /// the audit) and must not race a running collector cycle; call it from
-  /// the collector's thread context or between cycles.
+  /// checks — and every grey-worklist entry must agree with the color
+  /// protocol (allocated; marked while a cycle is in Init/Mark). The audit
+  /// reuses the observatory's snapshot translation (captureSnapshot →
+  /// invariants/RtAdapter.h), so the two verdicts cannot drift. Requires
+  /// mutator threads at safepoints (they are parked for the audit) and must
+  /// not race a running collector cycle; call it from the collector's
+  /// thread context or between cycles.
   HeapAudit auditHeap();
+
+  /// Copy the entire quiescent runtime state — heap headers and fields,
+  /// control variables, every mutator's roots and private worklist, the
+  /// collector chain and the shared stripes — into an immutable snapshot
+  /// for the invariant suite. The caller owns quiescence: every mutator
+  /// parked (or single-threaded via HandshakeServicer) and no marking
+  /// concurrently active. \p CollectorWorkHead is the calling collector's
+  /// private chain head (RtNull outside a cycle).
+  observe::RtSnapshot captureSnapshot(observe::RtHsBoundary Boundary,
+                                      RtRef CollectorWorkHead = RtNull);
+
+  /// The invariant observatory (null unless RtConfig::Observatory).
+  InvariantObservatory *observatory() { return Observatory.get(); }
 
   //===-- Shared control state (used by MutatorContext and collectors) ----===//
 
@@ -168,6 +199,9 @@ private:
 
   RtHeap Heap;
   RtStats Stats;
+
+  /// Created in the constructor iff RtConfig::Observatory.
+  std::unique_ptr<InvariantObservatory> Observatory;
 
   /// Created in the constructor iff RtConfig::Trace; buffers hang off it.
   std::unique_ptr<observe::TraceSink> Trace;

@@ -1,0 +1,107 @@
+//===- runtime/InvariantObservatory.cpp ------------------------------------===//
+
+#include "runtime/InvariantObservatory.h"
+
+#include "invariants/Describe.h"
+#include "invariants/RtAdapter.h"
+#include "runtime/GcRuntime.h"
+
+#include <cctype>
+#include <chrono>
+
+using namespace tsogc;
+using namespace tsogc::rt;
+
+namespace {
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The checkers name the offending reference "r<N>" in their detail text;
+/// pull the first one out so the record (and the trace event) carries it in
+/// machine-readable form.
+uint32_t parseOffendingRef(const std::string &Detail) {
+  for (size_t I = 0; I + 1 < Detail.size(); ++I) {
+    if (Detail[I] != 'r' ||
+        !std::isdigit(static_cast<unsigned char>(Detail[I + 1])))
+      continue;
+    if (I > 0 && (std::isalnum(static_cast<unsigned char>(Detail[I - 1])) ||
+                  Detail[I - 1] == '_'))
+      continue; // inside a word ("r2" of "for2get") — not a ref
+    uint64_t V = 0;
+    for (size_t J = I + 1;
+         J < Detail.size() &&
+         std::isdigit(static_cast<unsigned char>(Detail[J]));
+         ++J)
+      V = V * 10 + static_cast<uint64_t>(Detail[J] - '0');
+    return static_cast<uint32_t>(V);
+  }
+  return observe::RtSnapNull;
+}
+
+} // namespace
+
+bool InvariantObservatory::shouldSample(uint64_t Cycle) const {
+  const uint32_t Period = Rt.config().ObservatoryPeriod;
+  return Period <= 1 || (Cycle % Period) == 0;
+}
+
+unsigned InvariantObservatory::checkNow(observe::RtHsBoundary B,
+                                        RtRef CollectorWorkHead) {
+  const uint64_t T0 = nowNs();
+  observe::RtSnapshot Snap = Rt.captureSnapshot(B, CollectorWorkHead);
+  RtAbstractState A = liftSnapshot(Snap);
+  std::optional<Violation> V = checkSnapshot(A);
+  const uint64_t Dt = nowNs() - T0;
+
+  Checked.fetch_add(1, std::memory_order_relaxed);
+  Snapshots.fetch_add(1, std::memory_order_relaxed);
+  SnapshotNsTotal.fetch_add(Dt, std::memory_order_relaxed);
+  uint64_t Prev = MaxSnapshotNs.load(std::memory_order_relaxed);
+  while (Dt > Prev && !MaxSnapshotNs.compare_exchange_weak(
+                          Prev, Dt, std::memory_order_relaxed)) {
+  }
+  if (!V)
+    return 0;
+
+  ViolationTotal.fetch_add(1, std::memory_order_relaxed);
+  ViolationRecord R;
+  R.Name = V->Name;
+  R.Detail = V->Detail;
+  R.Boundary = B;
+  R.Cycle = Snap.Cycle;
+  R.Phase = Snap.Phase;
+  const uint32_t Offender = parseOffendingRef(V->Detail);
+  R.OffendingRef = Offender;
+  R.Dump = describeSnapshot(Snap, Offender);
+  size_t Ordinal;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Violations.push_back(std::move(R));
+    Ordinal = Violations.size();
+  }
+  observe::trace(Rt.collectorTrace(),
+                 observe::EventKind::InvariantViolation,
+                 static_cast<uint32_t>(Ordinal), Offender,
+                 static_cast<uint8_t>(B));
+  return 1;
+}
+
+std::vector<InvariantObservatory::ViolationRecord>
+InvariantObservatory::violations() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Violations;
+}
+
+void InvariantObservatory::exportMetrics(observe::MetricsRegistry &Reg,
+                                         const std::string &Prefix) const {
+  Reg.counter(Prefix + "checked", checked());
+  Reg.counter(Prefix + "snapshots", snapshotCount());
+  Reg.counter(Prefix + "violations", violationCount());
+  Reg.counter(Prefix + "snapshot_ns_total", snapshotNsTotal());
+  Reg.counter(Prefix + "max_snapshot_ns", maxSnapshotNs());
+}

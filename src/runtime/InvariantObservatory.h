@@ -1,0 +1,104 @@
+//===- runtime/InvariantObservatory.h - Live §3.2 invariant checking ------===//
+///
+/// \file
+/// The runtime invariant observatory: at handshake boundaries (and the
+/// configurable SweepBegin/CycleEnd cycle points) the collector snapshots
+/// the quiescent heap/color/phase/worklist state (GcRuntime::captureSnapshot),
+/// lifts it into the model's abstract domain (invariants/RtAdapter.h), and
+/// evaluates the boundary-gated §3.2 suite — the model checker's invariant,
+/// replayed against the real threads on real hardware.
+///
+/// On a violation the observatory keeps a structured record: the shared
+/// violation name (matching the explorer's prediction vocabulary), the
+/// offending reference, the boundary/cycle/phase, and a rendered state dump
+/// (invariants/Describe.h) with per-mutator roots and worklists. Every
+/// check emits metrics (invariant.checked / violations / snapshot_ns) and,
+/// when tracing is on, SnapshotBegin/End and InvariantViolation events into
+/// the collector's trace ring.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_RUNTIME_INVARIANTOBSERVATORY_H
+#define TSOGC_RUNTIME_INVARIANTOBSERVATORY_H
+
+#include "invariants/Violation.h"
+#include "observe/Metrics.h"
+#include "observe/Snapshot.h"
+#include "runtime/RtTypes.h"
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tsogc::rt {
+
+class GcRuntime;
+
+class InvariantObservatory {
+public:
+  /// One detected violation, with everything a §3.2 post-mortem needs.
+  struct ViolationRecord {
+    std::string Name;   ///< Shared with the model suite ("valid-refs", ...).
+    std::string Detail; ///< Which reference/edge broke the invariant.
+    std::string Dump;   ///< describeSnapshot rendering of the state.
+    observe::RtHsBoundary Boundary = observe::RtHsBoundary::Audit;
+    uint64_t Cycle = 0;
+    uint8_t Phase = 0;
+    uint32_t OffendingRef = ~0u; ///< Parsed from Detail; RtNull if none.
+  };
+
+  explicit InvariantObservatory(GcRuntime &Rt) : Rt(Rt) {}
+
+  /// Period gate: true when cycle ordinal \p Cycle should be observed.
+  bool shouldSample(uint64_t Cycle) const;
+
+  /// Capture + lift + check at boundary \p B. The caller owns quiescence
+  /// (see GcRuntime::captureSnapshot) and passes its private chain head.
+  /// Returns the number of new violations (0 or 1: first failure wins per
+  /// snapshot) and accounts the capture+check cost. Thread-safe against
+  /// concurrent violations() readers; checks themselves never overlap (one
+  /// collector).
+  unsigned checkNow(observe::RtHsBoundary B, RtRef CollectorWorkHead);
+
+  /// Copies of all violation records so far.
+  std::vector<ViolationRecord> violations() const;
+
+  uint64_t checked() const {
+    return Checked.load(std::memory_order_relaxed);
+  }
+  uint64_t snapshotCount() const {
+    return Snapshots.load(std::memory_order_relaxed);
+  }
+  uint64_t violationCount() const {
+    return ViolationTotal.load(std::memory_order_relaxed);
+  }
+  uint64_t snapshotNsTotal() const {
+    return SnapshotNsTotal.load(std::memory_order_relaxed);
+  }
+  uint64_t maxSnapshotNs() const {
+    return MaxSnapshotNs.load(std::memory_order_relaxed);
+  }
+
+  /// Register the observatory's counters: "<Prefix>checked",
+  /// "<Prefix>snapshots", "<Prefix>violations", "<Prefix>snapshot_ns_total",
+  /// "<Prefix>max_snapshot_ns".
+  void exportMetrics(observe::MetricsRegistry &Reg,
+                     const std::string &Prefix = "invariant.") const;
+
+private:
+  GcRuntime &Rt;
+
+  std::atomic<uint64_t> Checked{0};
+  std::atomic<uint64_t> Snapshots{0};
+  std::atomic<uint64_t> ViolationTotal{0};
+  std::atomic<uint64_t> SnapshotNsTotal{0};
+  std::atomic<uint64_t> MaxSnapshotNs{0};
+
+  mutable std::mutex Mutex;
+  std::vector<ViolationRecord> Violations;
+};
+
+} // namespace tsogc::rt
+
+#endif // TSOGC_RUNTIME_INVARIANTOBSERVATORY_H

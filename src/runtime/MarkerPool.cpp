@@ -13,8 +13,11 @@ MarkerPool::MarkerPool(GcRuntime &Rt, unsigned Workers, bool Fm)
   // Resolve trace buffers on the calling thread: TraceSink::createBuffer
   // takes a lock, and helper W always reuses the same tid-stamped ring
   // across cycles.
-  for (unsigned W = 0; W < Workers; ++W)
+  for (unsigned W = 0; W < Workers; ++W) {
     States[W].Trace = Rt.markWorkerTrace(W);
+    States[W].Fuzz.seed(Rt.config().FuzzSchedules, /*Salt=*/0x2000 + W,
+                        Rt.config().FuzzMaxDelayUs);
+  }
   Threads.reserve(Workers - 1);
   for (unsigned W = 1; W < Workers; ++W)
     Threads.emplace_back([this, W] { workerMain(W); });
@@ -117,6 +120,7 @@ void MarkerPool::maybePublish(unsigned W) {
 
 bool MarkerPool::takeFromStripes(unsigned W) {
   WorkerState &S = States[W];
+  S.Fuzz.maybeDelay(); // fuzz: reorder steals across workers
   const unsigned N = Heap.sharedStripes();
   for (unsigned I = 0; I < N; ++I) {
     const unsigned Stripe = (W + I) % N;

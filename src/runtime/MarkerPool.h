@@ -26,6 +26,7 @@
 #define TSOGC_RUNTIME_MARKERPOOL_H
 
 #include "runtime/GcRuntime.h"
+#include "runtime/ScheduleFuzzer.h"
 
 #include <thread>
 
@@ -65,6 +66,9 @@ private:
     std::vector<RtRef> Priv;              ///< Private grey stack.
     MarkWorkerStats Stats;
     observe::TraceBuffer *Trace = nullptr;
+    /// Schedule fuzzer (inert unless RtConfig::FuzzSchedules): perturbs
+    /// this worker's steal attempts.
+    ScheduleFuzzer Fuzz;
   };
 
   void workerMain(unsigned W);

@@ -26,6 +26,8 @@ MutatorContext::MutatorContext(GcRuntime &Rt, unsigned Index,
                                observe::TraceBuffer *Trace)
     : Rt(Rt), Heap(Rt.heap()), Index(Index), Trace(Trace) {
   TortureRng = 0x9e3779b97f4a7c15ULL * (Index + 1);
+  Fuzz.seed(Rt.heap().config().FuzzSchedules, /*Salt=*/Index,
+            Rt.heap().config().FuzzMaxDelayUs);
   // A mutator registered while the collector is mid-cycle would join with
   // stale views; registration is specified to happen while the collector is
   // idle, so syncing with the current shared values is exact.
@@ -90,7 +92,16 @@ void MutatorContext::store(size_t DstRootIdx, size_t SrcRootIdx,
   // line 8). Note the read and the overwrite are not atomic — under racy
   // stores by other mutators the marked reference may not be the one
   // actually overwritten, exactly as the model permits.
-  if (Cfg.DeletionBarrier) {
+  // TSOGC_ABLATE_DELETION_BARRIER compiles the barrier out entirely — the
+  // build-level counterpart of RtConfig::DeletionBarrier = false, for the
+  // barrier-ablation experiments (the observatory catches the resulting
+  // §3.2 violations on real hardware; see examples/barrier_ablation_rt).
+#ifdef TSOGC_ABLATE_DELETION_BARRIER
+  constexpr bool DeletionBarrierOn = false;
+#else
+  const bool DeletionBarrierOn = Cfg.DeletionBarrier;
+#endif
+  if (DeletionBarrierOn) {
     RtRef Old = Heap.field(Src.Ref, Field);
     maybeYield(); // torture: widen the read-to-mark window (§3.2's race)
     if (Old != RtNull)
@@ -210,6 +221,7 @@ void MutatorContext::transferWorklist() {
 }
 
 void MutatorContext::safepoint() {
+  Fuzz.maybeDelay(); // fuzz: perturb when this thread observes requests
   HsChannel &Ch = *Chan;
   uint32_t Req = Ch.Request.load(std::memory_order_acquire);
   if (Req == LastHandledRequest)
@@ -231,6 +243,7 @@ void MutatorContext::handleHandshake(uint32_t Req) {
                  HsChannel::seqOf(Req), 0, static_cast<uint8_t>(Type));
   refreshView();
   maybeYield(); // torture: after the view refresh, before the work
+  Fuzz.maybeDelay(); // fuzz: stretch the accept-to-ack window
 
   switch (Type) {
   case RtHsType::None:

@@ -19,6 +19,7 @@
 #include "observe/Trace.h"
 #include "runtime/RtHeap.h"
 #include "runtime/RtStats.h"
+#include "runtime/ScheduleFuzzer.h"
 
 #include <atomic>
 #include <vector>
@@ -152,6 +153,10 @@ private:
 
   /// Cheap per-thread PRNG state for torture-mode yield decisions.
   uint64_t TortureRng = 0;
+
+  /// Schedule fuzzer (inert unless RtConfig::FuzzSchedules): perturbs
+  /// safepoint polls and handshake handlers.
+  ScheduleFuzzer Fuzz;
 
   MutStats Stats;
 };

@@ -2,6 +2,8 @@
 
 #include "runtime/RtCollector.h"
 
+#include "invariants/RtAdapter.h"
+#include "runtime/InvariantObservatory.h"
 #include "runtime/MarkerPool.h"
 
 #include <chrono>
@@ -67,6 +69,36 @@ void RtCollector::handshakeRound(RtHsType Type) {
   }
   // Load fence after all acknowledgements (§2.4).
   std::atomic_thread_fence(std::memory_order_seq_cst);
+  Fuzz.maybeDelay(); // fuzz: stretch the window between rounds
+}
+
+void RtCollector::observatoryBoundary(observe::RtHsBoundary B,
+                                      CycleStats &CS, bool WorldStopped) {
+  InvariantObservatory *Obs = Rt.observatory();
+  if (!Obs || !ObserveCycle)
+    return;
+  const uint64_t T0 = nowNs();
+  observe::trace(Trace, observe::EventKind::SnapshotBegin,
+                 static_cast<uint32_t>(Obs->snapshotCount()), 0,
+                 static_cast<uint8_t>(B));
+  // Quiescence: park everyone unless the world is already stopped, or a
+  // HandshakeServicer is installed — then the mutators run on this very
+  // thread (a park would self-deadlock inside the servicer) and the world
+  // is quiescent whenever the collector runs at all.
+  const bool Park = !WorldStopped && !Rt.HandshakeServicer;
+  if (Park)
+    handshakeRound(RtHsType::Park);
+  const unsigned NewViolations = Obs->checkNow(B, WorkHead);
+  if (Park)
+    handshakeRound(RtHsType::Noop);
+  const uint64_t Dt = nowNs() - T0;
+  CS.Snapshots += 1;
+  CS.SnapshotNs += Dt;
+  CS.InvariantViolations += NewViolations;
+  observe::trace(Trace, observe::EventKind::SnapshotEnd, NewViolations,
+                 static_cast<uint32_t>(
+                     Dt > 0xffffffffull ? 0xffffffffull : Dt),
+                 static_cast<uint8_t>(B));
 }
 
 bool RtCollector::takeSharedWork(CycleStats &CS) {
@@ -181,11 +213,16 @@ CycleStats RtCollector::runCycle() {
   CycleStats CS;
   uint64_t T0 = nowNs();
   Fm = Rt.FM.load(std::memory_order_relaxed) != 0;
+  ObserveCycle =
+      Rt.observatory() &&
+      Rt.observatory()->shouldSample(
+          Rt.stats().Cycles.load(std::memory_order_relaxed));
   observe::trace(Trace, observe::EventKind::CycleBegin, 0, 0, Fm ? 1 : 0);
 
   // Lines 3-4: everyone sees Idle; heap uniformly black.
   handshakeRound(RtHsType::Noop);
   ++CS.HandshakeRounds;
+  observatoryBoundary(observe::RtHsBoundary::H1Idle, CS);
 
   const bool Merged = Heap.config().MergedInitHandshakes;
 
@@ -195,6 +232,7 @@ CycleStats RtCollector::runCycle() {
   if (!Merged) {
     handshakeRound(RtHsType::Noop);
     ++CS.HandshakeRounds;
+    observatoryBoundary(observe::RtHsBoundary::H2FlipFM, CS);
   }
 
   // Line 8: barriers on. In the merged variant (§4 conjecture 1) this one
@@ -205,6 +243,7 @@ CycleStats RtCollector::runCycle() {
                  static_cast<uint32_t>(RtPhase::Init));
   handshakeRound(RtHsType::Noop);
   ++CS.HandshakeRounds;
+  observatoryBoundary(observe::RtHsBoundary::H3PhaseInit, CS);
 
   // Lines 11-12: phase := Mark, allocate black from here. In the merged
   // variant the get-roots round itself acknowledges these writes.
@@ -216,6 +255,7 @@ CycleStats RtCollector::runCycle() {
   if (!Merged) {
     handshakeRound(RtHsType::Noop);
     ++CS.HandshakeRounds;
+    observatoryBoundary(observe::RtHsBoundary::H4PhaseMark, CS);
   }
 
   // Lines 15-20: gather the mutators' marked roots.
@@ -223,6 +263,7 @@ CycleStats RtCollector::runCycle() {
   observe::trace(Trace, observe::EventKind::MarkBegin);
   handshakeRound(RtHsType::GetRoots);
   ++CS.HandshakeRounds;
+  observatoryBoundary(observe::RtHsBoundary::H5GetRoots, CS);
 
   const unsigned Workers = Heap.config().MarkWorkers;
   if (Workers > 1) {
@@ -237,6 +278,9 @@ CycleStats RtCollector::runCycle() {
       handshakeRound(RtHsType::GetWork);
       ++CS.HandshakeRounds;
       ++CS.TerminationRounds;
+      // Workers are quiescent between drain rounds (idle with empty
+      // private stacks), so every remaining grey sits in the stripes.
+      observatoryBoundary(observe::RtHsBoundary::H6GetWork, CS);
       if (!Heap.anySharedWork())
         break; // A full round reported no work: no greys remain anywhere.
     }
@@ -248,6 +292,7 @@ CycleStats RtCollector::runCycle() {
                    std::memory_order_relaxed);
     observe::trace(Trace, observe::EventKind::PhaseTransition,
                    static_cast<uint32_t>(RtPhase::Sweep));
+    observatoryBoundary(observe::RtHsBoundary::SweepBegin, CS);
     uint64_t TS = nowNs();
     Pool.sweepParallel();
     CS.SweepNs = nowNs() - TS;
@@ -262,6 +307,7 @@ CycleStats RtCollector::runCycle() {
       handshakeRound(RtHsType::GetWork);
       ++CS.HandshakeRounds;
       ++CS.TerminationRounds;
+      observatoryBoundary(observe::RtHsBoundary::H6GetWork, CS);
       if (!takeSharedWork(CS))
         break; // A full round reported no work: no greys remain anywhere.
     }
@@ -273,6 +319,7 @@ CycleStats RtCollector::runCycle() {
                    std::memory_order_relaxed);
     observe::trace(Trace, observe::EventKind::PhaseTransition,
                    static_cast<uint32_t>(RtPhase::Sweep));
+    observatoryBoundary(observe::RtHsBoundary::SweepBegin, CS);
     uint64_t TS = nowNs();
     sweep(CS);
     CS.SweepNs = nowNs() - TS;
@@ -283,6 +330,7 @@ CycleStats RtCollector::runCycle() {
                  std::memory_order_relaxed);
   observe::trace(Trace, observe::EventKind::PhaseTransition,
                  static_cast<uint32_t>(RtPhase::Idle));
+  observatoryBoundary(observe::RtHsBoundary::CycleEnd, CS);
   CS.CycleNs = nowNs() - T0;
   observe::trace(Trace, observe::EventKind::CycleEnd, CS.ObjectsFreed,
                  CS.ObjectsRetained);
@@ -290,44 +338,29 @@ CycleStats RtCollector::runCycle() {
 }
 
 GcRuntime::HeapAudit RtCollector::audit() {
-  GcRuntime::HeapAudit A;
-  parkAllMutators();
+  // Snapshot while parked, then analyze after releasing the world: the
+  // audit shares the observatory's capture + translation (captureSnapshot →
+  // liftSnapshot → rtAudit), so the stopped window pays only the copy and
+  // the two verdicts cannot drift.
+  const bool Park = !Rt.HandshakeServicer;
+  if (Park)
+    parkAllMutators();
+  observe::RtSnapshot Snap =
+      Rt.captureSnapshot(observe::RtHsBoundary::Audit, WorkHead);
+  if (Park)
+    resumeAllMutators();
 
-  // Mark-free BFS over the parked heap using a side bitmap (the audit must
-  // not disturb the mark bits the real collector owns).
-  std::vector<bool> Seen(Heap.capacity(), false);
-  std::vector<RtRef> Work;
-  auto Visit = [&](RtRef R, bool IsRoot) {
-    if (R == RtNull)
-      return;
-    if (!Heap.isAllocated(R)) {
-      if (IsRoot)
-        ++A.DanglingRoots;
-      else
-        ++A.DanglingFields;
-      return;
-    }
-    if (Seen[R])
-      return;
-    Seen[R] = true;
-    Work.push_back(R);
-  };
-  for (auto *S : Rt.activeSlots())
-    for (const RootHandle &H : S->Ctx->Roots)
-      Visit(H.Ref, /*IsRoot=*/true);
-  while (!Work.empty()) {
-    RtRef R = Work.back();
-    Work.pop_back();
-    ++A.Reachable;
-    for (uint32_t F = 0; F < Heap.config().NumFields; ++F)
-      Visit(Heap.field(R, F), /*IsRoot=*/false);
-  }
-  for (RtRef R = 0; R < Heap.capacity(); ++R)
-    if (Heap.isAllocated(R) && !Seen[R])
-      ++A.Unreachable;
-
-  resumeAllMutators();
-  return A;
+  RtAbstractState A = liftSnapshot(Snap);
+  RtAuditCounts C = rtAudit(A);
+  GcRuntime::HeapAudit Out;
+  Out.Reachable = static_cast<uint32_t>(C.Reachable);
+  Out.Unreachable = static_cast<uint32_t>(C.Unreachable);
+  Out.DanglingRoots = static_cast<uint32_t>(C.DanglingRoots);
+  Out.DanglingFields = static_cast<uint32_t>(C.DanglingFields);
+  Out.WorklistEntries = static_cast<uint32_t>(C.WorklistEntries);
+  Out.DanglingWorklist = static_cast<uint32_t>(C.DanglingWorklist);
+  Out.UnmarkedWorklist = static_cast<uint32_t>(C.UnmarkedWorklist);
+  return Out;
 }
 
 void RtCollector::parkAllMutators() { handshakeRound(RtHsType::Park); }
@@ -338,6 +371,10 @@ CycleStats RtCollector::runStwCycle() {
   CycleStats CS;
   uint64_t T0 = nowNs();
   Fm = Rt.FM.load(std::memory_order_relaxed) != 0;
+  ObserveCycle =
+      Rt.observatory() &&
+      Rt.observatory()->shouldSample(
+          Rt.stats().Cycles.load(std::memory_order_relaxed));
   observe::trace(Trace, observe::EventKind::CycleBegin, 0, 0, Fm ? 1 : 0);
 
   // Stop the world: every mutator parks inside its handshake handler.
@@ -376,9 +413,15 @@ CycleStats RtCollector::runStwCycle() {
   CS.MarkNs = nowNs() - TM;
   observe::trace(Trace, observe::EventKind::MarkEnd, CS.ObjectsMarked);
 
+  // The world is already stopped: structural checks only (phases/colors
+  // are collector-private here, not protocol state).
+  observatoryBoundary(observe::RtHsBoundary::Stw, CS, /*WorldStopped=*/true);
+
   uint64_t TS = nowNs();
   sweep(CS);
   CS.SweepNs = nowNs() - TS;
+
+  observatoryBoundary(observe::RtHsBoundary::Stw, CS, /*WorldStopped=*/true);
 
   resumeAllMutators();
   ++CS.HandshakeRounds;

@@ -12,13 +12,17 @@
 #define TSOGC_RUNTIME_RTCOLLECTOR_H
 
 #include "runtime/GcRuntime.h"
+#include "runtime/ScheduleFuzzer.h"
 
 namespace tsogc::rt {
 
 class RtCollector {
 public:
   explicit RtCollector(GcRuntime &Rt)
-      : Rt(Rt), Heap(Rt.heap()), Trace(Rt.collectorTrace()) {}
+      : Rt(Rt), Heap(Rt.heap()), Trace(Rt.collectorTrace()) {
+    Fuzz.seed(Rt.config().FuzzSchedules, /*Salt=*/0x6c01,
+              Rt.config().FuzzMaxDelayUs);
+  }
 
   /// Run one on-the-fly collection cycle on the calling thread.
   CycleStats runCycle();
@@ -64,6 +68,16 @@ private:
   void parkAllMutators();
   void resumeAllMutators();
 
+  /// Observatory hook at a handshake boundary or cycle point: when the
+  /// observatory is on and sampling this cycle, stop the mutators (a
+  /// park/resume pair — skipped when the world is already stopped or a
+  /// HandshakeServicer makes the runtime single-threaded), snapshot, and
+  /// evaluate the §3.2 suite. The whole window is timed into CS.SnapshotNs;
+  /// the park/resume rounds are NOT counted in CS.HandshakeRounds (they are
+  /// observation overhead, not part of the algorithm).
+  void observatoryBoundary(observe::RtHsBoundary B, CycleStats &CS,
+                           bool WorldStopped = false);
+
   GcRuntime &Rt;
   RtHeap &Heap;
 
@@ -85,6 +99,14 @@ private:
   // Per-round slot-generation snapshot (see handshakeRound). A member so
   // the ~6 rounds per cycle share one allocation instead of mallocing each.
   std::vector<uint32_t> GenSnapshot;
+
+  /// Schedule fuzzer (inert unless RtConfig::FuzzSchedules): perturbs the
+  /// collector between handshake rounds.
+  ScheduleFuzzer Fuzz;
+
+  /// Whether the observatory samples this cycle (period gate, resolved
+  /// once per cycle so every boundary in a sampled cycle is covered).
+  bool ObserveCycle = false;
 
   uint32_t HsSeq = 0;
 };

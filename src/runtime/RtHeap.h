@@ -129,6 +129,15 @@ public:
         RtNull, std::memory_order_acq_rel);
   }
 
+  /// Read one stripe's chain head without consuming it. For quiescent-world
+  /// introspection only (snapshot capture): with mutators parked and no
+  /// cycle running nothing splices concurrently, so walking the chain via
+  /// workNext is stable.
+  RtRef sharedHead(unsigned Stripe) const {
+    return SharedWork[Stripe % SharedWork.size()].load(
+        std::memory_order_acquire);
+  }
+
   /// Peek one stripe / all stripes for pending transfer chains. The peek
   /// only steers control flow (steal targets, termination re-checks); any
   /// actual consumption goes through takeShared's acquire exchange.

@@ -22,6 +22,12 @@ void tsogc::rt::exportMetrics(const RtStats &S, observe::MetricsRegistry &Reg,
               S.MaxCycleNs.load(std::memory_order_relaxed));
   Reg.counter(Prefix + "chains_stolen_total",
               S.TotalChainsStolen.load(std::memory_order_relaxed));
+  Reg.counter(Prefix + "snapshots_total",
+              S.TotalSnapshots.load(std::memory_order_relaxed));
+  Reg.counter(Prefix + "snapshot_ns_total",
+              S.TotalSnapshotNs.load(std::memory_order_relaxed));
+  Reg.counter(Prefix + "invariant_violations_total",
+              S.TotalInvariantViolations.load(std::memory_order_relaxed));
 }
 
 void tsogc::rt::exportMetrics(const CycleStats &C,
@@ -42,6 +48,9 @@ void tsogc::rt::exportMetrics(const CycleStats &C,
   Reg.counter(Prefix + "chains_stolen", C.ChainsStolen);
   Reg.counter(Prefix + "steal_fails", C.StealFails);
   Reg.counter(Prefix + "chains_published", C.ChainsPublished);
+  Reg.counter(Prefix + "snapshots", C.Snapshots);
+  Reg.counter(Prefix + "snapshot_ns", C.SnapshotNs);
+  Reg.counter(Prefix + "invariant_violations", C.InvariantViolations);
   for (size_t W = 0; W < C.Workers.size(); ++W) {
     const MarkWorkerStats &S = C.Workers[W];
     const std::string P = Prefix + "worker." + std::to_string(W) + ".";

@@ -88,6 +88,12 @@ struct CycleStats {
   /// Per-worker breakdown for parallel cycles (size == MarkWorkersUsed
   /// when > 1). Worker 0 is the collector thread.
   std::vector<MarkWorkerStats> Workers;
+  /// Invariant-observatory activity during this cycle: boundary snapshots
+  /// taken, total nanoseconds spent in their stop windows (park round +
+  /// copy + checks + resume round), and new invariant violations found.
+  uint64_t Snapshots = 0;
+  uint64_t SnapshotNs = 0;
+  uint64_t InvariantViolations = 0;
 };
 
 /// Aggregate, shared between threads.
@@ -100,6 +106,9 @@ struct RtStats {
   std::atomic<uint64_t> TotalCycleNs{0};
   std::atomic<uint64_t> MaxCycleNs{0};
   std::atomic<uint64_t> TotalChainsStolen{0};
+  std::atomic<uint64_t> TotalSnapshots{0};
+  std::atomic<uint64_t> TotalSnapshotNs{0};
+  std::atomic<uint64_t> TotalInvariantViolations{0};
 
   void recordCycle(const CycleStats &C) {
     Cycles.fetch_add(1, std::memory_order_relaxed);
@@ -109,6 +118,10 @@ struct RtStats {
     TotalTerminationRounds.fetch_add(C.TerminationRounds,
                                      std::memory_order_relaxed);
     TotalChainsStolen.fetch_add(C.ChainsStolen, std::memory_order_relaxed);
+    TotalSnapshots.fetch_add(C.Snapshots, std::memory_order_relaxed);
+    TotalSnapshotNs.fetch_add(C.SnapshotNs, std::memory_order_relaxed);
+    TotalInvariantViolations.fetch_add(C.InvariantViolations,
+                                       std::memory_order_relaxed);
     TotalCycleNs.fetch_add(C.CycleNs, std::memory_order_relaxed);
     uint64_t Prev = MaxCycleNs.load(std::memory_order_relaxed);
     while (C.CycleNs > Prev &&

@@ -111,6 +111,26 @@ struct RtConfig {
   /// Per-thread trace ring capacity in events (rounded up to a power of
   /// two). Older events are overwritten when a ring wraps.
   uint32_t TraceBufferEvents = 1u << 14;
+
+  /// Invariant observatory (runtime/InvariantObservatory.h): snapshot the
+  /// heap/phase/worklist state at handshake boundaries and evaluate the
+  /// model's §3.2 invariant suite against it live. Snapshots briefly stop
+  /// the mutators (a park/resume pair around the copy) unless the world is
+  /// already quiescent; the cost is measured and exported. Off by default.
+  bool Observatory = false;
+
+  /// Check every Nth cycle when the observatory is on (1 = every cycle).
+  uint32_t ObservatoryPeriod = 1;
+
+  /// Schedule fuzzer seed (runtime/ScheduleFuzzer.h): non-zero seeds
+  /// randomized delays at mutator safepoints, collector round boundaries
+  /// and mark-worker steal points, widening the race windows boundary
+  /// snapshots sample. Identical seeds reproduce identical delay streams
+  /// per thread. 0 (the default) disables all injection.
+  uint32_t FuzzSchedules = 0;
+
+  /// Upper bound on one injected delay, in microseconds.
+  uint32_t FuzzMaxDelayUs = 100;
 };
 
 } // namespace tsogc::rt

@@ -1,0 +1,63 @@
+//===- runtime/ScheduleFuzzer.h - Seeded schedule perturbation ------------===//
+///
+/// \file
+/// The runtime analogue of the model checker's exhaustive interleaving: a
+/// per-thread seeded RNG that injects randomized delays at the algorithm's
+/// scheduling points — mutator safepoints and handshake handlers, the
+/// collector between handshake rounds, mark workers at steal points. Where
+/// TortureLevel yields (one scheduler quantum), the fuzzer sleeps for up to
+/// RtConfig::FuzzMaxDelayUs, stretching race windows by orders of magnitude
+/// so boundary snapshots (InvariantObservatory) sample genuinely different
+/// interleavings across runs with different seeds — and identical ones when
+/// the seed is fixed.
+///
+/// Inert (one compare) unless RtConfig::FuzzSchedules is non-zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_RUNTIME_SCHEDULEFUZZER_H
+#define TSOGC_RUNTIME_SCHEDULEFUZZER_H
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace tsogc::rt {
+
+struct ScheduleFuzzer {
+  uint64_t Rng = 0;
+  uint32_t MaxUs = 0;
+
+  /// Derive this thread's stream from the shared seed and a per-thread
+  /// salt (slot index, worker id). Seed 0 disables the fuzzer entirely.
+  void seed(uint32_t Seed, uint64_t Salt, uint32_t MaxDelayUs) {
+    MaxUs = Seed != 0 ? MaxDelayUs : 0;
+    Rng = (0x9e3779b97f4a7c15ULL * (Seed + 1)) ^
+          ((Salt + 1) * 0xbf58476d1ce4e5b9ULL);
+    if (Rng == 0)
+      Rng = 1;
+  }
+
+  /// With probability ~1/8, stall for 0..MaxUs microseconds (a 0-draw
+  /// degrades to a bare yield). xorshift64*: the same generator the
+  /// torture-mode yields use.
+  void maybeDelay() {
+    if (MaxUs == 0)
+      return;
+    Rng ^= Rng >> 12;
+    Rng ^= Rng << 25;
+    Rng ^= Rng >> 27;
+    const uint64_t R = Rng * 0x2545f4914f6cdd1dULL;
+    if ((R >> 61) != 0)
+      return;
+    const uint32_t Us = static_cast<uint32_t>(R >> 32) % (MaxUs + 1);
+    if (Us == 0)
+      std::this_thread::yield();
+    else
+      std::this_thread::sleep_for(std::chrono::microseconds(Us));
+  }
+};
+
+} // namespace tsogc::rt
+
+#endif // TSOGC_RUNTIME_SCHEDULEFUZZER_H

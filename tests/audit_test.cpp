@@ -101,6 +101,69 @@ TEST(HeapAudit, DetectsDanglingField) {
   Rt.deregisterMutator(M);
 }
 
+TEST(HeapAudit, CountsWorklistEntriesAndPolicesTheMarkSense) {
+  // The audit shares the snapshot translation with the observatory, so the
+  // worklist half of valid_W_inv is checked too: entries on the shared
+  // transfer stripes must be allocated, and — while a cycle is in Init or
+  // Mark — marked with the current sense.
+  RtConfig Cfg;
+  Cfg.HeapObjects = 64;
+  GcRuntime Rt(Cfg);
+  MutatorContext *M = Rt.registerMutator();
+
+  int X = M->alloc();
+  RtRef XRef = M->rootRef(static_cast<size_t>(X));
+  Rt.heap().spliceShared(XRef, XRef, /*Hint=*/0); // fake a published grey
+
+  // Idle: the entry is counted but its (stale) sense is legal.
+  GcRuntime::HeapAudit A = auditWhile(Rt, M, [] {});
+  EXPECT_TRUE(A.clean());
+  EXPECT_EQ(A.WorklistEntries, 1u);
+  EXPECT_EQ(A.UnmarkedWorklist, 0u);
+  EXPECT_EQ(A.DanglingWorklist, 0u);
+
+  // Mid-mark with the sense flipped, the same entry is a protocol bug: it
+  // sits on a grey list without having won a mark CAS this cycle.
+  Rt.Phase.store(static_cast<uint32_t>(RtPhase::Mark));
+  Rt.FM.store(1);
+  A = auditWhile(Rt, M, [] {});
+  EXPECT_FALSE(A.clean());
+  EXPECT_EQ(A.WorklistEntries, 1u);
+  EXPECT_EQ(A.UnmarkedWorklist, 1u);
+
+  // Matching sense again: clean.
+  Rt.FM.store(0);
+  A = auditWhile(Rt, M, [] {});
+  EXPECT_TRUE(A.clean());
+  EXPECT_EQ(A.UnmarkedWorklist, 0u);
+
+  Rt.Phase.store(static_cast<uint32_t>(RtPhase::Idle));
+  Rt.heap().takeShared(0);
+  while (M->numRoots())
+    M->discard(0);
+  Rt.deregisterMutator(M);
+}
+
+TEST(HeapAudit, DetectsDanglingWorklistEntry) {
+  RtConfig Cfg;
+  Cfg.HeapObjects = 64;
+  Cfg.Validate = false;
+  GcRuntime Rt(Cfg);
+  MutatorContext *M = Rt.registerMutator();
+  GcRuntime::HeapAudit A = auditWhile(Rt, M, [&] {
+    int X = M->alloc();
+    RtRef XRef = M->rootRef(static_cast<size_t>(X));
+    M->discard(static_cast<size_t>(X));
+    Rt.heap().spliceShared(XRef, XRef, /*Hint=*/0);
+    Rt.heap().free(XRef); // freed while still on a grey worklist
+  });
+  EXPECT_FALSE(A.clean());
+  EXPECT_EQ(A.WorklistEntries, 1u);
+  EXPECT_EQ(A.DanglingWorklist, 1u);
+  Rt.heap().takeShared(0);
+  Rt.deregisterMutator(M);
+}
+
 TEST(HeapAudit, CleanAcrossCollectionCycles) {
   // Interleave real collection cycles with audits under a live workload:
   // the collector must never create a dangling reachable reference.

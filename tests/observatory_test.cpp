@@ -1,0 +1,536 @@
+//===- tests/observatory_test.cpp - Live §3.2 invariant checking ----------===//
+///
+/// Three layers under test:
+///
+///   1. invariants/RtAdapter.h over crafted snapshots — each runtime check
+///      fires on exactly the state its model counterpart forbids, and
+///      checkSnapshot applies the boundary gating table.
+///   2. The InvariantObservatory wired into real collection cycles — clean
+///      on the verified configuration, and catching the deletion-barrier
+///      ablation deterministically under the HandshakeServicer schedule.
+///   3. The metrics / trace surface: invariant.* counters, gc.snapshots*,
+///      SnapshotBegin/End and InvariantViolation events.
+
+#include "invariants/Describe.h"
+#include "invariants/RtAdapter.h"
+#include "observe/Export.h"
+#include "runtime/GcRuntime.h"
+#include "runtime/InvariantObservatory.h"
+#include "runtime/RtObserve.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+
+using namespace tsogc;
+using namespace tsogc::rt;
+namespace ob = tsogc::observe;
+
+namespace {
+
+/// A blank quiescent snapshot: Cap empty slots, one mutator, one shared
+/// stripe, everything null.
+ob::RtSnapshot makeSnap(ob::RtHsBoundary B, uint32_t Cap = 8,
+                        uint32_t Fields = 2) {
+  ob::RtSnapshot S;
+  S.Boundary = B;
+  S.Capacity = Cap;
+  S.NumFields = Fields;
+  S.Allocated.assign(Cap, 0);
+  S.Marks.assign(Cap, 0);
+  S.Fields.assign(static_cast<size_t>(Cap) * Fields, ob::RtSnapNull);
+  S.Mutators.emplace_back();
+  S.SharedStripes.resize(1);
+  return S;
+}
+
+void put(ob::RtSnapshot &S, uint32_t R, bool Marked) {
+  S.Allocated[R] = 1;
+  S.Marks[R] = Marked ? 1 : 0;
+}
+
+void link(ob::RtSnapshot &S, uint32_t R, uint32_t F, uint32_t To) {
+  S.Fields[R * S.NumFields + F] = To;
+}
+
+std::optional<Violation> check(const ob::RtSnapshot &S) {
+  return checkSnapshot(liftSnapshot(S));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Layer 1: the adapter checks over crafted snapshots.
+//===----------------------------------------------------------------------===//
+
+TEST(RtAdapter, DanglingRootIsTheHeadlineViolation) {
+  auto S = makeSnap(ob::RtHsBoundary::Audit);
+  put(S, 0, false);
+  S.Mutators[0].Roots = {0, 5}; // r5 was never allocated
+  auto V = check(S);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Name, "safety-headline");
+  EXPECT_NE(V->Detail.find("r5"), std::string::npos);
+}
+
+TEST(RtAdapter, DanglingFieldIsValidRefs) {
+  auto S = makeSnap(ob::RtHsBoundary::Audit);
+  put(S, 0, false);
+  link(S, 0, 1, 6); // r0.f1 -> freed r6
+  S.Mutators[0].Roots = {0};
+  auto V = check(S);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Name, "valid-refs");
+}
+
+TEST(RtAdapter, DanglingWorklistEntryIsValidRefs) {
+  auto S = makeSnap(ob::RtHsBoundary::Audit);
+  S.SharedStripes[0] = {3}; // r3 has no object
+  auto V = check(S);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Name, "valid-refs");
+}
+
+TEST(RtAdapter, UnmarkedWorklistEntryFailsValidWOnceMarkingStarted) {
+  auto S = makeSnap(ob::RtHsBoundary::H5GetRoots);
+  S.FM = true;
+  S.Phase = 2;
+  put(S, 0, false); // allocated but carries the stale sense
+  S.Mutators[0].Worklist = {0};
+  auto V = check(S);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Name, "valid-W");
+
+  // The same list is legal at an Idle-phase audit: stale-sense residue is
+  // only policed while a cycle is marking.
+  S.Boundary = ob::RtHsBoundary::Audit;
+  S.Phase = 0;
+  EXPECT_FALSE(check(S).has_value());
+}
+
+TEST(RtAdapter, DuplicateAcrossWorklistsFailsValidW) {
+  auto S = makeSnap(ob::RtHsBoundary::H5GetRoots);
+  S.FM = true;
+  S.Phase = 2;
+  put(S, 0, true);
+  S.Mutators[0].Worklist = {0};
+  S.SharedStripes[0] = {0}; // torn chain: r0 on two lists
+  auto V = check(S);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Name, "valid-W");
+  EXPECT_NE(V->Detail.find("W_m0"), std::string::npos);
+}
+
+TEST(RtAdapter, MarkedObjectDuringH2IsNoBlackWindow) {
+  auto S = makeSnap(ob::RtHsBoundary::H2FlipFM);
+  S.FM = true; // flip done: heap must be uniformly white
+  put(S, 1, true);
+  auto V = check(S);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Name, "no-black-window");
+}
+
+TEST(RtAdapter, BlackObjectDuringH3IsNoBlackWindow) {
+  auto S = makeSnap(ob::RtHsBoundary::H3PhaseInit);
+  S.FM = true;
+  S.Phase = 1;
+  put(S, 1, true); // marked, on no worklist: black
+  auto V = check(S);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Name, "no-black-window");
+
+  // Marked AND grey is fine during Init: grey is what barriers produce.
+  S.Mutators[0].Worklist = {1};
+  EXPECT_FALSE(check(S).has_value());
+}
+
+TEST(RtAdapter, BlackToWhiteEdgeFailsStrongTricolor) {
+  auto S = makeSnap(ob::RtHsBoundary::H4PhaseMark);
+  S.FM = true;
+  S.Phase = 2;
+  put(S, 0, true);  // black
+  put(S, 1, false); // white
+  link(S, 0, 0, 1);
+  auto V = check(S);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Name, "strong-tricolor");
+}
+
+TEST(RtAdapter, ElisionDowngradesToWeakTricolorWithGreyProtection) {
+  auto S = makeSnap(ob::RtHsBoundary::H4PhaseMark);
+  S.FM = true;
+  S.Phase = 2;
+  S.InsertionElide = true;
+  put(S, 0, true);  // black
+  put(S, 1, false); // white, referenced by black r0
+  link(S, 0, 0, 1);
+  // Unprotected: the weak invariant fails too.
+  auto V = check(S);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Name, "weak-tricolor");
+  // Grey r2 reaching r1 through white chains protects it (Figure 1).
+  put(S, 2, true);
+  link(S, 2, 0, 1);
+  S.SharedStripes[0] = {2};
+  EXPECT_FALSE(check(S).has_value());
+}
+
+TEST(RtAdapter, RootedWhiteAfterGetRootsFailsReachableSnapshot) {
+  auto S = makeSnap(ob::RtHsBoundary::H5GetRoots);
+  S.FM = true;
+  S.Phase = 2;
+  put(S, 1, false); // white, held only as a root — the hidden object
+  S.Mutators[0].Roots = {1};
+  auto V = check(S);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Name, "reachable-snapshot");
+}
+
+TEST(RtAdapter, GreyResidueAtSweepFailsSweepNoGrey) {
+  auto S = makeSnap(ob::RtHsBoundary::SweepBegin);
+  S.FM = true;
+  S.Phase = 3;
+  put(S, 2, true);
+  S.SharedStripes[0] = {2};
+  auto V = check(S);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Name, "sweep-no-grey");
+}
+
+TEST(RtAdapter, ReachableWhiteAtSweepFailsFreePrecondition) {
+  auto S = makeSnap(ob::RtHsBoundary::SweepBegin);
+  S.FM = true;
+  S.Phase = 3;
+  put(S, 0, true);
+  put(S, 1, false);
+  link(S, 0, 0, 1);
+  S.Mutators[0].Roots = {0};
+  auto V = check(S);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Name, "free-precondition");
+}
+
+TEST(RtAdapter, NonUniformIdleHeapFailsIdleUniform) {
+  for (ob::RtHsBoundary B :
+       {ob::RtHsBoundary::H1Idle, ob::RtHsBoundary::CycleEnd}) {
+    auto S = makeSnap(B);
+    S.FA = true; // allocation color says marked...
+    put(S, 0, false); // ...but r0 is not
+    auto V = check(S);
+    ASSERT_TRUE(V.has_value()) << ob::rtHsBoundaryName(B);
+    EXPECT_EQ(V->Name, "idle-uniform");
+  }
+}
+
+TEST(RtAdapter, AuditBoundaryIsStructuralOnly) {
+  // A rooted white object mid-sweep is a color-protocol statement, not a
+  // structural one; an audit snapshot may land in any phase and must not
+  // second-guess it.
+  auto S = makeSnap(ob::RtHsBoundary::Audit);
+  S.FM = true;
+  S.Phase = 3;
+  put(S, 1, false);
+  S.Mutators[0].Roots = {1};
+  EXPECT_FALSE(check(S).has_value());
+}
+
+TEST(RtAdapter, AuditCountsAgreeWithTheCraftedGraph) {
+  auto S = makeSnap(ob::RtHsBoundary::Audit);
+  S.FM = true;
+  S.Phase = 2;
+  put(S, 0, true);
+  put(S, 1, false);
+  put(S, 2, false); // unreachable
+  put(S, 3, true);  // grey, marked
+  put(S, 4, false); // grey, NOT marked
+  link(S, 0, 0, 1);
+  link(S, 1, 1, 6); // dangling field
+  S.Mutators[0].Roots = {0, 7}; // r7 dangling root
+  S.Mutators[0].Worklist = {3, 4};
+  RtAuditCounts C = rtAudit(liftSnapshot(S));
+  EXPECT_EQ(C.Reachable, 2u);
+  EXPECT_EQ(C.Unreachable, 3u); // r2, r3, r4
+  EXPECT_EQ(C.DanglingRoots, 1u);
+  EXPECT_EQ(C.DanglingFields, 1u);
+  EXPECT_EQ(C.WorklistEntries, 2u);
+  EXPECT_EQ(C.DanglingWorklist, 0u);
+  EXPECT_EQ(C.UnmarkedWorklist, 1u);
+}
+
+TEST(RtAdapter, DescribeSnapshotRendersTheState) {
+  auto S = makeSnap(ob::RtHsBoundary::H5GetRoots);
+  S.FM = true;
+  S.Phase = 2;
+  put(S, 0, true);
+  put(S, 1, false);
+  link(S, 0, 0, 1);
+  S.Mutators[0].Roots = {0};
+  S.SharedStripes[0] = {0};
+  std::string D = describeSnapshot(S, /*FocusRef=*/1);
+  EXPECT_NE(D.find("h5-get-roots"), std::string::npos);
+  EXPECT_NE(D.find("phase=Mark"), std::string::npos);
+  EXPECT_NE(D.find("mut0"), std::string::npos);
+  EXPECT_NE(D.find("r1"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Layer 2: the observatory on real cycles.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+RtConfig observatoryConfig() {
+  RtConfig Cfg;
+  Cfg.HeapObjects = 256;
+  Cfg.NumFields = 2;
+  Cfg.Observatory = true;
+  Cfg.Trace = true;
+  return Cfg;
+}
+
+uint64_t countEvents(const ob::TraceSink &Sink, ob::EventKind K) {
+  uint64_t N = 0;
+  for (const ob::TraceBuffer *B : Sink.buffers())
+    for (const ob::TraceEvent &E : B->snapshot())
+      if (E.Kind == K)
+        ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(Observatory, StockCyclesAreCleanAndMeasured) {
+  GcRuntime Rt(observatoryConfig());
+  MutatorContext *M = Rt.registerMutator();
+  Rt.HandshakeServicer = [&] { M->safepoint(); };
+
+  int X = M->alloc();
+  int Y = M->alloc();
+  M->store(Y, static_cast<size_t>(X), 0);
+  M->discard(static_cast<size_t>(Y));
+  for (int I = 0; I < 3; ++I)
+    Rt.collectOnce();
+
+  InvariantObservatory *Obs = Rt.observatory();
+  ASSERT_NE(Obs, nullptr);
+  EXPECT_EQ(Obs->violationCount(), 0u);
+  EXPECT_GT(Obs->snapshotCount(), 0u);
+  EXPECT_EQ(Obs->checked(), Obs->snapshotCount());
+  EXPECT_GT(Obs->snapshotNsTotal(), 0u);
+  EXPECT_GE(Obs->maxSnapshotNs(), 1u);
+
+  // The per-cycle and total stats carry the same accounting.
+  EXPECT_EQ(Rt.stats().TotalSnapshots.load(), Obs->snapshotCount());
+  EXPECT_EQ(Rt.stats().TotalInvariantViolations.load(), 0u);
+  uint64_t FromLog = 0;
+  for (const CycleStats &CS : Rt.cycleLog()) {
+    EXPECT_GT(CS.Snapshots, 0u);
+    EXPECT_GT(CS.SnapshotNs, 0u);
+    FromLog += CS.Snapshots;
+  }
+  EXPECT_EQ(FromLog, Obs->snapshotCount());
+
+  // Metrics surface: invariant.* plus the runtime totals.
+  ob::MetricsRegistry Reg;
+  Obs->exportMetrics(Reg);
+  exportMetrics(Rt.stats(), Reg, "gc.");
+  std::set<std::string> Names;
+  for (const ob::Metric &Mt : Reg.snapshot())
+    Names.insert(Mt.Name);
+  EXPECT_TRUE(Names.count("invariant.checked"));
+  EXPECT_TRUE(Names.count("invariant.snapshots"));
+  EXPECT_TRUE(Names.count("invariant.violations"));
+  EXPECT_TRUE(Names.count("invariant.snapshot_ns_total"));
+  EXPECT_TRUE(Names.count("gc.snapshots_total"));
+  EXPECT_TRUE(Names.count("gc.invariant_violations_total"));
+
+  // Trace surface: paired begin/end events, no violations, valid Chrome
+  // export mentioning the snapshot slices.
+  ASSERT_NE(Rt.traceSink(), nullptr);
+  EXPECT_EQ(countEvents(*Rt.traceSink(), ob::EventKind::SnapshotBegin),
+            Obs->snapshotCount());
+  EXPECT_EQ(countEvents(*Rt.traceSink(), ob::EventKind::SnapshotEnd),
+            Obs->snapshotCount());
+  EXPECT_EQ(countEvents(*Rt.traceSink(), ob::EventKind::InvariantViolation),
+            0u);
+  std::string Chrome = ob::traceToChromeJson(*Rt.traceSink());
+  EXPECT_TRUE(ob::validateJson(Chrome));
+  EXPECT_NE(Chrome.find("snapshot"), std::string::npos);
+
+  while (M->numRoots())
+    M->discard(0);
+  Rt.HandshakeServicer = nullptr;
+  Rt.deregisterMutator(M);
+}
+
+namespace {
+
+/// Drive one cycle under the deterministic single-threaded schedule in
+/// which the mutator hides an object right after its roots are collected:
+/// load B.f0 (no barrier), overwrite B.f0. With the deletion barrier the
+/// overwrite greys the old value; without it the object survives only in
+/// the already-scanned root set. Returns the hidden object's ref.
+RtRef runHidingSchedule(GcRuntime &Rt, MutatorContext *M) {
+  int B = M->alloc();
+  int W = M->alloc();
+  M->store(static_cast<size_t>(W), static_cast<size_t>(B), 0);
+  RtRef WRef = M->rootRef(static_cast<size_t>(W));
+  M->discard(static_cast<size_t>(W));
+
+  bool Raced = false;
+  Rt.HandshakeServicer = [&] {
+    const uint64_t Before = M->stats().RootsMarked;
+    M->safepoint();
+    if (!Raced && M->stats().RootsMarked != Before) {
+      int Ri = M->load(static_cast<size_t>(B), 0);
+      int Xi = M->alloc();
+      M->store(static_cast<size_t>(Xi), static_cast<size_t>(B), 0);
+      M->discard(static_cast<size_t>(Xi));
+      (void)Ri; // held across the cycle; discarded in teardown
+      Raced = true;
+    }
+  };
+  Rt.collectOnce();
+  EXPECT_TRUE(Raced);
+  Rt.HandshakeServicer = nullptr;
+  while (M->numRoots())
+    M->discard(0);
+  return WRef;
+}
+
+} // namespace
+
+TEST(Observatory, CatchesTheDeletionBarrierAblation) {
+  RtConfig Cfg = observatoryConfig();
+  Cfg.DeletionBarrier = false; // the ablation under test
+  GcRuntime Rt(Cfg);
+  MutatorContext *M = Rt.registerMutator();
+  RtRef WRef = runHidingSchedule(Rt, M);
+
+  InvariantObservatory *Obs = Rt.observatory();
+  auto Violations = Obs->violations();
+  ASSERT_FALSE(Violations.empty());
+
+  // The detection sequence the model explorer predicts, by name.
+  EXPECT_EQ(Violations.front().Name, "reachable-snapshot");
+  EXPECT_EQ(Violations.front().Boundary, ob::RtHsBoundary::H5GetRoots);
+  EXPECT_EQ(Violations.front().OffendingRef, WRef);
+  EXPECT_NE(Violations.front().Dump.find("snapshot @"), std::string::npos);
+  std::set<std::string> Names;
+  for (const auto &V : Violations)
+    Names.insert(V.Name);
+  EXPECT_TRUE(Names.count("free-precondition"));
+  EXPECT_TRUE(Names.count("safety-headline"));
+
+  // The violation also reached the trace ring and the stats.
+  EXPECT_EQ(countEvents(*Rt.traceSink(), ob::EventKind::InvariantViolation),
+            Obs->violationCount());
+  EXPECT_EQ(Rt.stats().TotalInvariantViolations.load(),
+            Obs->violationCount());
+
+  Rt.deregisterMutator(M);
+}
+
+TEST(Observatory, SameScheduleWithBarrierIsClean) {
+  GcRuntime Rt(observatoryConfig()); // DeletionBarrier stays on
+  MutatorContext *M = Rt.registerMutator();
+  runHidingSchedule(Rt, M);
+  EXPECT_EQ(Rt.observatory()->violationCount(), 0u);
+  Rt.deregisterMutator(M);
+}
+
+TEST(Observatory, PeriodGatesWhichCyclesAreSampled) {
+  RtConfig Cfg = observatoryConfig();
+  Cfg.ObservatoryPeriod = 2;
+  GcRuntime Rt(Cfg);
+  MutatorContext *M = Rt.registerMutator();
+  Rt.HandshakeServicer = [&] { M->safepoint(); };
+
+  Rt.collectOnce(); // cycle ordinal 0: sampled
+  const uint64_t AfterFirst = Rt.observatory()->snapshotCount();
+  EXPECT_GT(AfterFirst, 0u);
+  Rt.collectOnce(); // ordinal 1: skipped
+  EXPECT_EQ(Rt.observatory()->snapshotCount(), AfterFirst);
+  Rt.collectOnce(); // ordinal 2: sampled again
+  EXPECT_GT(Rt.observatory()->snapshotCount(), AfterFirst);
+
+  Rt.HandshakeServicer = nullptr;
+  Rt.deregisterMutator(M);
+}
+
+TEST(Observatory, CleanUnderThreadsWorkersAndFuzzer) {
+  // The whole apparatus at once: real mutator threads, parallel mark
+  // workers, the schedule fuzzer injecting delays, the observatory parking
+  // the world at every boundary — and still zero violations on the
+  // verified configuration.
+  RtConfig Cfg;
+  Cfg.HeapObjects = 512;
+  Cfg.NumFields = 2;
+  Cfg.MarkWorkers = 2;
+  Cfg.Observatory = true;
+  Cfg.FuzzSchedules = 1234;
+  Cfg.FuzzMaxDelayUs = 2;
+  GcRuntime Rt(Cfg);
+
+  constexpr unsigned NumMuts = 2;
+  std::vector<MutatorContext *> Ms;
+  for (unsigned I = 0; I < NumMuts; ++I)
+    Ms.push_back(Rt.registerMutator());
+  std::atomic<bool> Done{false};
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I < NumMuts; ++I)
+    Threads.emplace_back([&, I] {
+      MutatorContext *M = Ms[I];
+      uint64_t K = 0;
+      while (!Done.load(std::memory_order_relaxed)) {
+        M->safepoint();
+        if (M->numRoots() < 16) {
+          M->alloc();
+        } else if (M->numRoots() >= 2 && (K & 1)) {
+          M->store(0, M->numRoots() - 1, static_cast<uint32_t>(K % 2));
+          M->discard(M->numRoots() - 1);
+        } else {
+          M->discard(K % M->numRoots());
+        }
+        ++K;
+      }
+      while (M->numRoots())
+        M->discard(0);
+    });
+
+  for (int I = 0; I < 5; ++I)
+    Rt.collectOnce();
+  Done.store(true);
+  for (auto &T : Threads)
+    T.join();
+  for (auto *M : Ms)
+    Rt.deregisterMutator(M);
+
+  EXPECT_EQ(Rt.observatory()->violationCount(), 0u);
+  EXPECT_GT(Rt.observatory()->snapshotCount(), 0u);
+}
+
+TEST(Observatory, StwCyclesSnapshotInsideThePark) {
+  RtConfig Cfg = observatoryConfig();
+  GcRuntime Rt(Cfg);
+  MutatorContext *M = Rt.registerMutator();
+  std::atomic<bool> Done{false};
+  std::thread Service([&] {
+    while (!Done.load())
+      M->safepoint();
+  });
+  int X = M->alloc();
+  (void)X;
+  Rt.collectStw();
+  Done.store(true);
+  Service.join();
+
+  EXPECT_EQ(Rt.observatory()->violationCount(), 0u);
+  EXPECT_EQ(Rt.observatory()->snapshotCount(), 2u); // post-mark + post-sweep
+  while (M->numRoots())
+    M->discard(0);
+  Rt.deregisterMutator(M);
+}

@@ -70,6 +70,22 @@ TEST(TraceBuffer, WraparoundKeepsNewestAndCountsDropped) {
     EXPECT_EQ(Events[I].A, Events[I - 1].A + 1);
 }
 
+TEST(TraceBuffer, MultipleWraparoundsKeepExactlyTheNewestWindow) {
+  TraceBuffer Buf(1, 64);
+  for (uint32_t I = 0; I < 1000; ++I) // wraps the 64-slot ring 15+ times
+    Buf.record(EventKind::Alloc, I);
+  EXPECT_EQ(Buf.recorded(), 1000u);
+  EXPECT_EQ(Buf.dropped(), 936u);
+  auto Events = Buf.snapshot();
+  ASSERT_EQ(Events.size(), 64u);
+  EXPECT_EQ(Events.front().A, 936u);
+  EXPECT_EQ(Events.back().A, 999u);
+  for (size_t I = 1; I < Events.size(); ++I) {
+    EXPECT_EQ(Events[I].A, Events[I - 1].A + 1);
+    EXPECT_LE(Events[I - 1].TimeNs, Events[I].TimeNs);
+  }
+}
+
 TEST(TraceBuffer, TinyCapacityRoundsUpToMinimum) {
   TraceBuffer Buf(0, 1);
   for (uint32_t I = 0; I < 64; ++I)
@@ -312,6 +328,73 @@ TEST(RuntimeTrace, FullCycleProducesCompleteTrace) {
   EXPECT_NE(Json.find("phase_transition"), std::string::npos);
 
   M->discard(0);
+  Rt.deregisterMutator(M);
+}
+
+TEST(RuntimeTrace, MidCycleOverflowCountsDropsAndKeepsOrder) {
+  // Force the rings to wrap mid-cycle: the smallest legal capacity (64
+  // events per thread) against cycles that emit hundreds. Overflow must be
+  // loud (dropped accounting, trace.dropped_total) and non-corrupting
+  // (each surviving window is the newest events, in order).
+  rt::RtConfig Cfg;
+  Cfg.HeapObjects = 256;
+  Cfg.NumFields = 2;
+  Cfg.Trace = true;
+  Cfg.TraceBufferEvents = 1; // rounds up to the 64-slot minimum
+  Cfg.MarkWorkers = 4;
+  rt::GcRuntime Rt(Cfg);
+  rt::MutatorContext *M = Rt.registerMutator();
+  Rt.HandshakeServicer = [M] { M->safepoint(); };
+
+  // Enough allocation/discard churn to overflow the mutator ring too.
+  for (int Cycle = 0; Cycle < 3; ++Cycle) {
+    for (int I = 0; I < 100; ++I) {
+      int R = M->alloc();
+      if (R >= 0)
+        M->discard(static_cast<size_t>(R));
+    }
+    Rt.collectOnce();
+  }
+
+  const TraceSink &Sink = *Rt.traceSink();
+  EXPECT_GT(Sink.totalDropped(), 0u);
+
+  // Per-buffer: dropped = recorded - retained; the retained window is
+  // time-ordered (ring replay starts at the oldest surviving slot).
+  uint64_t SumDropped = 0;
+  bool SawWorkerTid = false;
+  for (const TraceBuffer *Buf : Sink.buffers()) {
+    auto Events = Buf->snapshot();
+    EXPECT_EQ(Buf->dropped(),
+              Buf->recorded() - static_cast<uint64_t>(Events.size()));
+    SumDropped += Buf->dropped();
+    for (size_t I = 1; I < Events.size(); ++I)
+      EXPECT_LE(Events[I - 1].TimeNs, Events[I].TimeNs)
+          << "tid " << Buf->tid() << " out of order after wraparound";
+    for (const TraceEvent &E : Events)
+      EXPECT_EQ(E.Tid, Buf->tid());
+    if (Buf->tid() >= MarkWorkerTidBase && Buf->tid() < CollectorTid)
+      SawWorkerTid = true;
+  }
+  EXPECT_EQ(Sink.totalDropped(), SumDropped);
+  EXPECT_TRUE(SawWorkerTid) << "mark workers 1..3 trace under 0xff00+W";
+
+  // The drop counter reaches the metrics document...
+  MetricsRegistry Reg;
+  exportTraceMetrics(Sink, Reg);
+  auto Snap = Reg.snapshot();
+  auto It = std::find_if(Snap.begin(), Snap.end(), [](const Metric &Mt) {
+    return Mt.Name == "trace.dropped_total";
+  });
+  ASSERT_NE(It, Snap.end());
+  EXPECT_EQ(It->Counter, Sink.totalDropped());
+  EXPECT_TRUE(validateJson(metricsToJson(Reg, "overflow_test")));
+
+  // ...and the truncated trace still exports as valid Chrome JSON.
+  EXPECT_TRUE(validateJson(traceToChromeJson(Sink)));
+
+  while (M->numRoots())
+    M->discard(0);
   Rt.deregisterMutator(M);
 }
 
