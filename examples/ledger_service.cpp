@@ -1,0 +1,154 @@
+//===- examples/ledger_service.cpp - The ledger under live verification ---===//
+///
+/// \file
+/// Run the ledger service workload from the command line: open-loop
+/// traffic on the GC-managed heap, an operator-style report (latency
+/// percentiles, throughput vs offered, worst mutator pause, audited
+/// floating garbage, conservation), and the SLO verdict as the exit code.
+///
+/// Run: ledger_service [options]
+///   --threads N     mutator threads               (default 2)
+///   --seconds S     measured duration             (default 2.0)
+///   --rate R        aggregate offered ops/sec     (default 8000)
+///   --accounts N    account id space              (default 192)
+///   --seed S        load-generator seed           (default 42)
+///   --stw           stop-the-world baseline collector
+///   --soak          run under the §3.2 invariant observatory
+///   --fuzz SEED     also enable the schedule fuzzer (implies --soak)
+///   --trace FILE    write a Chrome trace_event timeline
+///
+/// --soak is the live-verification mode: every quiescent boundary the
+/// observatory snapshots the runtime and checks the §3.2 invariant suite
+/// against real ledger traffic; any violation fails the run. With --fuzz
+/// the schedule fuzzer perturbs safepoints and handshake handlers so the
+/// soak explores more interleavings per second.
+///
+//===----------------------------------------------------------------------===//
+
+#include "observe/Export.h"
+#include "runtime/InvariantObservatory.h"
+#include "support/Stats.h"
+#include "workload/ledger/Slo.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace tsogc;
+
+int main(int Argc, char **Argv) {
+  ledger::LedgerRunConfig Cfg;
+  Cfg.Rt.HeapObjects = 1u << 14;
+  Cfg.Ledger.MaxAccounts = 192;
+  Cfg.Ledger.HistoryLimit = 12;
+  Cfg.Load.RatePerSec = 8000;
+  Cfg.Load.PreCreated = 64;
+  Cfg.Threads = 2;
+  Cfg.Seconds = 2.0;
+  Cfg.OccupancyTrigger = 0.5;
+
+  bool Soak = false;
+  const char *TracePath = nullptr;
+  for (int I = 1; I < Argc; ++I) {
+    auto Val = [&](const char *Flag) -> const char * {
+      if (std::strcmp(Argv[I], Flag) == 0 && I + 1 < Argc)
+        return Argv[++I];
+      return nullptr;
+    };
+    if (const char *V = Val("--threads"))
+      Cfg.Threads = static_cast<unsigned>(std::atoi(V));
+    else if (const char *V = Val("--seconds"))
+      Cfg.Seconds = std::atof(V);
+    else if (const char *V = Val("--rate"))
+      Cfg.Load.RatePerSec = std::atof(V);
+    else if (const char *V = Val("--accounts"))
+      Cfg.Ledger.MaxAccounts = static_cast<uint32_t>(std::atoi(V));
+    else if (const char *V = Val("--seed"))
+      Cfg.Seed = static_cast<uint64_t>(std::atoll(V));
+    else if (const char *V = Val("--fuzz")) {
+      Soak = true;
+      Cfg.Rt.FuzzSchedules = static_cast<uint32_t>(std::atoll(V));
+    } else if (const char *V = Val("--trace")) {
+      TracePath = V;
+      Cfg.Rt.Trace = true;
+    } else if (std::strcmp(Argv[I], "--stw") == 0)
+      Cfg.StopTheWorld = true;
+    else if (std::strcmp(Argv[I], "--soak") == 0)
+      Soak = true;
+    else {
+      std::fprintf(stderr, "unknown argument: %s\n", Argv[I]);
+      return 2;
+    }
+  }
+  Cfg.Rt.Observatory = Soak;
+
+  std::printf("ledger: %u threads, %.1fs, %.0f ops/s offered, %u accounts%s%s%s\n\n",
+              Cfg.Threads, Cfg.Seconds, Cfg.Load.RatePerSec,
+              Cfg.Ledger.MaxAccounts, Cfg.StopTheWorld ? ", STW" : "",
+              Soak ? ", observatory" : "",
+              Cfg.Rt.FuzzSchedules != 0 ? ", fuzzed schedules" : "");
+
+  ledger::LedgerHarness H(Cfg);
+  ledger::LedgerRunResult R = H.run();
+
+  std::printf("traffic:  %llu ops (%llu applied, %llu rejected, %llu "
+              "heap-exhausted) in %.2fs\n",
+              (unsigned long long)R.OpsTotal, (unsigned long long)R.OpsApplied,
+              (unsigned long long)R.OpsRejected,
+              (unsigned long long)R.OpsHeapExhausted, R.DurationSec);
+  std::printf("          throughput %.0f ops/s of %.0f offered\n",
+              R.ThroughputOpsPerSec, R.OfferedOpsPerSec);
+  std::printf("latency:  p50 %.0fus  p99 %.0fus  max %.0fus  mean %.0fus "
+              "(open-loop: queueing included)\n",
+              R.P50Us, R.P99Us, R.MaxUs, R.MeanUs);
+  std::printf("gc:       %llu cycles, worst mutator pause %.1fus\n",
+              (unsigned long long)R.Cycles,
+              static_cast<double>(R.MaxPauseNs) / 1e3);
+  std::printf("heap:     %u live, %u floating (ratio %.3f), audit %s",
+              R.LiveObjects, R.FloatingGarbage, R.FloatingGarbageRatio,
+              R.AuditClean ? "clean" : "NOT CLEAN");
+  if (R.Drained)
+    std::printf("; after drain: %u unreclaimed (%s)",
+                R.UnreclaimedAfterDrain, R.DrainedClean ? "clean" : "DIRTY");
+  std::printf("\nledger:   sum(balances) %llu vs minted %llu — %s\n",
+              (unsigned long long)R.SumBalances,
+              (unsigned long long)R.MintedTotal,
+              R.ConservationOk ? "conserved" : "VIOLATED");
+  if (Soak)
+    std::printf("§3.2:     %llu snapshots, %llu invariant checks, %llu "
+                "violations\n",
+                (unsigned long long)R.Snapshots,
+                (unsigned long long)R.InvariantChecks,
+                (unsigned long long)R.InvariantViolations);
+
+  // Latency histogram for the curious.
+  Histogram Hist(0.0, 5000.0, 25);
+  for (double L : R.LatenciesUs)
+    Hist.add(L);
+  std::printf("\nop latency histogram (us):\n%s", Hist.render(44).c_str());
+
+  if (Soak) {
+    if (auto *Obs = H.runtime().observatory()) {
+      for (const auto &V : Obs->violations())
+        std::fprintf(stderr, "VIOLATION: %s\n", V.Name.c_str());
+    }
+  }
+  if (TracePath) {
+    std::string Json = observe::traceToChromeJson(*H.runtime().traceSink());
+    if (observe::writeTextFile(TracePath, Json))
+      std::printf("\nwrote trace timeline to %s\n", TracePath);
+    else
+      std::fprintf(stderr, "cannot write trace to %s\n", TracePath);
+  }
+
+  ledger::SloTarget Target;
+  if (Cfg.StopTheWorld) {
+    // The baseline exists to document its pauses, not to pass them.
+    Target.MaxPauseUs = 1e9;
+  }
+  ledger::SloVerdict Verdict = ledger::checkSlo(Target, R);
+  std::printf("\n%s\n", Verdict.summary().c_str());
+  if (Soak && R.InvariantViolations > 0)
+    return 3;
+  return Verdict.Pass ? 0 : 1;
+}

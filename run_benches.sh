@@ -110,10 +110,19 @@ fi
 
 # Required exports: suites CI depends on must actually have been produced
 # (a bench binary silently dropped from the build would otherwise pass).
-for required in BENCH_mark_throughput.json BENCH_observatory.json; do
+MISSING=0
+for required in BENCH_mark_throughput.json BENCH_observatory.json \
+  BENCH_workload_ledger.json; do
   if [ ! -s "$required" ]; then
     echo "run_benches.sh: required export $required was not produced" >&2
+    MISSING=1
     STATUS=1
   fi
 done
+if [ "$MISSING" = 1 ]; then
+  # Name what DID export, so a missing-required failure is diagnosable
+  # from the CI log alone (wrong build dir vs. dropped bench vs. typo).
+  produced=$(ls BENCH_*.json 2>/dev/null | tr '\n' ' ')
+  echo "run_benches.sh: exports that were produced: ${produced:-(none)}" >&2
+fi
 exit $STATUS

@@ -117,6 +117,40 @@ void MutatorContext::store(size_t DstRootIdx, size_t SrcRootIdx,
   Heap.setField(Src.Ref, Field, Dst.Ref);
 }
 
+void MutatorContext::storeNull(size_t SrcRootIdx, uint32_t Field) {
+  const RootHandle &Src = Roots[SrcRootIdx];
+  checkHandle(Src, "store-null-src");
+  ++Stats.Stores;
+#ifdef TSOGC_ABLATE_DELETION_BARRIER
+  constexpr bool DeletionBarrierOn = false;
+#else
+  const bool DeletionBarrierOn = Heap.config().DeletionBarrier;
+#endif
+  // Severing an edge is precisely the case the deletion barrier exists
+  // for (Fig 1: an unmarked object can become hidden behind the
+  // snapshot); null itself needs no insertion barrier.
+  if (DeletionBarrierOn) {
+    RtRef Old = Heap.field(Src.Ref, Field);
+    maybeYield();
+    if (Old != RtNull)
+      barrierMark(Old);
+  }
+  maybeYield();
+  Heap.setField(Src.Ref, Field, RtNull);
+}
+
+uint64_t MutatorContext::loadData(size_t RootIdx) {
+  const RootHandle &H = Roots[RootIdx];
+  checkHandle(H, "load-data");
+  return Heap.dataWord(H.Ref);
+}
+
+void MutatorContext::storeData(size_t RootIdx, uint64_t V) {
+  const RootHandle &H = Roots[RootIdx];
+  checkHandle(H, "store-data");
+  Heap.setDataWord(H.Ref, V);
+}
+
 int MutatorContext::alloc() {
   ++Stats.Allocs;
   // New objects take the allocation color from the *local* fA view; stale

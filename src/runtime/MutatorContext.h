@@ -56,6 +56,17 @@ public:
   /// insertion barrier on dst (both subject to the configured ablations).
   void store(size_t DstRootIdx, size_t SrcRootIdx, uint32_t Field);
 
+  /// src.fld := null. The deletion barrier fires on the overwritten value
+  /// exactly as in store; there is no insertion barrier because null needs
+  /// no protection. This is how an application severs an edge (e.g. the
+  /// ledger workload truncating a history chain).
+  void storeNull(size_t SrcRootIdx, uint32_t Field);
+
+  /// Validated read/write of the object's GC-inert payload word
+  /// (RtHeap::dataWord). No barrier — the payload holds no references.
+  uint64_t loadData(size_t RootIdx);
+  void storeData(size_t RootIdx, uint64_t V);
+
   /// Allocate an object marked with the local allocation color; the new
   /// reference becomes a root. Returns its root index or -1 if the heap is
   /// exhausted.

@@ -9,7 +9,7 @@ using namespace tsogc::rt;
 RtHeap::RtHeap(const RtConfig &C)
     : Cfg(C), Headers(C.HeapObjects),
       Fields(static_cast<size_t>(C.HeapObjects) * C.NumFields),
-      WorkNext(C.HeapObjects),
+      Data(C.HeapObjects), WorkNext(C.HeapObjects),
       SharedWork(std::max(1u, C.MarkWorkers)) {
   TSOGC_CHECK(C.HeapObjects > 0 && C.HeapObjects < RtNull,
               "bad heap capacity");
@@ -18,6 +18,8 @@ RtHeap::RtHeap(const RtConfig &C)
     H.store(0, std::memory_order_relaxed);
   for (auto &F : Fields)
     F.store(RtNull, std::memory_order_relaxed);
+  for (auto &D : Data)
+    D.store(0, std::memory_order_relaxed);
   for (auto &N : WorkNext)
     N.store(RtNull, std::memory_order_relaxed);
   for (auto &Cell : SharedWork)
@@ -67,6 +69,7 @@ RtRef RtHeap::allocFromReserved(RtRef R, bool MarkFlag,
   // the reference can only escape after the initializing stores commit).
   for (uint32_t F = 0; F < Cfg.NumFields; ++F)
     Fields[fieldIndex(R, F)].store(RtNull, std::memory_order_relaxed);
+  Data[R].store(0, std::memory_order_relaxed);
   WorkNext[R].store(RtNull, std::memory_order_relaxed);
   uint32_t H = Headers[R].load(std::memory_order_relaxed);
   TSOGC_CHECK(!hdr::allocated(H), "free-list slot already allocated");

@@ -99,6 +99,20 @@ public:
     Fields[fieldIndex(R, F)].store(V, std::memory_order_relaxed);
   }
 
+  /// Per-object payload word (non-reference data: a balance, a sequence
+  /// number). GC-inert — never traced, never part of reachability — and
+  /// zeroed at allocation before the allocated bit is published, so a
+  /// freshly allocated object always reads 0. Plain (relaxed) accesses
+  /// like the reference fields: application-level ordering is the
+  /// application's business (the ledger workload serializes payload
+  /// writers with per-account locks).
+  uint64_t dataWord(RtRef R) const {
+    return Data[R].load(std::memory_order_relaxed);
+  }
+  void setDataWord(RtRef R, uint64_t V) {
+    Data[R].store(V, std::memory_order_relaxed);
+  }
+
   /// Instrumentation backdoor for tests and benchmarks: force the mark bit
   /// of a live object. Never used by the collector or the barriers.
   void setMarkFlagRaw(RtRef R, bool Mark) {
@@ -166,6 +180,7 @@ private:
   RtConfig Cfg;
   std::vector<std::atomic<uint32_t>> Headers;
   std::vector<std::atomic<RtRef>> Fields;
+  std::vector<std::atomic<uint64_t>> Data;
   std::vector<std::atomic<RtRef>> WorkNext;
   /// One transfer-list head per mark-worker stripe (size ≥ 1).
   std::vector<std::atomic<RtRef>> SharedWork;

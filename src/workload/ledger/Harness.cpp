@@ -1,0 +1,283 @@
+//===- workload/ledger/Harness.cpp ----------------------------------------===//
+
+#include "workload/ledger/Harness.h"
+
+#include "runtime/InvariantObservatory.h"
+#include "support/Assert.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <thread>
+
+using namespace tsogc;
+using namespace tsogc::ledger;
+
+namespace {
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-worker measurement slot, written by the worker thread during its
+/// run and read by the main thread only after MeasureDone.
+struct WorkerSlot {
+  std::vector<double> LatenciesUs;
+  uint64_t AppliedByKind[NumOpKinds] = {};
+  uint64_t ResultCounts[7] = {};
+  rt::MutStats Stats;
+  std::atomic<bool> Ready{false};
+  std::atomic<bool> MeasureDone{false};
+};
+
+/// Exact quantile of \p V (destructively reordered). Q in [0, 1].
+double quantileUs(std::vector<double> &V, double Q) {
+  if (V.empty())
+    return 0.0;
+  size_t K = static_cast<size_t>(Q * (V.size() - 1));
+  std::nth_element(V.begin(), V.begin() + K, V.end());
+  return V[K];
+}
+
+} // namespace
+
+LedgerHarness::LedgerHarness(const LedgerRunConfig &C)
+    : Cfg([&C] {
+        LedgerRunConfig R = C;
+        // Keep the two id spaces consistent: the generator targets the
+        // ledger's account table.
+        R.Load.MaxAccounts = R.Ledger.MaxAccounts;
+        if (R.Load.PreCreated > R.Ledger.MaxAccounts)
+          R.Load.PreCreated = R.Ledger.MaxAccounts;
+        if (R.Threads == 0)
+          R.Threads = 1;
+        return R;
+      }()),
+      Rt(Cfg.Rt), Svc(Cfg.Ledger) {}
+
+LedgerRunResult LedgerHarness::run() {
+  const unsigned N = Cfg.Threads;
+  std::vector<WorkerSlot> Slots(N);
+  std::atomic<bool> Go{false};
+  std::atomic<bool> StopFlag{false};
+  std::atomic<bool> ExitFlag{false};
+  std::atomic<uint64_t> T0{0};
+
+  LoadGenConfig PerStream = Cfg.Load;
+  PerStream.RatePerSec = Cfg.Load.RatePerSec / N;
+
+  // Measurement teardown, shared by both exits of the op loop: snapshot
+  // the stats, then sit in a service phase — accounts stay rooted and
+  // handshakes keep being acknowledged while the main thread audits and
+  // drains — until told to drop everything and deregister.
+  auto Finish = [&](WorkerSlot &Slot, rt::MutatorContext *M) {
+    Slot.Stats = M->stats();
+    Slot.MeasureDone.store(true, std::memory_order_release);
+    while (!ExitFlag.load(std::memory_order_acquire)) {
+      M->safepoint();
+      std::this_thread::yield();
+    }
+    while (M->numRoots() > 0)
+      M->discard(M->numRoots() - 1);
+    Rt.deregisterMutator(M);
+  };
+
+  auto Worker = [&](unsigned W) {
+    rt::MutatorContext *M = Rt.registerMutator();
+    WorkerSlot &Slot = Slots[W];
+
+    // Warm-up: create this worker's share of the pre-created block. The
+    // collector is not running yet, so these need no handshake service;
+    // the accounts stay rooted in this context until teardown.
+    for (AccountId Id = W; Id < Cfg.Load.PreCreated; Id += N) {
+      OpResult R = Svc.createAccount(*M, Id);
+      TSOGC_CHECK(R == OpResult::Ok, "warm-up create failed");
+    }
+    Slot.Ready.store(true, std::memory_order_release);
+    while (!Go.load(std::memory_order_acquire))
+      std::this_thread::yield();
+
+    LoadGen Gen(PerStream, Cfg.Seed, W, N);
+    const uint64_t Start = T0.load(std::memory_order_acquire);
+    while (!StopFlag.load(std::memory_order_relaxed)) {
+      OpRequest Req = Gen.next();
+      const uint64_t Target = Start + Req.ArrivalNs;
+      // Open-loop pacing: wait for the scheduled arrival (servicing
+      // handshakes meanwhile). Under overload Target is already past and
+      // the op runs immediately — the queueing delay lands in its latency.
+      bool Stopped = false;
+      for (;;) {
+        if (StopFlag.load(std::memory_order_relaxed)) {
+          Stopped = true;
+          break;
+        }
+        const uint64_t Now = nowNs();
+        if (Now >= Target)
+          break;
+        M->safepoint();
+        if (Target - Now > 50'000)
+          std::this_thread::yield();
+      }
+      if (Stopped)
+        break;
+
+      OpResult R = executeOp(Svc, *M, Req);
+      const uint64_t End = nowNs();
+      Slot.LatenciesUs.push_back(
+          static_cast<double>(End > Target ? End - Target : 0) / 1e3);
+      ++Slot.ResultCounts[static_cast<unsigned>(R)];
+      if (R == OpResult::Ok)
+        ++Slot.AppliedByKind[static_cast<unsigned>(Req.Kind)];
+      else if (R == OpResult::HeapExhausted)
+        std::this_thread::yield(); // back-pressure: let the collector run
+      M->safepoint();
+    }
+    Finish(Slot, M);
+  };
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(N);
+  for (unsigned W = 0; W < N; ++W)
+    Threads.emplace_back(Worker, W);
+
+  for (auto &S : Slots)
+    while (!S.Ready.load(std::memory_order_acquire))
+      std::this_thread::yield();
+
+  rt::GcRuntime::CollectorPolicy Policy;
+  Policy.StopTheWorld = Cfg.StopTheWorld;
+  Policy.OccupancyTrigger = Cfg.OccupancyTrigger;
+  Rt.startCollector(Policy);
+
+  T0.store(nowNs(), std::memory_order_release);
+  Go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::duration<double>(Cfg.Seconds));
+  StopFlag.store(true, std::memory_order_relaxed);
+
+  for (auto &S : Slots)
+    while (!S.MeasureDone.load(std::memory_order_acquire))
+      std::this_thread::yield();
+  const double DurationSec =
+      static_cast<double>(nowNs() - T0.load(std::memory_order_relaxed)) / 1e9;
+
+  // -- shutdown audit + conservation ------------------------------------
+  Rt.stopCollector();
+
+  LedgerRunResult R;
+  R.DurationSec = DurationSec;
+  R.OfferedOpsPerSec = Cfg.Load.RatePerSec;
+
+  auto Audit = Rt.auditHeap();
+  R.LiveObjects = Audit.Reachable;
+  R.FloatingGarbage = Audit.Unreachable;
+  const uint32_t Allocated = Audit.Reachable + Audit.Unreachable;
+  R.FloatingGarbageRatio =
+      Allocated ? static_cast<double>(Audit.Unreachable) / Allocated : 0.0;
+  R.AuditClean = Audit.clean();
+
+  {
+    // The collector is idle, so the main thread may register a context of
+    // its own for the conservation walk (workers are parked at safepoints
+    // in their service phase and still hold every account root).
+    rt::MutatorContext *Main = Rt.registerMutator();
+    R.SumBalances = Svc.sumBalances(*Main);
+    R.MintedTotal = Svc.mintedTotal();
+    R.ConservationOk = R.SumBalances == R.MintedTotal;
+    while (Main->numRoots() > 0)
+      Main->discard(Main->numRoots() - 1);
+    Rt.deregisterMutator(Main);
+  }
+
+  if (Cfg.DrainAfterRun) {
+    // Two forced cycles reclaim everything the shutdown audit saw as
+    // floating (trimmed history tails, displaced balance entries).
+    Rt.collectOnce();
+    Rt.collectOnce();
+    auto Audit2 = Rt.auditHeap();
+    R.Drained = true;
+    R.UnreclaimedAfterDrain = Audit2.Unreachable;
+    R.DrainedClean = Audit2.clean() && Audit2.Unreachable == 0;
+  }
+
+  ExitFlag.store(true, std::memory_order_release);
+  for (auto &Th : Threads)
+    Th.join();
+
+  // -- aggregation -------------------------------------------------------
+  for (unsigned W = 0; W < N; ++W) {
+    WorkerSlot &S = Slots[W];
+    for (unsigned K = 0; K < NumOpKinds; ++K)
+      R.AppliedByKind[K] += S.AppliedByKind[K];
+    for (unsigned I = 0; I < 7; ++I)
+      R.ResultCounts[I] += S.ResultCounts[I];
+    R.LatenciesUs.insert(R.LatenciesUs.end(), S.LatenciesUs.begin(),
+                         S.LatenciesUs.end());
+    R.MaxPauseNs = std::max(R.MaxPauseNs, S.Stats.maxPauseNs());
+    R.AllocFailures += S.Stats.AllocFailures;
+  }
+  R.OpsApplied = R.ResultCounts[static_cast<unsigned>(OpResult::Ok)];
+  R.OpsHeapExhausted =
+      R.ResultCounts[static_cast<unsigned>(OpResult::HeapExhausted)];
+  R.OpsTotal = R.LatenciesUs.size();
+  R.OpsRejected = R.OpsTotal - R.OpsApplied - R.OpsHeapExhausted;
+  R.ThroughputOpsPerSec =
+      DurationSec > 0 ? (R.OpsTotal - R.OpsHeapExhausted) / DurationSec : 0;
+
+  if (!R.LatenciesUs.empty()) {
+    std::vector<double> Scratch = R.LatenciesUs;
+    R.P50Us = quantileUs(Scratch, 0.50);
+    R.P99Us = quantileUs(Scratch, 0.99);
+    R.MaxUs = *std::max_element(Scratch.begin(), Scratch.end());
+    R.MeanUs = std::accumulate(Scratch.begin(), Scratch.end(), 0.0) /
+               static_cast<double>(Scratch.size());
+  }
+
+  R.Cycles = Rt.stats().Cycles.load(std::memory_order_relaxed);
+  if (auto *Obs = Rt.observatory()) {
+    R.Snapshots = Obs->snapshotCount();
+    R.InvariantChecks = Obs->checked();
+    R.InvariantViolations = Obs->violationCount();
+  }
+  return R;
+}
+
+LedgerRunResult tsogc::ledger::runLedger(const LedgerRunConfig &Cfg) {
+  LedgerHarness H(Cfg);
+  return H.run();
+}
+
+void tsogc::ledger::exportMetrics(const LedgerRunResult &R,
+                                  observe::MetricsRegistry &Reg,
+                                  const std::string &Prefix) {
+  Reg.gauge(Prefix + "duration_sec", R.DurationSec);
+  Reg.gauge(Prefix + "offered_ops_per_sec", R.OfferedOpsPerSec);
+  Reg.gauge(Prefix + "throughput_ops_per_sec", R.ThroughputOpsPerSec);
+  Reg.counter(Prefix + "ops_total", R.OpsTotal);
+  Reg.counter(Prefix + "ops_applied", R.OpsApplied);
+  Reg.counter(Prefix + "ops_rejected", R.OpsRejected);
+  Reg.counter(Prefix + "ops_heap_exhausted", R.OpsHeapExhausted);
+  for (unsigned K = 0; K < NumOpKinds; ++K)
+    Reg.counter(Prefix + "applied_" + opKindName(static_cast<OpKind>(K)),
+                R.AppliedByKind[K]);
+  Reg.gauge(Prefix + "p50_us", R.P50Us);
+  Reg.gauge(Prefix + "p99_us", R.P99Us);
+  Reg.gauge(Prefix + "max_us", R.MaxUs);
+  Reg.gauge(Prefix + "mean_us", R.MeanUs);
+  Reg.gauge(Prefix + "max_pause_ns", static_cast<double>(R.MaxPauseNs));
+  Reg.counter(Prefix + "gc_cycles", R.Cycles);
+  Reg.counter(Prefix + "alloc_failures", R.AllocFailures);
+  Reg.gauge(Prefix + "live_objects", R.LiveObjects);
+  Reg.gauge(Prefix + "floating_garbage", R.FloatingGarbage);
+  Reg.gauge(Prefix + "floating_garbage_ratio", R.FloatingGarbageRatio);
+  Reg.gauge(Prefix + "audit_clean", R.AuditClean ? 1 : 0);
+  Reg.gauge(Prefix + "conservation_ok", R.ConservationOk ? 1 : 0);
+  Reg.counter(Prefix + "invariant_checks", R.InvariantChecks);
+  Reg.counter(Prefix + "invariant_violations", R.InvariantViolations);
+  for (double L : R.LatenciesUs)
+    Reg.observeSample(Prefix + "latency_us", L, 0.0, 50'000.0, 100);
+}

@@ -1,0 +1,117 @@
+//===- workload/ledger/Harness.h - Multi-threaded ledger run harness ------===//
+///
+/// \file
+/// Drives the ledger service with N mutator threads under open-loop load
+/// and the on-the-fly collector, and measures what a service operator
+/// would: per-op latency (from *scheduled* arrival, so queueing under
+/// overload counts), throughput against offered load, the worst
+/// collector-imposed mutator pause, and the floating-garbage ratio at
+/// shutdown (audited, not estimated). The result feeds the SLO checker
+/// (Slo.h) and the bench/metrics export.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_WORKLOAD_LEDGER_HARNESS_H
+#define TSOGC_WORKLOAD_LEDGER_HARNESS_H
+
+#include "observe/Metrics.h"
+#include "runtime/GcRuntime.h"
+#include "workload/ledger/LoadGen.h"
+
+#include <string>
+#include <vector>
+
+namespace tsogc::ledger {
+
+struct LedgerRunConfig {
+  /// Runtime configuration (heap size, barriers, observatory, fuzzer...).
+  rt::RtConfig Rt;
+  LedgerConfig Ledger;
+  /// Load shape. RatePerSec here is the AGGREGATE offered rate; the
+  /// harness splits it evenly across threads. PreCreated/MaxAccounts are
+  /// overwritten from \p Ledger to keep the two configs consistent.
+  LoadGenConfig Load;
+  unsigned Threads = 2;
+  double Seconds = 2.0;
+  uint64_t Seed = 42;
+  /// Collector policy for the background thread.
+  bool StopTheWorld = false;
+  double OccupancyTrigger = 0.5;
+  /// After measurement, run two forced cycles and re-audit to check the
+  /// trimmed/displaced garbage was actually reclaimed.
+  bool DrainAfterRun = true;
+};
+
+struct LedgerRunResult {
+  //===-- Traffic ---------------------------------------------------------===//
+  uint64_t OpsTotal = 0;         ///< Every request issued during measurement.
+  uint64_t OpsApplied = 0;       ///< OpResult::Ok.
+  uint64_t OpsRejected = 0;      ///< Validation rejections (normal responses).
+  uint64_t OpsHeapExhausted = 0; ///< GC back-pressure drops.
+  uint64_t AppliedByKind[NumOpKinds] = {};
+  uint64_t ResultCounts[7] = {}; ///< Indexed by OpResult.
+
+  //===-- Latency / throughput -------------------------------------------===//
+  double DurationSec = 0;
+  double OfferedOpsPerSec = 0;
+  double ThroughputOpsPerSec = 0; ///< Applied + rejected per second.
+  double P50Us = 0, P99Us = 0, MaxUs = 0, MeanUs = 0; ///< Exact quantiles.
+  std::vector<double> LatenciesUs; ///< Merged raw samples (unsorted).
+
+  //===-- Runtime ---------------------------------------------------------===//
+  uint64_t MaxPauseNs = 0; ///< Worst MutStats::maxPauseNs() across workers.
+  uint64_t Cycles = 0;
+  uint64_t AllocFailures = 0;
+
+  //===-- Shutdown audit --------------------------------------------------===//
+  uint32_t LiveObjects = 0;
+  uint32_t FloatingGarbage = 0; ///< Allocated-but-unreachable at shutdown.
+  double FloatingGarbageRatio = 0; ///< Unreachable / allocated.
+  bool AuditClean = false;
+  bool Drained = false; ///< DrainAfterRun ran.
+  uint32_t UnreclaimedAfterDrain = 0;
+  bool DrainedClean = false;
+
+  //===-- Conservation ----------------------------------------------------===//
+  uint64_t MintedTotal = 0;
+  uint64_t SumBalances = 0;
+  bool ConservationOk = false;
+
+  //===-- Observatory (zeros when RtConfig::Observatory is off) ----------===//
+  uint64_t Snapshots = 0;
+  uint64_t InvariantChecks = 0;
+  uint64_t InvariantViolations = 0;
+};
+
+/// Owns the runtime + service so callers (the example's --trace export,
+/// tests poking at the observatory) can inspect them after run().
+class LedgerHarness {
+public:
+  explicit LedgerHarness(const LedgerRunConfig &Cfg);
+
+  /// One measured run: warm-up creates, open-loop traffic for
+  /// Cfg.Seconds, shutdown audit + conservation check (+ drain).
+  /// Call at most once per harness.
+  LedgerRunResult run();
+
+  rt::GcRuntime &runtime() { return Rt; }
+  LedgerService &service() { return Svc; }
+  const LedgerRunConfig &config() const { return Cfg; }
+
+private:
+  LedgerRunConfig Cfg;
+  rt::GcRuntime Rt;
+  LedgerService Svc;
+};
+
+/// Convenience wrapper when the runtime is not needed afterwards.
+LedgerRunResult runLedger(const LedgerRunConfig &Cfg);
+
+/// Export the headline numbers as `<Prefix>*` gauges plus a latency
+/// histogram sample (`<Prefix>latency_us`) into \p Reg.
+void exportMetrics(const LedgerRunResult &R, observe::MetricsRegistry &Reg,
+                   const std::string &Prefix = "ledger.");
+
+} // namespace tsogc::ledger
+
+#endif // TSOGC_WORKLOAD_LEDGER_HARNESS_H

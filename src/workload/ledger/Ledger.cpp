@@ -1,0 +1,281 @@
+//===- workload/ledger/Ledger.cpp -----------------------------------------===//
+
+#include "workload/ledger/Ledger.h"
+
+#include "support/Assert.h"
+
+#include <thread>
+
+using namespace tsogc;
+using namespace tsogc::ledger;
+using rt::MutatorContext;
+using rt::RtNull;
+using rt::RtRef;
+
+const char *tsogc::ledger::opResultName(OpResult R) {
+  switch (R) {
+  case OpResult::Ok:
+    return "ok";
+  case OpResult::NoSuchAccount:
+    return "no-such-account";
+  case OpResult::AccountExists:
+    return "account-exists";
+  case OpResult::InvalidAmount:
+    return "invalid-amount";
+  case OpResult::InsufficientFunds:
+    return "insufficient-funds";
+  case OpResult::SelfTransfer:
+    return "self-transfer";
+  case OpResult::HeapExhausted:
+    return "heap-exhausted";
+  }
+  return "unknown";
+}
+
+LedgerService::LedgerService(const LedgerConfig &C)
+    : Cfg(C), Table(C.MaxAccounts), Locks(new SpinLock[C.MaxAccounts]) {
+  TSOGC_CHECK(C.MaxAccounts > 0, "ledger needs a non-empty id space");
+  TSOGC_CHECK(C.HistoryLimit > 0, "history limit must be positive");
+  for (auto &Cell : Table)
+    Cell.store(RtNull, std::memory_order_relaxed);
+}
+
+void LedgerService::lockAccount(MutatorContext &M, AccountId Id) {
+  while (Locks[Id].F.test_and_set(std::memory_order_acquire)) {
+    // Keep acknowledging handshakes while blocked: a spinning thread must
+    // never stall a collector round (or an observatory park) behind an
+    // application lock.
+    M.safepoint();
+    std::this_thread::yield();
+  }
+}
+
+void LedgerService::unlockAccount(AccountId Id) {
+  Locks[Id].F.clear(std::memory_order_release);
+}
+
+int LedgerService::adoptAccount(MutatorContext &M, AccountId Id) const {
+  if (Id >= Cfg.MaxAccounts)
+    return -1;
+  RtRef R = Table[Id].load(std::memory_order_acquire);
+  if (R == RtNull)
+    return -1;
+  // The owning worker keeps every published account rooted for the
+  // service's lifetime, so the adopted handle always validates.
+  return M.adoptRoot(R);
+}
+
+OpResult LedgerService::createAccount(MutatorContext &M, AccountId Id) {
+  if (Id >= Cfg.MaxAccounts)
+    return OpResult::NoSuchAccount;
+  if (Table[Id].load(std::memory_order_acquire) != RtNull)
+    return OpResult::AccountExists;
+
+  const size_t Mark = M.numRoots();
+  int Acct = M.alloc();
+  if (Acct < 0)
+    return OpResult::HeapExhausted;
+  int Entry = M.alloc();
+  if (Entry < 0) {
+    M.discard(M.numRoots() - 1); // the account slot becomes garbage
+    return OpResult::HeapExhausted;
+  }
+  M.storeData(static_cast<size_t>(Acct), Id);
+  M.storeData(static_cast<size_t>(Entry), Cfg.InitialBalance);
+  M.store(static_cast<size_t>(Entry), static_cast<size_t>(Acct), 0);
+  M.discard(static_cast<size_t>(Entry));
+
+  // Publish only the fully initialized account. Losing the race unroots
+  // our copy (instant garbage) and reports the collision.
+  RtRef Expected = RtNull;
+  if (!Table[Id].compare_exchange_strong(
+          Expected, M.rootRef(static_cast<size_t>(Acct)),
+          std::memory_order_acq_rel)) {
+    M.discard(M.numRoots() - 1);
+    return OpResult::AccountExists;
+  }
+  TSOGC_CHECK(M.numRoots() == Mark + 1, "create must add exactly one root");
+  Minted.fetch_add(Cfg.InitialBalance, std::memory_order_relaxed);
+  NumAccounts.fetch_add(1, std::memory_order_relaxed);
+  return OpResult::Ok;
+}
+
+OpResult LedgerService::transfer(MutatorContext &M, AccountId From,
+                                 AccountId To, uint64_t Amount,
+                                 uint64_t Seq) {
+  if (From == To)
+    return OpResult::SelfTransfer;
+  if (Amount == 0)
+    return OpResult::InvalidAmount;
+  if (From >= Cfg.MaxAccounts || To >= Cfg.MaxAccounts ||
+      Table[From].load(std::memory_order_acquire) == RtNull ||
+      Table[To].load(std::memory_order_acquire) == RtNull)
+    return OpResult::NoSuchAccount;
+
+  const AccountId Lo = From < To ? From : To;
+  const AccountId Hi = From < To ? To : From;
+  lockAccount(M, Lo);
+  lockAccount(M, Hi);
+
+  const size_t Mark = M.numRoots();
+  auto Unwind = [&] {
+    while (M.numRoots() > Mark)
+      M.discard(M.numRoots() - 1);
+    unlockAccount(Hi);
+    unlockAccount(Lo);
+  };
+
+  int F = adoptAccount(M, From);
+  int T = adoptAccount(M, To);
+  TSOGC_CHECK(F >= 0 && T >= 0, "published account vanished");
+
+  // Authoritative balance re-check under the locks (validate() outside the
+  // locks may have seen a stale entry).
+  int Ef = M.load(static_cast<size_t>(F), 0);
+  int Et = M.load(static_cast<size_t>(T), 0);
+  TSOGC_CHECK(Ef >= 0 && Et >= 0, "account without a balance entry");
+  const uint64_t FromBal = M.loadData(static_cast<size_t>(Ef));
+  const uint64_t ToBal = M.loadData(static_cast<size_t>(Et));
+  if (FromBal < Amount) {
+    Unwind();
+    return OpResult::InsufficientFunds;
+  }
+
+  // Allocate everything before mutating anything, so heap exhaustion
+  // cannot leave a half-applied transfer.
+  int Nf = M.alloc();
+  int Nt = Nf >= 0 ? M.alloc() : -1;
+  int Hf = Nt >= 0 ? M.alloc() : -1;
+  int Ht = Hf >= 0 ? M.alloc() : -1;
+  if (Ht < 0) {
+    Unwind();
+    return OpResult::HeapExhausted;
+  }
+  M.storeData(static_cast<size_t>(Nf), FromBal - Amount);
+  M.storeData(static_cast<size_t>(Nt), ToBal + Amount);
+  M.storeData(static_cast<size_t>(Hf), packHistory(Seq, Amount));
+  M.storeData(static_cast<size_t>(Ht), packHistory(Seq, Amount));
+
+  // Push the history nodes (newest first), then install the fresh balance
+  // entries; the displaced entries become floating garbage for the cycle
+  // in flight. Every edge write below runs both write barriers.
+  int OldHf = M.load(static_cast<size_t>(F), 1);
+  if (OldHf >= 0)
+    M.store(static_cast<size_t>(OldHf), static_cast<size_t>(Hf), 0);
+  M.store(static_cast<size_t>(Hf), static_cast<size_t>(F), 1);
+  int OldHt = M.load(static_cast<size_t>(T), 1);
+  if (OldHt >= 0)
+    M.store(static_cast<size_t>(OldHt), static_cast<size_t>(Ht), 0);
+  M.store(static_cast<size_t>(Ht), static_cast<size_t>(T), 1);
+
+  M.store(static_cast<size_t>(Nf), static_cast<size_t>(F), 0);
+  M.store(static_cast<size_t>(Nt), static_cast<size_t>(T), 0);
+
+  Unwind();
+  return OpResult::Ok;
+}
+
+OpResult LedgerService::trimHistory(MutatorContext &M, AccountId Id,
+                                    uint32_t *TrimmedOut) {
+  if (TrimmedOut)
+    *TrimmedOut = 0;
+  if (Id >= Cfg.MaxAccounts ||
+      Table[Id].load(std::memory_order_acquire) == RtNull)
+    return OpResult::NoSuchAccount;
+
+  lockAccount(M, Id); // history is mutated under the account lock
+  const size_t Mark = M.numRoots();
+  int A = adoptAccount(M, Id);
+  TSOGC_CHECK(A >= 0, "published account vanished");
+
+  // Walk to the HistoryLimit-th node (newest first).
+  int Cur = M.load(static_cast<size_t>(A), 1);
+  uint32_t Kept = Cur >= 0 ? 1 : 0;
+  while (Cur >= 0 && Kept < Cfg.HistoryLimit) {
+    int Next = M.load(static_cast<size_t>(Cur), 0);
+    if (Next < 0)
+      break;
+    Cur = Next;
+    ++Kept;
+  }
+  uint32_t Trimmed = 0;
+  if (Cur >= 0 && Kept == Cfg.HistoryLimit) {
+    // Count the tail (rooted through these loads until we unwind), then
+    // sever it: the deletion barrier inside storeNull greys the tail head
+    // so a cycle already past its snapshot cannot lose it — this is the
+    // op that manufactures floating garbage by design.
+    int Tail = M.load(static_cast<size_t>(Cur), 0);
+    for (int N = Tail; N >= 0; N = M.load(static_cast<size_t>(N), 0))
+      ++Trimmed;
+    if (Trimmed > 0)
+      M.storeNull(static_cast<size_t>(Cur), 0);
+  }
+
+  while (M.numRoots() > Mark)
+    M.discard(M.numRoots() - 1);
+  unlockAccount(Id);
+  if (TrimmedOut)
+    *TrimmedOut = Trimmed;
+  return OpResult::Ok;
+}
+
+OpResult LedgerService::queryBalance(MutatorContext &M, AccountId Id,
+                                     uint64_t *BalanceOut) {
+  if (Id >= Cfg.MaxAccounts ||
+      Table[Id].load(std::memory_order_acquire) == RtNull)
+    return OpResult::NoSuchAccount;
+
+  // Lock-free read path: balance entries are immutable, so adopting the
+  // account and chasing .f0 yields a consistent (if momentarily stale)
+  // balance; the entry stays live while rooted even if displaced.
+  const size_t Mark = M.numRoots();
+  int A = adoptAccount(M, Id);
+  TSOGC_CHECK(A >= 0, "published account vanished");
+  int E = M.load(static_cast<size_t>(A), 0);
+  TSOGC_CHECK(E >= 0, "account without a balance entry");
+  uint64_t Bal = M.loadData(static_cast<size_t>(E));
+
+  // Touch the recent history — the page a statement query would render.
+  int Cur = M.load(static_cast<size_t>(A), 1);
+  for (unsigned I = 0; Cur >= 0 && I < 4; ++I) {
+    (void)M.loadData(static_cast<size_t>(Cur));
+    Cur = M.load(static_cast<size_t>(Cur), 0);
+  }
+
+  while (M.numRoots() > Mark)
+    M.discard(M.numRoots() - 1);
+  if (BalanceOut)
+    *BalanceOut = Bal;
+  return OpResult::Ok;
+}
+
+uint64_t LedgerService::sumBalances(MutatorContext &M) const {
+  uint64_t Sum = 0;
+  for (AccountId Id = 0; Id < Cfg.MaxAccounts; ++Id) {
+    const size_t Mark = M.numRoots();
+    int A = adoptAccount(M, Id);
+    if (A < 0)
+      continue;
+    int E = M.load(static_cast<size_t>(A), 0);
+    TSOGC_CHECK(E >= 0, "account without a balance entry");
+    Sum += M.loadData(static_cast<size_t>(E));
+    while (M.numRoots() > Mark)
+      M.discard(M.numRoots() - 1);
+  }
+  return Sum;
+}
+
+uint32_t LedgerService::historyLength(MutatorContext &M,
+                                      AccountId Id) const {
+  const size_t Mark = M.numRoots();
+  int A = adoptAccount(M, Id);
+  if (A < 0)
+    return 0;
+  uint32_t Len = 0;
+  for (int Cur = M.load(static_cast<size_t>(A), 1); Cur >= 0;
+       Cur = M.load(static_cast<size_t>(Cur), 0))
+    ++Len;
+  while (M.numRoots() > Mark)
+    M.discard(M.numRoots() - 1);
+  return Len;
+}

@@ -1,0 +1,168 @@
+//===- workload/ledger/Ledger.h - Transaction service over the GC heap ----===//
+///
+/// \file
+/// The ledger service: a production-shaped account/transaction store living
+/// entirely on the GC-managed slab heap, the ROADMAP's "serves heavy
+/// traffic" workload. The object graph (shapes after stellar-core's
+/// ledger/transaction split):
+///
+/// ```
+///   Account        payload = account id
+///     .f0 ───────▶ BalanceEntry   payload = balance (immutable; every
+///     .f1 ──┐                     transfer installs a fresh entry, the old
+///            │                    one becomes garbage)
+///            ▼
+///          HistNode  payload = (op seq << 20 | amount)
+///            .f0 ──▶ HistNode ──▶ …   (newest first; TrimHistory severs
+///                                      the chain at HistoryLimit, turning
+///                                      the tail into garbage)
+/// ```
+///
+/// Accounts are created once and never destroyed; the creating worker keeps
+/// the account rooted for the service's lifetime, so a published table ref
+/// is always live and any thread may adopt it (MutatorContext::adoptRoot)
+/// for the duration of one operation. Balance updates are serialized by
+/// per-account spinlocks acquired in index order (application-level
+/// concurrency control — the GC protocol neither knows nor cares); the
+/// spin loop polls the safepoint so a waiting thread never stalls a
+/// handshake round.
+///
+/// Every mutation goes through the Figure 6 API — alloc / store /
+/// storeNull with both write barriers — so sustained ledger traffic is
+/// exactly the mutator load the verified collector must survive, and the
+/// §3.2 invariant observatory can watch it live (examples/ledger_service
+/// --soak).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_WORKLOAD_LEDGER_LEDGER_H
+#define TSOGC_WORKLOAD_LEDGER_LEDGER_H
+
+#include "runtime/MutatorContext.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tsogc::ledger {
+
+using AccountId = uint32_t;
+
+struct LedgerConfig {
+  /// Account id space: ids are in [0, MaxAccounts).
+  uint32_t MaxAccounts = 256;
+  /// TrimHistory cuts an account's history chain back to this many nodes.
+  uint32_t HistoryLimit = 16;
+  /// Balance minted into every newly created account.
+  uint64_t InitialBalance = 1000;
+};
+
+/// Outcome of one operation. Validation rejections (NoSuchAccount,
+/// InsufficientFunds, ...) are normal service responses, not errors;
+/// HeapExhausted is GC back-pressure (the caller should yield and retry
+/// or drop the op).
+enum class OpResult : uint8_t {
+  Ok = 0,
+  NoSuchAccount,
+  AccountExists,
+  InvalidAmount,
+  InsufficientFunds,
+  SelfTransfer,
+  HeapExhausted,
+};
+
+const char *opResultName(OpResult R);
+
+/// The shared service state: the account table (side index into the GC
+/// heap — reachability is still carried by mutator roots), the per-account
+/// locks, and the conservation ledger (total minted, for the
+/// sum-of-balances invariant).
+class LedgerService {
+public:
+  explicit LedgerService(const LedgerConfig &Cfg);
+
+  const LedgerConfig &config() const { return Cfg; }
+
+  /// Published heap ref of account \p Id, or RtNull if not (yet) created.
+  rt::RtRef accountRef(AccountId Id) const {
+    return Table[Id].load(std::memory_order_acquire);
+  }
+
+  uint32_t numAccounts() const {
+    return NumAccounts.load(std::memory_order_relaxed);
+  }
+
+  /// Total balance ever minted (sum of initial balances of all created
+  /// accounts). Transfers must preserve sum(balances) == minted.
+  uint64_t mintedTotal() const {
+    return Minted.load(std::memory_order_relaxed);
+  }
+
+  //===-- Service primitives (called by the op frames) --------------------===//
+  //
+  // Each primitive runs against the calling thread's MutatorContext, leaves
+  // the context's root stack exactly as it found it (temporaries are
+  // discarded LIFO), and never calls safepoint() itself — the worker owns
+  // the per-op safepoint cadence.
+
+  /// Create account \p Id with the configured initial balance. The new
+  /// account object stays rooted in \p M (the caller's context) — callers
+  /// route creates to the account's owning worker, which holds the root
+  /// until service teardown. Appends the permanent root index to the
+  /// context's stack (the only primitive that grows it).
+  OpResult createAccount(rt::MutatorContext &M, AccountId Id);
+
+  /// Move \p Amount from \p From to \p To: fresh balance entries for both
+  /// sides plus one history node each, all under the two account locks.
+  OpResult transfer(rt::MutatorContext &M, AccountId From, AccountId To,
+                    uint64_t Amount, uint64_t Seq);
+
+  /// Cut \p Id's history back to HistoryLimit nodes; the severed tail
+  /// becomes garbage. \p TrimmedOut (optional) receives the cut length.
+  OpResult trimHistory(rt::MutatorContext &M, AccountId Id,
+                       uint32_t *TrimmedOut = nullptr);
+
+  /// Read \p Id's balance and touch its recent history (the read path a
+  /// statement query would take). \p BalanceOut receives the balance.
+  OpResult queryBalance(rt::MutatorContext &M, AccountId Id,
+                        uint64_t *BalanceOut = nullptr);
+
+  //===-- Quiescent introspection (tests, conservation checks) ------------===//
+
+  /// Sum of all account balances via validated loads from \p M. Call at
+  /// application quiescence (no concurrent transfers); the GC may run.
+  uint64_t sumBalances(rt::MutatorContext &M) const;
+
+  /// Length of \p Id's history chain (0 if the account does not exist).
+  uint32_t historyLength(rt::MutatorContext &M, AccountId Id) const;
+
+private:
+  /// Test-and-set spinlock; the spin polls \p M's safepoint so a blocked
+  /// thread keeps acknowledging handshakes.
+  struct SpinLock {
+    std::atomic_flag F = ATOMIC_FLAG_INIT;
+  };
+  void lockAccount(rt::MutatorContext &M, AccountId Id);
+  void unlockAccount(AccountId Id);
+
+  /// Adopt account \p Id as a root of \p M; returns the root index or -1
+  /// if the account does not exist.
+  int adoptAccount(rt::MutatorContext &M, AccountId Id) const;
+
+  LedgerConfig Cfg;
+  std::vector<std::atomic<rt::RtRef>> Table;
+  std::unique_ptr<SpinLock[]> Locks;
+  std::atomic<uint64_t> Minted{0};
+  std::atomic<uint32_t> NumAccounts{0};
+};
+
+/// Packed history payload: (sequence << 20) | min(amount, 2^20 - 1).
+inline uint64_t packHistory(uint64_t Seq, uint64_t Amount) {
+  const uint64_t AmtMask = (1ull << 20) - 1;
+  return (Seq << 20) | (Amount < AmtMask ? Amount : AmtMask);
+}
+
+} // namespace tsogc::ledger
+
+#endif // TSOGC_WORKLOAD_LEDGER_LEDGER_H

@@ -1,0 +1,91 @@
+//===- workload/ledger/LoadGen.cpp ----------------------------------------===//
+
+#include "workload/ledger/LoadGen.h"
+
+#include "support/Assert.h"
+
+#include <cmath>
+
+using namespace tsogc;
+using namespace tsogc::ledger;
+
+namespace {
+/// Mix the stream index into the seed so sibling streams are independent.
+uint64_t streamSeed(uint64_t Seed, uint32_t Stream) {
+  SplitMix64 S(Seed + 0x5851f42d4c957f2dULL * (Stream + 1));
+  return S.next();
+}
+} // namespace
+
+LoadGen::LoadGen(const LoadGenConfig &C, uint64_t Seed, uint32_t Stream,
+                 uint32_t NumStreams)
+    : Cfg(C), Rng(streamSeed(Seed, Stream)), Stream(Stream),
+      NumStreams(NumStreams ? NumStreams : 1) {
+  TSOGC_CHECK(Cfg.RatePerSec > 0, "open-loop rate must be positive");
+  TSOGC_CHECK(Cfg.MaxAmount >= Cfg.MinAmount, "bad amount range");
+}
+
+OpKind LoadGen::pickKind() {
+  const double Total =
+      Cfg.Mix.Create + Cfg.Mix.Transfer + Cfg.Mix.TrimHistory + Cfg.Mix.Query;
+  TSOGC_CHECK(Total > 0, "operation mix has no mass");
+  double X = Rng.nextDouble() * Total;
+  if ((X -= Cfg.Mix.Create) < 0)
+    return OpKind::CreateAccount;
+  if ((X -= Cfg.Mix.Transfer) < 0)
+    return OpKind::Transfer;
+  if ((X -= Cfg.Mix.TrimHistory) < 0)
+    return OpKind::TrimHistory;
+  return OpKind::QueryBalance;
+}
+
+AccountId LoadGen::pickAccount() {
+  // Conservative watermark of ids known to exist: the pre-created block
+  // plus this stream's own creates (other streams' creates may also exist;
+  // targeting one early merely yields a NoSuchAccount response).
+  uint32_t Watermark = Cfg.PreCreated + CreatedByMe * NumStreams;
+  if (Watermark > Cfg.MaxAccounts)
+    Watermark = Cfg.MaxAccounts;
+  if (Watermark == 0)
+    Watermark = 1;
+  const uint32_t Hot = Cfg.HotAccounts < Watermark ? Cfg.HotAccounts : Watermark;
+  if (Hot > 0 && Rng.nextBool(Cfg.HotFraction))
+    return static_cast<AccountId>(Rng.nextBelow(Hot));
+  return static_cast<AccountId>(Rng.nextBelow(Watermark));
+}
+
+OpRequest LoadGen::next() {
+  OpRequest Req;
+  // Poisson arrivals: exponential inter-arrival via inverse transform.
+  const double U = Rng.nextDouble();
+  const double DtSec = -std::log1p(-U) / Cfg.RatePerSec;
+  ClockNs += DtSec * 1e9;
+  Req.ArrivalNs = static_cast<uint64_t>(ClockNs);
+  Req.Seq = Seq++;
+
+  OpKind K = pickKind();
+  if (K == OpKind::CreateAccount) {
+    const uint64_t NextId =
+        static_cast<uint64_t>(Cfg.PreCreated) + Stream +
+        static_cast<uint64_t>(CreatedByMe) * NumStreams;
+    if (NextId >= Cfg.MaxAccounts) {
+      K = OpKind::QueryBalance; // id space exhausted; keep the arrival
+    } else {
+      Req.Kind = OpKind::CreateAccount;
+      Req.A = static_cast<AccountId>(NextId);
+      ++CreatedByMe;
+      return Req;
+    }
+  }
+
+  Req.Kind = K;
+  Req.A = pickAccount();
+  if (K == OpKind::Transfer) {
+    Req.B = pickAccount();
+    if (Req.B == Req.A) // nudge off the diagonal; self-transfers reject
+      Req.B = (Req.A + 1) % (Cfg.PreCreated ? Cfg.PreCreated : 1);
+    Req.Amount =
+        Cfg.MinAmount + Rng.nextBelow(Cfg.MaxAmount - Cfg.MinAmount + 1);
+  }
+  return Req;
+}

@@ -1,0 +1,82 @@
+//===- workload/ledger/LoadGen.h - Open-loop request generator ------------===//
+///
+/// \file
+/// Deterministic open-loop load generation for the ledger service. Each
+/// worker thread owns one LoadGen stream; a stream is fully determined by
+/// (config, seed, stream index), so two runs with the same parameters see
+/// byte-identical request sequences — schedule nondeterminism lives only
+/// in the runtime, never in the offered load.
+///
+/// Open-loop means arrivals follow a Poisson process at the configured
+/// rate regardless of service speed: each request carries a scheduled
+/// ArrivalNs, and the harness measures latency from that scheduled arrival,
+/// so queueing delay under overload is part of the number (the
+/// coordinated-omission-safe convention).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_WORKLOAD_LEDGER_LOADGEN_H
+#define TSOGC_WORKLOAD_LEDGER_LOADGEN_H
+
+#include "support/Random.h"
+#include "workload/ledger/Ops.h"
+
+namespace tsogc::ledger {
+
+/// Operation mix weights (normalized internally; need not sum to 1).
+struct OpMix {
+  double Create = 0.04;
+  double Transfer = 0.60;
+  double TrimHistory = 0.08;
+  double Query = 0.28;
+};
+
+struct LoadGenConfig {
+  /// Arrival rate for THIS stream, requests per second.
+  double RatePerSec = 5000.0;
+  OpMix Mix;
+  /// Ids [0, PreCreated) are assumed created before traffic starts (the
+  /// harness's warm-up creates them).
+  uint32_t PreCreated = 64;
+  /// Id space bound; create targets beyond it degrade to queries.
+  uint32_t MaxAccounts = 256;
+  /// Key skew: with probability HotFraction an op targets the hot set
+  /// [0, HotAccounts) — a few celebrity accounts absorbing most traffic.
+  double HotFraction = 0.8;
+  uint32_t HotAccounts = 8;
+  /// Transfer amounts are uniform in [MinAmount, MaxAmount].
+  uint64_t MinAmount = 1;
+  uint64_t MaxAmount = 50;
+};
+
+class LoadGen {
+public:
+  /// \p Stream of \p NumStreams partitions the create id space: stream s
+  /// creates ids PreCreated + s + k*NumStreams, so creates never collide
+  /// across streams and each account has a unique owning stream.
+  LoadGen(const LoadGenConfig &Cfg, uint64_t Seed, uint32_t Stream = 0,
+          uint32_t NumStreams = 1);
+
+  /// Produce the next scheduled request. Deterministic: depends only on
+  /// construction parameters and call count.
+  OpRequest next();
+
+  uint64_t issued() const { return Seq; }
+  uint32_t createdByMe() const { return CreatedByMe; }
+
+private:
+  AccountId pickAccount();
+  OpKind pickKind();
+
+  LoadGenConfig Cfg;
+  Xoshiro256 Rng;
+  uint32_t Stream;
+  uint32_t NumStreams;
+  uint64_t Seq = 0;
+  double ClockNs = 0.0;
+  uint32_t CreatedByMe = 0;
+};
+
+} // namespace tsogc::ledger
+
+#endif // TSOGC_WORKLOAD_LEDGER_LOADGEN_H

@@ -1,0 +1,103 @@
+//===- workload/ledger/Ops.cpp --------------------------------------------===//
+
+#include "workload/ledger/Ops.h"
+
+using namespace tsogc;
+using namespace tsogc::ledger;
+using rt::MutatorContext;
+using rt::RtNull;
+
+const char *tsogc::ledger::opKindName(OpKind K) {
+  switch (K) {
+  case OpKind::CreateAccount:
+    return "create";
+  case OpKind::Transfer:
+    return "transfer";
+  case OpKind::TrimHistory:
+    return "trim";
+  case OpKind::QueryBalance:
+    return "query";
+  }
+  return "unknown";
+}
+
+OpResult CreateAccountFrame::validate(LedgerService &Svc, MutatorContext &) {
+  if (Req.A >= Svc.config().MaxAccounts)
+    return OpResult::NoSuchAccount;
+  if (Svc.accountRef(Req.A) != RtNull)
+    return OpResult::AccountExists;
+  return OpResult::Ok;
+}
+
+OpResult CreateAccountFrame::apply(LedgerService &Svc, MutatorContext &M) {
+  return Svc.createAccount(M, Req.A);
+}
+
+OpResult TransferFrame::validate(LedgerService &Svc, MutatorContext &M) {
+  if (Req.A == Req.B)
+    return OpResult::SelfTransfer;
+  if (Req.Amount == 0)
+    return OpResult::InvalidAmount;
+  if (Req.A >= Svc.config().MaxAccounts || Req.B >= Svc.config().MaxAccounts ||
+      Svc.accountRef(Req.A) == RtNull || Svc.accountRef(Req.B) == RtNull)
+    return OpResult::NoSuchAccount;
+  // Advisory funds precheck on the lock-free read path; apply() re-checks
+  // under the account locks, so a stale pass here only costs a lock round.
+  uint64_t Bal = 0;
+  if (Svc.queryBalance(M, Req.A, &Bal) != OpResult::Ok)
+    return OpResult::NoSuchAccount;
+  if (Bal < Req.Amount)
+    return OpResult::InsufficientFunds;
+  return OpResult::Ok;
+}
+
+OpResult TransferFrame::apply(LedgerService &Svc, MutatorContext &M) {
+  return Svc.transfer(M, Req.A, Req.B, Req.Amount, Req.Seq);
+}
+
+OpResult TrimHistoryFrame::validate(LedgerService &Svc, MutatorContext &) {
+  if (Req.A >= Svc.config().MaxAccounts || Svc.accountRef(Req.A) == RtNull)
+    return OpResult::NoSuchAccount;
+  return OpResult::Ok;
+}
+
+OpResult TrimHistoryFrame::apply(LedgerService &Svc, MutatorContext &M) {
+  return Svc.trimHistory(M, Req.A, &Trimmed);
+}
+
+OpResult QueryBalanceFrame::validate(LedgerService &Svc, MutatorContext &) {
+  if (Req.A >= Svc.config().MaxAccounts || Svc.accountRef(Req.A) == RtNull)
+    return OpResult::NoSuchAccount;
+  return OpResult::Ok;
+}
+
+OpResult QueryBalanceFrame::apply(LedgerService &Svc, MutatorContext &M) {
+  return Svc.queryBalance(M, Req.A, &Balance);
+}
+
+OpResult tsogc::ledger::executeOp(LedgerService &Svc, MutatorContext &M,
+                                  const OpRequest &Req) {
+  switch (Req.Kind) {
+  case OpKind::CreateAccount: {
+    CreateAccountFrame F(Req);
+    OpResult R = F.validate(Svc, M);
+    return R == OpResult::Ok ? F.apply(Svc, M) : R;
+  }
+  case OpKind::Transfer: {
+    TransferFrame F(Req);
+    OpResult R = F.validate(Svc, M);
+    return R == OpResult::Ok ? F.apply(Svc, M) : R;
+  }
+  case OpKind::TrimHistory: {
+    TrimHistoryFrame F(Req);
+    OpResult R = F.validate(Svc, M);
+    return R == OpResult::Ok ? F.apply(Svc, M) : R;
+  }
+  case OpKind::QueryBalance: {
+    QueryBalanceFrame F(Req);
+    OpResult R = F.validate(Svc, M);
+    return R == OpResult::Ok ? F.apply(Svc, M) : R;
+  }
+  }
+  return OpResult::InvalidAmount;
+}

@@ -1,0 +1,106 @@
+//===- workload/ledger/Ops.h - Operation frames (validate/apply split) ----===//
+///
+/// \file
+/// Requests and operation frames for the ledger service. Following the
+/// stellar-core transaction-frame shape, every operation is a small frame
+/// with a validate() precheck (cheap, lock-free, may observe stale state)
+/// and an apply() that acquires the authoritative locks and re-validates
+/// before mutating. A validation rejection is a normal service response —
+/// it is counted, latency-tracked, and returned to the client, never
+/// treated as an error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_WORKLOAD_LEDGER_OPS_H
+#define TSOGC_WORKLOAD_LEDGER_OPS_H
+
+#include "workload/ledger/Ledger.h"
+
+namespace tsogc::ledger {
+
+enum class OpKind : uint8_t {
+  CreateAccount = 0,
+  Transfer,
+  TrimHistory,
+  QueryBalance,
+};
+constexpr unsigned NumOpKinds = 4;
+
+const char *opKindName(OpKind K);
+
+/// One scheduled client request, produced by the load generator.
+struct OpRequest {
+  OpKind Kind = OpKind::QueryBalance;
+  AccountId A = 0;      ///< Primary account (creator / from / target).
+  AccountId B = 0;      ///< Secondary account (transfer destination).
+  uint64_t Amount = 0;  ///< Transfer amount.
+  uint64_t Seq = 0;     ///< Per-stream request ordinal (history packing).
+  uint64_t ArrivalNs = 0; ///< Open-loop arrival offset from stream start.
+};
+
+/// Base frame: validate (advisory, lock-free) then apply (authoritative).
+/// Frames are stack-constructed per request; they hold no heap roots across
+/// the validate/apply boundary.
+class OpFrame {
+public:
+  explicit OpFrame(const OpRequest &Req) : Req(Req) {}
+  virtual ~OpFrame() = default;
+
+  /// Cheap precheck against possibly-stale state. A frame that fails
+  /// validation is rejected without ever taking a lock.
+  virtual OpResult validate(LedgerService &Svc, rt::MutatorContext &M) = 0;
+
+  /// Execute against authoritative state. Pre-condition: validate()
+  /// returned Ok (apply still re-checks anything racy under its locks).
+  virtual OpResult apply(LedgerService &Svc, rt::MutatorContext &M) = 0;
+
+  const OpRequest &request() const { return Req; }
+
+protected:
+  OpRequest Req;
+};
+
+class CreateAccountFrame : public OpFrame {
+public:
+  using OpFrame::OpFrame;
+  OpResult validate(LedgerService &Svc, rt::MutatorContext &M) override;
+  OpResult apply(LedgerService &Svc, rt::MutatorContext &M) override;
+};
+
+class TransferFrame : public OpFrame {
+public:
+  using OpFrame::OpFrame;
+  OpResult validate(LedgerService &Svc, rt::MutatorContext &M) override;
+  OpResult apply(LedgerService &Svc, rt::MutatorContext &M) override;
+};
+
+class TrimHistoryFrame : public OpFrame {
+public:
+  using OpFrame::OpFrame;
+  OpResult validate(LedgerService &Svc, rt::MutatorContext &M) override;
+  OpResult apply(LedgerService &Svc, rt::MutatorContext &M) override;
+  uint32_t trimmed() const { return Trimmed; }
+
+private:
+  uint32_t Trimmed = 0;
+};
+
+class QueryBalanceFrame : public OpFrame {
+public:
+  using OpFrame::OpFrame;
+  OpResult validate(LedgerService &Svc, rt::MutatorContext &M) override;
+  OpResult apply(LedgerService &Svc, rt::MutatorContext &M) override;
+  uint64_t balance() const { return Balance; }
+
+private:
+  uint64_t Balance = 0;
+};
+
+/// Stack-construct the frame for \p Req, run validate, and on Ok run
+/// apply. This is the single entry point the harness workers use.
+OpResult executeOp(LedgerService &Svc, rt::MutatorContext &M,
+                   const OpRequest &Req);
+
+} // namespace tsogc::ledger
+
+#endif // TSOGC_WORKLOAD_LEDGER_OPS_H

@@ -1,0 +1,70 @@
+//===- workload/ledger/Slo.cpp --------------------------------------------===//
+
+#include "workload/ledger/Slo.h"
+
+#include <cstdio>
+
+using namespace tsogc;
+using namespace tsogc::ledger;
+
+std::string SloVerdict::summary() const {
+  if (Pass)
+    return "SLO PASS";
+  std::string S = "SLO FAIL: ";
+  for (size_t I = 0; I < Violations.size(); ++I) {
+    if (I)
+      S += "; ";
+    S += Violations[I];
+  }
+  return S;
+}
+
+SloVerdict tsogc::ledger::checkSlo(const SloTarget &T,
+                                   const LedgerRunResult &R) {
+  SloVerdict V;
+  auto Fail = [&V](const std::string &Msg) {
+    V.Pass = false;
+    V.Violations.push_back(Msg);
+  };
+  auto FailF = [&Fail](const char *Fmt, double Got, double Bound) {
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf), Fmt, Got, Bound);
+    Fail(Buf);
+  };
+
+  if (R.P50Us > T.MaxP50Us)
+    FailF("p50 %.0fus > %.0fus", R.P50Us, T.MaxP50Us);
+  if (R.P99Us > T.MaxP99Us)
+    FailF("p99 %.0fus > %.0fus", R.P99Us, T.MaxP99Us);
+  if (R.MaxUs > T.MaxOpUs)
+    FailF("max op %.0fus > %.0fus", R.MaxUs, T.MaxOpUs);
+  const double PauseUs = static_cast<double>(R.MaxPauseNs) / 1e3;
+  if (PauseUs > T.MaxPauseUs)
+    FailF("max mutator pause %.0fus > %.0fus", PauseUs, T.MaxPauseUs);
+  const double MinThroughput = T.MinThroughputFraction * R.OfferedOpsPerSec;
+  if (R.ThroughputOpsPerSec < MinThroughput)
+    FailF("throughput %.0f ops/s < %.0f ops/s", R.ThroughputOpsPerSec,
+          MinThroughput);
+  if (R.FloatingGarbageRatio > T.MaxFloatingGarbageRatio)
+    FailF("floating-garbage ratio %.3f > %.3f", R.FloatingGarbageRatio,
+          T.MaxFloatingGarbageRatio);
+  if (R.OpsTotal > 0) {
+    const double ExhaustedFrac =
+        static_cast<double>(R.OpsHeapExhausted) / R.OpsTotal;
+    if (ExhaustedFrac > T.MaxHeapExhaustedFraction)
+      FailF("heap-exhausted fraction %.4f > %.4f", ExhaustedFrac,
+            T.MaxHeapExhaustedFraction);
+  } else {
+    Fail("no operations completed");
+  }
+  if (T.RequireConservation && !R.ConservationOk)
+    Fail("conservation violated: sum(balances) " +
+         std::to_string(R.SumBalances) + " != minted " +
+         std::to_string(R.MintedTotal));
+  if (T.RequireCleanAudit && !R.AuditClean)
+    Fail("shutdown heap audit not clean");
+  if (R.InvariantViolations > T.MaxInvariantViolations)
+    Fail("invariant violations " + std::to_string(R.InvariantViolations) +
+         " > " + std::to_string(T.MaxInvariantViolations));
+  return V;
+}

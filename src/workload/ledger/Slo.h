@@ -1,0 +1,51 @@
+//===- workload/ledger/Slo.h - Service-level objective checking -----------===//
+///
+/// \file
+/// The SLO a ledger deployment would pin on a dashboard, checked against a
+/// LedgerRunResult. Latency bounds are on the open-loop numbers (queueing
+/// included); throughput is relative to offered load; the GC-facing terms
+/// (max pause, floating-garbage ratio, clean audit, zero §3.2 invariant
+/// violations) are what this repo exists to bound. The committed defaults
+/// are deliberately loose — they must pass on a 1-core CI container under
+/// schedule fuzzing; docs/WORKLOADS.md discusses tightening them on real
+/// hardware.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_WORKLOAD_LEDGER_SLO_H
+#define TSOGC_WORKLOAD_LEDGER_SLO_H
+
+#include "workload/ledger/Harness.h"
+
+namespace tsogc::ledger {
+
+struct SloTarget {
+  double MaxP50Us = 10'000;      ///< 10 ms median.
+  double MaxP99Us = 100'000;     ///< 100 ms tail.
+  double MaxOpUs = 1'000'000;    ///< 1 s worst op (queueing included).
+  double MaxPauseUs = 50'000;    ///< 50 ms worst mutator pause.
+  /// Completed (applied + rejected) ops must be at least this fraction of
+  /// the offered open-loop load.
+  double MinThroughputFraction = 0.5;
+  /// Unreachable / allocated at shutdown, before the drain cycles.
+  double MaxFloatingGarbageRatio = 0.9;
+  /// GC back-pressure drops as a fraction of all requests.
+  double MaxHeapExhaustedFraction = 0.01;
+  bool RequireConservation = true; ///< sum(balances) == minted.
+  bool RequireCleanAudit = true;   ///< No dangling roots/fields/worklists.
+  uint64_t MaxInvariantViolations = 0; ///< §3.2 observatory verdict.
+};
+
+struct SloVerdict {
+  bool Pass = true;
+  std::vector<std::string> Violations;
+
+  /// "SLO PASS" or "SLO FAIL: <violation>; <violation>; ...".
+  std::string summary() const;
+};
+
+SloVerdict checkSlo(const SloTarget &T, const LedgerRunResult &R);
+
+} // namespace tsogc::ledger
+
+#endif // TSOGC_WORKLOAD_LEDGER_SLO_H

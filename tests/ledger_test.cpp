@@ -1,0 +1,278 @@
+//===- tests/ledger_test.cpp - Ledger workload tests ----------------------===//
+///
+/// \file
+/// The ledger service as a test subject: deterministic load generation,
+/// the conservation invariant (sum of balances == minted, cross-checked
+/// against a clean heap audit), TrimHistory manufacturing floating garbage
+/// that the next cycles reclaim, and a short observatory soak asserting
+/// zero §3.2 invariant violations under real ledger traffic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/ledger/Slo.h"
+
+#include "runtime/InvariantObservatory.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsogc;
+using namespace tsogc::ledger;
+using rt::GcRuntime;
+using rt::MutatorContext;
+using rt::RtConfig;
+
+namespace {
+
+/// Single-threaded fixture: one mutator context, collector driven
+/// explicitly via collectOnce with the HandshakeServicer hook.
+struct SingleThreadLedger {
+  explicit SingleThreadLedger(uint32_t HeapObjects = 1u << 12,
+                              uint32_t HistoryLimit = 4)
+      : Rt([&] {
+          RtConfig C;
+          C.HeapObjects = HeapObjects;
+          return C;
+        }()),
+        Svc([&] {
+          LedgerConfig C;
+          C.MaxAccounts = 64;
+          C.HistoryLimit = HistoryLimit;
+          return C;
+        }()) {
+    M = Rt.registerMutator();
+    Rt.HandshakeServicer = [this] { M->safepoint(); };
+  }
+  ~SingleThreadLedger() {
+    while (M->numRoots() > 0)
+      M->discard(M->numRoots() - 1);
+    Rt.deregisterMutator(M);
+  }
+
+  GcRuntime Rt;
+  LedgerService Svc;
+  MutatorContext *M = nullptr;
+};
+
+TEST(LoadGenTest, DeterministicUnderFixedSeed) {
+  LoadGenConfig Cfg;
+  Cfg.RatePerSec = 1000;
+  LoadGen A(Cfg, /*Seed=*/7, /*Stream=*/1, /*NumStreams=*/4);
+  LoadGen B(Cfg, /*Seed=*/7, /*Stream=*/1, /*NumStreams=*/4);
+  for (int I = 0; I < 2000; ++I) {
+    OpRequest Ra = A.next(), Rb = B.next();
+    ASSERT_EQ(Ra.Kind, Rb.Kind);
+    ASSERT_EQ(Ra.A, Rb.A);
+    ASSERT_EQ(Ra.B, Rb.B);
+    ASSERT_EQ(Ra.Amount, Rb.Amount);
+    ASSERT_EQ(Ra.ArrivalNs, Rb.ArrivalNs);
+    ASSERT_EQ(Ra.Seq, Rb.Seq);
+  }
+  // A different seed diverges (sanity that the seed is actually used).
+  LoadGen C(Cfg, /*Seed=*/8, /*Stream=*/1, /*NumStreams=*/4);
+  bool Diverged = false;
+  for (int I = 0; I < 100 && !Diverged; ++I) {
+    OpRequest Ra = A.next(), Rc = C.next();
+    Diverged = Ra.Kind != Rc.Kind || Ra.A != Rc.A ||
+               Ra.ArrivalNs != Rc.ArrivalNs;
+  }
+  EXPECT_TRUE(Diverged);
+}
+
+TEST(LoadGenTest, ArrivalsMatchConfiguredRate) {
+  LoadGenConfig Cfg;
+  Cfg.RatePerSec = 10000;
+  LoadGen Gen(Cfg, 42);
+  OpRequest Last;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Last = Gen.next();
+  // Mean inter-arrival of an exponential at 10k/s is 100us; over 20k
+  // arrivals the clock should land near N/rate seconds (±15%).
+  const double Sec = static_cast<double>(Last.ArrivalNs) / 1e9;
+  EXPECT_NEAR(Sec, N / Cfg.RatePerSec, 0.15 * N / Cfg.RatePerSec);
+}
+
+TEST(LoadGenTest, CreatesArePartitionedAcrossStreams) {
+  LoadGenConfig Cfg;
+  Cfg.Mix.Create = 1.0; // creates only
+  Cfg.Mix.Transfer = Cfg.Mix.TrimHistory = Cfg.Mix.Query = 0.0;
+  Cfg.PreCreated = 10;
+  Cfg.MaxAccounts = 64;
+  LoadGen S0(Cfg, 1, 0, 2), S1(Cfg, 1, 1, 2);
+  std::vector<AccountId> Ids;
+  for (int I = 0; I < 5; ++I) {
+    Ids.push_back(S0.next().A);
+    Ids.push_back(S1.next().A);
+  }
+  // Stream 0 creates 10,12,14...; stream 1 creates 11,13,15...
+  for (int I = 0; I < 5; ++I) {
+    EXPECT_EQ(Ids[2 * I], 10u + 2 * I);
+    EXPECT_EQ(Ids[2 * I + 1], 11u + 2 * I);
+  }
+}
+
+TEST(LedgerServiceTest, ConservationUnderSingleThreadTraffic) {
+  SingleThreadLedger L;
+  for (AccountId Id = 0; Id < 16; ++Id)
+    ASSERT_EQ(L.Svc.createAccount(*L.M, Id), OpResult::Ok);
+  ASSERT_EQ(L.Svc.mintedTotal(), 16u * 1000u);
+
+  LoadGenConfig Cfg;
+  Cfg.RatePerSec = 1000;
+  Cfg.PreCreated = 16;
+  Cfg.MaxAccounts = 64;
+  Cfg.Mix.Create = 0; // keep the account set fixed
+  LoadGen Gen(Cfg, 99);
+  uint64_t Applied = 0;
+  for (int I = 0; I < 3000; ++I) {
+    OpResult R = executeOp(L.Svc, *L.M, Gen.next());
+    Applied += R == OpResult::Ok;
+    if (I % 512 == 0)
+      L.Rt.collectOnce(); // interleave real cycles with the traffic
+  }
+  EXPECT_GT(Applied, 1000u);
+
+  // Conservation, checked against the audit: the heap must be consistent
+  // (no dangling roots/fields) AND the money must all still be there.
+  auto Audit = L.Rt.auditHeap();
+  EXPECT_TRUE(Audit.clean());
+  EXPECT_EQ(L.Svc.sumBalances(*L.M), L.Svc.mintedTotal());
+}
+
+TEST(LedgerServiceTest, ValidationRejectionsAreNormalResponses) {
+  SingleThreadLedger L;
+  ASSERT_EQ(L.Svc.createAccount(*L.M, 0), OpResult::Ok);
+  ASSERT_EQ(L.Svc.createAccount(*L.M, 1), OpResult::Ok);
+  EXPECT_EQ(L.Svc.createAccount(*L.M, 0), OpResult::AccountExists);
+  EXPECT_EQ(L.Svc.transfer(*L.M, 0, 0, 5, 1), OpResult::SelfTransfer);
+  EXPECT_EQ(L.Svc.transfer(*L.M, 0, 1, 0, 2), OpResult::InvalidAmount);
+  EXPECT_EQ(L.Svc.transfer(*L.M, 0, 63, 5, 3), OpResult::NoSuchAccount);
+  EXPECT_EQ(L.Svc.transfer(*L.M, 0, 1, 100000, 4),
+            OpResult::InsufficientFunds);
+  uint64_t Bal = 0;
+  EXPECT_EQ(L.Svc.queryBalance(*L.M, 0, &Bal), OpResult::Ok);
+  EXPECT_EQ(Bal, 1000u);
+  ASSERT_EQ(L.Svc.transfer(*L.M, 0, 1, 250, 5), OpResult::Ok);
+  EXPECT_EQ(L.Svc.queryBalance(*L.M, 0, &Bal), OpResult::Ok);
+  EXPECT_EQ(Bal, 750u);
+  EXPECT_EQ(L.Svc.queryBalance(*L.M, 1, &Bal), OpResult::Ok);
+  EXPECT_EQ(Bal, 1250u);
+  // The root stack only holds the two permanent account roots.
+  EXPECT_EQ(L.M->numRoots(), 2u);
+}
+
+TEST(LedgerServiceTest, TrimHistoryMakesGarbageThatCyclesReclaim) {
+  SingleThreadLedger L(1u << 12, /*HistoryLimit=*/4);
+  ASSERT_EQ(L.Svc.createAccount(*L.M, 0), OpResult::Ok);
+  ASSERT_EQ(L.Svc.createAccount(*L.M, 1), OpResult::Ok);
+
+  // 12 transfers build a 12-node history on each side (and displace 12
+  // balance entries per account along the way).
+  for (uint64_t S = 1; S <= 12; ++S)
+    ASSERT_EQ(L.Svc.transfer(*L.M, 0, 1, 1, S), OpResult::Ok);
+  ASSERT_EQ(L.Svc.historyLength(*L.M, 0), 12u);
+
+  // The displaced entries and (after trim) the history tails are floating
+  // garbage: allocated, unreachable, not yet collected.
+  auto Before = L.Rt.auditHeap();
+  EXPECT_TRUE(Before.clean());
+  EXPECT_GT(Before.Unreachable, 0u);
+
+  uint32_t Trimmed = 0;
+  ASSERT_EQ(L.Svc.trimHistory(*L.M, 0, &Trimmed), OpResult::Ok);
+  EXPECT_EQ(Trimmed, 8u);
+  EXPECT_EQ(L.Svc.historyLength(*L.M, 0), 4u);
+  auto AfterTrim = L.Rt.auditHeap();
+  EXPECT_GE(AfterTrim.Unreachable, Before.Unreachable + 8);
+
+  // Two full cycles reclaim everything (one may have raced the trim).
+  L.Rt.collectOnce();
+  L.Rt.collectOnce();
+  auto AfterGc = L.Rt.auditHeap();
+  EXPECT_TRUE(AfterGc.clean());
+  EXPECT_EQ(AfterGc.Unreachable, 0u);
+  // Live: 2 accounts + 2 entries + 4 + 12 history nodes.
+  EXPECT_EQ(AfterGc.Reachable, 2u + 2u + 4u + 12u);
+  EXPECT_EQ(L.Svc.sumBalances(*L.M), L.Svc.mintedTotal());
+}
+
+TEST(LedgerHarnessTest, MultiThreadedRunMeetsInvariantsAndConserves) {
+  LedgerRunConfig Cfg;
+  Cfg.Rt.HeapObjects = 1u << 13;
+  Cfg.Ledger.MaxAccounts = 96;
+  Cfg.Ledger.HistoryLimit = 6;
+  Cfg.Load.RatePerSec = 4000;
+  Cfg.Load.PreCreated = 32;
+  Cfg.Threads = 2;
+  Cfg.Seconds = 0.5;
+  Cfg.OccupancyTrigger = 0.4;
+
+  LedgerRunResult R = runLedger(Cfg);
+  EXPECT_GT(R.OpsApplied, 100u);
+  EXPECT_TRUE(R.AuditClean);
+  EXPECT_TRUE(R.ConservationOk);
+  EXPECT_TRUE(R.Drained);
+  EXPECT_TRUE(R.DrainedClean);
+  EXPECT_EQ(R.UnreclaimedAfterDrain, 0u);
+  EXPECT_GT(R.ThroughputOpsPerSec, 0.0);
+  EXPECT_GE(R.P99Us, R.P50Us);
+  EXPECT_GE(R.MaxUs, R.P99Us);
+}
+
+/// The observatory soak of the issue: a short fuzzed multi-threaded run
+/// with live §3.2 checking must report zero invariant violations.
+TEST(LedgerObservatoryTest, SoakReportsZeroInvariantViolations) {
+  LedgerRunConfig Cfg;
+  Cfg.Rt.HeapObjects = 1u << 13;
+  Cfg.Rt.Observatory = true;
+  Cfg.Rt.FuzzSchedules = 7; // seeded schedule fuzzing
+  Cfg.Ledger.MaxAccounts = 96;
+  Cfg.Ledger.HistoryLimit = 6;
+  Cfg.Load.RatePerSec = 4000;
+  Cfg.Load.PreCreated = 32;
+  Cfg.Threads = 2;
+  Cfg.Seconds = 1.0;
+  Cfg.OccupancyTrigger = 0.3;
+
+  LedgerHarness H(Cfg);
+  LedgerRunResult R = H.run();
+  EXPECT_GT(R.OpsApplied, 50u);
+  ASSERT_NE(H.runtime().observatory(), nullptr);
+  EXPECT_GT(R.InvariantChecks, 0u);
+  EXPECT_EQ(R.InvariantViolations, 0u);
+  for (const auto &V : H.runtime().observatory()->violations())
+    ADD_FAILURE() << "invariant violation: " << V.Name << ": " << V.Detail;
+  EXPECT_TRUE(R.ConservationOk);
+  EXPECT_TRUE(R.AuditClean);
+}
+
+TEST(SloTest, CheckerFlagsEachViolation) {
+  LedgerRunResult R;
+  R.OpsTotal = 1000;
+  R.OpsApplied = 900;
+  R.OfferedOpsPerSec = 1000;
+  R.ThroughputOpsPerSec = 900;
+  R.P50Us = 100;
+  R.P99Us = 1000;
+  R.MaxUs = 5000;
+  R.MaxPauseNs = 1'000'000;
+  R.FloatingGarbageRatio = 0.1;
+  R.ConservationOk = true;
+  R.AuditClean = true;
+  SloTarget T;
+  EXPECT_TRUE(checkSlo(T, R).Pass);
+
+  LedgerRunResult Bad = R;
+  Bad.P99Us = T.MaxP99Us + 1;
+  Bad.MaxPauseNs = static_cast<uint64_t>(T.MaxPauseUs * 1e3) + 1000;
+  Bad.ConservationOk = false;
+  SloVerdict V = checkSlo(T, Bad);
+  EXPECT_FALSE(V.Pass);
+  EXPECT_EQ(V.Violations.size(), 3u);
+  EXPECT_NE(V.summary().find("SLO FAIL"), std::string::npos);
+
+  LedgerRunResult Empty;
+  EXPECT_FALSE(checkSlo(T, Empty).Pass); // no ops completed
+}
+
+} // namespace

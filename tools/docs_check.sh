@@ -1,0 +1,86 @@
+#!/bin/sh
+# Lint the documentation set:
+#
+#   docs_check.sh [REPO_ROOT]
+#
+# 1. Dead-link check: every relative markdown link in README.md and
+#    docs/*.md must resolve to an existing file (http(s)/mailto links and
+#    pure #fragment anchors are skipped; a #fragment suffix on a file link
+#    is stripped before the existence check).
+# 2. Bench-export check: every BENCH_<x>.json name mentioned in the docs
+#    must correspond to a bench/bench_<x>.cpp source, and every name in
+#    run_benches.sh's required-export list must be documented in
+#    docs/OBSERVABILITY.md — the doc table and the enforcement list cannot
+#    drift apart silently.
+#
+# Exits non-zero listing every offence; wired up as the `docs_check` ctest.
+
+set -u
+
+ROOT="${1:-.}"
+STATUS=0
+
+DOCS="$ROOT/README.md"
+for f in "$ROOT"/docs/*.md; do
+  [ -f "$f" ] && DOCS="$DOCS $f"
+done
+
+# --- 1. dead relative links ------------------------------------------------
+for doc in $DOCS; do
+  dir=$(dirname "$doc")
+  # Extract markdown link targets: [text](target). One per line; tolerate
+  # several links on a line.
+  grep -o '\[[^][]*\]([^()]*)' "$doc" 2>/dev/null | sed 's/.*(\(.*\))/\1/' |
+    while IFS= read -r target; do
+      case "$target" in
+      http://* | https://* | mailto:* | "#"*) continue ;;
+      esac
+      path="${target%%#*}"
+      [ -n "$path" ] || continue
+      if [ ! -e "$dir/$path" ] && [ ! -e "$ROOT/$path" ]; then
+        echo "docs_check: dead link in $(basename "$doc"): $target"
+      fi
+    done > /tmp/docs_check_dead.$$ 2>&1
+  if [ -s /tmp/docs_check_dead.$$ ]; then
+    cat /tmp/docs_check_dead.$$ >&2
+    STATUS=1
+  fi
+  rm -f /tmp/docs_check_dead.$$
+done
+
+# --- 2. documented bench exports exist as bench sources --------------------
+for doc in $DOCS; do
+  grep -o 'BENCH_[a-z0-9_]*\.json' "$doc" 2>/dev/null | sort -u |
+    while IFS= read -r export_name; do
+      stem=${export_name#BENCH_}
+      stem=${stem%.json}
+      if [ ! -f "$ROOT/bench/bench_${stem}.cpp" ]; then
+        echo "docs_check: $(basename "$doc") mentions $export_name but bench/bench_${stem}.cpp does not exist"
+      fi
+    done > /tmp/docs_check_bench.$$ 2>&1
+  if [ -s /tmp/docs_check_bench.$$ ]; then
+    cat /tmp/docs_check_bench.$$ >&2
+    STATUS=1
+  fi
+  rm -f /tmp/docs_check_bench.$$
+done
+
+# --- 3. required exports in run_benches.sh are documented -------------------
+if [ -f "$ROOT/run_benches.sh" ] && [ -f "$ROOT/docs/OBSERVABILITY.md" ]; then
+  grep -o 'BENCH_[a-z0-9_]*\.json' "$ROOT/run_benches.sh" | sort -u |
+    while IFS= read -r required; do
+      if ! grep -q "$required" "$ROOT/docs/OBSERVABILITY.md"; then
+        echo "docs_check: required export $required (run_benches.sh) is not documented in docs/OBSERVABILITY.md"
+      fi
+    done > /tmp/docs_check_req.$$ 2>&1
+  if [ -s /tmp/docs_check_req.$$ ]; then
+    cat /tmp/docs_check_req.$$ >&2
+    STATUS=1
+  fi
+  rm -f /tmp/docs_check_req.$$
+fi
+
+if [ "$STATUS" = 0 ]; then
+  echo "docs_check: OK"
+fi
+exit $STATUS
