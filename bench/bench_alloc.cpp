@@ -1,0 +1,251 @@
+//===- bench/bench_alloc.cpp - Allocation fast-path latency ----------------===//
+///
+/// \file
+/// The allocator scale-out bench: mean allocation latency (ns/op) at 1, 2,
+/// 4 and 8 mutator threads, for the three allocation designs stacked in
+/// the runtime —
+///
+///   alloc_global : no thread-local reserve; every allocation takes the
+///                  shared path (recycled-list lock or bump CAS).
+///   alloc_pool   : the original §4 scatter pool at the heap level —
+///                  reserveBatch refills a per-thread vector of singles.
+///   alloc_tlab   : the shipped design: MutatorContext TLABs, a CAS-free
+///                  bump through a contiguous run claimed by reserveRun.
+///
+/// Exports the tsogc-bench-v1 JSON (BENCH_alloc.json via run_benches.sh)
+/// with ns_per_op per run plus the canonical alloc.* counters from the
+/// headline single-thread TLAB run. `--smoke` shrinks the heap so the
+/// ctest smoke finishes in well under a second. Exits non-zero if any
+/// allocation fails despite the reserved capacity margin — exhaustion
+/// here means refill accounting went wrong, not that the bench was sized
+/// too small.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchReport.h"
+
+#include "runtime/GcRuntime.h"
+#include "runtime/RtObserve.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+using namespace tsogc;
+using namespace tsogc::rt;
+
+namespace {
+
+bool Smoke = false;
+
+/// Any allocation failure across all runs: turned into the exit code.
+std::atomic<uint64_t> TotalFailures{0};
+
+constexpr uint32_t PoolSlots = 64;
+
+uint32_t heapObjects() { return Smoke ? 1u << 14 : 1u << 18; }
+
+RtConfig allocCfg(uint32_t Pool) {
+  RtConfig C;
+  C.HeapObjects = heapObjects();
+  C.NumFields = 1;
+  C.LocalAllocPool = Pool;
+  return C;
+}
+
+/// Per-thread allocation quota: an equal share of the slab minus the slack
+/// that can legitimately sit reserved in peers' TLABs when the music stops.
+uint32_t quotaPerThread(unsigned Threads) {
+  return heapObjects() / Threads - PoolSlots - 8;
+}
+
+struct AllocBenchResult {
+  double NsPerOp = 0;
+  uint64_t Allocs = 0;
+  uint64_t Failures = 0;
+  uint64_t TlabHits = 0;
+  uint64_t TlabRefills = 0;
+  uint64_t Fallbacks = 0;
+};
+
+/// Time \p Threads mutators allocating their quota through MutatorContext
+/// (the real fast path, including root bookkeeping). No collector runs:
+/// this isolates allocation latency.
+AllocBenchResult runMutatorAlloc(unsigned Threads, uint32_t Pool) {
+  GcRuntime Rt(allocCfg(Pool));
+  std::vector<MutatorContext *> Ms;
+  for (unsigned I = 0; I < Threads; ++I)
+    Ms.push_back(Rt.registerMutator());
+  const uint32_t Quota = quotaPerThread(Threads);
+  std::vector<uint64_t> Ns(Threads, 0);
+  std::vector<uint64_t> Fails(Threads, 0);
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      MutatorContext *M = Ms[T];
+      const auto T0 = std::chrono::steady_clock::now();
+      for (uint32_t I = 0; I < Quota; ++I) {
+        int R = M->alloc();
+        if (R >= 0)
+          M->discard(static_cast<size_t>(R));
+        else
+          ++Fails[T];
+      }
+      Ns[T] = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - T0)
+              .count());
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  for (MutatorContext *M : Ms)
+    Rt.deregisterMutator(M); // folds the TLAB counters into Rt.stats()
+
+  AllocBenchResult R;
+  uint64_t TotalNs = 0;
+  for (unsigned T = 0; T < Threads; ++T) {
+    TotalNs += Ns[T];
+    R.Failures += Fails[T];
+  }
+  R.Allocs = static_cast<uint64_t>(Quota) * Threads - R.Failures;
+  R.NsPerOp = R.Allocs ? static_cast<double>(TotalNs) /
+                             static_cast<double>(R.Allocs)
+                       : 0;
+  R.TlabHits = Rt.stats().TotalTlabHits.load(std::memory_order_relaxed);
+  R.TlabRefills = Rt.stats().TotalTlabRefills.load(std::memory_order_relaxed);
+  R.Fallbacks = Rt.stats().TotalAllocFallbacks.load(std::memory_order_relaxed);
+  TotalFailures.fetch_add(R.Failures, std::memory_order_relaxed);
+  return R;
+}
+
+/// The original scatter-pool design, at the heap level: a per-thread
+/// vector of single slots refilled by reserveBatch, consumed with
+/// allocFromReserved. What the TLAB replaced — kept as the comparison arm.
+AllocBenchResult runScatterPoolAlloc(unsigned Threads) {
+  RtHeap H(allocCfg(0));
+  const uint32_t Quota = quotaPerThread(Threads);
+  std::vector<uint64_t> Ns(Threads, 0);
+  std::vector<uint64_t> Fails(Threads, 0);
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      std::vector<RtRef> Pool;
+      const auto T0 = std::chrono::steady_clock::now();
+      for (uint32_t I = 0; I < Quota; ++I) {
+        if (Pool.empty() && H.reserveBatch(Pool, PoolSlots) == 0) {
+          ++Fails[T];
+          continue;
+        }
+        H.allocFromReserved(Pool.back(), false);
+        Pool.pop_back();
+      }
+      Ns[T] = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - T0)
+              .count());
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  AllocBenchResult R;
+  uint64_t TotalNs = 0;
+  for (unsigned T = 0; T < Threads; ++T) {
+    TotalNs += Ns[T];
+    R.Failures += Fails[T];
+  }
+  R.Allocs = static_cast<uint64_t>(Quota) * Threads - R.Failures;
+  R.NsPerOp = R.Allocs ? static_cast<double>(TotalNs) /
+                             static_cast<double>(R.Allocs)
+                       : 0;
+  TotalFailures.fetch_add(R.Failures, std::memory_order_relaxed);
+  return R;
+}
+
+void report(benchmark::State &State, const std::string &Run,
+            const AllocBenchResult &R, bool Tlab) {
+  bench::Reporter Rep(State, Run);
+  Rep.counter("ns_per_op", R.NsPerOp);
+  Rep.counter("allocs", static_cast<double>(R.Allocs));
+  Rep.counter("failures", static_cast<double>(R.Failures));
+  if (Tlab) {
+    Rep.counter("tlab_hits", static_cast<double>(R.TlabHits));
+    Rep.counter("tlab_refills", static_cast<double>(R.TlabRefills));
+    Rep.counter("fallbacks", static_cast<double>(R.Fallbacks));
+    Rep.counter("hit_rate",
+                R.Allocs ? static_cast<double>(R.TlabHits) /
+                               static_cast<double>(R.Allocs)
+                         : 0);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(R.Allocs));
+}
+
+void BM_AllocTlab(benchmark::State &State) {
+  const unsigned Threads = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    AllocBenchResult R = runMutatorAlloc(Threads, PoolSlots);
+    report(State, "alloc_tlab/" + std::to_string(Threads), R, true);
+    if (Threads == 1) {
+      // The canonical alloc.* rows (docs/OBSERVABILITY.md) come from the
+      // headline single-thread run.
+      RtStats Canon;
+      Canon.TotalTlabHits.store(R.TlabHits, std::memory_order_relaxed);
+      Canon.TotalTlabRefills.store(R.TlabRefills, std::memory_order_relaxed);
+      Canon.TotalAllocFallbacks.store(R.Fallbacks, std::memory_order_relaxed);
+      exportAllocMetrics(Canon, bench::registry());
+    }
+  }
+}
+BENCHMARK(BM_AllocTlab)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AllocPool(benchmark::State &State) {
+  const unsigned Threads = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    AllocBenchResult R = runScatterPoolAlloc(Threads);
+    report(State, "alloc_pool/" + std::to_string(Threads), R, false);
+  }
+}
+BENCHMARK(BM_AllocPool)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AllocGlobal(benchmark::State &State) {
+  const unsigned Threads = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    AllocBenchResult R = runMutatorAlloc(Threads, /*Pool=*/0);
+    report(State, "alloc_global/" + std::to_string(Threads), R, false);
+  }
+}
+BENCHMARK(BM_AllocGlobal)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+// Custom main: strip --smoke before google-benchmark sees it, and turn
+// allocation failures into the exit code (see file header).
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I)
+    if (std::string_view(argv[I]) == "--smoke") {
+      Smoke = true;
+      for (int J = I; J + 1 < argc; ++J)
+        argv[J] = argv[J + 1];
+      --argc;
+      --I;
+    }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const uint64_t Failures = TotalFailures.load(std::memory_order_relaxed);
+  if (Failures) {
+    std::fprintf(stderr,
+                 "bench_alloc: %llu allocation(s) failed with capacity to "
+                 "spare — refill accounting is broken\n",
+                 static_cast<unsigned long long>(Failures));
+    return 1;
+  }
+  return 0;
+}

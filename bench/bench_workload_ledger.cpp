@@ -29,6 +29,7 @@ std::atomic<int> SloFailures{0};
 ledger::LedgerRunConfig baseConfig() {
   ledger::LedgerRunConfig Cfg;
   Cfg.Rt.HeapObjects = 1u << 14;
+  Cfg.Rt.LocalAllocPool = 32; // per-mutator TLABs on the allocation path
   Cfg.Ledger.MaxAccounts = 192;
   Cfg.Ledger.HistoryLimit = 12;
   Cfg.Load.RatePerSec = 8000; // aggregate offered load
@@ -57,6 +58,14 @@ void report(benchmark::State &State, const std::string &Run,
   Rep.counter("applied_ops", static_cast<double>(R.OpsApplied));
   Rep.counter("rejected_ops", static_cast<double>(R.OpsRejected));
   Rep.counter("heap_exhausted", static_cast<double>(R.OpsHeapExhausted));
+  // TLAB effectiveness under real traffic: hits / (hits + refills +
+  // fallbacks) — the fraction of allocations that never left the thread.
+  const double AllocPaths = static_cast<double>(R.TlabHits) +
+                            static_cast<double>(R.TlabRefills) +
+                            static_cast<double>(R.AllocFallbacks);
+  Rep.counter("tlab_hit_rate",
+              AllocPaths > 0 ? static_cast<double>(R.TlabHits) / AllocPaths
+                             : 0);
   Rep.counter("conservation_ok", R.ConservationOk ? 1 : 0);
   Rep.counter("audit_clean", R.AuditClean ? 1 : 0);
   // The full exportMetrics() payload (per-kind counts, latency histogram)

@@ -111,8 +111,8 @@ fi
 # Required exports: suites CI depends on must actually have been produced
 # (a bench binary silently dropped from the build would otherwise pass).
 MISSING=0
-for required in BENCH_mark_throughput.json BENCH_observatory.json \
-  BENCH_workload_ledger.json; do
+for required in BENCH_alloc.json BENCH_mark_throughput.json \
+  BENCH_observatory.json BENCH_workload_ledger.json; do
   if [ ! -s "$required" ]; then
     echo "run_benches.sh: required export $required was not produced" >&2
     MISSING=1

@@ -22,6 +22,8 @@ const char *tsogc::observe::eventKindName(EventKind K) {
     return "barrier_mark";
   case EventKind::Alloc:
     return "alloc";
+  case EventKind::TlabRefill:
+    return "tlab_refill";
   case EventKind::Free:
     return "free";
   case EventKind::SweepBatch:

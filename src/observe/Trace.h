@@ -40,6 +40,7 @@ enum class EventKind : uint8_t {
                      ///< thread acknowledged; collector side: round done.
   BarrierMark,       ///< Mutator write barrier won a mark. A = ref.
   Alloc,             ///< A = ref, Arg = allocation mark flag.
+  TlabRefill,        ///< Mutator claimed a TLAB run. A = run base, B = len.
   Free,              ///< Sweep freed an object. A = ref.
   SweepBatch,        ///< A = objects freed in batch, B = objects scanned.
   MarkBegin,         ///< Collector: marking loop entered.

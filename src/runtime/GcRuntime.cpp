@@ -59,7 +59,11 @@ void GcRuntime::deregisterMutator(MutatorContext *M) {
   // them, and abandoning the chain loses the greys — the collector then
   // sweeps objects the barrier proved reachable. Publish them now.
   M->transferWorklist();
+  // Likewise the unused TLAB tail and pool slots: reserved slots are
+  // invisible to the sweep, so abandoning them here would leak them until
+  // process exit.
   M->releaseAllocPool();
+  Stats.recordMutator(M->stats());
   std::lock_guard<std::mutex> Lock(RegistryMutex);
   Slots[M->index()]->Active.store(false, std::memory_order_release);
   Slots[M->index()]->Generation.fetch_add(1, std::memory_order_release);

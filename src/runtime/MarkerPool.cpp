@@ -191,7 +191,10 @@ void MarkerPool::drainLoop(unsigned W) {
 
 void MarkerPool::sweepShard(unsigned W) {
   WorkerState &S = States[W];
-  const uint64_t Cap = Heap.capacity();
+  // Shard the used slab only: slots above the bump watermark have never
+  // been allocated, and any virgin run claimed during this sweep is
+  // allocated with the current mark sense, so skipping it is equivalent.
+  const uint64_t Cap = std::min(Heap.capacity(), Heap.bumpWatermark());
   const RtRef Lo = static_cast<RtRef>(Cap * W / Workers);
   const RtRef Hi = static_cast<RtRef>(Cap * (W + 1) / Workers);
   std::vector<RtRef> Freed;

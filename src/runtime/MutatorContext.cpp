@@ -154,32 +154,24 @@ void MutatorContext::storeData(size_t RootIdx, uint64_t V) {
 int MutatorContext::alloc() {
   ++Stats.Allocs;
   // New objects take the allocation color from the *local* fA view; stale
-  // views are what the H3/H4 rounds are for.
+  // views are what the H3/H4 rounds are for. FaLocal is re-read at every
+  // bump — never snapshotted per refill batch — so a TLAB claimed while
+  // the collector was idle allocates black once the mark phase's rounds
+  // have refreshed this thread's view.
   RtRef R;
-  const uint32_t PoolSize = Heap.config().LocalAllocPool;
-  if (PoolSize == 0) {
+  if (Heap.config().LocalAllocPool == 0) {
     R = Heap.alloc(FaLocal, Trace);
+  } else if (TlabPos < TlabLen) {
+    // §4 extension, scaled out: CAS-free bump through the reserved run.
+    R = Heap.allocFromReserved(TlabBase + TlabPos, FaLocal, Trace);
+    ++TlabPos;
+    ++Stats.TlabHits;
+  } else if (!AllocPool.empty()) {
+    R = Heap.allocFromReserved(AllocPool.back(), FaLocal, Trace);
+    AllocPool.pop_back();
+    ++Stats.TlabHits;
   } else {
-    // §4 extension: fine-grained allocation from a thread-local pool; the
-    // free-list lock is taken once per refill batch. Near exhaustion the
-    // batch is capped to a quarter of the remaining free slots: reserving
-    // the whole tail would strand it in this thread's pool and fail every
-    // peer's allocation while free memory sits idle.
-    if (AllocPool.empty()) {
-      const size_t Free = Heap.freeListSize();
-      const unsigned Want = static_cast<unsigned>(std::min<size_t>(
-          PoolSize, std::max<size_t>(1, Free / 4)));
-      Heap.reserveBatch(AllocPool, Want);
-    }
-    if (AllocPool.empty()) {
-      // The global list can refill between the reserve attempt and now
-      // (a peer released its pool, a sweep shard returned slots); fall
-      // back to a direct allocation rather than reporting exhaustion.
-      R = Heap.alloc(FaLocal, Trace);
-    } else {
-      R = Heap.allocFromReserved(AllocPool.back(), FaLocal, Trace);
-      AllocPool.pop_back();
-    }
+    R = allocSlowPath();
   }
   if (R == RtNull) {
     ++Stats.AllocFailures;
@@ -189,7 +181,47 @@ int MutatorContext::alloc() {
   return static_cast<int>(Roots.size() - 1);
 }
 
+RtRef MutatorContext::allocSlowPath() {
+  const uint32_t PoolSize = Heap.config().LocalAllocPool;
+  // Two refill attempts: reserveRun applies the quarter-of-free cap from
+  // the counts current at claim time, but a peer can still drain the lists
+  // between the virgin-space CAS and the lock, so an empty first answer is
+  // retried once before concluding anything.
+  for (int Attempt = 0; Attempt < 2; ++Attempt) {
+    RtHeap::FreeRun Run = Heap.reserveRun(PoolSize, &AllocPool);
+    if (Run.Len != 0) {
+      TlabBase = Run.Base;
+      TlabPos = 0;
+      TlabLen = Run.Len;
+      ++Stats.TlabRefills;
+      observe::trace(Trace, observe::EventKind::TlabRefill, Run.Base,
+                     Run.Len);
+      RtRef R = Heap.allocFromReserved(TlabBase + TlabPos, FaLocal, Trace);
+      ++TlabPos;
+      return R;
+    }
+    if (!AllocPool.empty()) {
+      // The scatter top-up found singles even though no run was left.
+      ++Stats.TlabRefills;
+      RtRef R = Heap.allocFromReserved(AllocPool.back(), FaLocal, Trace);
+      AllocPool.pop_back();
+      return R;
+    }
+  }
+  // Both refills came back empty: fall back to a direct allocation (a
+  // sweep shard may return slots at any moment) rather than reporting
+  // exhaustion while peers hold slack.
+  ++Stats.AllocFallbacks;
+  return Heap.alloc(FaLocal, Trace);
+}
+
 void MutatorContext::releaseAllocPool() {
+  if (TlabPos < TlabLen) {
+    Heap.unreserveRun(
+        RtHeap::FreeRun{TlabBase + TlabPos, TlabLen - TlabPos});
+  }
+  TlabBase = RtNull;
+  TlabPos = TlabLen = 0;
   if (AllocPool.empty())
     return;
   Heap.unreserve(AllocPool);

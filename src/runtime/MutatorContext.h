@@ -69,7 +69,11 @@ public:
 
   /// Allocate an object marked with the local allocation color; the new
   /// reference becomes a root. Returns its root index or -1 if the heap is
-  /// exhausted.
+  /// exhausted. With RtConfig::LocalAllocPool > 0 the fast path is a
+  /// CAS-free bump through this thread's TLAB run; the allocation color is
+  /// re-read from the local fA view at every bump, so a TLAB claimed
+  /// before an allocation-color flip cannot mint wrongly-colored objects
+  /// after it (the handshake that flipped fA also refreshed the view).
   int alloc();
 
   /// roots := roots \ {roots[Idx]} (swap-with-back removal).
@@ -94,8 +98,10 @@ public:
   /// Direct validated dereference used by tests.
   RtRef rootRef(size_t Idx) const { return Roots[Idx].Ref; }
 
-  /// Return unused allocation-pool slots to the heap (called by
-  /// deregistration; harmless when the pool is disabled or empty).
+  /// Return the unused TLAB tail and any allocation-pool slots to the heap
+  /// (called by deregistration; harmless when the pool is disabled or
+  /// empty). Reserved slots are invisible to the sweep, so a departing
+  /// mutator that skips this leaks them until process exit.
   void releaseAllocPool();
 
 private:
@@ -157,9 +163,21 @@ private:
   /// round; drives the §4 insertion-barrier elision branch.
   bool RootsMarkedThisCycle = false;
 
-  /// §4 allocation-pool extension: reserved-but-unallocated slots owned by
-  /// this thread (empty when the pool is disabled). Returned to the heap
-  /// on deregistration.
+  /// The allocation slow path: refill the TLAB/pool (retrying once — the
+  /// quarter cap races with peers draining the lists) and fall back to a
+  /// direct heap allocation before reporting exhaustion.
+  RtRef allocSlowPath();
+
+  /// §4 allocation-pool extension, scaled out to a TLAB: a contiguous run
+  /// of reserved-but-unallocated slots this thread bump-allocates through
+  /// without synchronization. Refilled via RtHeap::reserveRun; the unused
+  /// tail is returned to the heap on deregistration.
+  RtRef TlabBase = RtNull;
+  uint32_t TlabPos = 0;
+  uint32_t TlabLen = 0;
+
+  /// Scattered reserved singles (fragmented-heap overflow from reserveRun's
+  /// scatter top-up). Drained after the TLAB run, returned on deregister.
   std::vector<RtRef> AllocPool;
 
   /// Cheap per-thread PRNG state for torture-mode yield decisions.

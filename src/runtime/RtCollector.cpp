@@ -165,7 +165,12 @@ void RtCollector::drainWorklist(CycleStats &CS) {
 }
 
 void RtCollector::sweep(CycleStats &CS) {
-  const RtRef Cap = Heap.capacity();
+  // Slots above the bump watermark were never allocated; slots a racing
+  // virgin claim allocates past the value read here carry the current mark
+  // sense (allocate-black) and would be retained anyway — skipping them is
+  // equivalent and keeps the sweep proportional to the used slab. Reserved
+  // TLAB runs below the watermark are unallocated and skipped per-slot.
+  const RtRef Cap = std::min(Heap.capacity(), Heap.bumpWatermark());
   if (!Trace) {
     // Untraced hot path: the sweep visits every slab slot, so even one
     // extra compare per ref is measurable on sweep-dominated cycles.

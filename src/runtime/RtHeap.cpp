@@ -24,66 +24,185 @@ RtHeap::RtHeap(const RtConfig &C)
     N.store(RtNull, std::memory_order_relaxed);
   for (auto &Cell : SharedWork)
     Cell.store(RtNull, std::memory_order_relaxed);
-  FreeList.reserve(C.HeapObjects);
-  // LIFO free list; lowest indices allocated first.
-  for (uint32_t I = C.HeapObjects; I > 0; --I)
-    FreeList.push_back(I - 1);
+  // The whole slab starts as virgin space above the bump cursor; the
+  // recycled size-class lists start empty. Lowest indices allocated first,
+  // as with the original LIFO free list.
+}
+
+void RtHeap::pushRunLocked(FreeRun Run) {
+  if (Run.Len == 0)
+    return;
+  FreeRuns[classOf(Run.Len)].push_back(Run);
+  FreeSlotCount.fetch_add(Run.Len, std::memory_order_relaxed);
+}
+
+RtRef RtHeap::popOneLocked() {
+  for (unsigned C = 0; C < NumSizeClasses; ++C) {
+    if (FreeRuns[C].empty())
+      continue;
+    FreeRun Run = FreeRuns[C].back();
+    FreeRuns[C].pop_back();
+    FreeSlotCount.fetch_sub(Run.Len, std::memory_order_relaxed);
+    // Take the run's last slot; the shortened remainder is re-binned (it
+    // may drop a class).
+    RtRef R = Run.Base + Run.Len - 1;
+    Run.Len -= 1;
+    pushRunLocked(Run);
+    return R;
+  }
+  return RtNull;
+}
+
+RtHeap::FreeRun RtHeap::popRunLocked(unsigned Want) {
+  // Best fit: the smallest class guaranteed to hold Want is classOf(Want)
+  // (whose runs may still be shorter — check), then upward.
+  for (unsigned C = classOf(Want); C < NumSizeClasses; ++C) {
+    for (size_t I = FreeRuns[C].size(); I > 0; --I) {
+      FreeRun &Cand = FreeRuns[C][I - 1];
+      if (Cand.Len < Want)
+        continue;
+      FreeRun Out{Cand.Base, Want};
+      FreeRun Rest{Cand.Base + Want, Cand.Len - Want};
+      Cand = FreeRuns[C].back();
+      FreeRuns[C].pop_back();
+      FreeSlotCount.fetch_sub(Out.Len + Rest.Len, std::memory_order_relaxed);
+      pushRunLocked(Rest);
+      return Out;
+    }
+  }
+  // Nothing long enough: hand back the longest run there is.
+  for (unsigned C = NumSizeClasses; C > 0; --C) {
+    if (FreeRuns[C - 1].empty())
+      continue;
+    FreeRun Out = FreeRuns[C - 1].back();
+    FreeRuns[C - 1].pop_back();
+    FreeSlotCount.fetch_sub(Out.Len, std::memory_order_relaxed);
+    return Out;
+  }
+  return FreeRun{};
+}
+
+RtHeap::FreeRun RtHeap::claimVirgin(unsigned Want, bool CapQuarter) {
+  uint32_t B = Bump.load(std::memory_order_relaxed);
+  while (B < Cfg.HeapObjects) {
+    uint32_t Len = std::min<uint32_t>(Want, Cfg.HeapObjects - B);
+    if (CapQuarter) {
+      // Cap from the counts current at THIS claim attempt (B is fresh from
+      // the CAS), not from any earlier snapshot: reserving the whole tail
+      // would strand it in one thread's TLAB and fail every peer's
+      // allocation while free memory sits idle.
+      const uint32_t Free = (Cfg.HeapObjects - B) +
+                            FreeSlotCount.load(std::memory_order_relaxed);
+      Len = std::min(Len, std::max(1u, Free / 4));
+    }
+    if (Bump.compare_exchange_weak(B, B + Len, std::memory_order_acq_rel,
+                                   std::memory_order_relaxed))
+      return FreeRun{B, Len};
+  }
+  return FreeRun{};
 }
 
 RtRef RtHeap::alloc(bool MarkFlag, observe::TraceBuffer *Trace) {
   RtRef R;
   {
     std::lock_guard<std::mutex> Lock(FreeMutex);
-    if (FreeList.empty())
+    R = popOneLocked();
+  }
+  if (R == RtNull) {
+    FreeRun V = claimVirgin(1);
+    if (V.Len == 0)
       return RtNull;
-    R = FreeList.back();
-    FreeList.pop_back();
+    R = V.Base;
   }
   return allocFromReserved(R, MarkFlag, Trace);
 }
 
-unsigned RtHeap::reserveBatch(std::vector<RtRef> &Out, unsigned N) {
+RtHeap::FreeRun RtHeap::reserveRun(unsigned Want,
+                                   std::vector<RtRef> *Scatter) {
+  TSOGC_CHECK(Want > 0, "reserving an empty run");
+  // Virgin space first: one CAS, no lock.
+  FreeRun V = claimVirgin(Want, /*CapQuarter=*/true);
+  if (V.Len != 0)
+    return V;
   std::lock_guard<std::mutex> Lock(FreeMutex);
+  // Same quarter cap, from the exact count under the lock.
+  const uint32_t Free = FreeSlotCount.load(std::memory_order_relaxed);
+  if (Free == 0)
+    return FreeRun{};
+  const unsigned Capped =
+      std::min<unsigned>(Want, std::max(1u, Free / 4));
+  FreeRun Run = popRunLocked(Capped);
+  if (Scatter && Run.Len < Capped) {
+    // Fragmented heap: the best run is short. Top the caller's scatter
+    // pool up under the same lock so the refill still amortizes it.
+    for (unsigned I = Run.Len; I < Capped; ++I) {
+      RtRef R = popOneLocked();
+      if (R == RtNull)
+        break;
+      Scatter->push_back(R);
+    }
+  }
+  return Run;
+}
+
+void RtHeap::unreserveRun(FreeRun Run) {
+  if (Run.Len == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(FreeMutex);
+  for (uint32_t I = 0; I < Run.Len; ++I)
+    TSOGC_CHECK(!hdr::allocated(
+                    Headers[Run.Base + I].load(std::memory_order_relaxed)),
+                "unreserving an allocated TLAB slot");
+  pushRunLocked(Run);
+}
+
+unsigned RtHeap::reserveBatch(std::vector<RtRef> &Out, unsigned N) {
   unsigned Taken = 0;
-  while (Taken < N && !FreeList.empty()) {
-    Out.push_back(FreeList.back());
-    FreeList.pop_back();
-    ++Taken;
+  {
+    std::lock_guard<std::mutex> Lock(FreeMutex);
+    while (Taken < N) {
+      RtRef R = popOneLocked();
+      if (R == RtNull)
+        break;
+      Out.push_back(R);
+      ++Taken;
+    }
+  }
+  while (Taken < N) {
+    FreeRun V = claimVirgin(N - Taken);
+    if (V.Len == 0)
+      break;
+    for (uint32_t I = 0; I < V.Len; ++I)
+      Out.push_back(V.Base + I);
+    Taken += V.Len;
   }
   return Taken;
 }
 
 void RtHeap::unreserve(const std::vector<RtRef> &Slots) {
+  if (Slots.empty())
+    return;
   std::lock_guard<std::mutex> Lock(FreeMutex);
+  // Coalesce ascending neighbors within the batch; anything else goes back
+  // as singleton runs (the class lists re-aggregate nothing across calls).
+  FreeRun Run{};
   for (RtRef R : Slots) {
     TSOGC_CHECK(!hdr::allocated(Headers[R].load(std::memory_order_relaxed)),
                 "unreserving an allocated slot");
-    FreeList.push_back(R);
+    if (Run.Len != 0 && R == Run.Base + Run.Len) {
+      ++Run.Len;
+      continue;
+    }
+    pushRunLocked(Run);
+    Run = FreeRun{R, 1};
   }
-}
-
-RtRef RtHeap::allocFromReserved(RtRef R, bool MarkFlag,
-                                observe::TraceBuffer *Trace) {
-  // Initialize fields before publishing the allocated bit. On TSO the
-  // publication order suffices (§4: no MFENCE needed at allocation because
-  // the reference can only escape after the initializing stores commit).
-  for (uint32_t F = 0; F < Cfg.NumFields; ++F)
-    Fields[fieldIndex(R, F)].store(RtNull, std::memory_order_relaxed);
-  Data[R].store(0, std::memory_order_relaxed);
-  WorkNext[R].store(RtNull, std::memory_order_relaxed);
-  uint32_t H = Headers[R].load(std::memory_order_relaxed);
-  TSOGC_CHECK(!hdr::allocated(H), "free-list slot already allocated");
-  Headers[R].store(hdr::withMark(H, MarkFlag) | hdr::AllocBit,
-                   std::memory_order_release);
-  AllocCount.fetch_add(1, std::memory_order_relaxed);
-  observe::trace(Trace, observe::EventKind::Alloc, R, 0, MarkFlag ? 1 : 0);
-  return R;
+  pushRunLocked(Run);
 }
 
 void RtHeap::free(RtRef R, observe::TraceBuffer *Trace) {
   freeNoRecycle(R, Trace);
   std::lock_guard<std::mutex> Lock(FreeMutex);
-  FreeList.push_back(R);
+  pushRunLocked(FreeRun{R, 1});
 }
 
 void RtHeap::freeNoRecycle(RtRef R, observe::TraceBuffer *Trace) {
@@ -97,17 +216,30 @@ void RtHeap::freeNoRecycle(RtRef R, observe::TraceBuffer *Trace) {
 }
 
 void RtHeap::returnFreeSlots(const std::vector<RtRef> &Slots) {
+  if (Slots.empty())
+    return;
   std::lock_guard<std::mutex> Lock(FreeMutex);
+  // Sweep shards visit slots in ascending order, so consecutively freed
+  // garbage coalesces back into long runs here — the size-class lists get
+  // TLAB-grade runs instead of singles.
+  FreeRun Run{};
   for (RtRef R : Slots) {
     TSOGC_CHECK(!hdr::allocated(Headers[R].load(std::memory_order_relaxed)),
                 "recycling an allocated slot");
-    FreeList.push_back(R);
+    if (Run.Len != 0 && R == Run.Base + Run.Len) {
+      ++Run.Len;
+      continue;
+    }
+    pushRunLocked(Run);
+    Run = FreeRun{R, 1};
   }
+  pushRunLocked(Run);
 }
 
 size_t RtHeap::freeListSize() {
   std::lock_guard<std::mutex> Lock(FreeMutex);
-  return FreeList.size();
+  return FreeSlotCount.load(std::memory_order_relaxed) +
+         (Cfg.HeapObjects - bumpWatermark());
 }
 
 bool RtHeap::mark(RtRef R, bool FmLocal, bool BarriersActive,

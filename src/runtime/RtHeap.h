@@ -4,8 +4,16 @@
 /// The shared-memory heap of the runtime collector: a fixed slab of objects,
 /// each with an atomic header (allocated + mark + epoch), atomic reference
 /// fields, and an intrusive work-list link (Schism keeps the work-list link
-/// in the object header; so do we). Allocation pops a free list; sweep
-/// pushes freed objects back and bumps their epoch.
+/// in the object header; so do we).
+///
+/// Free space lives in two places. Virgin space — slots never yet allocated
+/// — sits above a shared bump cursor and is claimed in contiguous runs with
+/// a single CAS (RtHeap::reserveRun), the backbone of the per-mutator TLABs
+/// (the §4 thread-local allocation-pool extension). Recycled slots returned
+/// by the sweep are binned into size-class free-run lists segregated by run
+/// length, so refills after the virgin space is gone still hand back the
+/// longest contiguous run available. Reserved slots are unallocated and
+/// therefore invisible to the sweep.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,6 +24,7 @@
 #include "runtime/RtTypes.h"
 #include "support/Assert.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <vector>
@@ -40,10 +49,38 @@ public:
   /// non-null, receives an Alloc event attributed to the calling thread.
   RtRef alloc(bool MarkFlag, observe::TraceBuffer *Trace = nullptr);
 
-  /// Reserve up to \p N free slots for a thread-local allocation pool (the
-  /// §4 extension). Reserved slots are invisible to other allocators and,
-  /// being unallocated, ignored by the sweep. Appends to \p Out; returns
-  /// the number reserved.
+  /// A contiguous run of slab slots [Base, Base + Len): the unit a TLAB is
+  /// made of. Len == 0 means no run.
+  struct FreeRun {
+    RtRef Base = RtNull;
+    uint32_t Len = 0;
+  };
+
+  /// Reserve a contiguous run of up to \p Want free slots for a
+  /// thread-local allocation buffer (the §4 extension). Reserved slots are
+  /// invisible to other allocators and, being unallocated, ignored by the
+  /// sweep. The virgin-space fast path claims the run with a single CAS on
+  /// the shared bump cursor — no lock; once virgin space is exhausted the
+  /// size-class free-run lists are consulted under the free lock.
+  ///
+  /// The claim is capped at a quarter of the free slots remaining so a
+  /// near-exhaustion refill cannot strand the whole tail in one thread's
+  /// TLAB. The cap is computed from the counts current *at claim time*
+  /// (inside the CAS loop / under the lock), never from a stale snapshot —
+  /// a refill returns an empty run only when there is truly nothing left.
+  ///
+  /// When the best recycled run is shorter than the capped \p Want and
+  /// \p Scatter is non-null, the refill tops \p Scatter up with scattered
+  /// single slots under the same lock acquisition, so fragmented heaps
+  /// still amortize the lock over a batch.
+  FreeRun reserveRun(unsigned Want, std::vector<RtRef> *Scatter = nullptr);
+
+  /// Return the unused tail of a reserved run (TLAB retirement).
+  void unreserveRun(FreeRun Run);
+
+  /// Reserve up to \p N free slots (not necessarily contiguous) for a
+  /// thread-local allocation pool. Appends to \p Out; returns the number
+  /// reserved.
   unsigned reserveBatch(std::vector<RtRef> &Out, unsigned N);
 
   /// Return unused reserved slots to the global free list.
@@ -52,9 +89,27 @@ public:
   /// Turn a reserved slot into a live object without synchronization: the
   /// slot is owned by the calling thread, and on TSO the reference can
   /// only escape after the initializing stores, so no fence is needed
-  /// (§4 "Representations").
+  /// (§4 "Representations"). Defined inline: this is the TLAB bump path's
+  /// entire body, and the cross-TU call cost is measurable at bench_alloc
+  /// scale.
   RtRef allocFromReserved(RtRef R, bool MarkFlag,
-                          observe::TraceBuffer *Trace = nullptr);
+                          observe::TraceBuffer *Trace = nullptr) {
+    // Initialize fields before publishing the allocated bit. On TSO the
+    // publication order suffices (§4: no MFENCE needed at allocation
+    // because the reference can only escape after the initializing
+    // stores commit).
+    for (uint32_t F = 0; F < Cfg.NumFields; ++F)
+      Fields[fieldIndex(R, F)].store(RtNull, std::memory_order_relaxed);
+    Data[R].store(0, std::memory_order_relaxed);
+    WorkNext[R].store(RtNull, std::memory_order_relaxed);
+    uint32_t H = Headers[R].load(std::memory_order_relaxed);
+    TSOGC_CHECK(!hdr::allocated(H), "free-list slot already allocated");
+    Headers[R].store(hdr::withMark(H, MarkFlag) | hdr::AllocBit,
+                     std::memory_order_release);
+    AllocCount.fetch_add(1, std::memory_order_relaxed);
+    observe::trace(Trace, observe::EventKind::Alloc, R, 0, MarkFlag ? 1 : 0);
+    return R;
+  }
 
   /// Sweep-side free: clears allocated, bumps the epoch, returns the slot
   /// to the free list. Collector only. \p Trace, when non-null, receives a
@@ -69,10 +124,21 @@ public:
   void freeNoRecycle(RtRef R, observe::TraceBuffer *Trace = nullptr);
   void returnFreeSlots(const std::vector<RtRef> &Slots);
 
-  /// Free slots currently on the global list (excludes reserved pool
+  /// Free slots currently available to allocators: unclaimed virgin space
+  /// plus the recycled size-class lists (excludes reserved TLAB/pool
   /// slots). Takes the free-list lock; callers use it for refill policy,
   /// not on per-allocation fast paths.
   size_t freeListSize();
+
+  /// One past the highest slot ever claimed from virgin space. Slots at or
+  /// above it have never been allocated, so sweeps stop here instead of
+  /// walking the whole slab. Monotonic; a racing virgin claim can only add
+  /// slots that are allocated with the current mark sense (allocate-black
+  /// during Sweep), which a sweep must retain anyway — skipping them is
+  /// equivalent.
+  uint32_t bumpWatermark() const {
+    return std::min(Bump.load(std::memory_order_acquire), Cfg.HeapObjects);
+  }
 
   /// Raw header access.
   uint32_t header(RtRef R) const {
@@ -185,11 +251,44 @@ private:
   /// One transfer-list head per mark-worker stripe (size ≥ 1).
   std::vector<std::atomic<RtRef>> SharedWork;
 
-  // Allocation is the model's single atomic action; a mutex keeps it
-  // simple — the same coarseness the paper grants itself (§3.1, "the
-  // coarsest and least defensible abstraction"), documented in DESIGN.md.
+  /// Size-class count for the recycled free-run lists: class k holds runs
+  /// of length [2^k, 2^(k+1)), the last class open-ended.
+  static constexpr unsigned NumSizeClasses = 5;
+  static unsigned classOf(uint32_t Len) {
+    unsigned C = 0;
+    while (C + 1 < NumSizeClasses && Len >= (2u << C))
+      ++C;
+    return C;
+  }
+
+  //===-- All Locked helpers require FreeMutex held ----------------------===//
+
+  /// Bin a run into its size class.
+  void pushRunLocked(FreeRun Run);
+  /// Pop one slot, preferring the smallest runs (big runs stay whole for
+  /// TLAB refills). RtNull when every class is empty.
+  RtRef popOneLocked();
+  /// Pop the best-fitting run for \p Want: the first run in the smallest
+  /// class that can hold Want (split at Want, remainder re-binned), else
+  /// the longest run available. Len == 0 when every class is empty.
+  FreeRun popRunLocked(unsigned Want);
+
+  /// Claim up to \p Want contiguous virgin slots by CAS on the bump
+  /// cursor; lock-free. \p CapQuarter additionally caps the claim at a
+  /// quarter of the slots still free (virgin + recycled) at claim time.
+  FreeRun claimVirgin(unsigned Want, bool CapQuarter = false);
+
+  // The recycled-slot side of allocation keeps the model's coarseness: a
+  // mutex guards the size-class run lists — the same single-atomic-action
+  // abstraction the paper grants itself (§3.1), documented in DESIGN.md.
+  // The virgin-space side (the bump cursor) is CAS-only.
   std::mutex FreeMutex;
-  std::vector<RtRef> FreeList;
+  std::vector<FreeRun> FreeRuns[NumSizeClasses];
+  /// Slots across all FreeRuns entries. Written under FreeMutex; read
+  /// relaxed by the refill-cap policy (a stale read only skews the cap).
+  std::atomic<uint32_t> FreeSlotCount{0};
+  /// First never-claimed virgin slot (== HeapObjects when exhausted).
+  std::atomic<uint32_t> Bump{0};
   std::atomic<uint32_t> AllocCount{0};
 };
 

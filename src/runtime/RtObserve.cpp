@@ -30,6 +30,17 @@ void tsogc::rt::exportMetrics(const RtStats &S, observe::MetricsRegistry &Reg,
               S.TotalInvariantViolations.load(std::memory_order_relaxed));
 }
 
+void tsogc::rt::exportAllocMetrics(const RtStats &S,
+                                   observe::MetricsRegistry &Reg,
+                                   const std::string &Prefix) {
+  Reg.counter(Prefix + "tlab_hits",
+              S.TotalTlabHits.load(std::memory_order_relaxed));
+  Reg.counter(Prefix + "refills",
+              S.TotalTlabRefills.load(std::memory_order_relaxed));
+  Reg.counter(Prefix + "fallbacks",
+              S.TotalAllocFallbacks.load(std::memory_order_relaxed));
+}
+
 void tsogc::rt::exportMetrics(const CycleStats &C,
                               observe::MetricsRegistry &Reg,
                               const std::string &Prefix) {
@@ -71,6 +82,9 @@ void tsogc::rt::exportMetrics(const MutStats &M, observe::MetricsRegistry &Reg,
   Reg.counter(Prefix + "stores", M.Stores);
   Reg.counter(Prefix + "allocs", M.Allocs);
   Reg.counter(Prefix + "alloc_failures", M.AllocFailures);
+  Reg.counter(Prefix + "tlab_hits", M.TlabHits);
+  Reg.counter(Prefix + "tlab_refills", M.TlabRefills);
+  Reg.counter(Prefix + "alloc_fallbacks", M.AllocFallbacks);
   Reg.counter(Prefix + "barrier_marks", M.BarrierMarks);
   Reg.counter(Prefix + "barrier_cas", M.BarrierCas);
   Reg.counter(Prefix + "handshakes_seen", M.HandshakesSeen);

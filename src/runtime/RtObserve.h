@@ -32,6 +32,12 @@ void exportMetrics(const CycleStats &C, observe::MetricsRegistry &Reg,
 void exportMetrics(const MutStats &M, observe::MetricsRegistry &Reg,
                    const std::string &Prefix = "mut.");
 
+/// Register the allocator scale-out aggregates ("alloc.tlab_hits",
+/// "alloc.refills", "alloc.fallbacks") — the TLAB counters folded into
+/// RtStats from deregistered mutators.
+void exportAllocMetrics(const RtStats &S, observe::MetricsRegistry &Reg,
+                        const std::string &Prefix = "alloc.");
+
 } // namespace tsogc::rt
 
 #endif // TSOGC_RUNTIME_RTOBSERVE_H

@@ -24,6 +24,13 @@ struct MutStats {
   uint64_t Stores = 0;
   uint64_t Allocs = 0;
   uint64_t AllocFailures = 0;
+  /// TLAB traffic (zero when RtConfig::LocalAllocPool == 0): allocations
+  /// served lock-free from the thread-local run/pool, refill operations
+  /// (one RtHeap::reserveRun each), and refill failures that fell back to
+  /// a direct global allocation.
+  uint64_t TlabHits = 0;
+  uint64_t TlabRefills = 0;
+  uint64_t AllocFallbacks = 0;
   uint64_t BarrierMarks = 0;   ///< Greys published by this mutator's barriers.
   uint64_t BarrierCas = 0;     ///< CAS slow paths taken in barriers.
   uint64_t HandshakesSeen = 0;
@@ -109,6 +116,20 @@ struct RtStats {
   std::atomic<uint64_t> TotalSnapshots{0};
   std::atomic<uint64_t> TotalSnapshotNs{0};
   std::atomic<uint64_t> TotalInvariantViolations{0};
+  /// Allocator scale-out totals, folded in from each mutator's MutStats at
+  /// deregistration (live mutators' counts are not yet included).
+  std::atomic<uint64_t> TotalTlabHits{0};
+  std::atomic<uint64_t> TotalTlabRefills{0};
+  std::atomic<uint64_t> TotalAllocFallbacks{0};
+
+  /// Fold a departing mutator's allocator counters into the aggregate
+  /// (GcRuntime::deregisterMutator).
+  void recordMutator(const MutStats &M) {
+    TotalTlabHits.fetch_add(M.TlabHits, std::memory_order_relaxed);
+    TotalTlabRefills.fetch_add(M.TlabRefills, std::memory_order_relaxed);
+    TotalAllocFallbacks.fetch_add(M.AllocFallbacks,
+                                  std::memory_order_relaxed);
+  }
 
   void recordCycle(const CycleStats &C) {
     Cycles.fetch_add(1, std::memory_order_relaxed);

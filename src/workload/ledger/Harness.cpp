@@ -219,6 +219,9 @@ LedgerRunResult LedgerHarness::run() {
                          S.LatenciesUs.end());
     R.MaxPauseNs = std::max(R.MaxPauseNs, S.Stats.maxPauseNs());
     R.AllocFailures += S.Stats.AllocFailures;
+    R.TlabHits += S.Stats.TlabHits;
+    R.TlabRefills += S.Stats.TlabRefills;
+    R.AllocFallbacks += S.Stats.AllocFallbacks;
   }
   R.OpsApplied = R.ResultCounts[static_cast<unsigned>(OpResult::Ok)];
   R.OpsHeapExhausted =
@@ -271,6 +274,9 @@ void tsogc::ledger::exportMetrics(const LedgerRunResult &R,
   Reg.gauge(Prefix + "max_pause_ns", static_cast<double>(R.MaxPauseNs));
   Reg.counter(Prefix + "gc_cycles", R.Cycles);
   Reg.counter(Prefix + "alloc_failures", R.AllocFailures);
+  Reg.counter(Prefix + "tlab_hits", R.TlabHits);
+  Reg.counter(Prefix + "tlab_refills", R.TlabRefills);
+  Reg.counter(Prefix + "alloc_fallbacks", R.AllocFallbacks);
   Reg.gauge(Prefix + "live_objects", R.LiveObjects);
   Reg.gauge(Prefix + "floating_garbage", R.FloatingGarbage);
   Reg.gauge(Prefix + "floating_garbage_ratio", R.FloatingGarbageRatio);

@@ -62,6 +62,10 @@ struct LedgerRunResult {
   uint64_t MaxPauseNs = 0; ///< Worst MutStats::maxPauseNs() across workers.
   uint64_t Cycles = 0;
   uint64_t AllocFailures = 0;
+  //===-- Allocator (zeros when RtConfig::LocalAllocPool is 0) ------------===//
+  uint64_t TlabHits = 0;       ///< Bump/pool fast-path allocations.
+  uint64_t TlabRefills = 0;    ///< reserveRun refills across workers.
+  uint64_t AllocFallbacks = 0; ///< Slow-path direct heap allocations.
 
   //===-- Shutdown audit --------------------------------------------------===//
   uint32_t LiveObjects = 0;

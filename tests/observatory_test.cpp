@@ -442,6 +442,62 @@ TEST(Observatory, SameScheduleWithBarrierIsClean) {
   Rt.deregisterMutator(M);
 }
 
+// Regression pin for the TLAB allocation-color contract: the allocation
+// color is re-read from the local fA view at every bump. A TLAB claimed
+// while the collector was idle (pre-flip) must NOT keep minting that
+// stale color once the mark phase's handshakes have refreshed the view —
+// a batch-snapshotted color would allocate white during Mark, and the
+// sweep would free rooted objects (free-precondition / safety-headline,
+// then an epoch abort on first access).
+TEST(Observatory, TlabFilledWhileIdleAllocatesCurrentColorDuringMark) {
+  RtConfig Cfg = observatoryConfig();
+  Cfg.LocalAllocPool = 16;
+  GcRuntime Rt(Cfg);
+  MutatorContext *M = Rt.registerMutator();
+
+  // Fill the TLAB while the collector is idle: the refill reserves a run
+  // under the pre-cycle allocation color.
+  int Seed = M->alloc();
+  ASSERT_GE(Seed, 0);
+
+  std::vector<size_t> DuringMark;
+  bool Raced = false;
+  Rt.HandshakeServicer = [&] {
+    const uint64_t Before = M->stats().RootsMarked;
+    M->safepoint();
+    if (!Raced && M->stats().RootsMarked != Before) {
+      // Roots just handed over: the cycle is marking and this thread's
+      // view (fM, fA, phase) is refreshed. Bump straight through the
+      // pre-flip TLAB — every allocation must take the CURRENT color.
+      for (int I = 0; I < 8; ++I) {
+        int R = M->alloc();
+        ASSERT_GE(R, 0);
+        DuringMark.push_back(static_cast<size_t>(R));
+      }
+      Raced = true;
+    }
+  };
+  Rt.collectOnce();
+  ASSERT_TRUE(Raced);
+  EXPECT_EQ(Rt.observatory()->violationCount(), 0u);
+
+  // The rooted mid-mark allocations survived the cycle's sweep (epoch
+  // validation would abort here had they been freed) — and survive a
+  // second full cycle too.
+  Rt.HandshakeServicer = [&] { M->safepoint(); };
+  for (size_t R : DuringMark)
+    EXPECT_EQ(M->loadData(R), 0u);
+  Rt.collectOnce();
+  for (size_t R : DuringMark)
+    EXPECT_EQ(M->loadData(R), 0u);
+  EXPECT_EQ(Rt.observatory()->violationCount(), 0u);
+
+  Rt.HandshakeServicer = nullptr;
+  while (M->numRoots())
+    M->discard(0);
+  Rt.deregisterMutator(M);
+}
+
 TEST(Observatory, PeriodGatesWhichCyclesAreSampled) {
   RtConfig Cfg = observatoryConfig();
   Cfg.ObservatoryPeriod = 2;

@@ -242,6 +242,105 @@ TEST(ParallelMarkStress, FourWorkersConcurrentMutators) {
   stressRun(4, /*TortureLevel=*/0);
 }
 
+// TLAB torture mode: allocation-dominated mutators bump through their
+// TLABs while torture-mode yields land handshake acknowledgements between
+// the refill and the bumps — the exact windows where a stale allocation
+// color, a sweep walking a reserved run, or a lost TLAB tail would
+// corrupt the heap. Epoch validation polices every access; afterwards the
+// stop-the-world baseline and the whole-heap audit must agree with the
+// on-the-fly collector. Runs under the tsan preset (see file header).
+TEST(ParallelMarkStress, TlabTortureAllocationsStraddlingAcks) {
+  RtConfig C = parCfg(4);
+  C.HeapObjects = 2048;
+  C.LocalAllocPool = 32;
+  C.TortureLevel = 3;
+  GcRuntime Rt(C);
+  constexpr int NumMuts = 3;
+  std::vector<MutatorContext *> Ms;
+  for (int I = 0; I < NumMuts; ++I)
+    Ms.push_back(Rt.registerMutator());
+  Rt.startCollector();
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < NumMuts; ++T)
+    Ts.emplace_back([&, T] {
+      MutatorContext *M = Ms[T];
+      uint64_t Rng = 0xda942042e4dd58b5ULL * (T + 1);
+      // ~6 of 8 ops allocate, so the threads live on the TLAB bump path
+      // and refill mid-cycle; the root cap keeps garbage (and therefore
+      // sweeps over recycled runs) flowing continuously.
+      for (int I = 0; I < 20'000; ++I) {
+        M->safepoint();
+        Rng ^= Rng >> 12;
+        Rng ^= Rng << 25;
+        Rng ^= Rng >> 27;
+        const unsigned Op = (Rng >> 33) % 8;
+        if (Op < 6 || M->numRoots() < 2) {
+          M->alloc(); // may fail near exhaustion; validation still holds
+        } else {
+          M->store((Rng >> 20) % M->numRoots(),
+                   (Rng >> 40) % M->numRoots(),
+                   static_cast<uint32_t>(Rng >> 10) % C.NumFields);
+        }
+        while (M->numRoots() > 24)
+          M->discard((Rng >> 16) % M->numRoots());
+      }
+      while (M->numRoots())
+        M->discard(0);
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  std::atomic<bool> Done{false};
+  std::thread Service([&] {
+    while (!Done.load()) {
+      for (MutatorContext *M : Ms)
+        M->safepoint();
+      std::this_thread::yield();
+    }
+  });
+  Rt.stopCollector();
+  Done.store(true);
+  Service.join();
+
+  // All roots dropped: two quiescent cycles reclaim everything that was
+  // ever allocated (reserved TLAB tails are unallocated, not leaks).
+  Rt.HandshakeServicer = [&Ms] {
+    for (MutatorContext *M : Ms)
+      M->safepoint();
+  };
+  Rt.collectOnce();
+  Rt.collectOnce();
+  EXPECT_EQ(Rt.heap().allocatedCount(), 0u);
+
+  // Differential: the STW baseline finds nothing further to free, and the
+  // audit agrees the heap is clean.
+  Rt.HandshakeServicer = nullptr;
+  std::atomic<bool> SvcDone{false};
+  std::vector<std::thread> Svc;
+  for (MutatorContext *M : Ms)
+    Svc.emplace_back([&SvcDone, M] {
+      while (!SvcDone.load()) {
+        M->safepoint();
+        std::this_thread::yield();
+      }
+    });
+  CycleStats Stw = Rt.collectStw();
+  GcRuntime::HeapAudit Audit = Rt.auditHeap();
+  SvcDone.store(true);
+  for (std::thread &T : Svc)
+    T.join();
+  EXPECT_EQ(Stw.ObjectsFreed, 0u);
+  EXPECT_EQ(Stw.ObjectsRetained, 0u);
+  EXPECT_TRUE(Audit.clean());
+  EXPECT_EQ(Audit.Unreachable, 0u);
+
+  for (MutatorContext *M : Ms)
+    Rt.deregisterMutator(M);
+  // The run actually exercised the fast path: folded counters show bump
+  // hits dominating refills.
+  EXPECT_GT(Rt.stats().TotalTlabHits.load(),
+            Rt.stats().TotalTlabRefills.load());
+}
+
 // The torture-mode differential (mutators yield at every racy point, so
 // stores keep straddling get-work acknowledgements mid-cycle): after the
 // on-the-fly collector reaches a fixpoint, the stop-the-world baseline

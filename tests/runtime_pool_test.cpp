@@ -123,6 +123,183 @@ TEST(AllocPool, NearFullHeapDoesNotStrandFreeSlotsInPools) {
   Rt.deregisterMutator(M2);
 }
 
+//===----------------------------------------------------------------------===//
+// TLAB runs: contiguous reservation, claim-time capping, recycling.
+//===----------------------------------------------------------------------===//
+
+TEST(AllocPool, ReserveRunClaimsContiguousVirginSpace) {
+  RtHeap H(poolCfg(0));
+  RtHeap::FreeRun A = H.reserveRun(16);
+  ASSERT_EQ(A.Len, 16u);
+  EXPECT_EQ(A.Base, 0u);
+  RtHeap::FreeRun B = H.reserveRun(16);
+  ASSERT_EQ(B.Len, 16u);
+  EXPECT_EQ(B.Base, 16u); // runs never overlap: the bump CAS is the claim
+  // Reserved slots are invisible to plain alloc: the other 224 slots drain
+  // and then allocation fails even though 32 reserved slots exist.
+  for (unsigned I = 0; I < 256 - 32; ++I)
+    ASSERT_NE(H.alloc(false), RtNull);
+  EXPECT_EQ(H.alloc(false), RtNull);
+  H.unreserveRun(A);
+  H.unreserveRun(B);
+  for (unsigned I = 0; I < 32; ++I)
+    EXPECT_NE(H.alloc(false), RtNull);
+  EXPECT_EQ(H.alloc(false), RtNull);
+}
+
+TEST(AllocPool, ReserveRunCapsAtQuarterOfFreeAtClaimTime) {
+  RtConfig C = poolCfg(0);
+  C.HeapObjects = 64;
+  RtHeap H(C);
+  // 64 free → at most 16 per refill regardless of the ask.
+  RtHeap::FreeRun A = H.reserveRun(64);
+  EXPECT_EQ(A.Len, 16u);
+  // The next claim sees 48 free → capped at 12; the cap shrinks with the
+  // heap instead of being frozen at the first refill's snapshot.
+  RtHeap::FreeRun B = H.reserveRun(64);
+  EXPECT_EQ(B.Len, 12u);
+  // Near exhaustion the cap floors at one slot — a refill returns empty
+  // only when nothing is actually left.
+  RtHeap::FreeRun Last = A;
+  for (;;) {
+    RtHeap::FreeRun R = H.reserveRun(64);
+    if (R.Len == 0)
+      break;
+    Last = R;
+  }
+  EXPECT_GE(Last.Len, 1u);
+  EXPECT_EQ(H.freeListSize(), 0u);
+}
+
+TEST(AllocPool, ReserveRunPrefersBestFitRecycledRun) {
+  RtConfig C = poolCfg(0);
+  C.HeapObjects = 64;
+  RtHeap H(C);
+  // Exhaust virgin space entirely, then recycle two runs of known shape.
+  std::vector<RtHeap::FreeRun> All;
+  for (;;) {
+    RtHeap::FreeRun R = H.reserveRun(64);
+    if (R.Len == 0)
+      break;
+    All.push_back(R);
+  }
+  H.unreserveRun(RtHeap::FreeRun{0, 4});   // short run
+  H.unreserveRun(RtHeap::FreeRun{32, 16}); // long run
+  // Want 8: the len-4 run cannot hold it; the len-16 run is split at 8.
+  RtHeap::FreeRun R = H.reserveRun(8);
+  EXPECT_EQ(R.Base, 32u);
+  EXPECT_EQ(R.Len, 5u); // quarter cap: 20 free at claim time → 5
+}
+
+TEST(AllocPool, ReserveRunScatterTopUpOnFragmentedHeap) {
+  RtConfig C = poolCfg(0);
+  C.HeapObjects = 64;
+  RtHeap H(C);
+  while (H.reserveRun(64).Len != 0)
+    ;
+  // Recycle 8 isolated singles — maximal fragmentation.
+  for (RtRef R = 0; R < 16; R += 2)
+    H.unreserveRun(RtHeap::FreeRun{R, 1});
+  std::vector<RtRef> Scatter;
+  RtHeap::FreeRun Run = H.reserveRun(8, &Scatter);
+  // The best run is a single, but the refill still hands back a quarter of
+  // the free slots (8/4 = 2) in one lock acquisition: run + scatter.
+  EXPECT_EQ(Run.Len, 1u);
+  EXPECT_EQ(Scatter.size(), 1u);
+}
+
+TEST(AllocPool, SweepOrderFreesCoalesceIntoRuns) {
+  RtConfig C = poolCfg(0);
+  C.HeapObjects = 64;
+  RtHeap H(C);
+  while (H.reserveRun(64).Len != 0)
+    ;
+  // returnFreeSlots receives ascending refs (sweep order) and must rebuild
+  // contiguous runs, not 24 singles: 10..29 re-forms a 20-slot run.
+  std::vector<RtRef> Swept;
+  for (RtRef R = 10; R < 30; ++R)
+    Swept.push_back(R);
+  for (RtRef R = 40; R < 48; R += 2)
+    Swept.push_back(R);
+  H.returnFreeSlots(Swept);
+  // A TLAB-sized ask carves its run out of the coalesced block. Had the
+  // frees been binned as singles, the best "run" would have length 1.
+  RtHeap::FreeRun R = H.reserveRun(6);
+  EXPECT_EQ(R.Base, 10u);
+  EXPECT_EQ(R.Len, 6u); // 24 free → quarter cap 6; split off the 20-run
+}
+
+//===----------------------------------------------------------------------===//
+// Regression (deregister leak): a departing mutator must return its unused
+// TLAB tail. Pre-fix, the tail slots stayed reserved forever — invisible to
+// both allocators and the sweep — and register/alloc/deregister churn
+// exhausted a heap with almost nothing allocated in it.
+//===----------------------------------------------------------------------===//
+
+TEST(AllocPool, DeregisterChurnDoesNotLeakTlabTails) {
+  RtConfig C = poolCfg(16);
+  C.HeapObjects = 64;
+  GcRuntime Rt(C);
+  // 40 one-allocation mutator lifetimes. Each refill reserves up to 16
+  // slots; leaking the ~15-slot tail would exhaust the heap by the fifth
+  // iteration. Post-fix all 40 allocations succeed.
+  for (int I = 0; I < 40; ++I) {
+    MutatorContext *M = Rt.registerMutator();
+    ASSERT_GE(M->alloc(), 0) << "spurious exhaustion at churn " << I;
+    while (M->numRoots())
+      M->discard(0);
+    Rt.deregisterMutator(M);
+  }
+  EXPECT_EQ(Rt.heap().allocatedCount(), 40u);
+  // The TLAB counters folded into the runtime totals at deregistration.
+  EXPECT_EQ(Rt.stats().TotalTlabRefills.load(), 40u);
+  EXPECT_EQ(Rt.stats().TotalAllocFallbacks.load(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Regression (stale-snapshot refill cap): the quarter cap is computed from
+// the counts current at claim time, and the mutator slow path retries once
+// and then falls back to a direct allocation — so two mutators racing on a
+// near-full heap allocate every last slot instead of spuriously reporting
+// exhaustion while free slots exist.
+//===----------------------------------------------------------------------===//
+
+TEST(AllocPool, TwoMutatorsDrainNearFullHeapExactly) {
+  RtConfig C = poolCfg(16);
+  C.HeapObjects = 32;
+  GcRuntime Rt(C);
+  MutatorContext *M1 = Rt.registerMutator();
+  MutatorContext *M2 = Rt.registerMutator();
+  // Alternate single allocations until the heap is truly full. Every one
+  // of the 32 slots must be reachable by somebody: a refill that comes
+  // back empty while slots remain (or strands them in the peer's TLAB
+  // without the fallback) shows up as Failures > 0 before slot 32.
+  int Ok = 0, Failures = 0;
+  for (int I = 0; I < 32; ++I) {
+    MutatorContext *M = (I & 1) ? M2 : M1;
+    if (M->alloc() >= 0)
+      ++Ok;
+    else
+      ++Failures;
+  }
+  // Both TLABs may still hold reserved (unallocated) tails; the peer
+  // cannot reach those, so drain each mutator's own reserve too.
+  while (M1->alloc() >= 0)
+    ++Ok;
+  while (M2->alloc() >= 0)
+    ++Ok;
+  EXPECT_EQ(Failures, 0);
+  EXPECT_EQ(Ok, 32);
+  EXPECT_EQ(Rt.heap().allocatedCount(), 32u);
+  EXPECT_EQ(Rt.heap().freeListSize(), 0u);
+  while (M1->numRoots())
+    M1->discard(0);
+  while (M2->numRoots())
+    M2->discard(0);
+  Rt.deregisterMutator(M1);
+  Rt.deregisterMutator(M2);
+}
+
 TEST(AllocPool, ConcurrentPooledAllocators) {
   RtConfig C = poolCfg(16);
   C.HeapObjects = 4096;
