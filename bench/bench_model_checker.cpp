@@ -30,6 +30,17 @@ ModelConfig tinyVerified() {
   return C;
 }
 
+/// The scale-out instance: three mutators (vs the tiny instance's one) —
+/// strictly larger along the paper's "any number of mutators" axis, ~129×
+/// the tiny instance's state count, still exhaustible in seconds. The
+/// scale-out benchmark verifies it in every explorer mode and exports the
+/// full-vs-reduced counts.
+ModelConfig scaleOut() {
+  ModelConfig C = tinyVerified();
+  C.NumMutators = 3;
+  return C;
+}
+
 } // namespace
 
 /// Exhaust the handshake-only instance with the full suite: the smallest
@@ -82,14 +93,20 @@ BENCHMARK(BM_ExplorationThroughput)->Unit(benchmark::kMillisecond);
 /// BM_ExplorationThroughput to read off the speedup. Wall-clock time is
 /// what matters for a thread sweep, hence UseRealTime.
 static void BM_ParallelExplorationThroughput(benchmark::State &State) {
-  ModelConfig C;
-  C.NumMutators = 1;
-  C.NumRefs = 3;
-  C.NumFields = 1;
-  C.BufferBound = 2;
-  C.InitialHeap = ModelConfig::InitHeap::Chain;
-  GcModel M(C);
-  InvariantSuite Inv(M);
+  // Hoisted: the benchmark registers once per worker count, so without the
+  // statics every sweep point would rebuild the model (config expansion,
+  // program normalization) and the suite — setup cost that has nothing to
+  // do with the thread scaling being measured.
+  static GcModel M([] {
+    ModelConfig C;
+    C.NumMutators = 1;
+    C.NumRefs = 3;
+    C.NumFields = 1;
+    C.BufferBound = 2;
+    C.InitialHeap = ModelConfig::InitHeap::Chain;
+    return C;
+  }());
+  static InvariantSuite Inv(M);
   ParallelExploreOptions Opts;
   Opts.MaxStates = 50'000;
   Opts.Workers = static_cast<unsigned>(State.range(0));
@@ -181,6 +198,66 @@ static void BM_DeletionAblationCounterexample(benchmark::State &State) {
       .counter("states_to_bug", static_cast<double>(StatesToBug));
 }
 BENCHMARK(BM_DeletionAblationCounterexample)->Unit(benchmark::kMillisecond);
+
+/// State-space scale-out: exhaustively verify the strictly-larger
+/// three-mutator instance under every explorer mode — full, ample-set
+/// reduction, symmetry canonicalization, 64-bit fingerprints, and the
+/// swarm — exporting states / transitions / pruned transitions / visited
+/// bytes per mode plus the headline reduction ratios. One iteration: the
+/// deliverable is the exported counts, not a timing distribution.
+static void BM_ScaleOutAllModes(benchmark::State &State) {
+  GcModel M(scaleOut());
+  InvariantSuite Inv(M);
+  ExploreResult Full, Ample, Sym, Fp;
+  for (auto _ : State) {
+    ExploreOptions O;
+    O.TrackPaths = false;
+    Full = exploreExhaustive(M, Inv, O);
+    O.AmpleReduction = true;
+    Ample = exploreExhaustive(M, Inv, O);
+    O.AmpleReduction = false;
+    O.SymmetryReduction = true;
+    Sym = exploreExhaustive(M, Inv, O);
+    O.SymmetryReduction = false;
+    O.Fingerprint64 = true;
+    Fp = exploreExhaustive(M, Inv, O);
+    for (const ExploreResult *R : {&Full, &Ample, &Sym, &Fp})
+      if (R->Bug || R->Truncated)
+        State.SkipWithError("scale-out instance must exhaust cleanly");
+  }
+  SwarmOptions SO;
+  SO.Walkers = 4;
+  SO.Seed = 1;
+  SO.BloomBits = 1ull << 26;
+  SO.MaxStates = 10'000'000;
+  SO.TrackPaths = false;
+  ExploreResult Swarm = exploreSwarm(M, Inv, SO);
+
+  auto &Reg = bench::registry();
+  exportMetrics(Full, 0.0, Reg, "scale_out.full.explore.");
+  exportMetrics(Ample, 0.0, Reg, "scale_out.ample.explore.");
+  exportMetrics(Sym, 0.0, Reg, "scale_out.symmetry.explore.");
+  exportMetrics(Fp, 0.0, Reg, "scale_out.fp64.explore.");
+  exportMetrics(Swarm, 0.0, Reg, "scale_out.swarm.explore.");
+  // Headline ratios: transitions the ample set pruned, symmetry's state
+  // fold, and the fingerprint memory cut — all relative to the full run.
+  Reg.gauge("scale_out.ample.reduction_ratio",
+            static_cast<double>(Ample.TransitionsPruned) /
+                static_cast<double>(Ample.TransitionsExplored +
+                                    Ample.TransitionsPruned));
+  Reg.gauge("scale_out.symmetry.fold_ratio",
+            static_cast<double>(Full.StatesVisited) /
+                static_cast<double>(Sym.StatesVisited));
+  Reg.gauge("scale_out.fp64.bytes_ratio",
+            static_cast<double>(Full.VisitedBytes) /
+                static_cast<double>(Fp.VisitedBytes));
+  bench::Reporter Rep(State, "scale_out");
+  Rep.counter("states_full", static_cast<double>(Full.StatesVisited));
+  Rep.counter("states_symmetry", static_cast<double>(Sym.StatesVisited));
+  Rep.counter("pruned_ample", static_cast<double>(Ample.TransitionsPruned));
+  State.SetItemsProcessed(State.iterations() * Full.StatesVisited);
+}
+BENCHMARK(BM_ScaleOutAllModes)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 /// Random-walk throughput with full invariant checking (the probabilistic
 /// side of E1).

@@ -112,13 +112,30 @@ fi
 # (a bench binary silently dropped from the build would otherwise pass).
 MISSING=0
 for required in BENCH_alloc.json BENCH_mark_throughput.json \
-  BENCH_observatory.json BENCH_workload_ledger.json; do
+  BENCH_observatory.json BENCH_workload_ledger.json \
+  BENCH_model_checker.json; do
   if [ ! -s "$required" ]; then
     echo "run_benches.sh: required export $required was not produced" >&2
     MISSING=1
     STATUS=1
   fi
 done
+# The model-checker export must carry the state-space scale-out rows:
+# full-vs-reduced counts for the larger verified instance (EXPERIMENTS.md
+# "State-space scale-out"). A bench refactor that silently drops them
+# would otherwise go unnoticed until the docs table rots.
+if [ -s BENCH_model_checker.json ]; then
+  for key in 'scale_out.full.explore.states' \
+    'scale_out.ample.explore.transitions_pruned' \
+    'scale_out.symmetry.fold_ratio' \
+    'scale_out.fp64.explore.visited_bytes' \
+    'scale_out.swarm.explore.bloom_bits'; do
+    if ! grep -Fq "\"$key\"" BENCH_model_checker.json; then
+      echo "run_benches.sh: BENCH_model_checker.json is missing scale-out row $key" >&2
+      STATUS=1
+    fi
+  done
+fi
 if [ "$MISSING" = 1 ]; then
   # Name what DID export, so a missing-required failure is diagnosable
   # from the CI log alone (wrong build dir vs. dropped bench vs. typo).

@@ -2,12 +2,15 @@
 
 #include "explore/Explorer.h"
 
+#include "explore/Fingerprint.h"
+#include "explore/Reduction.h"
 #include "support/Assert.h"
 #include "support/HashCombine.h"
 #include "support/Random.h"
 #include "support/StringUtils.h"
 
 #include <deque>
+#include <numeric>
 #include <unordered_map>
 
 using namespace tsogc;
@@ -15,12 +18,19 @@ using namespace tsogc;
 namespace {
 
 /// Bookkeeping for path reconstruction: each visited state records its
-/// predecessor's index and the label of the incoming transition.
+/// predecessor's index, the label of the incoming transition, and that
+/// transition's index in the full successor enumeration (for replay).
 struct VisitInfo {
   uint64_t Parent;
   std::string Label;
   unsigned Depth;
+  uint32_t Choice;
 };
+
+/// Rough per-entry footprint of the node-based visited map beyond the key
+/// bytes themselves: bucket pointer, node link/hash, and the value slot.
+constexpr uint64_t VisitedNodeOverhead =
+    sizeof(void *) * 3 + sizeof(std::pair<const std::string, uint64_t>);
 
 } // namespace
 
@@ -46,28 +56,46 @@ std::string tsogc::exploreVisitKey(const std::string &Enc, bool Compact) {
   return Key;
 }
 
+std::string tsogc::exploreVisitKey64(const std::string &Enc) {
+  uint64_t Fp = fingerprint64(Enc);
+  std::string Key(8, '\0');
+  for (int I = 0; I < 8; ++I)
+    Key[I] = static_cast<char>(Fp >> (8 * I));
+  return Key;
+}
+
 ExploreResult tsogc::detail::exhaustiveImpl(const InitFn &Init,
                                             const SuccsFn &Successors,
                                             const EncodeFn &Encode,
                                             const StateChecker &Check,
-                                            const ExploreOptions &Opts) {
+                                            const ExploreOptions &Opts,
+                                            const ReduceFn &Reduce) {
   ExploreResult Res;
+  Res.ProbabilisticVerdict =
+      Opts.CompactVisited || Opts.Fingerprint64 || Opts.SymmetryReduction;
 
   // Visited set: canonical encoding -> dense index. Node metadata and the
   // frontier states are kept densely indexed. With CompactVisited the key
-  // is a 128-bit digest of the encoding instead of the encoding itself.
+  // is a 128-bit digest of the encoding instead of the encoding itself;
+  // with Fingerprint64, a 64-bit one.
   std::unordered_map<std::string, uint64_t> Visited;
   std::vector<VisitInfo> Info;
   std::deque<std::pair<GcSystemState, uint64_t>> Frontier;
 
   auto VisitKey = [&Opts, &Encode](const GcSystemState &S) {
-    return exploreVisitKey(Encode(S), Opts.CompactVisited);
+    std::string Enc = Encode(S);
+    return Opts.Fingerprint64 ? exploreVisitKey64(Enc)
+                              : exploreVisitKey(Enc, Opts.CompactVisited);
   };
 
   GcSystemState InitState = Init();
-  Visited.emplace(VisitKey(InitState), 0);
+  {
+    auto [It, Fresh] = Visited.emplace(VisitKey(InitState), 0);
+    Res.VisitedBytes += It->first.capacity() + VisitedNodeOverhead;
+    (void)Fresh;
+  }
   if (Opts.TrackPaths)
-    Info.push_back(VisitInfo{0, "<init>", 0});
+    Info.push_back(VisitInfo{0, "<init>", 0, 0});
   std::vector<unsigned> DepthOnly; // used when paths are off
   if (!Opts.TrackPaths)
     DepthOnly.push_back(0);
@@ -83,9 +111,13 @@ ExploreResult tsogc::detail::exhaustiveImpl(const InitFn &Init,
     if (!Opts.TrackPaths)
       return;
     std::vector<std::string> Path;
-    for (uint64_t I = Idx; I != 0; I = Info[I].Parent)
+    std::vector<uint32_t> Choices;
+    for (uint64_t I = Idx; I != 0; I = Info[I].Parent) {
       Path.push_back(Info[I].Label);
+      Choices.push_back(Info[I].Choice);
+    }
     Res.Path.assign(Path.rbegin(), Path.rend());
+    Res.Choices.assign(Choices.rbegin(), Choices.rend());
   };
 
   if (auto V = Check(InitState)) {
@@ -100,6 +132,7 @@ ExploreResult tsogc::detail::exhaustiveImpl(const InitFn &Init,
   // are merely not counted or expanded further.
   bool BudgetHit = false;
   std::vector<GcSuccessor> Succs;
+  std::vector<uint32_t> Keep;
   while (!Frontier.empty()) {
     auto [S, Idx] = Opts.Dfs ? std::move(Frontier.back())
                              : std::move(Frontier.front());
@@ -115,16 +148,25 @@ ExploreResult tsogc::detail::exhaustiveImpl(const InitFn &Init,
 
     Succs.clear();
     Successors(S, Succs);
-    for (GcSuccessor &Succ : Succs) {
+    if (Reduce) {
+      Reduce(S, Succs, Keep);
+      Res.TransitionsPruned += Succs.size() - Keep.size();
+    } else {
+      Keep.resize(Succs.size());
+      std::iota(Keep.begin(), Keep.end(), 0u);
+    }
+    for (uint32_t Choice : Keep) {
+      GcSuccessor &Succ = Succs[Choice];
       ++Res.TransitionsExplored;
       std::string Key = VisitKey(Succ.State);
       auto [It, Fresh] = Visited.emplace(
           std::move(Key), Opts.TrackPaths ? Info.size() : DepthOnly.size());
       if (!Fresh)
         continue;
+      Res.VisitedBytes += It->first.capacity() + VisitedNodeOverhead;
       uint64_t NewIdx = It->second;
       if (Opts.TrackPaths)
-        Info.push_back(VisitInfo{Idx, Succ.Label, Depth + 1});
+        Info.push_back(VisitInfo{Idx, Succ.Label, Depth + 1, Choice});
       else
         DepthOnly.push_back(Depth + 1);
       if (!BudgetHit)
@@ -151,12 +193,29 @@ ExploreResult tsogc::detail::exhaustiveImpl(const InitFn &Init,
 ExploreResult tsogc::exploreExhaustive(const GcModel &M,
                                        const StateChecker &Check,
                                        const ExploreOptions &Opts) {
+  detail::EncodeFn Encode =
+      Opts.SymmetryReduction
+          ? detail::EncodeFn([&M](const GcSystemState &S) {
+              return canonicalEncoding(M, S);
+            })
+          : detail::EncodeFn(
+                [&M](const GcSystemState &S) { return M.encode(S); });
+  detail::ReduceFn Reduce;
+  std::optional<Reducer> Red;
+  if (Opts.AmpleReduction) {
+    Red.emplace(M);
+    Reduce = [&Red](const GcSystemState &S,
+                    const std::vector<GcSuccessor> &Succs,
+                    std::vector<uint32_t> &Keep) {
+      return Red->reduce(S, Succs, Keep);
+    };
+  }
   return detail::exhaustiveImpl(
       [&M] { return M.initial(); },
       [&M](const GcSystemState &S, std::vector<GcSuccessor> &Out) {
         M.system().successors(S, Out);
       },
-      [&M](const GcSystemState &S) { return M.encode(S); }, Check, Opts);
+      Encode, Check, Opts, Reduce);
 }
 
 WalkResult tsogc::detail::randomWalkImpl(const InitFn &Init,

@@ -42,19 +42,63 @@ struct ExploreOptions {
   /// off (scouting mode) saves ~50 bytes per state; a violation is then
   /// reported with an empty path.
   bool TrackPaths = true;
+  /// Ample-set partial-order reduction (explore/Reduction.h): at states
+  /// where a mutator's entire next-step set is one provably invisible
+  /// local scratch step, expand only that step. Sound for the bundled
+  /// checkers (which cannot observe mutator mark/handshake scratch); see
+  /// docs/MODEL_CORRESPONDENCE.md "Reduction soundness" before combining
+  /// with a custom StateChecker.
+  bool AmpleReduction = false;
+  /// Key the visited set on the lexicographically minimal encoding over
+  /// all mutator permutations, collapsing symmetric states. The model is
+  /// only *virtually* symmetric (the collector's handshake scratch names
+  /// mutator indices), so results carry ProbabilisticVerdict; validated
+  /// differentially, not proved.
+  bool SymmetryReduction = false;
+  /// Store a 64-bit fingerprint per visited state instead of the full
+  /// encoding (or the 128-bit CompactVisited digest). Another ~2× memory
+  /// cut over CompactVisited at a collision probability of ~N²/2⁶⁴;
+  /// results carry ProbabilisticVerdict.
+  bool Fingerprint64 = false;
 };
 
 struct ExploreResult {
   uint64_t StatesVisited = 0;
   uint64_t TransitionsExplored = 0;
   unsigned MaxDepthSeen = 0;
+  /// Transitions the ample-set reduction declined to expand (0 when
+  /// AmpleReduction is off). TransitionsExplored + TransitionsPruned is
+  /// the full-enumeration transition count along the states actually
+  /// visited.
+  uint64_t TransitionsPruned = 0;
+  /// Estimated bytes held by the visited set at the end of the run — the
+  /// quantity the fingerprint/compaction modes exist to shrink.
+  uint64_t VisitedBytes = 0;
   /// True if the state or depth limit stopped the search before the
   /// frontier emptied (the reachable set was not exhausted).
   bool Truncated = false;
+  /// True when a clean exhaustion is a probabilistic claim rather than a
+  /// proof: hash compaction or 64-bit fingerprints could collide, and
+  /// symmetry canonicalization / swarm bloom summaries could fold a
+  /// distinct state away. Sound modes (no reduction, or AmpleReduction
+  /// alone) leave this false. A found violation is always definite — the
+  /// violating state and its path are in hand either way.
+  bool ProbabilisticVerdict = false;
+  /// Swarm mode only: the shared bloom summary's size, set-bit count, and
+  /// estimated false-positive rate at the final fill (the probability a
+  /// fresh state was wrongly treated as visited, per query).
+  uint64_t BloomBits = 0;
+  uint64_t BloomBitsSet = 0;
+  double BloomEstFpRate = 0.0;
   /// First invariant violation found, if any.
   std::optional<Violation> Bug;
   /// Transition labels from the initial state to the violating state.
   std::vector<std::string> Path;
+  /// Successor indices (into the *full* deterministic enumeration) from
+  /// the initial state to the violating state — replayable through
+  /// replayChoices even for runs that pruned transitions. Filled exactly
+  /// when Path is.
+  std::vector<uint32_t> Choices;
   /// The violating state itself.
   std::optional<GcSystemState> BadState;
 
@@ -69,6 +113,10 @@ using StateChecker = std::function<std::optional<Violation>(const GcSystemState 
 /// 128-bit digest under hash compaction. Shared by the sequential and
 /// parallel explorers so their visited sets agree bit-for-bit.
 std::string exploreVisitKey(const std::string &Enc, bool Compact);
+
+/// The Fingerprint64 visited-set key: the 64-bit fingerprint of the
+/// encoding as an 8-byte little-endian string. Shared by both explorers.
+std::string exploreVisitKey64(const std::string &Enc);
 
 /// The full §3.2 suite as a checker.
 StateChecker fullSuiteChecker(const InvariantSuite &Inv);
@@ -146,10 +194,17 @@ using InitFn = std::function<GcSystemState()>;
 using SuccsFn =
     std::function<void(const GcSystemState &, std::vector<GcSuccessor> &)>;
 using EncodeFn = std::function<std::string(const GcSystemState &)>;
+/// Transition selector: given a state and its full successor enumeration,
+/// fill the indices to expand; return true iff anything was pruned. An
+/// empty function expands everything.
+using ReduceFn = std::function<bool(
+    const GcSystemState &, const std::vector<GcSuccessor> &,
+    std::vector<uint32_t> &)>;
 
 ExploreResult exhaustiveImpl(const InitFn &Init, const SuccsFn &Succs,
                              const EncodeFn &Encode, const StateChecker &Check,
-                             const ExploreOptions &Opts);
+                             const ExploreOptions &Opts,
+                             const ReduceFn &Reduce = {});
 WalkResult randomWalkImpl(const InitFn &Init, const SuccsFn &Succs,
                           const StateChecker &Check, const WalkOptions &Opts);
 

@@ -178,6 +178,15 @@ void tsogc::exportMetrics(const ExploreResult &Res, double ElapsedSec,
   Reg.counter(Prefix + "violation", Res.Bug ? 1 : 0);
   Reg.counter(Prefix + "path_len",
               static_cast<uint64_t>(Res.Path.size()));
+  // Reduction/compression accounting (zero / false outside those modes).
+  Reg.counter(Prefix + "transitions_pruned", Res.TransitionsPruned);
+  Reg.counter(Prefix + "visited_bytes", Res.VisitedBytes);
+  Reg.counter(Prefix + "probabilistic", Res.ProbabilisticVerdict ? 1 : 0);
+  if (Res.BloomBits) {
+    Reg.counter(Prefix + "bloom_bits", Res.BloomBits);
+    Reg.counter(Prefix + "bloom_bits_set", Res.BloomBitsSet);
+    Reg.gauge(Prefix + "bloom_est_fp_rate", Res.BloomEstFpRate);
+  }
   if (ElapsedSec > 0.0) {
     Reg.gauge(Prefix + "elapsed_sec", ElapsedSec);
     Reg.gauge(Prefix + "states_per_sec",

@@ -1,0 +1,119 @@
+//===- explore/Fingerprint.h - Compressed visited-state summaries --------===//
+///
+/// \file
+/// State fingerprinting for the explorer's scale-out modes: a 64-bit digest
+/// of the canonical state encoding (SPIN-style hash compaction, one notch
+/// more aggressive than the 128-bit `exploreVisitKey` digest) and a striped
+/// atomic bloom filter used as the shared visited summary of swarm
+/// exploration. Both are *probabilistic*: a digest collision or a bloom
+/// false positive silently prunes a state, so every result produced through
+/// them carries `ExploreResult::ProbabilisticVerdict` (see
+/// docs/MODEL_CORRESPONDENCE.md "Reduction soundness").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_EXPLORE_FINGERPRINT_H
+#define TSOGC_EXPLORE_FINGERPRINT_H
+
+#include "support/Assert.h"
+#include "support/HashCombine.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+namespace tsogc {
+
+/// 64-bit fingerprint of a canonical state encoding. Seeded independently
+/// of the two 128-bit-digest seeds (exploreVisitKey) and of the visited-set
+/// stripe seed, so the fingerprint, the compaction digest and the shard
+/// choice stay pairwise independent.
+inline uint64_t fingerprint64(const std::string &Enc) {
+  return hashBytes(Enc.data(), Enc.size(), 0x510e527fade682d1ULL);
+}
+
+/// A fixed-size concurrent bloom filter over 64-bit fingerprints: the
+/// shared visited summary of swarm exploration. Two probe positions per
+/// fingerprint (double hashing), set with relaxed fetch_or on striped
+/// atomic words — no locks, no resizing.
+///
+/// Concurrency contract: testAndSet() is safe from any number of threads.
+/// The statistics (bitCount and friends) sweep the words non-atomically
+/// relative to each other and are meant for quiescent post-run accounting.
+///
+/// Accounting caveats, both surfaced to callers through ExploreResult:
+///   * a false positive (all probed bits set by *other* fingerprints)
+///     silently drops a state — estimatedFalsePositiveRate() bounds how
+///     likely that was at the observed fill;
+///   * two threads racing testAndSet on the same fresh fingerprint can
+///     both see a bit flip (each on a different probe word) and both
+///     claim it. Claims are therefore an upper bound on distinct
+///     fingerprints; single-walker runs are exact.
+class StripedBloomFilter {
+public:
+  /// \p Bits is rounded up to a multiple of 64 (minimum 128).
+  explicit StripedBloomFilter(uint64_t Bits) {
+    if (Bits < 128)
+      Bits = 128;
+    NumWords = (Bits + 63) / 64;
+    Words = std::make_unique<std::atomic<uint64_t>[]>(NumWords);
+    for (uint64_t I = 0; I < NumWords; ++I)
+      Words[I].store(0, std::memory_order_relaxed);
+  }
+
+  uint64_t bits() const { return NumWords * 64; }
+
+  /// Set both probe positions of \p Fp. Returns true iff this call flipped
+  /// at least one bit (the fingerprint was not already summarized).
+  bool testAndSet(uint64_t Fp) {
+    bool Fresh = false;
+    uint64_t Probe = Fp;
+    // Second probe stride: odd, fingerprint-derived, so distinct
+    // fingerprints sharing a first probe rarely share the second.
+    const uint64_t Stride = hashMix(0x243f6a8885a308d3ULL, Fp) | 1;
+    for (int K = 0; K < NumProbes; ++K, Probe += Stride) {
+      uint64_t Bit = Probe % bits();
+      uint64_t Mask = 1ull << (Bit & 63);
+      uint64_t Prev = Words[Bit >> 6].fetch_or(Mask, std::memory_order_relaxed);
+      Fresh |= (Prev & Mask) == 0;
+    }
+    return Fresh;
+  }
+
+  /// Number of set bits. Quiescent accounting only.
+  uint64_t bitCount() const {
+    uint64_t N = 0;
+    for (uint64_t I = 0; I < NumWords; ++I) {
+      uint64_t W = Words[I].load(std::memory_order_relaxed);
+      while (W) {
+        W &= W - 1;
+        ++N;
+      }
+    }
+    return N;
+  }
+
+  double fillRatio() const {
+    return static_cast<double>(bitCount()) / static_cast<double>(bits());
+  }
+
+  /// Probability that a *fresh* fingerprint would have been reported as
+  /// seen at the current fill: fill^k with k probe positions.
+  double estimatedFalsePositiveRate() const {
+    double F = fillRatio();
+    double R = 1.0;
+    for (int K = 0; K < NumProbes; ++K)
+      R *= F;
+    return R;
+  }
+
+  static constexpr int NumProbes = 2;
+
+private:
+  std::unique_ptr<std::atomic<uint64_t>[]> Words;
+  uint64_t NumWords = 0;
+};
+
+} // namespace tsogc
+
+#endif // TSOGC_EXPLORE_FINGERPRINT_H

@@ -2,12 +2,16 @@
 
 #include "explore/ParallelExplorer.h"
 
+#include "explore/Fingerprint.h"
+#include "explore/Reduction.h"
+#include "support/Random.h"
 #include "support/ShardedVisitedSet.h"
 
 #include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <numeric>
 #include <thread>
 
 using namespace tsogc;
@@ -15,12 +19,13 @@ using namespace tsogc;
 namespace {
 
 /// Per-state metadata in the sharded set's per-shard arenas: the incoming
-/// edge (parent node id + transition label) and the depth at first
-/// discovery. Path reconstruction walks Parent links shard-by-index after
-/// the workers have joined.
+/// edge (parent node id + transition label + full-enumeration successor
+/// index) and the depth at first discovery. Path reconstruction walks
+/// Parent links shard-by-index after the workers have joined.
 struct NodeMeta {
   uint64_t Parent = ShardedVisitedSet<int>::InvalidId;
   uint32_t Depth = 0;
+  uint32_t Choice = 0;
   std::string Label; // empty when TrackPaths is off
 };
 
@@ -105,6 +110,7 @@ struct Shared {
   const ParallelExploreOptions &Opts;
   VisitedSet Visited;
   WorkQueue Queue;
+  std::optional<Reducer> Red; ///< Engaged iff Opts.AmpleReduction.
 
   std::atomic<uint64_t> StatesVisited{0};
   std::atomic<bool> Stop{false};
@@ -117,7 +123,21 @@ struct Shared {
 
   Shared(const GcModel &M, const StateChecker &Check,
          const ParallelExploreOptions &Opts)
-      : M(M), Check(Check), Opts(Opts), Visited(Opts.Shards) {}
+      : M(M), Check(Check), Opts(Opts), Visited(Opts.Shards) {
+    if (Opts.AmpleReduction)
+      Red.emplace(M);
+  }
+
+  /// Insert a state into the visited set under the configured keying
+  /// (symmetry-canonical encoding, then fingerprint / digest / exact key).
+  std::pair<uint64_t, bool> visit(const GcSystemState &S, NodeMeta Meta) {
+    std::string Enc =
+        Opts.SymmetryReduction ? canonicalEncoding(M, S) : M.encode(S);
+    if (Opts.Fingerprint64)
+      return Visited.insertFp(fingerprint64(Enc), std::move(Meta));
+    return Visited.insert(exploreVisitKey(Enc, Opts.CompactVisited),
+                          std::move(Meta));
+  }
 
   void recordViolation(Violation V, const GcSystemState &S, uint64_t Id) {
     {
@@ -159,8 +179,10 @@ struct Worker {
   Shared &Sh;
   observe::TraceBuffer *Trace = nullptr;
   std::vector<GcSuccessor> Succs;
+  std::vector<uint32_t> Keep;
   Batch Out;
   uint64_t Transitions = 0;
+  uint64_t Pruned = 0;
   uint32_t MaxDepthSeen = 0;
 
   explicit Worker(Shared &Sh) : Sh(Sh) {}
@@ -181,16 +203,23 @@ struct Worker {
     }
     Succs.clear();
     Sh.M.system().successors(Item.State, Succs);
-    Transitions += Succs.size();
-    for (GcSuccessor &Succ : Succs) {
-      std::string Key = exploreVisitKey(Sh.M.encode(Succ.State),
-                                        Opts.CompactVisited);
+    if (Sh.Red) {
+      Sh.Red->reduce(Item.State, Succs, Keep);
+      Pruned += Succs.size() - Keep.size();
+    } else {
+      Keep.resize(Succs.size());
+      std::iota(Keep.begin(), Keep.end(), 0u);
+    }
+    Transitions += Keep.size();
+    for (uint32_t Choice : Keep) {
+      GcSuccessor &Succ = Succs[Choice];
       NodeMeta Meta;
       Meta.Parent = Item.Id;
       Meta.Depth = Item.Depth + 1;
+      Meta.Choice = Choice;
       if (Opts.TrackPaths)
         Meta.Label = Succ.Label;
-      auto [Id, Fresh] = Sh.Visited.insert(std::move(Key), std::move(Meta));
+      auto [Id, Fresh] = Sh.visit(Succ.State, std::move(Meta));
       if (!Fresh)
         continue;
       MaxDepthSeen = std::max(MaxDepthSeen, Item.Depth + 1);
@@ -236,13 +265,13 @@ ExploreResult tsogc::exploreParallel(const GcModel &M,
 
   Shared Sh(M, Check, Opts);
   ExploreResult Res;
+  Res.ProbabilisticVerdict =
+      Opts.CompactVisited || Opts.Fingerprint64 || Opts.SymmetryReduction;
 
   GcSystemState Init = M.initial();
   NodeMeta InitMeta;
   InitMeta.Label = "<init>";
-  auto [InitId, InitFresh] = Sh.Visited.insert(
-      exploreVisitKey(M.encode(Init), Opts.CompactVisited),
-      std::move(InitMeta));
+  auto [InitId, InitFresh] = Sh.visit(Init, std::move(InitMeta));
   (void)InitFresh;
   Sh.StatesVisited.store(1, std::memory_order_relaxed);
   Res.StatesVisited = 1;
@@ -274,20 +303,328 @@ ExploreResult tsogc::exploreParallel(const GcModel &M,
   Res.Truncated = Sh.Truncated.load(std::memory_order_relaxed);
   for (const Worker &W : Ctxs) {
     Res.TransitionsExplored += W.Transitions;
+    Res.TransitionsPruned += W.Pruned;
     Res.MaxDepthSeen = std::max(Res.MaxDepthSeen, W.MaxDepthSeen);
   }
+  Res.VisitedBytes = Sh.Visited.memoryBytes();
   if (Sh.Bug) {
     Res.Bug = std::move(Sh.Bug);
     Res.BadState = std::move(Sh.BadState);
     if (Opts.TrackPaths && Sh.BadId != VisitedSet::InvalidId) {
       // Workers have joined: the arenas are quiescent; walk parent links.
       std::vector<std::string> Path;
+      std::vector<uint32_t> Choices;
       for (uint64_t I = Sh.BadId;
            Sh.Visited.meta(I).Parent != VisitedSet::InvalidId;
-           I = Sh.Visited.meta(I).Parent)
+           I = Sh.Visited.meta(I).Parent) {
         Path.push_back(Sh.Visited.meta(I).Label);
+        Choices.push_back(Sh.Visited.meta(I).Choice);
+      }
       Res.Path.assign(Path.rbegin(), Path.rend());
+      Res.Choices.assign(Choices.rbegin(), Choices.rend());
     }
+  }
+  return Res;
+}
+
+//===----------------------------------------------------------------------===//
+// Swarm exploration
+//===----------------------------------------------------------------------===//
+//
+// Each walker runs randomized-order depth-first dives over its own private
+// stack; the only shared structure is the bloom summary of claimed states.
+// Invariant kept by every walker: a state it claims (bloom-fresh, counted)
+// is pushed on its stack and later fully expanded — so when all walkers
+// retire with drained stacks, the claimed set is closed under (kept)
+// successors. That closure is what makes the sweep exhaustive *modulo* the
+// two probabilistic failure modes surfaced in the result: bloom false
+// positives (a fresh state reads as claimed) and cross-walker claim races
+// (two walkers both claim one state; counts become an upper bound).
+//
+// Walker w staggers its start by diving w random steps from the initial
+// state before draining its stack, so late walkers do not immediately starve
+// on a frontier the first walker already claimed. A walker whose stack
+// drains re-dives from the initial state through random paths, claiming any
+// state the swarm missed; after FruitlessRedives consecutive dives that
+// claim nothing, it retires.
+
+namespace {
+
+struct SwarmNode {
+  uint32_t Parent = ~0u;
+  uint32_t Choice = 0;
+  uint32_t Depth = 0;
+  std::string Label; // empty when TrackPaths is off
+};
+
+struct SwarmShared {
+  const GcModel &M;
+  const StateChecker &Check;
+  const SwarmOptions &Opts;
+  StripedBloomFilter Bloom;
+  std::optional<Reducer> Red;
+
+  std::atomic<uint64_t> Claimed{0};
+  std::atomic<bool> Stop{false};
+  std::atomic<bool> Truncated{false};
+
+  std::mutex BugMu;
+  std::optional<Violation> Bug;
+  std::optional<GcSystemState> BadState;
+  std::vector<std::string> BugPath;
+  std::vector<uint32_t> BugChoices;
+
+  SwarmShared(const GcModel &M, const StateChecker &Check,
+              const SwarmOptions &Opts)
+      : M(M), Check(Check), Opts(Opts), Bloom(Opts.BloomBits) {
+    if (Opts.AmpleReduction)
+      Red.emplace(M);
+  }
+
+  uint64_t fpOf(const GcSystemState &S) const {
+    return fingerprint64(Opts.SymmetryReduction ? canonicalEncoding(M, S)
+                                                : M.encode(S));
+  }
+
+  /// Count one claimed state against the global budget (same over-budget
+  /// handling as the exhaustive pool: the state was still checked).
+  bool countClaim() {
+    uint64_t C = Claimed.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (!Opts.MaxStates || C < Opts.MaxStates)
+      return true;
+    Truncated.store(true, std::memory_order_relaxed);
+    Stop.store(true, std::memory_order_release);
+    if (C > Opts.MaxStates) {
+      Claimed.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+};
+
+struct SwarmWalker {
+  SwarmShared &Sh;
+  unsigned Index;
+  Xoshiro256 Rng;
+  observe::TraceBuffer *Trace = nullptr;
+
+  struct StackItem {
+    GcSystemState State;
+    uint32_t Node = 0;
+  };
+  std::vector<SwarmNode> Arena; ///< Node 0 = the initial state.
+  std::vector<StackItem> Stack;
+  std::vector<GcSuccessor> Succs;
+  std::vector<uint32_t> Keep;
+  uint64_t Transitions = 0;
+  uint64_t Pruned = 0;
+  uint32_t MaxDepthSeen = 0;
+
+  SwarmWalker(SwarmShared &Sh, unsigned Index)
+      : Sh(Sh), Index(Index),
+        Rng(SplitMix64(Sh.Opts.Seed ^
+                       (0x9e3779b97f4a7c15ULL * (Index + 1)))
+                .next()) {}
+
+  uint32_t addNode(uint32_t Parent, uint32_t Choice, const std::string &Label) {
+    SwarmNode N;
+    N.Parent = Parent;
+    N.Choice = Choice;
+    N.Depth = Parent == ~0u ? 0 : Arena[Parent].Depth + 1;
+    if (Sh.Opts.TrackPaths)
+      N.Label = Label;
+    MaxDepthSeen = std::max(MaxDepthSeen, N.Depth);
+    Arena.push_back(std::move(N));
+    return static_cast<uint32_t>(Arena.size() - 1);
+  }
+
+  void fail(Violation V, const GcSystemState &S, uint32_t Node) {
+    std::vector<std::string> Path;
+    std::vector<uint32_t> Choices;
+    if (Sh.Opts.TrackPaths)
+      for (uint32_t I = Node; Arena[I].Parent != ~0u; I = Arena[I].Parent) {
+        Path.push_back(Arena[I].Label);
+        Choices.push_back(Arena[I].Choice);
+      }
+    {
+      std::lock_guard<std::mutex> Lock(Sh.BugMu);
+      if (!Sh.Bug) {
+        Sh.Bug = std::move(V);
+        Sh.BadState = S;
+        Sh.BugPath.assign(Path.rbegin(), Path.rend());
+        Sh.BugChoices.assign(Choices.rbegin(), Choices.rend());
+      }
+    }
+    Sh.Stop.store(true, std::memory_order_release);
+  }
+
+  /// Enumerate (and optionally reduce) the successors of \p S into Succs,
+  /// filling Keep with the full-enumeration indices to consider.
+  void enumerate(const GcSystemState &S) {
+    Succs.clear();
+    Sh.M.system().successors(S, Succs);
+    if (Sh.Red) {
+      Sh.Red->reduce(S, Succs, Keep);
+      Pruned += Succs.size() - Keep.size();
+    } else {
+      Keep.resize(Succs.size());
+      std::iota(Keep.begin(), Keep.end(), 0u);
+    }
+  }
+
+  /// Claim one successor: bloom-test, count, check, and push for later
+  /// expansion. Returns false when a violation ended the search.
+  bool claim(GcSuccessor &Succ, uint32_t Choice, uint32_t Parent) {
+    ++Transitions;
+    if (!Sh.Bloom.testAndSet(Sh.fpOf(Succ.State)))
+      return true; // already summarized (or a bloom false positive)
+    uint32_t Node = addNode(Parent, Choice, Succ.Label);
+    bool InBudget = Sh.countClaim();
+    if (auto V = Sh.Check(Succ.State)) {
+      fail(std::move(*V), Succ.State, Node);
+      return false;
+    }
+    if (InBudget && !Sh.Stop.load(std::memory_order_acquire))
+      Stack.push_back(StackItem{std::move(Succ.State), Node});
+    return true;
+  }
+
+  /// Expand a claimed state: claim every kept successor, in random order
+  /// (the stack then pops them back in that order's reverse — a randomized
+  /// DFS).
+  bool expand(StackItem Item) {
+    enumerate(Item.State);
+    for (size_t I = Keep.size(); I > 1; --I)
+      std::swap(Keep[I - 1], Keep[Rng.nextBelow(I)]);
+    for (uint32_t Choice : Keep)
+      if (!claim(Succs[Choice], Choice, Item.Node))
+        return false;
+    return true;
+  }
+
+  /// Random walk of up to \p Steps transitions from the initial state,
+  /// claiming en route. Fresh claims are pushed by claim(); unclaimed
+  /// territory may lie beyond already-claimed states, so the walk keeps
+  /// going through them.
+  void dive(uint64_t Steps) {
+    GcSystemState S = Sh.M.initial();
+    uint32_t Node = 0;
+    for (uint64_t I = 0; I < Steps; ++I) {
+      if (Sh.Stop.load(std::memory_order_acquire))
+        return;
+      enumerate(S);
+      if (Keep.empty())
+        return;
+      uint32_t Choice = Keep[Rng.nextBelow(Keep.size())];
+      GcSuccessor &Succ = Succs[Choice];
+      size_t ArenaBefore = Arena.size();
+      if (!claim(Succ, Choice, Node))
+        return; // violation recorded
+      if (Arena.size() > ArenaBefore) {
+        // Fresh: claim() moved the state onto the stack (unless over
+        // budget, in which case the walk cannot usefully continue).
+        Node = static_cast<uint32_t>(Arena.size() - 1);
+        if (Stack.empty() || Stack.back().Node != Node)
+          return;
+        S = Stack.back().State; // copy: the stack entry will be expanded
+      } else {
+        Node = addNode(Node, Choice, Succ.Label);
+        S = std::move(Succ.State);
+      }
+    }
+  }
+
+  void run() {
+    addNode(~0u, 0, "<init>");
+    if (Index == 0) {
+      // Walker 0 owns the initial state's expansion (the main thread
+      // claimed and checked it); the claimed set stays closed under
+      // successors.
+      Stack.push_back(StackItem{Sh.M.initial(), 0});
+    } else {
+      dive(Index); // staggered start
+    }
+    unsigned Fruitless = 0;
+    while (!Sh.Stop.load(std::memory_order_acquire)) {
+      if (Stack.empty()) {
+        if (Fruitless >= Sh.Opts.FruitlessRedives)
+          break;
+        size_t StackBefore = Stack.size();
+        dive(1 + Rng.nextBelow(64));
+        observe::trace(
+            Trace, observe::EventKind::FrontierProgress,
+            static_cast<uint32_t>(
+                Sh.Claimed.load(std::memory_order_relaxed)),
+            static_cast<uint32_t>(Stack.size()));
+        // A dive was fruitful iff it claimed something, i.e. grew the
+        // stack (every in-budget fresh claim is pushed; nothing else
+        // pushes).
+        if (Stack.size() > StackBefore)
+          Fruitless = 0;
+        else
+          ++Fruitless;
+        continue;
+      }
+      StackItem Item = std::move(Stack.back());
+      Stack.pop_back();
+      if (!expand(std::move(Item)))
+        break;
+    }
+  }
+};
+
+} // namespace
+
+ExploreResult tsogc::exploreSwarm(const GcModel &M, const StateChecker &Check,
+                                  const SwarmOptions &Opts) {
+  SwarmShared Sh(M, Check, Opts);
+  ExploreResult Res;
+  Res.ProbabilisticVerdict = true;
+
+  GcSystemState Init = M.initial();
+  Sh.Bloom.testAndSet(Sh.fpOf(Init));
+  Sh.Claimed.store(1, std::memory_order_relaxed);
+  Res.StatesVisited = 1;
+  if (auto V = Check(Init)) {
+    Res.Bug = std::move(V);
+    Res.BadState = std::move(Init);
+    Res.BloomBits = Sh.Bloom.bits();
+    Res.BloomBitsSet = Sh.Bloom.bitCount();
+    Res.BloomEstFpRate = Sh.Bloom.estimatedFalsePositiveRate();
+    return Res;
+  }
+
+  unsigned Walkers = std::max(1u, Opts.Walkers);
+  std::vector<std::unique_ptr<SwarmWalker>> Ctxs;
+  Ctxs.reserve(Walkers);
+  for (unsigned I = 0; I < Walkers; ++I) {
+    Ctxs.push_back(std::make_unique<SwarmWalker>(Sh, I));
+    if (Opts.Trace)
+      Ctxs.back()->Trace = Opts.Trace->createBuffer(static_cast<uint16_t>(I));
+  }
+  std::vector<std::thread> Threads;
+  Threads.reserve(Walkers);
+  for (unsigned I = 0; I < Walkers; ++I)
+    Threads.emplace_back([&Ctxs, I] { Ctxs[I]->run(); });
+  for (std::thread &T : Threads)
+    T.join();
+
+  Res.StatesVisited = Sh.Claimed.load(std::memory_order_relaxed);
+  Res.Truncated = Sh.Truncated.load(std::memory_order_relaxed);
+  for (const auto &W : Ctxs) {
+    Res.TransitionsExplored += W->Transitions;
+    Res.TransitionsPruned += W->Pruned;
+    Res.MaxDepthSeen = std::max(Res.MaxDepthSeen, W->MaxDepthSeen);
+  }
+  Res.BloomBits = Sh.Bloom.bits();
+  Res.BloomBitsSet = Sh.Bloom.bitCount();
+  Res.BloomEstFpRate = Sh.Bloom.estimatedFalsePositiveRate();
+  Res.VisitedBytes = Sh.Bloom.bits() / 8;
+  if (Sh.Bug) {
+    Res.Bug = std::move(Sh.Bug);
+    Res.BadState = std::move(Sh.BadState);
+    Res.Path = std::move(Sh.BugPath);
+    Res.Choices = std::move(Sh.BugChoices);
   }
   return Res;
 }

@@ -43,6 +43,13 @@ struct ParallelExploreOptions {
   bool CompactVisited = false;
   /// Record parent/label metadata for counterexample paths.
   bool TrackPaths = true;
+  /// Same three reduction/compression modes as the sequential
+  /// ExploreOptions, keyed identically (Reduction.h / Fingerprint.h), so
+  /// reduced parallel runs remain differentially comparable against
+  /// reduced sequential ones.
+  bool AmpleReduction = false;
+  bool SymmetryReduction = false;
+  bool Fingerprint64 = false;
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   unsigned Workers = 0;
   /// Lock stripes of the sharded visited set; more stripes, less contention.
@@ -66,6 +73,44 @@ inline ExploreResult exploreParallel(const GcModel &M,
                                      const InvariantSuite &Inv,
                                      const ParallelExploreOptions &Opts = {}) {
   return exploreParallel(M, fullSuiteChecker(Inv), Opts);
+}
+
+struct SwarmOptions {
+  /// Independent randomized-order walkers. With one walker the claimed
+  /// state count is exact (no claim races); with several it is an upper
+  /// bound within the claim-race slack documented on StripedBloomFilter.
+  unsigned Walkers = 4;
+  /// Base seed; each walker derives a disjoint stream from it.
+  uint64_t Seed = 1;
+  /// Stop after claiming this many states globally (0 = unlimited).
+  uint64_t MaxStates = 2'000'000;
+  /// Bits in the shared bloom visited summary. Size it at ≥64× the
+  /// expected state count to keep the false-positive rate (reported in
+  /// ExploreResult::BloomEstFpRate) negligible.
+  uint64_t BloomBits = 1ull << 24;
+  /// After this many consecutive fruitless re-dives from the initial
+  /// state, a walker concludes the space is exhausted and retires.
+  unsigned FruitlessRedives = 3;
+  /// Apply the ample-set reduction / symmetry canonicalization while
+  /// walking (same selectors as the exhaustive modes).
+  bool AmpleReduction = false;
+  bool SymmetryReduction = false;
+  bool TrackPaths = true;
+  observe::TraceSink *Trace = nullptr;
+};
+
+/// Swarm exploration: N walkers run randomized-order depth-first dives
+/// from the initial state, sharing only a striped bloom-filter summary of
+/// claimed states. Every state a walker claims it also expands, so on
+/// quiescence the claimed set is closed under successors — exhaustive
+/// *modulo bloom false positives and claim races*, which is why results
+/// always carry ProbabilisticVerdict (with the bloom accounting filled
+/// in). Violations are definite and come with a replayable path/choices.
+ExploreResult exploreSwarm(const GcModel &M, const StateChecker &Check,
+                           const SwarmOptions &Opts = {});
+inline ExploreResult exploreSwarm(const GcModel &M, const InvariantSuite &Inv,
+                                  const SwarmOptions &Opts = {}) {
+  return exploreSwarm(M, fullSuiteChecker(Inv), Opts);
 }
 
 } // namespace tsogc

@@ -1,0 +1,255 @@
+//===- explore/Reduction.cpp ----------------------------------------------===//
+
+#include "explore/Reduction.h"
+
+#include "gcmodel/Collector.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace tsogc;
+
+//===----------------------------------------------------------------------===//
+// Ample-set partial-order reduction
+//===----------------------------------------------------------------------===//
+//
+// The ample set at S is either all of succ(S) or the full transition set of
+// one mutator j, which the selector only accepts when that set is a single
+// deterministic LocalOp from the table below. The standard conditions:
+//
+//  C0 (non-emptiness)  — we pick an existing successor.
+//  C1 (dependence)     — the step reads/writes only mutator j's own scratch
+//     (MS.Target / RootMarkQueue); no other process reads a mutator's local
+//     state except through a rendezvous *with j*, and j has no rendezvous
+//     enabled (its whole head set is this LocalOp). So every transition of
+//     every other process is independent of the ample step, and no
+//     j-transition outside the ample set exists at all.
+//  C2 (invisibility)   — the eligibility predicate below ensures the step
+//     does not change any atom the invariant suite can observe; see
+//     eligibleStep.
+//  C3 (cycle proviso)  — after InsBarrierTarget or NextRoot the mutator's
+//     next head is the mark request "…mark-load-flag" (the freshly latched
+//     target is non-null), which is never ample; after SnapRoots it is
+//     either NextRoot (then the above) or the handshake fence. So one
+//     mutator contributes at most two consecutive ample steps, and ample
+//     steps never advance the collector or the system process. A cycle of
+//     the reduced graph made only of ample steps would have to advance some
+//     mutator forever without ever reaching a non-ample head — impossible.
+//     Hence every cycle contains a fully expanded state.
+//
+// docs/MODEL_CORRESPONDENCE.md "Reduction soundness" carries the full prose
+// argument, including the checker-visibility caveat: the reduction is sound
+// for checkers blind to mutator mark/handshake scratch (the bundled suite
+// is), not for arbitrary StateCheckers.
+
+Reducer::Reducer(const GcModel &M) : Md(M) {
+  const ModelConfig &Cfg = M.config();
+  Eligible.resize(Cfg.NumMutators);
+  for (unsigned I = 0; I < Cfg.NumMutators; ++I) {
+    const GcProg &Prog = M.system().program(mutatorPid(I));
+    std::vector<AmpleClass> &Table = Eligible[I];
+    Table.assign(Prog.size(), AmpleClass::None);
+    for (cimp::CmdId Id = 0; Id < Prog.size(); ++Id) {
+      const auto &C = Prog.cmd(Id);
+      if (C.Kind != cimp::CmdKind::LocalOp)
+        continue;
+      if (C.Label == "mut:ins-barrier-target")
+        Table[Id] = AmpleClass::InsBarrierTarget;
+      else if (C.Label == "mut:hs-snap-roots")
+        Table[Id] = AmpleClass::SnapRoots;
+      else if (C.Label == "mut:hs-next-root")
+        Table[Id] = AmpleClass::NextRoot;
+    }
+  }
+}
+
+bool Reducer::eligibleStep(const GcSystemState &S, unsigned MutIndex,
+                           AmpleClass K) const {
+  // C2: the only checker-visible atoms these steps can touch are the
+  // mutator's contribution to the extended root set (GcPredicates):
+  //
+  //   Roots ∪ {DeletedRef} ∪ {MS.Target} ∪ RootMarkQueue
+  //         ∪ {values of pending own-buffer field writes}
+  //
+  // The step is invisible iff that union is unchanged, i.e. every ref the
+  // step drops from one member is still covered by the rest. Everything
+  // else the suite reads (heap, flags, work-lists, ghosts, collector and
+  // sys state, buffered writes themselves) is untouched by construction.
+  const MutatorLocal &Mu = Md.mutator(S, MutIndex);
+  const SysLocal &Sys = Md.sysState(S);
+  const std::vector<PendingWrite> &Buf = Sys.Mem.buffer(mutatorPid(MutIndex));
+
+  auto InPendingWrites = [&](Ref R) {
+    for (const PendingWrite &W : Buf)
+      if (W.Loc.Kind == MemLocKind::ObjField && W.Val.asRef() == R)
+        return true;
+    return false;
+  };
+  auto InQueue = [&](Ref R) {
+    return std::find(Mu.RootMarkQueue.begin(), Mu.RootMarkQueue.end(), R) !=
+           Mu.RootMarkQueue.end();
+  };
+  // Cover excluding MS.Target and (optionally) the queue — the member the
+  // step overwrites cannot cover itself.
+  auto CoveredBase = [&](Ref R) {
+    return R.isNull() || Mu.Roots.count(R) != 0 || R == Mu.DeletedRef ||
+           InPendingWrites(R);
+  };
+
+  switch (K) {
+  case AmpleClass::InsBarrierTarget:
+    // MS.Target := TmpDst. Unchanged union iff the old target stays
+    // covered and the new target was already in it. (TmpDst ∈ Roots by
+    // construction of the store op, but check rather than assume.)
+    if (Mu.TmpDst == Mu.MS.Target)
+      return true;
+    return (CoveredBase(Mu.MS.Target) || InQueue(Mu.MS.Target)) &&
+           (CoveredBase(Mu.TmpDst) || InQueue(Mu.TmpDst));
+  case AmpleClass::NextRoot:
+    // MS.Target := queue.back(); pop. The popped ref moves from the queue
+    // into MS.Target, staying in the union; only the old target needs
+    // outside cover.
+    return CoveredBase(Mu.MS.Target) || InQueue(Mu.MS.Target);
+  case AmpleClass::SnapRoots:
+    // RootMarkQueue := Roots. The new queue is a subset of Roots; every
+    // old entry must be covered without the queue itself.
+    for (Ref R : Mu.RootMarkQueue)
+      if (!CoveredBase(R) && R != Mu.MS.Target)
+        return false;
+    return true;
+  case AmpleClass::None:
+    break;
+  }
+  return false;
+}
+
+bool Reducer::reduce(const GcSystemState &S,
+                     const std::vector<GcSuccessor> &Succs,
+                     std::vector<uint32_t> &Keep) const {
+  const unsigned N = Md.config().NumMutators;
+  for (unsigned J = 0; J < N; ++J) {
+    const ProcId Pid = mutatorPid(J);
+    // Mutator j's transitions within the full enumeration. Mutators have
+    // no Response commands, so j participates only as the acting process.
+    int Only = -1;
+    bool Multiple = false;
+    for (size_t I = 0; I < Succs.size(); ++I) {
+      if (Succs[I].P != Pid)
+        continue;
+      if (Only >= 0) {
+        Multiple = true;
+        break;
+      }
+      Only = static_cast<int>(I);
+    }
+    if (Multiple || Only < 0)
+      continue;
+    const GcSuccessor &Sc = Succs[static_cast<size_t>(Only)];
+    if (Sc.IsRendezvous)
+      continue;
+    if (Sc.PCmd >= Eligible[J].size())
+      continue;
+    const AmpleClass K = Eligible[J][Sc.PCmd];
+    if (K == AmpleClass::None)
+      continue;
+    // All-or-nothing: the single successor must be j's *entire* head set.
+    // An enabled-but-partnerless Request head (e.g. a fence waiting on a
+    // drained buffer) produces no successor, so count heads, not
+    // successors.
+    if (Md.nextLabels(S, Pid).size() != 1)
+      continue;
+    if (!eligibleStep(S, J, K))
+      continue;
+    Keep.assign(1, static_cast<uint32_t>(Only));
+    return true;
+  }
+  Keep.resize(Succs.size());
+  std::iota(Keep.begin(), Keep.end(), 0u);
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Mutator symmetry
+//===----------------------------------------------------------------------===//
+
+GcSystemState tsogc::permuteMutators(const GcModel &M, const GcSystemState &S,
+                                     const std::vector<unsigned> &Perm) {
+  const ModelConfig &Cfg = M.config();
+  const unsigned N = Cfg.NumMutators;
+  TSOGC_CHECK(Perm.size() == N, "permutation arity mismatch");
+
+  GcSystemState Out = S;
+  // Mutator process states (control stack + locals) move wholesale: the
+  // per-slot program arenas are structurally identical, so a stack of
+  // CmdIds is valid in any slot, and MutatorLocal carries no self-index.
+  for (unsigned I = 0; I < N; ++I)
+    Out[mutatorPid(Perm[I])] = S[mutatorPid(I)];
+
+  SysLocal &Sys = asSys(Out[sysPid(Cfg)].Local);
+  const SysLocal &Old = asSys(S[sysPid(Cfg)].Local);
+
+  // Per-mutator handshake registers inside the system process.
+  for (unsigned I = 0; I < N; ++I)
+    Sys.HsPending[Perm[I]] = Old.HsPending[I];
+
+  // TSO-refined handshakes: the per-mutator request/ack words are ordinary
+  // memory cells and must be renamed both in shared memory and in every
+  // store buffer (the collector buffers request-word stores, mutators
+  // buffer their own ack stores).
+  auto RemapBuffer = [&](std::vector<PendingWrite> B) {
+    if (Cfg.TsoHandshakes)
+      for (PendingWrite &W : B) {
+        if (W.Loc.Kind != MemLocKind::GlobalVar || W.Loc.Var < NumGcGlobals)
+          continue;
+        const unsigned Slot = W.Loc.Var - NumGcGlobals;
+        const unsigned Mut = Slot / 2;
+        W.Loc.Var = (Slot & 1) ? gvarHsAck(Perm[Mut]) : gvarHsReq(Perm[Mut]);
+      }
+    return B;
+  };
+  if (Cfg.TsoHandshakes)
+    for (unsigned I = 0; I < N; ++I) {
+      Sys.Mem.memoryWrite(
+          MemLoc::globalVar(gvarHsReq(Perm[I])),
+          Old.Mem.memoryRead(MemLoc::globalVar(gvarHsReq(I))));
+      Sys.Mem.memoryWrite(
+          MemLoc::globalVar(gvarHsAck(Perm[I])),
+          Old.Mem.memoryRead(MemLoc::globalVar(gvarHsAck(I))));
+    }
+  // Store buffers travel with their owning hardware thread (memory procs
+  // are 0 = collector plus the mutators; the system process owns none).
+  Sys.Mem.setBuffer(CollectorPid, RemapBuffer(Old.Mem.buffer(CollectorPid)));
+  for (unsigned I = 0; I < N; ++I)
+    Sys.Mem.setBuffer(mutatorPid(Perm[I]),
+                      RemapBuffer(Old.Mem.buffer(mutatorPid(I))));
+
+  // Bus lock held by a mutator follows it.
+  const int Owner = Old.Mem.lockOwner();
+  if (Owner >= static_cast<int>(mutatorPid(0)) &&
+      Owner <= static_cast<int>(mutatorPid(N - 1)))
+    Sys.Mem.setLockOwner(
+        mutatorPid(Perm[static_cast<unsigned>(Owner) - mutatorPid(0)]));
+
+  // Deliberately NOT remapped: CollectorLocal's HsMutIdx/HsSeq/HsAckSeen.
+  // The collector iterates mutators in index order, so its scratch names
+  // mutator indices; renaming them would desynchronize its control
+  // position. This is exactly why the model is only virtually symmetric —
+  // see docs/MODEL_CORRESPONDENCE.md "Reduction soundness".
+  return Out;
+}
+
+std::string tsogc::canonicalEncoding(const GcModel &M,
+                                     const GcSystemState &S) {
+  const unsigned N = M.config().NumMutators;
+  std::string Best = M.encode(S);
+  if (N < 2)
+    return Best;
+  std::vector<unsigned> Perm(N);
+  std::iota(Perm.begin(), Perm.end(), 0u);
+  while (std::next_permutation(Perm.begin(), Perm.end())) {
+    std::string E = M.encode(permuteMutators(M, S, Perm));
+    if (E < Best)
+      Best = std::move(E);
+  }
+  return Best;
+}

@@ -1,0 +1,93 @@
+//===- explore/Reduction.h - Partial-order and symmetry reduction ---------===//
+///
+/// \file
+/// State-space reduction for the GC model explorer, after Abe & Ugawa et
+/// al.'s state-explosion treatment for model checking under relaxed memory
+/// (their case study is likewise a concurrent GC):
+///
+///   * `Reducer` — an ample-set partial-order reduction. At a state where
+///     some mutator's *entire* next-step set is a single provably invisible
+///     pure-local scratch step (insertion-barrier target latch, root-queue
+///     snapshot, root-queue pop), only that step is expanded; every other
+///     interleaving of it with the remaining processes commutes to the same
+///     states and the same checker verdicts. Handshake rendezvous, barrier
+///     memory operations and every system step stay fully interleaved.
+///     This reduction is *sound* for checkers that cannot observe those
+///     scratch fields — the bundled §3.2 suite and the headline checker
+///     qualify; see docs/MODEL_CORRESPONDENCE.md "Reduction soundness" for
+///     the C0–C3 argument and the exact visibility caveat.
+///
+///   * mutator symmetry — `canonicalEncoding` folds states that differ only
+///     by a permutation of the identical-program mutators (process state,
+///     store-buffer contents, handshake words, roots) onto one canonical
+///     representative. The collector's handshake iteration is index-ordered,
+///     so the model is only *virtually* symmetric; this mode is therefore
+///     opt-in, probabilistic in claim, and differentially validated rather
+///     than proved (same doc section).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSOGC_EXPLORE_REDUCTION_H
+#define TSOGC_EXPLORE_REDUCTION_H
+
+#include "gcmodel/GcModel.h"
+
+#include <string>
+#include <vector>
+
+namespace tsogc {
+
+/// The classes of mutator steps eligible as singleton ample sets. Each is a
+/// deterministic LocalOp touching only the acting mutator's mark/handshake
+/// scratch, invisible to the invariant suite when the eligibility predicate
+/// holds (Reduction.cpp).
+enum class AmpleClass : uint8_t {
+  None = 0,
+  InsBarrierTarget, ///< "mut:ins-barrier-target": MS.Target := TmpDst.
+  SnapRoots,        ///< "mut:hs-snap-roots": RootMarkQueue := Roots.
+  NextRoot,         ///< "mut:hs-next-root": MS.Target := pop(RootMarkQueue).
+};
+
+/// Ample-set selector for one model instance. Immutable after construction
+/// and const-thread-safe (reads only the model's command arenas and the
+/// state it is handed), so parallel explorer workers may share one.
+class Reducer {
+public:
+  explicit Reducer(const GcModel &M);
+
+  /// Choose the transitions of \p S to expand. \p Succs must be the full
+  /// deterministic successor enumeration of \p S. On reduction, \p Keep
+  /// receives the single chosen index and the return value is true; else
+  /// \p Keep receives every index and the return value is false. Indices
+  /// into the full enumeration are preserved so recorded choices replay
+  /// through `replayChoices` unchanged.
+  bool reduce(const GcSystemState &S, const std::vector<GcSuccessor> &Succs,
+              std::vector<uint32_t> &Keep) const;
+
+private:
+  bool eligibleStep(const GcSystemState &S, unsigned MutIndex,
+                    AmpleClass K) const;
+
+  const GcModel &Md;
+  /// Per mutator slot, a dense CmdId-indexed table of ample classes for
+  /// that slot's program arena.
+  std::vector<std::vector<AmpleClass>> Eligible;
+};
+
+/// The state with identical-program mutators renamed by \p Perm (source
+/// mutator i becomes mutator Perm[i]): process states, HsPending bits,
+/// handshake memory words, store buffers (with buffered handshake-word
+/// targets renamed) and the bus-lock owner all move together. \p Perm must
+/// be a permutation of {0, …, NumMutators-1}.
+GcSystemState permuteMutators(const GcModel &M, const GcSystemState &S,
+                              const std::vector<unsigned> &Perm);
+
+/// Lexicographically minimal `M.encode` over all mutator permutations of
+/// \p S — the symmetry-canonical visited-set key. Cost is NumMutators!
+/// encodings per call; intended for the small mutator counts exhaustive
+/// runs use.
+std::string canonicalEncoding(const GcModel &M, const GcSystemState &S);
+
+} // namespace tsogc
+
+#endif // TSOGC_EXPLORE_REDUCTION_H

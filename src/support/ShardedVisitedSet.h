@@ -21,6 +21,7 @@
 #include "support/Assert.h"
 #include "support/HashCombine.h"
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -68,6 +69,27 @@ public:
     return {packId(SI, It->second), Fresh};
   }
 
+  /// Fingerprint mode: insert by 64-bit state fingerprint, storing 8 bytes
+  /// per visited state instead of a full encoding or 16-byte digest. Same
+  /// id/metadata semantics as insert(); thread-safe. A fingerprint
+  /// collision silently merges two distinct states, so explorations keyed
+  /// this way report ExploreResult::ProbabilisticVerdict. Use one keying
+  /// (insert or insertFp) consistently per set instance: the two key maps
+  /// are disjoint.
+  std::pair<uint64_t, bool> insertFp(uint64_t Fp, Meta M) {
+    // Stripe seed distinct from shardOf's so neither keying's distribution
+    // correlates with the other's.
+    unsigned SI = static_cast<unsigned>(hashMix(0x9b05688c2b3e6c1fULL, Fp) %
+                                        Shards.size());
+    Shard &S = *Shards[SI];
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto [It, Fresh] =
+        S.FpMap.emplace(Fp, static_cast<uint64_t>(S.Arena.size()));
+    if (Fresh)
+      S.Arena.push_back(std::move(M));
+    return {packId(SI, It->second), Fresh};
+  }
+
   /// Metadata of a previously inserted node. Quiescent use only: a
   /// concurrent insert into the same shard may reallocate the arena.
   const Meta &meta(uint64_t Id) const {
@@ -94,6 +116,48 @@ public:
     }
   }
 
+  /// Occupancy and footprint accounting. Quiescent use only.
+  struct Stats {
+    uint64_t Nodes = 0;         ///< Total entries across both keyings.
+    uint64_t ExactKeyBytes = 0; ///< Payload bytes of exact string keys.
+    uint64_t MemoryBytes = 0;   ///< Estimated total footprint (see below).
+    uint64_t MaxShardNodes = 0; ///< Largest single shard (occupancy skew).
+  };
+
+  /// Estimate the set's memory footprint: key payloads, per-entry map node
+  /// overhead, bucket arrays, and the metadata arenas. An estimate — the
+  /// allocator's real overhead varies — but computed identically for exact,
+  /// compacted and fingerprint keyings, so mode-vs-mode comparisons (the
+  /// point of fingerprint mode) are apples-to-apples. Quiescent use only.
+  Stats stats() const {
+    // Node-based unordered_map entry: next link + cached hash + the pair.
+    constexpr uint64_t ExactNode =
+        2 * sizeof(void *) + sizeof(std::pair<const std::string, uint64_t>);
+    constexpr uint64_t FpNode =
+        2 * sizeof(void *) + sizeof(std::pair<const uint64_t, uint64_t>);
+    Stats St;
+    for (const auto &SP : Shards) {
+      const Shard &S = *SP;
+      uint64_t ShardNodes = S.Map.size() + S.FpMap.size();
+      St.Nodes += ShardNodes;
+      St.MaxShardNodes = std::max(St.MaxShardNodes, ShardNodes);
+      for (const auto &[Key, Idx] : S.Map) {
+        (void)Idx;
+        St.ExactKeyBytes += Key.capacity();
+      }
+      St.MemoryBytes += S.Map.size() * ExactNode;
+      St.MemoryBytes += S.FpMap.size() * FpNode;
+      St.MemoryBytes +=
+          (S.Map.bucket_count() + S.FpMap.bucket_count()) * sizeof(void *);
+      St.MemoryBytes += S.Arena.capacity() * sizeof(Meta);
+    }
+    St.MemoryBytes += St.ExactKeyBytes;
+    return St;
+  }
+
+  /// Shorthand for stats().MemoryBytes. Quiescent use only.
+  uint64_t memoryBytes() const { return stats().MemoryBytes; }
+
 private:
   static uint64_t packId(unsigned ShardIdx, uint64_t ArenaIdx) {
     TSOGC_CHECK(ArenaIdx < (1ull << IndexBits), "arena index overflow");
@@ -104,6 +168,7 @@ private:
   struct alignas(64) Shard {
     std::mutex Mu;
     std::unordered_map<std::string, uint64_t> Map;
+    std::unordered_map<uint64_t, uint64_t> FpMap; ///< Fingerprint keying.
     std::vector<Meta> Arena;
   };
 

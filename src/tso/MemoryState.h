@@ -87,6 +87,15 @@ public:
   MemVal memoryRead(MemLoc Loc) const;
   void memoryWrite(MemLoc Loc, MemVal Val);
 
+  /// Wholesale buffer/lock replacement, used only by the explorer's
+  /// symmetry canonicalization (explore/Reduction.cpp) to rename mutators
+  /// in a copied state — never by modeled code, which goes through
+  /// write/commitOldest/acquireLock.
+  void setBuffer(ProcId P, std::vector<PendingWrite> B) {
+    Buffers[P] = std::move(B);
+  }
+  void setLockOwner(int Owner) { LockOwner = Owner; }
+
   /// The embedded heap (shared memory's object store).
   Heap &heap() { return TheHeap; }
   const Heap &heap() const { return TheHeap; }

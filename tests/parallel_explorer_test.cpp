@@ -108,6 +108,26 @@ bool pathReplays(const GcModel &M, const std::vector<std::string> &Path,
   return false;
 }
 
+/// Choice-trace validation for long counterexamples (swarm dives can run
+/// to thousands of steps, where pathReplays' candidate sets explode):
+/// replay the recorded successor indices, require each step's label to
+/// match the reported path, and the final state to violate the checker.
+bool choicesReplayTo(const GcModel &M, const ExploreResult &Res,
+                     const StateChecker &Violates) {
+  if (Res.Path.size() != Res.Choices.size())
+    return false;
+  ReplayResult Rep = replayChoices(M, Res.Choices);
+  if (!Rep.ok() || Rep.States.size() != Res.Choices.size() + 1)
+    return false;
+  for (size_t I = 0; I < Res.Choices.size(); ++I) {
+    std::vector<GcSuccessor> Succs = M.system().successors(Rep.States[I]);
+    if (Res.Choices[I] >= Succs.size() ||
+        Succs[Res.Choices[I]].Label != Res.Path[I])
+      return false;
+  }
+  return Violates(Rep.States.back()).has_value();
+}
+
 } // namespace
 
 TEST(ParallelExplorer, DifferentialAgreesOnEverySeedConfiguration) {
@@ -207,6 +227,93 @@ TEST(ParallelExplorer, StateBudgetTruncates) {
   // The truncated prefix is racy; the count cap is not.
   EXPECT_LE(Res.StatesVisited, 50u);
   EXPECT_GE(Res.StatesVisited, 1u);
+}
+
+TEST(ParallelExplorer, ReducedModesAgreeWithSequentialReducedOracle) {
+  // Ample reduction and fingerprint keying are pure functions of the
+  // state, so the reduced reachable set is order-independent too: the
+  // reduced parallel run must agree exactly with the reduced sequential
+  // run (and fingerprint runs with the unreduced count, collision-free at
+  // this scale). Symmetry is checked separately below — its representative
+  // choice is order-dependent.
+  for (const Seed &Sd : seeds()) {
+    GcModel M(Sd.Cfg);
+    InvariantSuite Inv(M);
+    for (bool Ample : {true, false}) {
+      for (bool Fp64 : {false, true}) {
+        if (!Ample && !Fp64)
+          continue;
+        ExploreOptions SeqO;
+        SeqO.AmpleReduction = Ample;
+        SeqO.Fingerprint64 = Fp64;
+        ExploreResult Seq = exploreExhaustive(M, Inv, SeqO);
+        ASSERT_TRUE(Seq.exhaustedCleanly()) << Sd.Name;
+
+        ParallelExploreOptions PO;
+        PO.Workers = 4;
+        PO.AmpleReduction = Ample;
+        PO.Fingerprint64 = Fp64;
+        ExploreResult Par = exploreParallel(M, Inv, PO);
+        EXPECT_TRUE(Par.exhaustedCleanly())
+            << Sd.Name << " ample=" << Ample << " fp64=" << Fp64;
+        EXPECT_EQ(Par.StatesVisited, Seq.StatesVisited)
+            << Sd.Name << " ample=" << Ample << " fp64=" << Fp64;
+        EXPECT_EQ(Par.TransitionsExplored, Seq.TransitionsExplored)
+            << Sd.Name << " ample=" << Ample << " fp64=" << Fp64;
+        EXPECT_EQ(Par.TransitionsPruned, Seq.TransitionsPruned)
+            << Sd.Name << " ample=" << Ample << " fp64=" << Fp64;
+        EXPECT_EQ(Par.ProbabilisticVerdict, Seq.ProbabilisticVerdict)
+            << Sd.Name << " ample=" << Ample << " fp64=" << Fp64;
+      }
+    }
+  }
+}
+
+TEST(ParallelExplorer, SymmetryReductionAgreesOnVerdict) {
+  // The model is only virtually symmetric, so which orbit representative
+  // gets expanded — and hence the canonical state count — can depend on
+  // discovery order. Across worker counts only the verdict is comparable,
+  // plus the guarantee that canonicalization never grows the space.
+  ModelConfig C;
+  C.NumMutators = 2;
+  C.NumRefs = 2;
+  C.NumFields = 1;
+  C.BufferBound = 1;
+  C.InitialHeap = ModelConfig::InitHeap::SingleRoot;
+  C.MutatorLoad = C.MutatorStore = C.MutatorAlloc = C.MutatorDiscard = false;
+  GcModel M(C);
+  InvariantSuite Inv(M);
+  ExploreResult Full = exploreExhaustive(M, Inv);
+  ASSERT_TRUE(Full.exhaustedCleanly());
+  for (unsigned Workers : {1u, 4u}) {
+    ParallelExploreOptions PO;
+    PO.Workers = Workers;
+    PO.SymmetryReduction = true;
+    ExploreResult Sym = exploreParallel(M, Inv, PO);
+    EXPECT_TRUE(Sym.exhaustedCleanly()) << "w=" << Workers;
+    EXPECT_LE(Sym.StatesVisited, Full.StatesVisited) << "w=" << Workers;
+    EXPECT_TRUE(Sym.ProbabilisticVerdict) << "w=" << Workers;
+  }
+}
+
+TEST(ParallelExplorer, SwarmAgreesOnVerdictAcrossSeeds) {
+  for (const Seed &Sd : seeds()) {
+    GcModel M(Sd.Cfg);
+    InvariantSuite Inv(M);
+    SwarmOptions SO;
+    SO.Walkers = 4;
+    SO.Seed = 9;
+    SO.BloomBits = 1ull << 22;
+    // Clean configurations stay clean under swarm exploration…
+    ExploreResult Clean = exploreSwarm(M, Inv, SO);
+    EXPECT_FALSE(Clean.Bug.has_value()) << Sd.Name;
+    EXPECT_TRUE(Clean.ProbabilisticVerdict) << Sd.Name;
+    // …and a reachable planted violation is found (the swarm drains the
+    // whole space at this scale), with a replayable label path.
+    ExploreResult Bug = exploreSwarm(M, cycleDone(), SO);
+    ASSERT_TRUE(Bug.Bug.has_value()) << Sd.Name;
+    EXPECT_TRUE(choicesReplayTo(M, Bug, cycleDone())) << Sd.Name;
+  }
 }
 
 TEST(ParallelExplorer, CompactVisitedAgreesWithExact) {

@@ -1,0 +1,532 @@
+//===- tests/reduction_test.cpp - State-space reduction soundness ---------===//
+///
+/// Differential soundness for every reduction/compression mode against the
+/// plain sequential explorer as oracle: ample-set partial-order reduction,
+/// mutator-symmetry canonicalization, 64-bit fingerprint visited sets and
+/// the swarm walker — on stock configurations *and* the deletion-barrier
+/// ablation, where a real counterexample must survive reduction and replay
+/// through `replayChoices` to a genuinely violating state. Plus the direct
+/// properties behind those modes: permutation-invariant canonical
+/// encodings, collision-free fingerprints at test scale, bloom-filter
+/// accounting, and the fingerprint keying of ShardedVisitedSet (concurrent
+/// stress, rehash id-stability, footprint).
+///
+//===----------------------------------------------------------------------===//
+
+#include "explore/Fingerprint.h"
+#include "explore/ParallelExplorer.h"
+#include "explore/Reduction.h"
+#include "support/Random.h"
+#include "support/ShardedVisitedSet.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <thread>
+#include <unordered_set>
+
+using namespace tsogc;
+
+namespace {
+
+struct Seed {
+  const char *Name;
+  ModelConfig Cfg;
+};
+
+/// The same small, fully-exhaustible grid the parallel-explorer
+/// differential uses (tests/parallel_explorer_test.cpp).
+std::vector<Seed> seeds() {
+  std::vector<Seed> Out;
+  {
+    ModelConfig C;
+    C.NumMutators = 1;
+    C.NumRefs = 2;
+    C.NumFields = 1;
+    C.BufferBound = 1;
+    C.InitialHeap = ModelConfig::InitHeap::SingleRoot;
+    C.MutatorLoad = C.MutatorStore = C.MutatorAlloc = C.MutatorDiscard = false;
+    Out.push_back({"handshakes-only", C});
+  }
+  {
+    ModelConfig C;
+    C.NumMutators = 1;
+    C.NumRefs = 2;
+    C.NumFields = 1;
+    C.BufferBound = 1;
+    C.InitialHeap = ModelConfig::InitHeap::Chain;
+    C.MutatorLoad = C.MutatorAlloc = C.MutatorDiscard = false;
+    Out.push_back({"stores-only-chain", C});
+  }
+  {
+    ModelConfig C;
+    C.NumMutators = 2;
+    C.NumRefs = 2;
+    C.NumFields = 1;
+    C.BufferBound = 1;
+    C.InitialHeap = ModelConfig::InitHeap::SingleRoot;
+    C.MutatorLoad = C.MutatorStore = C.MutatorAlloc = C.MutatorDiscard = false;
+    Out.push_back({"2mut-handshakes", C});
+  }
+  {
+    ModelConfig C;
+    C.NumMutators = 1;
+    C.NumRefs = 2;
+    C.NumFields = 1;
+    C.BufferBound = 2;
+    C.InitialHeap = ModelConfig::InitHeap::Chain;
+    C.MutatorLoad = C.MutatorAlloc = C.MutatorDiscard = false;
+    Out.push_back({"stores-buf2", C});
+  }
+  return Out;
+}
+
+/// The bench ablation instance (BM_DeletionAblationCounterexample): the
+/// deletion barrier off, a reachable unsafe-free counterexample.
+ModelConfig ablated() {
+  ModelConfig C;
+  C.NumMutators = 1;
+  C.NumRefs = 3;
+  C.NumFields = 1;
+  C.BufferBound = 1;
+  C.InitialHeap = ModelConfig::InitHeap::Chain;
+  C.DeletionBarrier = false;
+  C.MutatorAlloc = false;
+  return C;
+}
+
+StateChecker cycleDone() {
+  return [](const GcSystemState &S) -> std::optional<Violation> {
+    if (GcModel::collector(S).CycleCount >= 1)
+      return Violation{"planted", "cycle completed"};
+    return std::nullopt;
+  };
+}
+
+/// Label-path validity: candidate-set replay (labels may be shared by
+/// nondeterministic siblings) must reach a state the checker rejects.
+bool pathReplays(const GcModel &M, const std::vector<std::string> &Path,
+                 const StateChecker &Violates) {
+  std::vector<GcSystemState> Cands{M.initial()};
+  for (const std::string &Label : Path) {
+    std::vector<GcSystemState> Next;
+    for (const GcSystemState &S : Cands)
+      for (GcSuccessor &Succ : M.system().successors(S))
+        if (Succ.Label == Label)
+          Next.push_back(std::move(Succ.State));
+    if (Next.empty())
+      return false;
+    Cands = std::move(Next);
+  }
+  for (const GcSystemState &S : Cands)
+    if (Violates(S))
+      return true;
+  return false;
+}
+
+/// Strong validation of a recorded counterexample: the choice trace must
+/// replay from the initial state to a state \p Violates rejects, and each
+/// step's chosen successor must carry the reported path label. Linear in
+/// the path length — unlike `pathReplays`, whose candidate sets can grow
+/// combinatorially on the thousands-step DFS/swarm paths this suite
+/// produces (label-matching is only for short BFS paths).
+bool choicesReplayTo(const GcModel &M, const ExploreResult &Res,
+                     const StateChecker &Violates) {
+  if (Res.Path.size() != Res.Choices.size())
+    return false;
+  ReplayResult Rep = replayChoices(M, Res.Choices);
+  if (!Rep.ok() || Rep.States.size() != Res.Choices.size() + 1)
+    return false;
+  for (size_t I = 0; I < Res.Choices.size(); ++I) {
+    std::vector<GcSuccessor> Succs = M.system().successors(Rep.States[I]);
+    if (Res.Choices[I] >= Succs.size() ||
+        Succs[Res.Choices[I]].Label != Res.Path[I])
+      return false;
+  }
+  return Violates(Rep.States.back()).has_value();
+}
+
+/// Every reachable canonical encoding, by plain BFS inside the test (no
+/// explorer involvement, so fingerprint properties are checked against an
+/// independently computed state set).
+std::vector<std::string> allEncodings(const GcModel &M) {
+  std::unordered_set<std::string> Seen;
+  std::deque<GcSystemState> Frontier;
+  GcSystemState S0 = M.initial();
+  Seen.insert(M.encode(S0));
+  Frontier.push_back(std::move(S0));
+  std::vector<GcSuccessor> Succs;
+  while (!Frontier.empty()) {
+    GcSystemState S = std::move(Frontier.front());
+    Frontier.pop_front();
+    Succs.clear();
+    M.system().successors(S, Succs);
+    for (GcSuccessor &Succ : Succs)
+      if (Seen.insert(M.encode(Succ.State)).second)
+        Frontier.push_back(std::move(Succ.State));
+  }
+  return {Seen.begin(), Seen.end()};
+}
+
+/// Sampled reachable states along a seeded random walk (for properties
+/// that need states, not encodings).
+std::vector<GcSystemState> walkStates(const GcModel &M, uint64_t Seed,
+                                      unsigned Steps) {
+  std::vector<GcSystemState> Out;
+  Xoshiro256 Rng(Seed);
+  GcSystemState S = M.initial();
+  Out.push_back(S);
+  for (unsigned I = 0; I < Steps; ++I) {
+    std::vector<GcSuccessor> Succs = M.system().successors(S);
+    if (Succs.empty())
+      break;
+    S = std::move(Succs[Rng.nextBelow(Succs.size())].State);
+    Out.push_back(S);
+  }
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Ample-set partial-order reduction
+//===----------------------------------------------------------------------===//
+
+TEST(AmpleReduction, DifferentialAgreesOnEverySeedConfiguration) {
+  uint64_t TotalPruned = 0;
+  for (const Seed &Sd : seeds()) {
+    GcModel M(Sd.Cfg);
+    InvariantSuite Inv(M);
+    ExploreResult Full = exploreExhaustive(M, Inv);
+    ASSERT_TRUE(Full.exhaustedCleanly()) << Sd.Name;
+    ExploreOptions AO;
+    AO.AmpleReduction = true;
+    ExploreResult Amp = exploreExhaustive(M, Inv, AO);
+    EXPECT_TRUE(Amp.exhaustedCleanly()) << Sd.Name;
+    // The reduced reachable set is a subset of the full one.
+    EXPECT_LE(Amp.StatesVisited, Full.StatesVisited) << Sd.Name;
+    EXPECT_LE(Amp.TransitionsExplored, Full.TransitionsExplored) << Sd.Name;
+    // Ample reduction alone is a sound mode, not a probabilistic one.
+    EXPECT_FALSE(Amp.ProbabilisticVerdict) << Sd.Name;
+    TotalPruned += Amp.TransitionsPruned;
+  }
+  // The reduction must actually fire somewhere on this grid (handshake
+  // snapshot/pop steps, insertion-barrier latches under stores).
+  EXPECT_GT(TotalPruned, 0u);
+}
+
+TEST(AmpleReduction, DifferentialAgreesOnAblatedGrid) {
+  // With the deletion barrier off, unsafe frees make freed cells reusable
+  // and the reachable space explodes past what BFS can exhaust; hunt the
+  // counterexample the way the bench does — DFS with the headline checker
+  // — and require full and reduced search to agree on the verdict.
+  for (const Seed &Sd : seeds()) {
+    ModelConfig Cfg = Sd.Cfg;
+    Cfg.DeletionBarrier = false;
+    GcModel M(Cfg);
+    InvariantSuite Inv(M);
+    ExploreOptions Opts;
+    Opts.Dfs = true;
+    Opts.MaxStates = 500'000;
+    ExploreResult Full = exploreExhaustive(M, headlineChecker(Inv), Opts);
+    ExploreOptions AO = Opts;
+    AO.AmpleReduction = true;
+    ExploreResult Amp = exploreExhaustive(M, headlineChecker(Inv), AO);
+    EXPECT_EQ(Amp.Bug.has_value(), Full.Bug.has_value()) << Sd.Name;
+    if (Full.Bug) {
+      EXPECT_EQ(Amp.Bug->Name, Full.Bug->Name) << Sd.Name;
+      // A reduced-mode counterexample must replay to a violating state.
+      EXPECT_TRUE(choicesReplayTo(M, Amp, headlineChecker(Inv))) << Sd.Name;
+    }
+  }
+}
+
+TEST(AmpleReduction, ReducedCounterexampleReplaysViaChoices) {
+  GcModel M(ablated());
+  InvariantSuite Inv(M);
+  ExploreOptions Opts;
+  Opts.Dfs = true;
+  Opts.AmpleReduction = true;
+  Opts.MaxStates = 5'000'000;
+  ExploreResult Res = exploreExhaustive(M, headlineChecker(Inv), Opts);
+  ASSERT_TRUE(Res.Bug.has_value());
+  ASSERT_FALSE(Res.Choices.empty());
+  EXPECT_GT(Res.TransitionsPruned, 0u);
+
+  // Choices index the *full* successor enumeration, so a reduced-mode
+  // trace replays through the unreduced model unchanged — to a genuinely
+  // violating state, with every step's label matching the reported path.
+  EXPECT_TRUE(choicesReplayTo(M, Res, headlineChecker(Inv)));
+}
+
+//===----------------------------------------------------------------------===//
+// Mutator-symmetry canonicalization
+//===----------------------------------------------------------------------===//
+
+TEST(SymmetryReduction, CanonicalEncodingIsPermutationInvariant) {
+  // Plain handshakes and the TSO-handshake refinement (which moves the
+  // handshake words — and buffered stores targeting them — into memory, so
+  // the permutation has to rename buffered targets too).
+  for (bool Tso : {false, true}) {
+    ModelConfig C;
+    C.NumMutators = 2;
+    C.NumRefs = 2;
+    C.NumFields = 1;
+    C.BufferBound = 1;
+    C.InitialHeap = ModelConfig::InitHeap::SingleRoot;
+    C.MutatorLoad = C.MutatorStore = C.MutatorAlloc = C.MutatorDiscard = false;
+    C.TsoHandshakes = Tso;
+    GcModel M(C);
+    const std::vector<unsigned> Swap{1, 0};
+    for (const GcSystemState &S : walkStates(M, /*Seed=*/11, /*Steps=*/400)) {
+      GcSystemState P = permuteMutators(M, S, Swap);
+      // The canonical encoding is the lexicographic minimum over the
+      // orbit, so both orbit members canonicalize identically, and the
+      // minimum is exactly min(encode(S), encode(P)).
+      std::string Min = std::min(M.encode(S), M.encode(P));
+      EXPECT_EQ(canonicalEncoding(M, S), Min) << "tso=" << Tso;
+      EXPECT_EQ(canonicalEncoding(M, P), Min) << "tso=" << Tso;
+      // Swapping twice is the identity.
+      EXPECT_EQ(M.encode(permuteMutators(M, P, Swap)), M.encode(S))
+          << "tso=" << Tso;
+    }
+  }
+}
+
+TEST(SymmetryReduction, DifferentialVerdictAgreesAndFoldsStates) {
+  ModelConfig C;
+  C.NumMutators = 2;
+  C.NumRefs = 2;
+  C.NumFields = 1;
+  C.BufferBound = 1;
+  C.InitialHeap = ModelConfig::InitHeap::SingleRoot;
+  C.MutatorLoad = C.MutatorStore = C.MutatorAlloc = C.MutatorDiscard = false;
+  GcModel M(C);
+  InvariantSuite Inv(M);
+
+  ExploreResult Full = exploreExhaustive(M, Inv);
+  ASSERT_TRUE(Full.exhaustedCleanly());
+  ExploreOptions SO;
+  SO.SymmetryReduction = true;
+  ExploreResult Sym = exploreExhaustive(M, Inv, SO);
+  EXPECT_TRUE(Sym.exhaustedCleanly());
+  // Canonicalization must fold at least the mirror-image states away,
+  // and can never invent new ones.
+  EXPECT_LT(Sym.StatesVisited, Full.StatesVisited);
+  // Virtual (not exact) symmetry: the clean verdict is probabilistic.
+  EXPECT_TRUE(Sym.ProbabilisticVerdict);
+
+  // Verdict agreement on a planted violation as well.
+  ExploreResult FullBug = exploreExhaustive(M, cycleDone());
+  ExploreResult SymBug = exploreExhaustive(M, cycleDone(), SO);
+  ASSERT_EQ(SymBug.Bug.has_value(), FullBug.Bug.has_value());
+  ASSERT_TRUE(SymBug.Bug.has_value());
+  EXPECT_TRUE(pathReplays(M, SymBug.Path, cycleDone()));
+}
+
+//===----------------------------------------------------------------------===//
+// 64-bit fingerprint visited set
+//===----------------------------------------------------------------------===//
+
+TEST(Fingerprint, DifferentialAgreesOnEverySeedConfiguration) {
+  for (const Seed &Sd : seeds()) {
+    GcModel M(Sd.Cfg);
+    InvariantSuite Inv(M);
+    ExploreResult Exact = exploreExhaustive(M, Inv);
+    ASSERT_TRUE(Exact.exhaustedCleanly()) << Sd.Name;
+    ExploreOptions FO;
+    FO.Fingerprint64 = true;
+    ExploreResult Fp = exploreExhaustive(M, Inv, FO);
+    EXPECT_TRUE(Fp.exhaustedCleanly()) << Sd.Name;
+    // Zero fingerprint collisions at this scale: identical counts.
+    EXPECT_EQ(Fp.StatesVisited, Exact.StatesVisited) << Sd.Name;
+    EXPECT_EQ(Fp.TransitionsExplored, Exact.TransitionsExplored) << Sd.Name;
+    EXPECT_TRUE(Fp.ProbabilisticVerdict) << Sd.Name;
+    // The point of the mode: strictly smaller visited-set footprint.
+    EXPECT_LT(Fp.VisitedBytes, Exact.VisitedBytes) << Sd.Name;
+  }
+}
+
+TEST(Fingerprint, DistinctStatesHaveDistinctFingerprints) {
+  // Independent BFS collects every reachable encoding; the fingerprint map
+  // must be injective on them (zero collisions at test scale).
+  ModelConfig C;
+  C.NumMutators = 1;
+  C.NumRefs = 2;
+  C.NumFields = 1;
+  C.BufferBound = 1;
+  C.InitialHeap = ModelConfig::InitHeap::SingleRoot;
+  C.MutatorLoad = C.MutatorStore = C.MutatorAlloc = C.MutatorDiscard = false;
+  GcModel M(C);
+  std::vector<std::string> Encs = allEncodings(M);
+  ASSERT_GT(Encs.size(), 100u);
+  std::unordered_set<uint64_t> Fps;
+  for (const std::string &E : Encs)
+    Fps.insert(fingerprint64(E));
+  EXPECT_EQ(Fps.size(), Encs.size());
+}
+
+TEST(Fingerprint, BloomFilterAccounting) {
+  StripedBloomFilter B(1ull << 20);
+  EXPECT_EQ(B.bits() % 64, 0u);
+  Xoshiro256 Rng(42);
+  std::vector<uint64_t> Fps;
+  for (int I = 0; I < 1000; ++I)
+    Fps.push_back(Rng.next());
+  unsigned Fresh = 0;
+  for (uint64_t Fp : Fps)
+    Fresh += B.testAndSet(Fp) ? 1 : 0;
+  // Essentially everything is fresh at this fill (deterministic seed, so
+  // the tolerance only covers genuine probe collisions).
+  EXPECT_GE(Fresh, 995u);
+  // Re-query is never fresh: the bloom has no false negatives.
+  for (uint64_t Fp : Fps)
+    EXPECT_FALSE(B.testAndSet(Fp));
+  EXPECT_GT(B.bitCount(), 0u);
+  EXPECT_LE(B.bitCount(), 2u * Fps.size()); // ≤ NumProbes bits per insert
+  EXPECT_GT(B.fillRatio(), 0.0);
+  EXPECT_LT(B.fillRatio(), 0.01);
+  EXPECT_DOUBLE_EQ(B.estimatedFalsePositiveRate(),
+                   B.fillRatio() * B.fillRatio());
+}
+
+//===----------------------------------------------------------------------===//
+// Swarm exploration
+//===----------------------------------------------------------------------===//
+
+TEST(Swarm, SingleWalkerMatchesSequentialOnTinyInstance) {
+  GcModel M(seeds()[0].Cfg);
+  InvariantSuite Inv(M);
+  ExploreResult Seq = exploreExhaustive(M, Inv);
+  ASSERT_TRUE(Seq.exhaustedCleanly());
+
+  SwarmOptions SO;
+  SO.Walkers = 1;
+  SO.Seed = 7;
+  SO.BloomBits = 1ull << 22;
+  ExploreResult Res = exploreSwarm(M, Inv, SO);
+  EXPECT_FALSE(Res.Bug.has_value());
+  EXPECT_FALSE(Res.Truncated);
+  // One walker has no claim races: the claimed count is exact (modulo
+  // bloom false positives, negligible at 4M bits for ~1k states — and
+  // deterministic under the fixed seed).
+  EXPECT_EQ(Res.StatesVisited, Seq.StatesVisited);
+  EXPECT_TRUE(Res.ProbabilisticVerdict);
+  EXPECT_EQ(Res.BloomBits, SO.BloomBits);
+  EXPECT_GT(Res.BloomBitsSet, 0u);
+  EXPECT_LT(Res.BloomEstFpRate, 1e-3);
+  EXPECT_EQ(Res.VisitedBytes, SO.BloomBits / 8);
+}
+
+TEST(Swarm, MultiWalkerCoverageWithinClaimRaceSlack) {
+  for (const Seed &Sd : seeds()) {
+    GcModel M(Sd.Cfg);
+    InvariantSuite Inv(M);
+    ExploreResult Seq = exploreExhaustive(M, Inv);
+    ASSERT_TRUE(Seq.exhaustedCleanly()) << Sd.Name;
+
+    SwarmOptions SO;
+    SO.Walkers = 4;
+    SO.Seed = 3;
+    SO.BloomBits = 1ull << 22;
+    ExploreResult Res = exploreSwarm(M, Inv, SO);
+    EXPECT_FALSE(Res.Bug.has_value()) << Sd.Name;
+    // Coverage within the documented slack: racing walkers can
+    // double-claim through disjoint probe bits (overcount), and bloom
+    // false positives drop a handful of states at this fill — ~7e-5 per
+    // query, a few states per ten thousand (undercount). Both effects are
+    // small; exactness is the single-walker test above.
+    EXPECT_GE(Res.StatesVisited, Seq.StatesVisited * 99 / 100) << Sd.Name;
+    EXPECT_LE(Res.StatesVisited, Seq.StatesVisited * 11 / 10) << Sd.Name;
+    EXPECT_TRUE(Res.ProbabilisticVerdict) << Sd.Name;
+    EXPECT_GT(Res.BloomBitsSet, 0u) << Sd.Name;
+  }
+}
+
+TEST(Swarm, FindsAblationViolationAndReplays) {
+  GcModel M(ablated());
+  InvariantSuite Inv(M);
+  SwarmOptions SO;
+  SO.Walkers = 4;
+  SO.Seed = 5;
+  SO.BloomBits = 1ull << 22;
+  ExploreResult Res = exploreSwarm(M, headlineChecker(Inv), SO);
+  ASSERT_TRUE(Res.Bug.has_value());
+  ASSERT_FALSE(Res.Path.empty());
+  EXPECT_TRUE(choicesReplayTo(M, Res, headlineChecker(Inv)));
+}
+
+//===----------------------------------------------------------------------===//
+// ShardedVisitedSet fingerprint keying
+//===----------------------------------------------------------------------===//
+
+TEST(ShardedVisitedSetFp, ConcurrentInsertStress) {
+  // Four threads racing fully-overlapping fingerprint ranges: exactly one
+  // fresh insert per distinct fingerprint, metadata uniquely determined.
+  constexpr unsigned N = 30'000;
+  ShardedVisitedSet<uint32_t> Set(16);
+  std::atomic<uint64_t> Fresh{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < 4; ++T)
+    Threads.emplace_back([&Set, &Fresh, T] {
+      uint64_t Mine = 0;
+      // Stagger start points so the threads collide on different keys.
+      for (unsigned I = 0; I < N; ++I) {
+        unsigned K = (I + T * (N / 4)) % N;
+        auto [Id, New] = Set.insertFp(hashMix(0x1234, K), K);
+        (void)Id;
+        Mine += New ? 1 : 0;
+      }
+      Fresh.fetch_add(Mine);
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  EXPECT_EQ(Fresh.load(), N);
+  EXPECT_EQ(Set.size(), N);
+  // Every key's metadata is the value every thread agreed to store.
+  for (unsigned K = 0; K < N; K += 97) {
+    auto [Id, New] = Set.insertFp(hashMix(0x1234, K), 0);
+    EXPECT_FALSE(New);
+    EXPECT_EQ(Set.meta(Id), K);
+  }
+}
+
+TEST(ShardedVisitedSetFp, RehashKeepsIdsStable) {
+  // A single shard forces many FpMap rehashes as occupancy grows; node ids
+  // index the side arena and must stay valid throughout.
+  constexpr unsigned N = 10'000;
+  ShardedVisitedSet<uint32_t> Set(1);
+  std::vector<uint64_t> Ids;
+  Ids.reserve(N);
+  for (unsigned I = 0; I < N; ++I) {
+    auto [Id, New] = Set.insertFp(hashMix(0x9999, I), I);
+    ASSERT_TRUE(New);
+    Ids.push_back(Id);
+  }
+  for (unsigned I = 0; I < N; ++I)
+    ASSERT_EQ(Set.meta(Ids[I]), I);
+  auto St = Set.stats();
+  EXPECT_EQ(St.Nodes, N);
+  EXPECT_EQ(St.MaxShardNodes, N);
+  EXPECT_EQ(St.ExactKeyBytes, 0u); // fingerprint keying stores no strings
+  EXPECT_GT(St.MemoryBytes, 0u);
+}
+
+TEST(ShardedVisitedSetFp, FingerprintModeShrinksFootprint) {
+  // The same logical key set, keyed exactly vs by fingerprint: the whole
+  // point of the mode is a hard footprint cut.
+  constexpr unsigned N = 5'000;
+  ShardedVisitedSet<uint32_t> Exact(16);
+  ShardedVisitedSet<uint32_t> Fp(16);
+  for (unsigned I = 0; I < N; ++I) {
+    std::string Key(96, 'x');
+    Key += std::to_string(I);
+    Fp.insertFp(fingerprint64(Key), I);
+    Exact.insert(std::move(Key), I);
+  }
+  uint64_t ExactBytes = Exact.memoryBytes();
+  uint64_t FpBytes = Fp.memoryBytes();
+  EXPECT_EQ(Exact.size(), N);
+  EXPECT_EQ(Fp.size(), N);
+  EXPECT_LT(FpBytes * 3, ExactBytes);
+}

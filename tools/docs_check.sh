@@ -80,6 +80,24 @@ if [ -f "$ROOT/run_benches.sh" ] && [ -f "$ROOT/docs/OBSERVABILITY.md" ]; then
   rm -f /tmp/docs_check_req.$$
 fi
 
+# --- 4. enforced scale-out export rows are documented -----------------------
+# run_benches.sh pins the scale_out.* rows of BENCH_model_checker.json;
+# each pinned key must appear in docs/OBSERVABILITY.md so the enforcement
+# and the documentation cannot drift apart.
+if [ -f "$ROOT/run_benches.sh" ] && [ -f "$ROOT/docs/OBSERVABILITY.md" ]; then
+  grep -o 'scale_out\.[a-z0-9_.]*[a-z0-9_]' "$ROOT/run_benches.sh" | sort -u |
+    while IFS= read -r key; do
+      if ! grep -Fq "$key" "$ROOT/docs/OBSERVABILITY.md"; then
+        echo "docs_check: enforced scale-out row $key (run_benches.sh) is not documented in docs/OBSERVABILITY.md"
+      fi
+    done > /tmp/docs_check_scale.$$ 2>&1
+  if [ -s /tmp/docs_check_scale.$$ ]; then
+    cat /tmp/docs_check_scale.$$ >&2
+    STATUS=1
+  fi
+  rm -f /tmp/docs_check_scale.$$
+fi
+
 if [ "$STATUS" = 0 ]; then
   echo "docs_check: OK"
 fi
